@@ -1,0 +1,192 @@
+package llmbench
+
+// One benchmark per reproduced paper artifact: BenchmarkFigNN /
+// BenchmarkTabN regenerates that figure or table end to end through
+// the simulation engine, so `go test -bench=.` replays the paper's
+// whole evaluation and reports how long each figure takes to
+// reproduce. Micro-benchmarks for the core mechanisms follow.
+
+import (
+	"testing"
+
+	"llmbench/internal/dtype"
+	"llmbench/internal/experiments"
+	"llmbench/internal/kvcache"
+	"llmbench/internal/model"
+	"llmbench/internal/perplexity"
+	"llmbench/internal/sched"
+	"llmbench/internal/workload"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, err := experiments.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1aBatchVsLength(b *testing.B)         { benchExperiment(b, "fig1a") }
+func BenchmarkFig1bBlendedTokens(b *testing.B)         { benchExperiment(b, "fig1b") }
+func BenchmarkFig2aKVCacheAblation(b *testing.B)       { benchExperiment(b, "fig2a") }
+func BenchmarkFig2bKVBlockSize(b *testing.B)           { benchExperiment(b, "fig2b") }
+func BenchmarkFig3Quantization(b *testing.B)           { benchExperiment(b, "fig3") }
+func BenchmarkFig4aNASModels(b *testing.B)             { benchExperiment(b, "fig4a") }
+func BenchmarkFig4bSpeculativeDecoding(b *testing.B)   { benchExperiment(b, "fig4b") }
+func BenchmarkFig5aParallelism(b *testing.B)           { benchExperiment(b, "fig5a") }
+func BenchmarkFig5bMoEParallelism(b *testing.B)        { benchExperiment(b, "fig5b") }
+func BenchmarkFig6TRTLLM7B(b *testing.B)               { benchExperiment(b, "fig6") }
+func BenchmarkFig7TRTLLM70B(b *testing.B)              { benchExperiment(b, "fig7") }
+func BenchmarkFig8VLLM7B(b *testing.B)                 { benchExperiment(b, "fig8") }
+func BenchmarkFig9VLLM70B(b *testing.B)                { benchExperiment(b, "fig9") }
+func BenchmarkFig10PerplexityScatterA100(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFig11DSMIIScaling(b *testing.B)          { benchExperiment(b, "fig11") }
+func BenchmarkFig12MixtralFrameworks(b *testing.B)     { benchExperiment(b, "fig12") }
+func BenchmarkFig13LlamaCpp7B(b *testing.B)            { benchExperiment(b, "fig13") }
+func BenchmarkFig14LlamaCppScaling(b *testing.B)       { benchExperiment(b, "fig14") }
+func BenchmarkFig15FrameworksA100(b *testing.B)        { benchExperiment(b, "fig15") }
+func BenchmarkFig16Power(b *testing.B)                 { benchExperiment(b, "fig16") }
+func BenchmarkFig17MI250(b *testing.B)                 { benchExperiment(b, "fig17") }
+func BenchmarkFig18SN40L7B(b *testing.B)               { benchExperiment(b, "fig18") }
+func BenchmarkFig19SN40L70B(b *testing.B)              { benchExperiment(b, "fig19") }
+func BenchmarkFig20Gaudi2(b *testing.B)                { benchExperiment(b, "fig20") }
+func BenchmarkFig21TTFT(b *testing.B)                  { benchExperiment(b, "fig21") }
+func BenchmarkFig22ITL(b *testing.B)                   { benchExperiment(b, "fig22") }
+func BenchmarkFig23Accelerators(b *testing.B)          { benchExperiment(b, "fig23") }
+func BenchmarkFig24AcceleratorsByLength(b *testing.B)  { benchExperiment(b, "fig24") }
+func BenchmarkFig25PeakThroughput(b *testing.B)        { benchExperiment(b, "fig25") }
+func BenchmarkFig29PerplexityScatterH100(b *testing.B) { benchExperiment(b, "fig29") }
+func BenchmarkFig30TRTLLMScaling(b *testing.B)         { benchExperiment(b, "fig30") }
+func BenchmarkFig31VLLMScaling(b *testing.B)           { benchExperiment(b, "fig31") }
+func BenchmarkFig32LlamaCpp70B(b *testing.B)           { benchExperiment(b, "fig32") }
+func BenchmarkFig33H100Frameworks(b *testing.B)        { benchExperiment(b, "fig33") }
+func BenchmarkFig3470BFrameworks(b *testing.B)         { benchExperiment(b, "fig34") }
+func BenchmarkFig35MI250VLLM(b *testing.B)             { benchExperiment(b, "fig35") }
+func BenchmarkFig36MI250LlamaCpp(b *testing.B)         { benchExperiment(b, "fig36") }
+func BenchmarkFig37MI250VLLM70B(b *testing.B)          { benchExperiment(b, "fig37") }
+func BenchmarkFig38Gaudi70B(b *testing.B)              { benchExperiment(b, "fig38") }
+func BenchmarkTab1Models(b *testing.B)                 { benchExperiment(b, "tab1") }
+func BenchmarkTab2Hardware(b *testing.B)               { benchExperiment(b, "tab2") }
+func BenchmarkTab3Frameworks(b *testing.B)             { benchExperiment(b, "tab3") }
+
+// Extension experiments (ablations and future-work items; DESIGN.md §4).
+func BenchmarkExt1AllDevicePower(b *testing.B)    { benchExperiment(b, "ext1") }
+func BenchmarkExt2SpecDecGamma(b *testing.B)      { benchExperiment(b, "ext2") }
+func BenchmarkExt3PagedVsMonolithic(b *testing.B) { benchExperiment(b, "ext3") }
+func BenchmarkExt4ChunkedPrefill(b *testing.B)    { benchExperiment(b, "ext4") }
+func BenchmarkExt5KVHeadNAS(b *testing.B)         { benchExperiment(b, "ext5") }
+
+// --- core mechanism micro-benchmarks -------------------------------------
+
+func BenchmarkEngineRunPoint(b *testing.B) {
+	eng, err := NewEngine(System{Model: "LLaMA-3-8B", Device: "A100", Framework: "vLLM"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := workload.Spec{Batch: 64, Input: 1024, Output: 1024}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineDecodeStep(b *testing.B) {
+	eng, err := NewEngine(System{Model: "LLaMA-3-8B", Device: "A100", Framework: "vLLM"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.DecodeStepSeconds(16, 1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPagedAllocator(b *testing.B) {
+	m := model.MustGet("LLaMA-3-8B")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alloc, err := kvcache.NewPaged(16, m.KVBytesPerToken(dtype.FP16), 20*(1<<30))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for s := 0; s < 64; s++ {
+			if err := alloc.Alloc(s, 512); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for tok := 513; tok < 640; tok++ {
+			for s := 0; s < 64; s++ {
+				if err := alloc.Extend(s, tok); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		for s := 0; s < 64; s++ {
+			alloc.Free(s)
+		}
+	}
+}
+
+func BenchmarkContinuousServing(b *testing.B) {
+	eng, err := NewEngine(System{Model: "LLaMA-3-8B", Device: "A100", Framework: "vLLM"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := model.MustGet("LLaMA-3-8B")
+	reqs, err := workload.PoissonTrace(workload.TraceConfig{
+		Seed: 5, Requests: 100, RatePerSec: 10, InputMean: 512, OutputMean: 128, LengthJitter: 0.3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alloc, err := kvcache.NewPaged(16, m.KVBytesPerToken(dtype.FP16), 18*(1<<30))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sched.Serve(sched.Config{
+			Engine: eng, Policy: sched.Continuous, MaxBatch: 32, Alloc: alloc,
+		}, reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPerplexityEvaluation(b *testing.B) {
+	ev, err := perplexity.NewEvaluator()
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the corpus; benchmark a fresh capacity each iteration by
+	// alternating models.
+	names := perplexity.ScatterModels()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.ModelPerplexity(names[i%len(names)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExt6RouterAblation(b *testing.B) { benchExperiment(b, "ext6") }
+func BenchmarkExt7BatchAutotune(b *testing.B)  { benchExperiment(b, "ext7") }
+
+func BenchmarkExt8PrefixSharing(b *testing.B) { benchExperiment(b, "ext8") }
+func BenchmarkExt9Autoscaling(b *testing.B)   { benchExperiment(b, "ext9") }

@@ -1,0 +1,28 @@
+// Command llmbench-dashboard serves the interactive dashboard: a
+// browser UI that regenerates and charts every reproduced figure of
+// the paper (the open-source artifact the paper ships alongside its
+// results).
+//
+// Usage:
+//
+//	llmbench-dashboard [-addr :8080]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"llmbench/internal/dashboard"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+	fmt.Printf("LLM-Inference-Bench dashboard on http://localhost%s\n", *addr)
+	if err := http.ListenAndServe(*addr, dashboard.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "llmbench-dashboard:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,82 @@
+// Command llmbench-sweep runs ad-hoc parameter sweeps outside the
+// paper's fixed figures: pick a model/device/framework and sweep batch
+// sizes and sequence lengths, printing a Markdown table of throughput,
+// TTFT, ITL, and power.
+//
+// Example:
+//
+//	llmbench-sweep -model LLaMA-3-8B -device H100 -framework TRT-LLM \
+//	    -batches 1,8,16,32,64 -lengths 128,1024 -tp 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"llmbench"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "LLaMA-3-8B", "model name (see 'llmbench catalog')")
+		device    = flag.String("device", "A100", "accelerator name")
+		fw        = flag.String("framework", "vLLM", "framework name")
+		tp        = flag.Int("tp", 1, "tensor-parallel degree")
+		pp        = flag.Int("pp", 1, "pipeline-parallel degree")
+		ep        = flag.Int("ep", 1, "expert-parallel degree")
+		weights   = flag.String("weights", "", "weight precision (default fp16)")
+		kv        = flag.String("kv", "", "KV-cache precision (default fp16)")
+		batches   = flag.String("batches", "1,16,32,64", "comma-separated batch sizes")
+		lengths   = flag.String("lengths", "1024", "comma-separated input/output lengths")
+	)
+	flag.Parse()
+
+	bs, err := parseInts(*batches)
+	if err != nil {
+		fatal(err)
+	}
+	ls, err := parseInts(*lengths)
+	if err != nil {
+		fatal(err)
+	}
+	sys := llmbench.System{
+		Model: *modelName, Device: *device, Framework: *fw,
+		TP: *tp, PP: *pp, EP: *ep, Weights: *weights, KV: *kv,
+	}
+	fmt.Printf("### %s on %s×%d via %s\n\n", *modelName, *device, (*tp)*(*pp)*(*ep), *fw)
+	fmt.Println("| Batch | Length | Throughput (tok/s) | TTFT (s) | ITL (ms) | Power (W) | tok/s/W |")
+	fmt.Println("|---|---|---|---|---|---|---|")
+	for _, l := range ls {
+		for _, b := range bs {
+			res, err := llmbench.Run(sys, llmbench.Workload{Batch: b, Input: l, Output: l})
+			if err != nil {
+				fmt.Printf("| %d | %d | — (%v) | | | | |\n", b, l, err)
+				continue
+			}
+			fmt.Printf("| %d | %d | %.0f | %.3f | %.3f | %.0f | %.2f |\n",
+				b, l, res.Throughput, res.TTFTSeconds, res.ITLSeconds*1000,
+				res.TotalPowerWatts, res.TokensPerSecPerW)
+		}
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer list %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "llmbench-sweep:", err)
+	os.Exit(1)
+}

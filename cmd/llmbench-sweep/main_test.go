@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 16,32 ,64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 16, 32, 64}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseInts = %v", got)
+		}
+	}
+	if _, err := parseInts("1,x,3"); err == nil {
+		t.Error("bad list must fail")
+	}
+}

@@ -1,0 +1,58 @@
+package llmbench_test
+
+import (
+	"fmt"
+
+	"llmbench"
+)
+
+// ExampleRun benchmarks one point and prints the paper's metrics. The
+// simulator is deterministic, so the output is stable.
+func ExampleRun() {
+	res, err := llmbench.Run(
+		llmbench.System{Model: "LLaMA-2-7B", Device: "A100", Framework: "TRT-LLM"},
+		llmbench.Workload{Batch: 1, Input: 128, Output: 128},
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("throughput: %.0f tokens/s\n", res.Throughput)
+	fmt.Printf("memory bound: %v\n", res.DecodeBound)
+	// Output:
+	// throughput: 204 tokens/s
+	// memory bound: memory
+}
+
+// ExampleExplain attributes a benchmark point's time to mechanisms.
+func ExampleExplain() {
+	bd, err := llmbench.Explain(
+		llmbench.System{Model: "LLaMA-3-8B", Device: "H100", Framework: "TRT-LLM"},
+		llmbench.Workload{Batch: 64, Input: 1024, Output: 1024},
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("decode memory bound: %v\n", bd.Decode.MemoryBound)
+	fmt.Printf("KV read exceeds compute wall: %v\n", bd.Decode.KVReadS > bd.Decode.ComputeWall)
+	// Output:
+	// decode memory bound: true
+	// KV read exceeds compute wall: true
+}
+
+// ExampleRunExperiment regenerates one of the paper's tables.
+func ExampleRunExperiment() {
+	res, err := llmbench.RunExperiment("tab3")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Markdown)
+	// Output:
+	// ### tab3 — Table III: Summary of inference frameworks evaluated
+	//
+	// | Framework | A100 | H100 | GH200 | MI250 | Gaudi2 |
+	// |---|---|---|---|---|---|
+	// | vLLM | Yes | Yes | Yes | Yes | Yes |
+	// | llama.cpp | Yes | Yes | Yes | Yes | No |
+	// | TRT-LLM | Yes | Yes | Yes | No | No |
+	// | DS-MII | Yes | No | No | No | No |
+}

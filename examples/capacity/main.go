@@ -1,0 +1,74 @@
+// capacity is a deployment-planning workflow built on the cluster
+// simulator: given a target arrival rate and latency SLO for a
+// chat-style workload, find the smallest replica count of each
+// accelerator that meets it — the decision the paper's benchmarking
+// data exists to inform (§VII: "the choice of framework should be
+// tailored to specific user scenarios and infrastructure
+// constraints").
+//
+//	go run ./examples/capacity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"llmbench"
+)
+
+func main() {
+	const (
+		targetRate = 30.0 // requests/s to sustain
+		sloP99     = 6.0  // seconds, end-to-end p99
+	)
+	fmt.Printf("Capacity planning: Mistral-7B chat, %g req/s, p99 ≤ %gs\n", targetRate, sloP99)
+	fmt.Println("(prompts ~512 tokens, replies ~128 tokens, least-loaded router)")
+	fmt.Println()
+
+	type option struct {
+		dev, fw string
+	}
+	options := []option{
+		{"A100", "TRT-LLM"},
+		{"H100", "TRT-LLM"},
+		{"GH200", "TRT-LLM"},
+		{"MI300X", "vLLM"},
+	}
+	for _, opt := range options {
+		met := false
+		for replicas := 1; replicas <= 16; replicas *= 2 {
+			stats, err := llmbench.ServeCluster(llmbench.ClusterConfig{
+				System:      llmbench.System{Model: "Mistral-7B", Device: opt.dev, Framework: opt.fw},
+				Replicas:    replicas,
+				LeastLoaded: true,
+				MaxBatch:    32,
+				Seed:        99,
+				Requests:    300,
+				RatePerSec:  targetRate,
+				InputMean:   512,
+				OutputMean:  128,
+			})
+			if err != nil {
+				log.Fatalf("%s: %v", opt.dev, err)
+			}
+			if stats.P99Latency <= sloP99 {
+				util := 0.0
+				for _, r := range stats.PerReplica {
+					util += r.Util
+				}
+				util /= float64(len(stats.PerReplica))
+				fmt.Printf("%-7s (%s): %2d replica(s) meet the SLO — p99 %.2fs, mean TTFT %.2fs, cluster %.0f tok/s, avg util %.0f%%\n",
+					opt.dev, opt.fw, replicas, stats.P99Latency, stats.MeanTTFT,
+					stats.Throughput, util*100)
+				met = true
+				break
+			}
+		}
+		if !met {
+			fmt.Printf("%-7s (%s): does not meet the SLO within 16 replicas\n", opt.dev, opt.fw)
+		}
+	}
+	fmt.Println()
+	fmt.Println("Rerun with a different model, framework, or SLO to explore the")
+	fmt.Println("trade-offs the LLM-Inference-Bench dashboard is built to expose.")
+}

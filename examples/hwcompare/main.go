@@ -1,0 +1,96 @@
+// hwcompare reproduces the paper's accelerator-selection workflow
+// (§VI / Figs. 23-25): given a model, sweep every accelerator it runs
+// on with the best framework for that platform, and report who wins at
+// each batch size, where SN40L's low-batch advantage ends, and the
+// peak throughput per platform.
+//
+//	go run ./examples/hwcompare [model]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"llmbench"
+)
+
+type combo struct {
+	dev, fw string
+	tp      int
+}
+
+// bestStack is each platform's vendor-preferred framework (§VII-2:
+// "vendor-specific frameworks result in the best throughput").
+var bestStack = []combo{
+	{"GH200", "TRT-LLM", 1},
+	{"H100", "TRT-LLM", 1},
+	{"A100", "TRT-LLM", 1},
+	{"MI300X", "vLLM", 1},
+	{"MI250", "vLLM", 1},
+	{"Gaudi2", "DeepSpeed", 1},
+	{"SN40L", "SambaFlow", 8},
+}
+
+func main() {
+	modelName := "LLaMA-3-8B"
+	if len(os.Args) > 1 {
+		modelName = os.Args[1]
+	}
+	fmt.Printf("Accelerator comparison for %s (input/output 1024, fp16/bf16)\n\n", modelName)
+
+	batches := []int{1, 16, 32, 64}
+	fmt.Printf("%-22s", "Platform")
+	for _, b := range batches {
+		fmt.Printf("  bs %-6d", b)
+	}
+	fmt.Println(" peak tok/s/W")
+
+	type row struct {
+		name string
+		thr  map[int]float64
+		eff  float64
+	}
+	var rows []row
+	for _, c := range bestStack {
+		sys := llmbench.System{Model: modelName, Device: c.dev, Framework: c.fw, TP: c.tp}
+		r := row{name: fmt.Sprintf("%d× %s (%s)", c.tp, c.dev, c.fw), thr: map[int]float64{}}
+		for _, b := range batches {
+			res, err := llmbench.Run(sys, llmbench.Workload{Batch: b, Input: 1024, Output: 1024})
+			if err != nil {
+				continue
+			}
+			r.thr[b] = res.Throughput
+			if res.TokensPerSecPerW > r.eff {
+				r.eff = res.TokensPerSecPerW
+			}
+		}
+		if len(r.thr) == 0 {
+			log.Printf("%s: no batch size fit", r.name)
+			continue
+		}
+		rows = append(rows, r)
+	}
+	for _, r := range rows {
+		fmt.Printf("%-22s", r.name)
+		for _, b := range batches {
+			if v, ok := r.thr[b]; ok {
+				fmt.Printf("  %-9.0f", v)
+			} else {
+				fmt.Printf("  %-9s", "OOM")
+			}
+		}
+		fmt.Printf(" %.2f\n", r.eff)
+	}
+
+	fmt.Println("\nWinner per batch size:")
+	for _, b := range batches {
+		best, bestV := "", 0.0
+		for _, r := range rows {
+			if v := r.thr[b]; v > bestV {
+				best, bestV = r.name, v
+			}
+		}
+		fmt.Printf("  bs %-3d → %-22s (%.0f tok/s)\n", b, best, bestV)
+	}
+}

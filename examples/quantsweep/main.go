@@ -1,0 +1,75 @@
+// quantsweep reproduces the quantization decision of §IV-B3 / Fig. 3
+// interactively: for a given model it sweeps the weight/KV precision
+// combinations on H100 and A100, showing both the throughput gain and
+// the (small) perplexity cost — and that A100's missing FP8 hardware
+// limits its options to INT8.
+//
+//	go run ./examples/quantsweep
+package main
+
+import (
+	"fmt"
+
+	"llmbench"
+)
+
+func main() {
+	const modelName = "LLaMA-3-8B"
+	fmt.Printf("Quantization sweep: %s, batch 16, input/output 1024\n\n", modelName)
+
+	basePPL, err := llmbench.Perplexity("LLaMA-3-8B")
+	if err != nil {
+		fmt.Println("perplexity unavailable:", err)
+		return
+	}
+
+	type scheme struct{ w, kv string }
+	schemes := []scheme{
+		{"fp16", "fp16"},
+		{"fp16", "fp8"},
+		{"fp8", "fp8"},
+		{"int8", "int8"},
+		{"int8", "fp8"},
+	}
+	for _, dev := range []string{"H100", "A100"} {
+		fmt.Printf("-- %s (TRT-LLM) --\n", dev)
+		var baseline float64
+		for _, s := range schemes {
+			res, err := llmbench.Run(llmbench.System{
+				Model: modelName, Device: dev, Framework: "TRT-LLM",
+				Weights: s.w, KV: s.kv,
+			}, llmbench.Workload{Batch: 16, Input: 1024, Output: 1024})
+			if err != nil {
+				fmt.Printf("  {%-4s, %-4s}  unsupported: %v\n", s.w, s.kv, err)
+				continue
+			}
+			if s.w == "fp16" && s.kv == "fp16" {
+				baseline = res.Throughput
+			}
+			speedup := res.Throughput / baseline
+			fmt.Printf("  {%-4s, %-4s}  %7.0f tok/s  (%.2fx fp16)  ppl ~%.2f\n",
+				s.w, s.kv, res.Throughput, speedup, basePPL+pplDelta(s.w, s.kv))
+		}
+		fmt.Println()
+	}
+	fmt.Println("FP8 weights error out on A100 — the hardware has no FP8 GEMM")
+	fmt.Println("(§IV-B3), so INT8 is its only low-precision weight option.")
+}
+
+// pplDelta mirrors quant.Scheme.PerplexityDelta for display.
+func pplDelta(w, kv string) float64 {
+	d := 0.0
+	switch w {
+	case "fp8":
+		d += 0.015
+	case "int8":
+		d += 0.03
+	}
+	switch kv {
+	case "fp8":
+		d += 0.01
+	case "int8":
+		d += 0.02
+	}
+	return d
+}

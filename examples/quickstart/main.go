@@ -1,0 +1,46 @@
+// Quickstart: run one benchmark point — LLaMA-3-8B on an A100 under
+// vLLM — and print the paper's metrics (throughput per Eq. 2, TTFT,
+// ITL per Eq. 1, power).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"llmbench"
+)
+
+func main() {
+	sys := llmbench.System{Model: "LLaMA-3-8B", Device: "A100", Framework: "vLLM"}
+
+	fmt.Println("LLaMA-3-8B on one A100 via vLLM (fp16), input/output 1024")
+	fmt.Println()
+	fmt.Println("Batch | Throughput (tok/s) | TTFT (s) | ITL (ms) | Power (W)")
+	fmt.Println("------+--------------------+----------+----------+----------")
+	for _, batch := range []int{1, 16, 32, 64} {
+		res, err := llmbench.Run(sys, llmbench.Workload{Batch: batch, Input: 1024, Output: 1024})
+		if err != nil {
+			log.Fatalf("batch %d: %v", batch, err)
+		}
+		fmt.Printf("%5d | %18.0f | %8.3f | %8.3f | %8.0f\n",
+			batch, res.Throughput, res.TTFTSeconds, res.ITLSeconds*1000, res.AvgPowerWatts)
+	}
+
+	fmt.Println()
+	fmt.Println("The same model everywhere it runs (batch 16):")
+	for _, dev := range llmbench.Devices() {
+		for _, fw := range llmbench.Frameworks() {
+			sys := llmbench.System{Model: "LLaMA-3-8B", Device: dev, Framework: fw}
+			if dev == "SN40L" {
+				sys.TP = 8 // the paper's SN40L setup is fixed at 8 RDUs
+			}
+			res, err := llmbench.Run(sys, llmbench.Workload{Batch: 16, Input: 1024, Output: 1024})
+			if err != nil {
+				continue // framework does not support this device, or OOM
+			}
+			fmt.Printf("  %-7s %-10s %8.0f tok/s\n", dev, fw, res.Throughput)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// serving simulates a chatbot deployment — the workload the paper's
+// introduction motivates — under Poisson arrivals, and contrasts the
+// two batch schedulers of §IV-A1: Orca-style continuous batching vs
+// traditional static batching, at increasing load.
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"llmbench"
+)
+
+func main() {
+	sys := llmbench.System{Model: "Mistral-7B", Device: "H100", Framework: "vLLM"}
+	fmt.Println("Chat serving: Mistral-7B on one H100 via vLLM")
+	fmt.Println("200 requests, prompts ~512 tokens, replies ~128 tokens")
+	fmt.Println()
+	fmt.Printf("%-10s %-12s %12s %12s %12s %12s %6s\n",
+		"load", "scheduler", "tok/s", "mean lat", "p99 lat", "mean TTFT", "preempt")
+
+	for _, rate := range []float64{2, 8, 20} {
+		for _, continuous := range []bool{true, false} {
+			name := "static"
+			if continuous {
+				name = "continuous"
+			}
+			stats, err := llmbench.Serve(llmbench.ServeConfig{
+				System:     sys,
+				Continuous: continuous,
+				MaxBatch:   32,
+				Seed:       42,
+				Requests:   200,
+				RatePerSec: rate,
+				InputMean:  512,
+				OutputMean: 128,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-10s %-12s %12.0f %11.2fs %11.2fs %11.2fs %6d\n",
+				fmt.Sprintf("%.0f req/s", rate), name,
+				stats.Throughput, stats.MeanLatency, stats.P99Latency,
+				stats.MeanTTFT, stats.Preemptions)
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("Continuous batching admits requests at iteration granularity, so")
+	fmt.Println("it keeps the device busy: higher token throughput and lower tail")
+	fmt.Println("latency at every load level — the §IV-A1 result.")
+}

@@ -1,0 +1,310 @@
+package cluster
+
+// Autoscaling extends the cluster simulator with dynamic capacity:
+// replicas are added when queues build and retired when they sit
+// idle — the operational layer a production deployment puts on top of
+// the per-accelerator numbers this benchmark produces.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"llmbench/internal/sched"
+	"llmbench/internal/trace"
+	"llmbench/internal/workload"
+)
+
+// Autoscale configures dynamic replica management.
+type Autoscale struct {
+	// Factory builds a fresh replica (engine + KV allocator).
+	Factory func() (Replica, error)
+	// Min and Max bound the replica count.
+	Min, Max int
+	// UpOutstanding: scale up when mean outstanding requests per
+	// active replica exceeds this.
+	UpOutstanding int
+	// DownIdleS is the minimum spacing between scale-downs; a replica
+	// is retired when it is empty and the remaining replicas would
+	// still run at under half the scale-up threshold.
+	DownIdleS float64
+	// CooldownS is the minimum spacing between scale-ups.
+	CooldownS float64
+}
+
+func (a *Autoscale) validate() error {
+	switch {
+	case a.Factory == nil:
+		return errors.New("cluster: autoscale needs a replica factory")
+	case a.Min < 1 || a.Max < a.Min:
+		return fmt.Errorf("cluster: bad autoscale bounds [%d, %d]", a.Min, a.Max)
+	case a.UpOutstanding < 1:
+		return errors.New("cluster: UpOutstanding must be ≥ 1")
+	case a.DownIdleS <= 0 || a.CooldownS < 0:
+		return errors.New("cluster: non-positive idle/cooldown times")
+	}
+	return nil
+}
+
+// ScaleEvent records a capacity change.
+type ScaleEvent struct {
+	TimeS    float64
+	Replicas int
+	Up       bool
+}
+
+// AutoStats extends Stats with the scaling trajectory.
+type AutoStats struct {
+	Stats
+	Events       []ScaleEvent
+	PeakReplicas int
+}
+
+// ServeAutoscale runs the trace with dynamic capacity, starting from
+// Min replicas.
+func ServeAutoscale(cfg Config, as Autoscale, reqs []workload.Request) (AutoStats, error) {
+	if err := as.validate(); err != nil {
+		return AutoStats{}, err
+	}
+	if cfg.MaxBatch < 1 {
+		return AutoStats{}, errors.New("cluster: MaxBatch must be ≥ 1")
+	}
+	if len(reqs) == 0 {
+		return AutoStats{}, errors.New("cluster: empty trace")
+	}
+
+	sim := trace.NewSim()
+	var states []*autoState
+	var done []sched.RequestStats
+	var simErr error
+	var events []ScaleEvent
+	peak := 0
+	lastScaleUp := -1e18
+
+	addReplica := func(now float64, initial bool) error {
+		rep, err := as.Factory()
+		if err != nil {
+			return err
+		}
+		if rep.Engine == nil || rep.Alloc == nil {
+			return errors.New("cluster: factory produced an incomplete replica")
+		}
+		states = append(states, &autoState{
+			replicaState: replicaState{id: len(events) + len(states), rep: rep},
+			idleSince:    now,
+		})
+		if !initial {
+			events = append(events, ScaleEvent{TimeS: now, Replicas: active(states), Up: true})
+		}
+		if active(states) > peak {
+			peak = active(states)
+		}
+		return nil
+	}
+	for i := 0; i < as.Min; i++ {
+		if err := addReplica(0, true); err != nil {
+			return AutoStats{}, err
+		}
+	}
+	peak = as.Min
+	lastScaleDown := -1e18
+
+	var iterate func(s *autoState) func(now float64)
+	schedule := func(s *autoState, at float64) {
+		if s.active {
+			return
+		}
+		s.active = true
+		if err := sim.At(at, iterate(s)); err != nil && simErr == nil {
+			simErr = err
+		}
+	}
+
+	iterate = func(s *autoState) func(now float64) {
+		return func(now float64) {
+			s.active = false
+			if simErr != nil {
+				return
+			}
+			step, finished, err := s.iterateOnce(cfg.MaxBatch, now)
+			if err != nil {
+				simErr = err
+				return
+			}
+			done = append(done, finished...)
+			if len(s.run) == 0 && len(s.queue) == 0 {
+				s.idleSince = now + step
+				return
+			}
+			if step > 0 {
+				schedule(s, now+step)
+			}
+		}
+	}
+
+	pickLeastLoaded := func() *autoState {
+		var best *autoState
+		for _, s := range states {
+			if s.retired {
+				continue
+			}
+			if best == nil || len(s.queue)+len(s.run) < len(best.queue)+len(best.run) {
+				best = s
+			}
+		}
+		return best
+	}
+
+	scaleIfNeeded := func(now float64) {
+		// Scale up on queue pressure.
+		outstanding := 0
+		for _, s := range states {
+			if !s.retired {
+				outstanding += len(s.queue) + len(s.run)
+			}
+		}
+		act := active(states)
+		if act < as.Max && now-lastScaleUp >= as.CooldownS &&
+			outstanding > as.UpOutstanding*act {
+			if err := addReplica(now, false); err != nil {
+				if simErr == nil {
+					simErr = err
+				}
+				return
+			}
+			lastScaleUp = now
+		}
+		// Retire one empty replica when the rest run comfortably.
+		if act > as.Min && now-lastScaleDown >= as.DownIdleS &&
+			outstanding <= as.UpOutstanding*(act-1)/2 {
+			for _, s := range states {
+				if !s.retired && len(s.run) == 0 && len(s.queue) == 0 {
+					s.retired = true
+					lastScaleDown = now
+					events = append(events, ScaleEvent{TimeS: now, Replicas: active(states), Up: false})
+					break
+				}
+			}
+		}
+	}
+
+	ordered := make([]workload.Request, len(reqs))
+	copy(ordered, reqs)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Arrival < ordered[j].Arrival })
+	for _, req := range ordered {
+		req := req
+		if err := sim.At(req.Arrival, func(now float64) {
+			scaleIfNeeded(now)
+			s := pickLeastLoaded()
+			s.queue = append(s.queue, req)
+			schedule(s, now)
+		}); err != nil {
+			return AutoStats{}, err
+		}
+	}
+
+	sim.Run(0)
+	if simErr != nil {
+		return AutoStats{}, simErr
+	}
+	if len(done) != len(reqs) {
+		return AutoStats{}, fmt.Errorf("cluster: only %d of %d requests completed", len(done), len(reqs))
+	}
+	agg, err := summarize(done, sim.Now())
+	if err != nil {
+		return AutoStats{}, err
+	}
+	return AutoStats{Stats: Stats{Stats: agg}, Events: events, PeakReplicas: peak}, nil
+}
+
+type autoState struct {
+	replicaState
+	idleSince float64
+	retired   bool
+}
+
+func active(states []*autoState) int {
+	n := 0
+	for _, s := range states {
+		if !s.retired {
+			n++
+		}
+	}
+	return n
+}
+
+// iterateOnce runs one admit+decode iteration for this replica and
+// returns the iteration duration and any finished requests.
+func (s *autoState) iterateOnce(maxBatch int, now float64) (float64, []sched.RequestStats, error) {
+	var admitted []*runReq
+	for len(s.queue) > 0 && len(s.run)+len(admitted) < maxBatch {
+		req := s.queue[0]
+		if !s.rep.Alloc.CanAlloc(req.Input) {
+			break
+		}
+		if err := s.rep.Alloc.Alloc(req.ID, req.Input); err != nil {
+			break
+		}
+		s.queue = s.queue[1:]
+		admitted = append(admitted, &runReq{
+			req: req,
+			stats: &sched.RequestStats{
+				ID: req.ID, Input: req.Input, Output: req.Output,
+				Arrival: req.Arrival, Started: now,
+			},
+		})
+	}
+	var step float64
+	if len(admitted) > 0 {
+		in := 0
+		for _, a := range admitted {
+			in += a.req.Input
+		}
+		pf, err := s.rep.Engine.PrefillSeconds(len(admitted), in/len(admitted))
+		if err != nil {
+			return 0, nil, err
+		}
+		step += pf
+		for _, a := range admitted {
+			a.stats.FirstTok = now + step
+			a.generated = 1
+		}
+		s.run = append(s.run, admitted...)
+	}
+	if len(s.run) == 0 {
+		if len(s.queue) > 0 {
+			return 0, nil, fmt.Errorf("cluster: replica %d cannot admit request %d (cache too small)",
+				s.id, s.queue[0].ID)
+		}
+		return 0, nil, nil
+	}
+	ctxSum := 0
+	for _, r := range s.run {
+		ctxSum += r.req.Input + r.generated
+	}
+	t, err := s.rep.Engine.DecodeStepSeconds(len(s.run), ctxSum/len(s.run))
+	if err != nil {
+		return 0, nil, err
+	}
+	step += t
+	end := now + step
+	s.busy += step
+	var finished []sched.RequestStats
+	next := s.run[:0]
+	for _, r := range s.run {
+		r.generated++
+		if r.generated >= r.req.Output {
+			s.rep.Alloc.Free(r.req.ID)
+			r.stats.Finished = end
+			finished = append(finished, *r.stats)
+			s.done++
+			continue
+		}
+		if err := s.rep.Alloc.Extend(r.req.ID, r.req.Input+r.generated); err != nil {
+			return 0, nil, err
+		}
+		next = append(next, r)
+	}
+	s.run = next
+	return step, finished, nil
+}

@@ -1,0 +1,283 @@
+// Package cluster simulates a multi-replica serving deployment: N
+// independent engine replicas behind a request router, driven by one
+// discrete-event loop (internal/trace). It extends the single-device
+// scheduler (internal/sched) to the deployment question the paper's
+// data exists to answer — how many of which accelerator meet a target
+// load (§VII: "the choice … should be tailored to specific user
+// scenarios and infrastructure constraints").
+//
+// Two routing policies are provided: round-robin and
+// join-the-shortest-queue (least outstanding work).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"llmbench/internal/engine"
+	"llmbench/internal/kvcache"
+	"llmbench/internal/sched"
+	"llmbench/internal/trace"
+	"llmbench/internal/workload"
+)
+
+// Policy selects the router.
+type Policy int
+
+const (
+	// RoundRobin cycles through replicas.
+	RoundRobin Policy = iota
+	// LeastLoaded joins the replica with the fewest outstanding
+	// requests (queued + running).
+	LeastLoaded
+)
+
+func (p Policy) String() string {
+	if p == RoundRobin {
+		return "round-robin"
+	}
+	return "least-loaded"
+}
+
+// Replica is one serving instance.
+type Replica struct {
+	Engine *engine.Engine
+	Alloc  kvcache.Allocator
+}
+
+// Config parameterises a cluster simulation.
+type Config struct {
+	Replicas []Replica
+	Policy   Policy
+	MaxBatch int // per replica
+}
+
+// Stats aggregates the run; PerReplica reports each replica's share.
+type Stats struct {
+	sched.Stats
+	PerReplica []ReplicaStats
+}
+
+// ReplicaStats summarises one replica.
+type ReplicaStats struct {
+	Completed int
+	BusyS     float64 // time spent executing iterations
+	Util      float64 // BusyS / makespan
+}
+
+type replicaState struct {
+	id     int
+	rep    Replica
+	queue  []workload.Request
+	run    []*runReq
+	active bool // an iteration event is scheduled
+	busy   float64
+	done   int
+}
+
+type runReq struct {
+	req       workload.Request
+	generated int
+	stats     *sched.RequestStats
+}
+
+// Serve routes the trace across the replicas and runs to completion.
+func Serve(cfg Config, reqs []workload.Request) (Stats, error) {
+	if len(cfg.Replicas) == 0 {
+		return Stats{}, errors.New("cluster: no replicas")
+	}
+	if cfg.MaxBatch < 1 {
+		return Stats{}, errors.New("cluster: MaxBatch must be ≥ 1")
+	}
+	if len(reqs) == 0 {
+		return Stats{}, errors.New("cluster: empty trace")
+	}
+	for i, r := range cfg.Replicas {
+		if r.Engine == nil || r.Alloc == nil {
+			return Stats{}, fmt.Errorf("cluster: replica %d incomplete", i)
+		}
+	}
+
+	sim := trace.NewSim()
+	states := make([]*replicaState, len(cfg.Replicas))
+	for i, r := range cfg.Replicas {
+		states[i] = &replicaState{id: i, rep: r}
+	}
+	var done []sched.RequestStats
+	var simErr error
+	rr := 0
+
+	pick := func() *replicaState {
+		if cfg.Policy == RoundRobin {
+			s := states[rr%len(states)]
+			rr++
+			return s
+		}
+		best := states[0]
+		for _, s := range states[1:] {
+			if len(s.queue)+len(s.run) < len(best.queue)+len(best.run) {
+				best = s
+			}
+		}
+		return best
+	}
+
+	var iterate func(s *replicaState) func(now float64)
+	schedule := func(s *replicaState, at float64) {
+		if s.active {
+			return
+		}
+		s.active = true
+		if err := sim.At(at, iterate(s)); err != nil && simErr == nil {
+			simErr = err
+		}
+	}
+
+	iterate = func(s *replicaState) func(now float64) {
+		return func(now float64) {
+			s.active = false
+			if simErr != nil {
+				return
+			}
+			// Admit.
+			var admitted []*runReq
+			for len(s.queue) > 0 && len(s.run)+len(admitted) < cfg.MaxBatch {
+				req := s.queue[0]
+				if !s.rep.Alloc.CanAlloc(req.Input) {
+					break
+				}
+				if err := s.rep.Alloc.Alloc(req.ID, req.Input); err != nil {
+					break
+				}
+				s.queue = s.queue[1:]
+				admitted = append(admitted, &runReq{
+					req: req,
+					stats: &sched.RequestStats{
+						ID: req.ID, Input: req.Input, Output: req.Output,
+						Arrival: req.Arrival, Started: now,
+					},
+				})
+			}
+			var step float64
+			if len(admitted) > 0 {
+				in := 0
+				for _, a := range admitted {
+					in += a.req.Input
+				}
+				pf, err := s.rep.Engine.PrefillSeconds(len(admitted), in/len(admitted))
+				if err != nil {
+					simErr = err
+					return
+				}
+				step += pf
+				for _, a := range admitted {
+					a.stats.FirstTok = now + step
+					a.generated = 1
+				}
+				s.run = append(s.run, admitted...)
+			}
+			if len(s.run) == 0 {
+				if len(s.queue) > 0 {
+					simErr = fmt.Errorf("cluster: replica %d cannot admit request %d (cache too small)",
+						s.id, s.queue[0].ID)
+				}
+				return
+			}
+			// One decode iteration.
+			ctxSum := 0
+			for _, r := range s.run {
+				ctxSum += r.req.Input + r.generated
+			}
+			t, err := s.rep.Engine.DecodeStepSeconds(len(s.run), ctxSum/len(s.run))
+			if err != nil {
+				simErr = err
+				return
+			}
+			step += t
+			end := now + step
+			s.busy += step
+			next := s.run[:0]
+			for _, r := range s.run {
+				r.generated++
+				if r.generated >= r.req.Output {
+					s.rep.Alloc.Free(r.req.ID)
+					r.stats.Finished = end
+					done = append(done, *r.stats)
+					s.done++
+					continue
+				}
+				if err := s.rep.Alloc.Extend(r.req.ID, r.req.Input+r.generated); err != nil {
+					simErr = err
+					return
+				}
+				next = append(next, r)
+			}
+			s.run = next
+			if len(s.run) > 0 || len(s.queue) > 0 {
+				schedule(s, end)
+			}
+		}
+	}
+
+	// Arrival events.
+	ordered := make([]workload.Request, len(reqs))
+	copy(ordered, reqs)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Arrival < ordered[j].Arrival })
+	for _, req := range ordered {
+		req := req
+		if err := sim.At(req.Arrival, func(now float64) {
+			s := pick()
+			s.queue = append(s.queue, req)
+			schedule(s, now)
+		}); err != nil {
+			return Stats{}, err
+		}
+	}
+
+	sim.Run(0)
+	if simErr != nil {
+		return Stats{}, simErr
+	}
+	if len(done) != len(reqs) {
+		return Stats{}, fmt.Errorf("cluster: only %d of %d requests completed", len(done), len(reqs))
+	}
+
+	agg, err := summarize(done, sim.Now())
+	if err != nil {
+		return Stats{}, err
+	}
+	out := Stats{Stats: agg}
+	for _, s := range states {
+		out.PerReplica = append(out.PerReplica, ReplicaStats{
+			Completed: s.done,
+			BusyS:     s.busy,
+			Util:      s.busy / sim.Now(),
+		})
+	}
+	return out, nil
+}
+
+func summarize(done []sched.RequestStats, makespan float64) (sched.Stats, error) {
+	if makespan <= 0 {
+		return sched.Stats{}, errors.New("cluster: zero makespan")
+	}
+	var tokens, latSum, ttftSum float64
+	lats := make([]float64, len(done))
+	for i, r := range done {
+		lats[i] = r.Latency()
+		latSum += lats[i]
+		ttftSum += r.FirstTok - r.Arrival
+		tokens += float64(r.Input + r.Output)
+	}
+	sort.Float64s(lats)
+	return sched.Stats{
+		Completed:   len(done),
+		MakespanS:   makespan,
+		Throughput:  tokens / makespan,
+		MeanLatency: latSum / float64(len(done)),
+		P99Latency:  lats[int(float64(len(lats)-1)*0.99)],
+		MeanTTFT:    ttftSum / float64(len(done)),
+		Requests:    done,
+	}, nil
+}

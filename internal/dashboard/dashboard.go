@@ -1,0 +1,353 @@
+// Package dashboard serves the interactive LLM-Inference-Bench
+// dashboard — the paper's companion artifact — as a self-contained
+// net/http handler: an experiment browser that renders every
+// reproduced figure as an SVG chart (log/linear toggle) with its data
+// table and notes.
+package dashboard
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"llmbench/internal/engine"
+	"llmbench/internal/experiments"
+	"llmbench/internal/framework"
+	"llmbench/internal/hw"
+	"llmbench/internal/metrics"
+	"llmbench/internal/model"
+	"llmbench/internal/parallel"
+	"llmbench/internal/workload"
+)
+
+// Handler returns the dashboard's HTTP handler.
+func Handler() http.Handler {
+	s := &server{cache: make(map[string]*experiments.Output)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.index)
+	mux.HandleFunc("/api/experiments", s.list)
+	mux.HandleFunc("/api/run", s.run)
+	mux.HandleFunc("/api/sweep", s.sweep)
+	return mux
+}
+
+type server struct {
+	mu    sync.Mutex
+	cache map[string]*experiments.Output
+}
+
+type expInfo struct {
+	ID       string   `json:"id"`
+	Title    string   `json:"title"`
+	Workload string   `json:"workload"`
+	Modules  []string `json:"modules"`
+}
+
+func (s *server) list(w http.ResponseWriter, r *http.Request) {
+	all := experiments.All()
+	out := make([]expInfo, len(all))
+	for i, e := range all {
+		out[i] = expInfo{ID: e.ID, Title: e.Title, Workload: e.Workload, Modules: e.Modules}
+	}
+	writeJSON(w, out)
+}
+
+type seriesJSON struct {
+	Label  string       `json:"label"`
+	Points [][2]float64 `json:"points"`
+}
+
+type figureJSON struct {
+	ID     string       `json:"id"`
+	Title  string       `json:"title"`
+	XLabel string       `json:"xlabel"`
+	YLabel string       `json:"ylabel"`
+	Series []seriesJSON `json:"series"`
+	Notes  []string     `json:"notes"`
+}
+
+type runResponse struct {
+	Figure   *figureJSON `json:"figure,omitempty"`
+	Text     string      `json:"text,omitempty"`
+	Markdown string      `json:"markdown"`
+}
+
+func (s *server) run(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	exp, err := experiments.Get(id)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	s.mu.Lock()
+	out, ok := s.cache[id]
+	s.mu.Unlock()
+	if !ok {
+		out, err = exp.Run()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		s.mu.Lock()
+		s.cache[id] = out
+		s.mu.Unlock()
+	}
+	resp := runResponse{Markdown: out.Markdown(), Text: out.Text}
+	if out.Figure != nil {
+		resp.Figure = toJSON(out.Figure)
+	}
+	writeJSON(w, resp)
+}
+
+// sweep runs an ad-hoc batch sweep:
+// /api/sweep?model=…&device=…&framework=…&tp=N&len=1024
+func (s *server) sweep(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	get := func(key, def string) string {
+		if v := q.Get(key); v != "" {
+			return v
+		}
+		return def
+	}
+	tp, err := strconv.Atoi(get("tp", "1"))
+	if err != nil || tp < 1 {
+		http.Error(w, "dashboard: bad tp", http.StatusBadRequest)
+		return
+	}
+	length, err := strconv.Atoi(get("len", "1024"))
+	if err != nil || length < 1 {
+		http.Error(w, "dashboard: bad len", http.StatusBadRequest)
+		return
+	}
+	m, err := model.Get(get("model", "LLaMA-3-8B"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	dev, err := hw.Get(get("device", "A100"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	fw, err := framework.Get(get("framework", "vLLM"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	eng, err := engine.New(engine.Config{
+		Model: m, Device: dev, Framework: fw,
+		Plan: parallel.Plan{TP: tp, PP: 1, EP: 1},
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	fig := &metrics.Figure{
+		ID:     "sweep",
+		Title:  fmt.Sprintf("%s on %d× %s via %s (len %d)", m.Name, tp, dev.Name, fw.Name, length),
+		XLabel: "Batch size", YLabel: "Throughput (tokens/s)",
+	}
+	for _, b := range workload.PaperBatches {
+		res, err := eng.Run(workload.Spec{Batch: b, Input: length, Output: length})
+		if err != nil {
+			fig.Note("batch %d skipped: %v", b, err)
+			continue
+		}
+		fig.Add("throughput", float64(b), res.Throughput)
+		fig.Add("TTFT (s)", float64(b), res.TTFTSeconds)
+		fig.Add("ITL (ms)", float64(b), res.ITLSeconds*1000)
+	}
+	writeJSON(w, runResponse{Figure: toJSON(fig), Markdown: fig.Markdown()})
+}
+
+func toJSON(f *metrics.Figure) *figureJSON {
+	out := &figureJSON{ID: f.ID, Title: f.Title, XLabel: f.XLabel, YLabel: f.YLabel, Notes: f.Notes}
+	for _, s := range f.Series {
+		sj := seriesJSON{Label: s.Label}
+		for _, p := range s.Points {
+			sj.Points = append(sj.Points, [2]float64{p.X, p.Y})
+		}
+		out.Series = append(out.Series, sj)
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *server) index(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, indexHTML)
+}
+
+const indexHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>LLM-Inference-Bench Dashboard</title>
+<style>
+ body { font-family: system-ui, sans-serif; margin: 0; display: flex; height: 100vh; }
+ #side { width: 340px; overflow-y: auto; border-right: 1px solid #ccc; padding: 12px; }
+ #main { flex: 1; overflow-y: auto; padding: 16px; }
+ .exp { cursor: pointer; padding: 6px 8px; border-radius: 6px; margin-bottom: 2px; }
+ .exp:hover { background: #eef; }
+ .exp.active { background: #dde6ff; }
+ .exp b { display: block; }
+ .exp small { color: #555; }
+ svg { background: #fafafa; border: 1px solid #ddd; border-radius: 8px; }
+ table { border-collapse: collapse; font-size: 13px; margin-top: 12px; }
+ td, th { border: 1px solid #ccc; padding: 3px 8px; text-align: right; }
+ th { background: #f0f0f0; }
+ .legend { display: flex; flex-wrap: wrap; gap: 10px; margin: 8px 0; font-size: 13px; }
+ .legend span { display: inline-flex; align-items: center; gap: 4px; }
+ .swatch { width: 14px; height: 3px; display: inline-block; }
+ .note { color: #864; font-size: 13px; margin-top: 6px; }
+ #logtoggle { margin-left: 16px; }
+ pre { background: #f6f6f6; padding: 10px; overflow-x: auto; }
+</style>
+</head>
+<body>
+<div id="side"><h3>LLM-Inference-Bench</h3>
+<div style="border:1px solid #ccc;border-radius:8px;padding:8px;margin-bottom:10px;font-size:13px">
+ <b>Custom sweep</b><br>
+ <input id="sw-model" value="LLaMA-3-8B" size="12" title="model">
+ <input id="sw-device" value="A100" size="6" title="device">
+ <input id="sw-fw" value="vLLM" size="8" title="framework"><br>
+ tp <input id="sw-tp" value="1" size="2"> len <input id="sw-len" value="1024" size="5">
+ <button onclick="sweep()">run</button>
+</div>
+<div id="list">loading…</div></div>
+<div id="main"><p>Select a figure or table on the left. Every entry regenerates the
+corresponding table/figure of the SC'24 paper from the simulation engine.</p></div>
+<script>
+const colors = ["#e6194b","#3cb44b","#4363d8","#f58231","#911eb4","#46f0f0",
+ "#f032e6","#bcf60c","#fabebe","#008080","#e6beff","#9a6324","#800000",
+ "#aaffc3","#808000","#000075","#808080","#ffd8b1","#000000","#ffe119"];
+let active = null;
+async function load() {
+  const res = await fetch("/api/experiments");
+  const exps = await res.json();
+  const list = document.getElementById("list");
+  list.innerHTML = "";
+  for (const e of exps) {
+    const div = document.createElement("div");
+    div.className = "exp"; div.id = "exp-" + e.id;
+    div.innerHTML = "<b>" + e.id + "</b><small>" + e.title + "</small>";
+    div.onclick = () => show(e);
+    list.appendChild(div);
+  }
+}
+async function show(e) {
+  if (active) document.getElementById("exp-"+active).classList.remove("active");
+  active = e.id;
+  document.getElementById("exp-"+e.id).classList.add("active");
+  const main = document.getElementById("main");
+  main.innerHTML = "<p>running " + e.id + "…</p>";
+  const res = await fetch("/api/run?id=" + e.id);
+  if (!res.ok) { main.innerHTML = "<pre>" + await res.text() + "</pre>"; return; }
+  const data = await res.json();
+  main.innerHTML = "<h2>" + e.id + " — " + e.title + "</h2>" +
+    "<p><i>" + e.workload + " · modules: " + e.modules.join(", ") + "</i></p>";
+  if (data.figure) {
+    const ctl = document.createElement("div");
+    ctl.innerHTML = '<label><input type="checkbox" id="logtoggle" checked> log-scale Y</label>';
+    main.appendChild(ctl);
+    const holder = document.createElement("div");
+    main.appendChild(holder);
+    const render = () => { holder.innerHTML = svgChart(data.figure,
+      document.getElementById("logtoggle").checked); };
+    ctl.querySelector("input").onchange = render;
+    render();
+    for (const n of (data.figure.notes || [])) {
+      const p = document.createElement("div"); p.className = "note"; p.textContent = "⚠ " + n;
+      main.appendChild(p);
+    }
+  }
+  const pre = document.createElement("pre");
+  pre.textContent = data.markdown;
+  main.appendChild(pre);
+}
+function svgChart(fig, logY) {
+  const W = 860, H = 440, L = 70, R = 20, T = 20, B = 50;
+  let xs = [], ys = [];
+  for (const s of fig.series) for (const p of s.points) { xs.push(p[0]); ys.push(p[1]); }
+  ys = ys.filter(v => !logY || v > 0);
+  if (!xs.length || !ys.length) return "<p>no data</p>";
+  const xmin = Math.min(...xs), xmax = Math.max(...xs);
+  let ymin = Math.min(...ys), ymax = Math.max(...ys);
+  if (logY) { ymin = Math.log10(ymin); ymax = Math.log10(ymax); }
+  if (ymax === ymin) ymax = ymin + 1;
+  const X = x => L + (x - xmin) / (xmax - xmin || 1) * (W - L - R);
+  const Y = y => { const v = logY ? Math.log10(y) : y;
+    return H - B - (v - ymin) / (ymax - ymin) * (H - T - B); };
+  let out = '<svg width="' + W + '" height="' + H + '">';
+  for (let i = 0; i <= 5; i++) {
+    const fy = ymin + (ymax - ymin) * i / 5;
+    const yy = H - B - (H - T - B) * i / 5;
+    const label = logY ? (Math.pow(10, fy)).toPrecision(3) : fy.toPrecision(3);
+    out += '<line x1="' + L + '" y1="' + yy + '" x2="' + (W-R) + '" y2="' + yy +
+      '" stroke="#eee"/><text x="4" y="' + (yy+4) + '" font-size="11">' + label + '</text>';
+  }
+  const uniq = [...new Set(xs)].sort((a,b)=>a-b);
+  for (const x of uniq) {
+    out += '<text x="' + X(x) + '" y="' + (H-B+16) + '" font-size="11" text-anchor="middle">' +
+      x + '</text>';
+  }
+  out += '<text x="' + (W/2) + '" y="' + (H-8) + '" font-size="12" text-anchor="middle">' +
+    fig.xlabel + '</text>';
+  fig.series.forEach((s, i) => {
+    const c = colors[i % colors.length];
+    const pts = s.points.filter(p => !logY || p[1] > 0)
+      .map(p => X(p[0]) + "," + Y(p[1])).join(" ");
+    if (s.points.length > 1) out += '<polyline points="' + pts +
+      '" fill="none" stroke="' + c + '" stroke-width="2"/>';
+    for (const p of s.points) {
+      if (logY && p[1] <= 0) continue;
+      out += '<circle cx="' + X(p[0]) + '" cy="' + Y(p[1]) + '" r="3.5" fill="' + c +
+        '"><title>' + s.label + ': (' + p[0] + ', ' + p[1].toPrecision(4) + ')</title></circle>';
+    }
+  });
+  out += '</svg><div class="legend">';
+  fig.series.forEach((s, i) => {
+    out += '<span><span class="swatch" style="background:' + colors[i % colors.length] +
+      '"></span>' + s.label + '</span>';
+  });
+  out += '</div>';
+  return out;
+}
+async function sweep() {
+  const main = document.getElementById("main");
+  const q = new URLSearchParams({
+    model: document.getElementById("sw-model").value,
+    device: document.getElementById("sw-device").value,
+    framework: document.getElementById("sw-fw").value,
+    tp: document.getElementById("sw-tp").value,
+    len: document.getElementById("sw-len").value,
+  });
+  main.innerHTML = "<p>sweeping…</p>";
+  const res = await fetch("/api/sweep?" + q);
+  if (!res.ok) { main.innerHTML = "<pre>" + await res.text() + "</pre>"; return; }
+  const data = await res.json();
+  main.innerHTML = "<h2>Custom sweep</h2>";
+  const holder = document.createElement("div");
+  main.appendChild(holder);
+  holder.innerHTML = svgChart(data.figure, false);
+  const pre = document.createElement("pre");
+  pre.textContent = data.markdown;
+  main.appendChild(pre);
+}
+load();
+</script>
+</body>
+</html>
+`

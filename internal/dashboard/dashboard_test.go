@@ -1,0 +1,134 @@
+package dashboard
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestIndex(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	res, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := res.Body.Read(buf)
+	body := string(buf[:n])
+	if !strings.Contains(body, "LLM-Inference-Bench") {
+		t.Error("index page missing title")
+	}
+	if res404, _ := http.Get(srv.URL + "/nope"); res404.StatusCode != http.StatusNotFound {
+		t.Error("unknown path must 404")
+	}
+}
+
+func TestListEndpoint(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	res, err := http.Get(srv.URL + "/api/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var exps []expInfo
+	if err := json.NewDecoder(res.Body).Decode(&exps); err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != 51 {
+		t.Errorf("dashboard lists %d experiments, want 51", len(exps))
+	}
+}
+
+func TestRunEndpointFigure(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	res, err := http.Get(srv.URL + "/api/run?id=fig2b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var out runResponse
+	if err := json.NewDecoder(res.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Figure == nil || len(out.Figure.Series) == 0 {
+		t.Fatal("figure missing")
+	}
+	if out.Figure.XLabel == "" || out.Markdown == "" {
+		t.Error("figure metadata incomplete")
+	}
+	// Cached second call must match.
+	res2, err := http.Get(srv.URL + "/api/run?id=fig2b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res2.Body.Close()
+	var out2 runResponse
+	if err := json.NewDecoder(res2.Body).Decode(&out2); err != nil {
+		t.Fatal(err)
+	}
+	if out2.Markdown != out.Markdown {
+		t.Error("cache must return identical result")
+	}
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	res, err := http.Get(srv.URL + "/api/sweep?model=Mistral-7B&device=H100&framework=TRT-LLM&len=512")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+	var out runResponse
+	if err := json.NewDecoder(res.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Figure == nil || len(out.Figure.Series) != 3 {
+		t.Fatalf("sweep figure incomplete: %+v", out.Figure)
+	}
+	// Errors: unknown model, bad tp, TRT-LLM on AMD, bad length.
+	for _, q := range []string{
+		"?model=GPT-5", "?tp=zero", "?device=MI250&framework=TRT-LLM", "?len=-3",
+	} {
+		r2, err := http.Get(srv.URL + "/api/sweep" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2.Body.Close()
+		if r2.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", q, r2.StatusCode)
+		}
+	}
+}
+
+func TestRunEndpointTableAndErrors(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	res, err := http.Get(srv.URL + "/api/run?id=tab1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var out runResponse
+	if err := json.NewDecoder(res.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Figure != nil || out.Text == "" {
+		t.Error("tables must return text, not a figure")
+	}
+	if res2, _ := http.Get(srv.URL + "/api/run?id=fig99"); res2.StatusCode != http.StatusNotFound {
+		t.Error("unknown experiment must 404")
+	}
+}

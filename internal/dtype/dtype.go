@@ -1,0 +1,93 @@
+// Package dtype defines the numeric precisions used by LLM inference
+// engines and the byte-size algebra the performance model needs.
+//
+// The paper (Table II) distinguishes weight precision and KV-cache
+// precision separately (Fig. 3 sweeps combinations such as
+// {fp16 weights, fp8 KV}); both are represented by the same DType.
+package dtype
+
+import "fmt"
+
+// DType is a numeric precision supported by at least one accelerator.
+type DType int
+
+// Supported precisions, ordered roughly by width.
+const (
+	FP32 DType = iota
+	TF32
+	FP16
+	BF16
+	FP8
+	INT8
+	INT4
+	INT1
+)
+
+var names = map[DType]string{
+	FP32: "fp32",
+	TF32: "tf32",
+	FP16: "fp16",
+	BF16: "bf16",
+	FP8:  "fp8",
+	INT8: "int8",
+	INT4: "int4",
+	INT1: "int1",
+}
+
+// String returns the lower-case conventional name, e.g. "fp16".
+func (d DType) String() string {
+	if s, ok := names[d]; ok {
+		return s
+	}
+	return fmt.Sprintf("dtype(%d)", int(d))
+}
+
+// Parse converts a conventional name such as "fp16" or "bf16" into a
+// DType. It returns an error for unknown names.
+func Parse(s string) (DType, error) {
+	for d, n := range names {
+		if n == s {
+			return d, nil
+		}
+	}
+	return FP32, fmt.Errorf("dtype: unknown precision %q", s)
+}
+
+// Bytes returns the storage size of one element in bytes. Sub-byte
+// types report fractional sizes (INT4 = 0.5, INT1 = 0.125) because the
+// performance model works in aggregate byte counts.
+func (d DType) Bytes() float64 {
+	switch d {
+	case FP32, TF32:
+		return 4
+	case FP16, BF16:
+		return 2
+	case FP8, INT8:
+		return 1
+	case INT4:
+		return 0.5
+	case INT1:
+		return 0.125
+	}
+	return 4
+}
+
+// Bits returns the width of one element in bits.
+func (d DType) Bits() int { return int(d.Bytes() * 8) }
+
+// IsFloat reports whether the type is a floating-point format.
+func (d DType) IsFloat() bool {
+	switch d {
+	case FP32, TF32, FP16, BF16, FP8:
+		return true
+	}
+	return false
+}
+
+// IsInteger reports whether the type is an integer format.
+func (d DType) IsInteger() bool { return !d.IsFloat() }
+
+// All returns every defined precision, widest first.
+func All() []DType {
+	return []DType{FP32, TF32, FP16, BF16, FP8, INT8, INT4, INT1}
+}

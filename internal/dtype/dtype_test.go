@@ -1,0 +1,75 @@
+package dtype
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBytes(t *testing.T) {
+	cases := []struct {
+		d    DType
+		want float64
+	}{
+		{FP32, 4}, {TF32, 4}, {FP16, 2}, {BF16, 2},
+		{FP8, 1}, {INT8, 1}, {INT4, 0.5}, {INT1, 0.125},
+	}
+	for _, c := range cases {
+		if got := c.d.Bytes(); got != c.want {
+			t.Errorf("%v.Bytes() = %v, want %v", c.d, got, c.want)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, d := range All() {
+		got, err := Parse(d.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", d.String(), err)
+		}
+		if got != d {
+			t.Errorf("Parse(%q) = %v, want %v", d.String(), got, d)
+		}
+	}
+}
+
+func TestParseUnknown(t *testing.T) {
+	if _, err := Parse("fp13"); err == nil {
+		t.Error("Parse(fp13) succeeded, want error")
+	}
+}
+
+func TestFloatIntPartition(t *testing.T) {
+	for _, d := range All() {
+		if d.IsFloat() == d.IsInteger() {
+			t.Errorf("%v: IsFloat and IsInteger must disagree", d)
+		}
+	}
+	if !FP8.IsFloat() || !INT8.IsInteger() {
+		t.Error("FP8 must be float, INT8 must be integer")
+	}
+}
+
+func TestBitsConsistentWithBytes(t *testing.T) {
+	f := func(n uint8) bool {
+		d := All()[int(n)%len(All())]
+		return float64(d.Bits()) == d.Bytes()*8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringUnknown(t *testing.T) {
+	if s := DType(99).String(); s != "dtype(99)" {
+		t.Errorf("DType(99).String() = %q", s)
+	}
+}
+
+func TestAllOrderedByWidth(t *testing.T) {
+	all := All()
+	for i := 1; i < len(all); i++ {
+		if all[i].Bytes() > all[i-1].Bytes() {
+			t.Errorf("All() not ordered widest-first at %d: %v > %v", i, all[i], all[i-1])
+		}
+	}
+}

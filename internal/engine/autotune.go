@@ -1,0 +1,79 @@
+package engine
+
+// AutotuneBatch answers the deployment question behind §VII's
+// takeaways: the largest batch size a configuration sustains while
+// keeping per-token latency under an SLO — large batches buy
+// throughput (Fig. 1a) but stretch the inter-token latency users see
+// (Fig. 22).
+
+import (
+	"errors"
+	"fmt"
+
+	"llmbench/internal/workload"
+)
+
+// AutotuneBatch finds the largest batch ≤ maxBatch whose inter-token
+// latency (Eq. 1, scaled back to a per-step user-visible latency by
+// multiplying with the batch) stays at or below sloITL seconds, at
+// equal input/output length. It returns the batch, its full Result,
+// and an error when even batch 1 misses the SLO or nothing fits.
+func AutotuneBatch(e *Engine, input, output int, sloITL float64, maxBatch int) (int, Result, error) {
+	if e == nil {
+		return 0, Result{}, errors.New("engine: nil engine")
+	}
+	if sloITL <= 0 || maxBatch < 1 {
+		return 0, Result{}, errors.New("engine: non-positive SLO or max batch")
+	}
+	// Per-token latency a user of one stream experiences is the step
+	// time: ITL (Eq. 1 divides by batch) × batch.
+	meets := func(batch int) (Result, bool, error) {
+		res, err := e.Run(workload.Spec{Batch: batch, Input: input, Output: output})
+		if err != nil {
+			if errors.Is(err, ErrOOM) || errors.Is(err, ErrUnsupportedBatch) {
+				return Result{}, false, nil
+			}
+			return Result{}, false, err
+		}
+		return res, res.ITLSeconds*float64(batch) <= sloITL, nil
+	}
+
+	// Exponential probe then binary search on the largest passing batch.
+	bestBatch := 0
+	var bestRes Result
+	lo, hi := 1, 1
+	for hi <= maxBatch {
+		res, ok, err := meets(hi)
+		if err != nil {
+			return 0, Result{}, err
+		}
+		if !ok {
+			break
+		}
+		bestBatch, bestRes = hi, res
+		lo = hi
+		hi *= 2
+	}
+	if bestBatch == 0 {
+		return 0, Result{}, fmt.Errorf("engine: batch 1 already misses the %.1f ms ITL SLO on %s",
+			sloITL*1000, e.cfg.Device.Name)
+	}
+	if hi > maxBatch {
+		hi = maxBatch + 1
+	}
+	// Invariant: lo passes, hi fails (or is out of range).
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		res, ok, err := meets(mid)
+		if err != nil {
+			return 0, Result{}, err
+		}
+		if ok {
+			lo = mid
+			bestBatch, bestRes = mid, res
+		} else {
+			hi = mid
+		}
+	}
+	return bestBatch, bestRes, nil
+}

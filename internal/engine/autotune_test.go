@@ -1,0 +1,66 @@
+package engine
+
+import (
+	"testing"
+
+	"llmbench/internal/parallel"
+	"llmbench/internal/workload"
+)
+
+func TestAutotuneBatchFindsFrontier(t *testing.T) {
+	e := mustEngine(t, "LLaMA-3-8B", "H100", "TRT-LLM", parallel.Single)
+	batch, res, err := AutotuneBatch(e, 1024, 1024, 0.025, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch < 1 || batch > 256 {
+		t.Fatalf("batch %d out of range", batch)
+	}
+	// The returned batch meets the SLO…
+	if perTok := res.ITLSeconds * float64(batch); perTok > 0.025 {
+		t.Errorf("returned batch misses the SLO: %.4f s/token", perTok)
+	}
+	// …and batch+1 (if runnable) misses it — maximality.
+	next, err := e.Run(workload.Spec{Batch: batch + 1, Input: 1024, Output: 1024})
+	if err == nil {
+		if next.ITLSeconds*float64(batch+1) <= 0.025 {
+			t.Errorf("batch %d also meets the SLO; autotune not maximal", batch+1)
+		}
+	}
+}
+
+func TestAutotuneTighterSLOSmallerBatch(t *testing.T) {
+	e := mustEngine(t, "LLaMA-3-8B", "A100", "vLLM", parallel.Single)
+	loose, _, err := AutotuneBatch(e, 1024, 1024, 0.060, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, _, err := AutotuneBatch(e, 1024, 1024, 0.020, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight > loose {
+		t.Errorf("tighter SLO must not allow a larger batch: %d vs %d", tight, loose)
+	}
+}
+
+func TestAutotuneImpossibleSLO(t *testing.T) {
+	e := mustEngine(t, "LLaMA-3-8B", "A100", "llama.cpp", parallel.Single)
+	// llama.cpp decode steps are tens of ms; a 1 ms SLO is hopeless.
+	if _, _, err := AutotuneBatch(e, 1024, 1024, 0.001, 64); err == nil {
+		t.Error("impossible SLO must error")
+	}
+}
+
+func TestAutotuneValidation(t *testing.T) {
+	if _, _, err := AutotuneBatch(nil, 1024, 1024, 0.02, 64); err == nil {
+		t.Error("nil engine must fail")
+	}
+	e := mustEngine(t, "LLaMA-3-8B", "A100", "vLLM", parallel.Single)
+	if _, _, err := AutotuneBatch(e, 1024, 1024, 0, 64); err == nil {
+		t.Error("zero SLO must fail")
+	}
+	if _, _, err := AutotuneBatch(e, 1024, 1024, 0.02, 0); err == nil {
+		t.Error("zero max batch must fail")
+	}
+}

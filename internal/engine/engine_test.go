@@ -1,0 +1,414 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"llmbench/internal/dtype"
+	"llmbench/internal/framework"
+	"llmbench/internal/hw"
+	"llmbench/internal/model"
+	"llmbench/internal/parallel"
+	"llmbench/internal/quant"
+	"llmbench/internal/workload"
+)
+
+func mustEngine(t *testing.T, m, dev, fw string, plan parallel.Plan) *Engine {
+	t.Helper()
+	e, err := New(Config{
+		Model:     model.MustGet(m),
+		Device:    hw.MustGet(dev),
+		Framework: framework.MustGet(fw),
+		Plan:      plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func run(t *testing.T, e *Engine, batch, in, out int) Result {
+	t.Helper()
+	r, err := e.Run(workload.Spec{Batch: batch, Input: in, Output: out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil components must fail")
+	}
+	// TRT-LLM on AMD must fail (Table III).
+	if _, err := New(Config{
+		Model:     model.MustGet("LLaMA-2-7B"),
+		Device:    hw.MustGet("MI250"),
+		Framework: framework.MustGet("TRT-LLM"),
+	}); err == nil {
+		t.Error("TRT-LLM on MI250 must fail")
+	}
+	// FP8 weights on A100 must fail.
+	if _, err := New(Config{
+		Model:     model.MustGet("LLaMA-3-8B"),
+		Device:    hw.MustGet("A100"),
+		Framework: framework.MustGet("vLLM"),
+		Scheme:    quant.Scheme{Weights: dtype.FP8, KV: dtype.FP8},
+	}); err == nil {
+		t.Error("FP8 weights on A100 must fail")
+	}
+	// More devices than the node has must fail.
+	if _, err := New(Config{
+		Model:     model.MustGet("LLaMA-3-8B"),
+		Device:    hw.MustGet("GH200"),
+		Framework: framework.MustGet("vLLM"),
+		Plan:      parallel.Plan{TP: 4, PP: 1, EP: 1},
+	}); err == nil {
+		t.Error("TP=4 on a 1-device GH200 node must fail")
+	}
+	// Block size override on a non-paged framework must fail.
+	if _, err := New(Config{
+		Model:         model.MustGet("LLaMA-2-7B"),
+		Device:        hw.MustGet("A100"),
+		Framework:     framework.MustGet("llama.cpp"),
+		KVBlockTokens: 16,
+	}); err == nil {
+		t.Error("block override on llama.cpp must fail")
+	}
+}
+
+func TestThroughputScalesWithBatch(t *testing.T) {
+	// Fig. 1a: throughput rises steeply with batch size.
+	e := mustEngine(t, "LLaMA-3-8B", "A100", "vLLM", parallel.Single)
+	t1 := run(t, e, 1, 1024, 1024).Throughput
+	t64 := run(t, e, 64, 1024, 1024).Throughput
+	if t64 < 10*t1 {
+		t.Errorf("batch 64 must be ≫ batch 1: %.0f vs %.0f", t64, t1)
+	}
+	if t64 > 60*t1 {
+		t.Errorf("batch scaling too ideal: %.1fx", t64/t1)
+	}
+}
+
+func TestBlendedTokens(t *testing.T) {
+	// Fig. 1b: long-in/short-out beats short-in/long-out.
+	e := mustEngine(t, "LLaMA-3-8B", "A100", "TRT-LLM", parallel.Single)
+	fast, err := e.Run(workload.Spec{Batch: 1, Input: 1024, Output: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := e.Run(workload.Spec{Batch: 1, Input: 128, Output: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := fast.Throughput / slow.Throughput
+	if r < 4 {
+		t.Errorf("{1024,128} vs {128,1024} ratio = %.1f, want ≫ 1 (paper: 14.6)", r)
+	}
+}
+
+func TestGQAAdvantageDependsOnFramework(t *testing.T) {
+	// §V: GQA models beat LLaMA-2-7B at large batch under TRT-LLM,
+	// but not under llama.cpp.
+	spec := workload.Spec{Batch: 64, Input: 1024, Output: 1024}
+	trtGQA := mustEngine(t, "Mistral-7B", "A100", "TRT-LLM", parallel.Single)
+	trtMHSA := mustEngine(t, "LLaMA-2-7B", "A100", "TRT-LLM", parallel.Single)
+	rg, err := trtGQA.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := trtMHSA.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rg.Throughput <= rm.Throughput {
+		t.Errorf("TRT-LLM: Mistral (GQA) must beat LLaMA-2-7B at batch 64: %.0f vs %.0f",
+			rg.Throughput, rm.Throughput)
+	}
+
+	lcGQA := mustEngine(t, "Mistral-7B", "A100", "llama.cpp", parallel.Single)
+	lcMHSA := mustEngine(t, "LLaMA-2-7B", "A100", "llama.cpp", parallel.Single)
+	lg, err := lcGQA.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := lcMHSA.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg.Throughput > lm.Throughput {
+		t.Errorf("llama.cpp: LLaMA-2-7B must not lose to Mistral (GQA unexploited): %.0f vs %.0f",
+			lm.Throughput, lg.Throughput)
+	}
+}
+
+func TestOOM70BOnOneA100(t *testing.T) {
+	// Appendix E-C: "the 70B models could not fit on one A100".
+	e := mustEngine(t, "LLaMA-2-70B", "A100", "vLLM", parallel.Single)
+	_, err := e.Run(workload.Spec{Batch: 1, Input: 128, Output: 128})
+	if !errors.Is(err, ErrOOM) {
+		t.Errorf("70B on one 40 GiB A100 must OOM, got %v", err)
+	}
+	// And fit with TP=4 on H100s.
+	e4 := mustEngine(t, "LLaMA-2-70B", "H100", "vLLM", parallel.Plan{TP: 4, PP: 1, EP: 1})
+	if _, err := e4.Run(workload.Spec{Batch: 1, Input: 128, Output: 128}); err != nil {
+		t.Errorf("70B on 4 H100s must fit: %v", err)
+	}
+}
+
+func TestGaudi2OOMAtLargeBatch(t *testing.T) {
+	// Paper footnote: "We encountered out-of-memory issues on Gaudi2
+	// at batch sizes of 32 and 64 in several test scenarios."
+	e := mustEngine(t, "LLaMA-3-8B", "Gaudi2", "DeepSpeed", parallel.Single)
+	if _, err := e.Run(workload.Spec{Batch: 16, Input: 1024, Output: 1024}); err != nil {
+		t.Errorf("batch 16 must fit on Gaudi2: %v", err)
+	}
+	_, err := e.Run(workload.Spec{Batch: 64, Input: 1024, Output: 1024})
+	if !errors.Is(err, ErrOOM) {
+		t.Errorf("batch 64 LLaMA-3-8B must OOM on Gaudi2 (monolithic KV), got %v", err)
+	}
+}
+
+func TestSN40LBatchLimit(t *testing.T) {
+	e := mustEngine(t, "LLaMA-3-8B", "SN40L", "SambaFlow", parallel.Plan{TP: 8, PP: 1, EP: 1})
+	_, err := e.Run(workload.Spec{Batch: 128, Input: 128, Output: 128})
+	if !errors.Is(err, ErrUnsupportedBatch) {
+		t.Errorf("batch 128 must exceed the SN40L service limit, got %v", err)
+	}
+}
+
+func TestKVCacheAblation(t *testing.T) {
+	// Fig. 2a: KV caching wins ~2x at length 128 and ~7x at 1024.
+	base, err := New(Config{
+		Model:     model.MustGet("LLaMA-3-70B"),
+		Device:    hw.MustGet("Gaudi2"),
+		Framework: framework.MustGet("DeepSpeed"),
+		Plan:      parallel.Plan{TP: 8, PP: 1, EP: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noKV, err := New(Config{
+		Model:          model.MustGet("LLaMA-3-70B"),
+		Device:         hw.MustGet("Gaudi2"),
+		Framework:      framework.MustGet("DeepSpeed"),
+		Plan:           parallel.Plan{TP: 8, PP: 1, EP: 1},
+		DisableKVCache: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range []int{128, 1024} {
+		spec := workload.Spec{Batch: 1, Input: l, Output: l}
+		w, err := base.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wo, err := noKV.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := w.Throughput / wo.Throughput
+		if ratio <= 1.3 {
+			t.Errorf("len %d: KV cache speedup = %.2f, want > 1.3", l, ratio)
+		}
+		if l == 1024 && ratio < 3 {
+			t.Errorf("len 1024: KV cache speedup = %.2f, want large (paper ~7x)", ratio)
+		}
+	}
+}
+
+func TestTTFTAndITLSanity(t *testing.T) {
+	e := mustEngine(t, "LLaMA-3-8B", "A100", "TRT-LLM", parallel.Single)
+	r := run(t, e, 16, 1024, 1024)
+	if r.TTFTSeconds <= 0 || r.ITLSeconds <= 0 {
+		t.Fatalf("TTFT/ITL must be positive: %+v", r)
+	}
+	if r.E2ESeconds <= r.TTFTSeconds {
+		t.Error("E2E must exceed TTFT")
+	}
+	// Eq. (1) consistency.
+	want := (r.E2ESeconds - r.TTFTSeconds) / (16 * 1023)
+	if diff := r.ITLSeconds - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("ITL must follow Eq. (1): got %v want %v", r.ITLSeconds, want)
+	}
+	// Eq. (2) consistency.
+	wantT := 16 * 2048 / r.E2ESeconds
+	if d := r.Throughput - wantT; d > 1e-9 || d < -1e-9 {
+		t.Errorf("throughput must follow Eq. (2)")
+	}
+}
+
+func TestSingleOutputTokenTTFTOnly(t *testing.T) {
+	// §III-5b: TTFT is measured by setting max output to one token.
+	e := mustEngine(t, "LLaMA-3-8B", "A100", "vLLM", parallel.Single)
+	r := run(t, e, 1, 512, 1)
+	if r.E2ESeconds != r.TTFTSeconds {
+		t.Error("with one output token, E2E == TTFT")
+	}
+	if r.ITLSeconds != 0 {
+		t.Error("ITL undefined for a single token; must be 0")
+	}
+}
+
+func TestTPBeatsPPBeatsNothing(t *testing.T) {
+	// Fig. 5a shape: TP > hybrid > PP at batch 64.
+	spec := workload.Spec{Batch: 64, Input: 1024, Output: 1024}
+	tp := mustEngine(t, "LLaMA-3-8B", "A100", "TRT-LLM", parallel.Plan{TP: 4, PP: 1, EP: 1})
+	pp := mustEngine(t, "LLaMA-3-8B", "A100", "TRT-LLM", parallel.Plan{TP: 1, PP: 4, EP: 1})
+	hy := mustEngine(t, "LLaMA-3-8B", "A100", "TRT-LLM", parallel.Plan{TP: 2, PP: 2, EP: 1})
+	rtp, err := tp.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpp, err := pp.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhy, err := hy.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rtp.Throughput > rhy.Throughput && rhy.Throughput > rpp.Throughput) {
+		t.Errorf("want TP > hybrid > PP, got %.0f / %.0f / %.0f",
+			rtp.Throughput, rhy.Throughput, rpp.Throughput)
+	}
+}
+
+func TestLayerSplitWeakScaling(t *testing.T) {
+	// Fig. 14: llama.cpp gains little from more GPUs.
+	spec := workload.Spec{Batch: 64, Input: 1024, Output: 1024}
+	g1 := mustEngine(t, "LLaMA-2-7B", "A100", "llama.cpp", parallel.Single)
+	g4 := mustEngine(t, "LLaMA-2-7B", "A100", "llama.cpp", parallel.Plan{TP: 1, PP: 4, EP: 1})
+	r1, err := g1.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := g4.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := r4.Throughput / r1.Throughput
+	// The gain combines the small stage-boundary overlap and the
+	// extra KV room (fewer batch waves) — still far from linear.
+	if gain > 2.0 {
+		t.Errorf("llama.cpp 4-GPU gain = %.2f, must be marginal", gain)
+	}
+	if gain < 1.0 {
+		t.Errorf("llama.cpp must not slow down with more GPUs: %.2f", gain)
+	}
+}
+
+func TestPowerIncreasesWithBatch(t *testing.T) {
+	// Fig. 16: power rises with batch size.
+	e := mustEngine(t, "LLaMA-2-7B", "H100", "TRT-LLM", parallel.Single)
+	p1 := run(t, e, 1, 1024, 1024).AvgPowerWatts
+	p64 := run(t, e, 64, 1024, 1024).AvgPowerWatts
+	if p64 <= p1 {
+		t.Errorf("power must rise with batch: %.0f vs %.0f W", p64, p1)
+	}
+	dev := hw.MustGet("H100")
+	if p64 > dev.TDPWatts || p1 < dev.IdleWatts {
+		t.Errorf("power out of envelope: %.0f..%.0f", p1, p64)
+	}
+}
+
+func TestQuantizationSpeedsUpH100(t *testing.T) {
+	// Fig. 3: FP8 on H100 beats FP16.
+	fp16 := mustEngine(t, "LLaMA-3-8B", "H100", "vLLM", parallel.Single)
+	fp8, err := New(Config{
+		Model:     model.MustGet("LLaMA-3-8B"),
+		Device:    hw.MustGet("H100"),
+		Framework: framework.MustGet("vLLM"),
+		Scheme:    quant.Scheme{Weights: dtype.FP8, KV: dtype.FP8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := workload.Spec{Batch: 16, Input: 1024, Output: 1024}
+	r16, err := fp16.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := fp8.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r8.Throughput <= r16.Throughput {
+		t.Errorf("FP8 must beat FP16 on H100: %.0f vs %.0f", r8.Throughput, r16.Throughput)
+	}
+}
+
+func TestDecodeStepSeconds(t *testing.T) {
+	e := mustEngine(t, "LLaMA-2-7B", "A100", "vLLM", parallel.Single)
+	s, err := e.DecodeStepSeconds(1, 128)
+	if err != nil || s <= 0 {
+		t.Fatalf("DecodeStepSeconds: %v %v", s, err)
+	}
+	long, err := e.DecodeStepSeconds(1, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long <= s {
+		t.Error("longer context must cost more per step")
+	}
+	if _, err := e.DecodeStepSeconds(0, 1); err == nil {
+		t.Error("batch 0 must error")
+	}
+}
+
+func TestMI250EarlySaturation(t *testing.T) {
+	// Fig. 17 / Fig. 35: MI250 throughput declines past batch 32 at
+	// long lengths.
+	e := mustEngine(t, "LLaMA-3-8B", "MI250", "vLLM", parallel.Single)
+	t32 := run(t, e, 32, 1024, 1024).Throughput
+	t64 := run(t, e, 64, 1024, 1024).Throughput
+	if t64 >= t32 {
+		t.Errorf("MI250 must decline past batch 32 at length 1024: %.0f vs %.0f", t64, t32)
+	}
+	// At short lengths it still scales.
+	s32 := run(t, e, 32, 128, 128).Throughput
+	s64 := run(t, e, 64, 128, 128).Throughput
+	if s64 <= s32 {
+		t.Errorf("MI250 must still scale at short lengths: %.0f vs %.0f", s64, s32)
+	}
+}
+
+func TestBlockSizeEffect(t *testing.T) {
+	// Fig. 2b: block 8 hurts; block ≥ 16 flat.
+	mk := func(block int) *Engine {
+		e, err := New(Config{
+			Model:         model.MustGet("LLaMA-3-8B"),
+			Device:        hw.MustGet("A100"),
+			Framework:     framework.MustGet("vLLM"),
+			KVBlockTokens: block,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	spec := workload.Spec{Batch: 64, Input: 1024, Output: 1024}
+	r8, err := mk(8).Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r16, err := mk(16).Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r64, err := mk(64).Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r16.Throughput <= r8.Throughput {
+		t.Error("block 16 must beat block 8")
+	}
+	ratio := r16.Throughput / r8.Throughput
+	if ratio < 1.05 || ratio > 1.6 {
+		t.Errorf("block 16/8 ratio = %.2f, want near the paper's 1.27", ratio)
+	}
+	if diff := r64.Throughput/r16.Throughput - 1; diff > 0.02 || diff < -0.02 {
+		t.Errorf("blocks ≥16 must be equivalent, got %.3f", diff)
+	}
+}

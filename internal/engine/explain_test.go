@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"llmbench/internal/parallel"
+	"llmbench/internal/workload"
+)
+
+func TestExplainConsistentWithRun(t *testing.T) {
+	// The breakdown's totals must reproduce Run's TTFT and E2E.
+	e := mustEngine(t, "LLaMA-3-8B", "A100", "vLLM", parallel.Single)
+	spec := workload.Spec{Batch: 16, Input: 1024, Output: 1024}
+	res, err := e.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := e.Explain(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(bd.Prefill.Seconds-res.TTFTSeconds) / res.TTFTSeconds; rel > 1e-9 {
+		t.Errorf("prefill breakdown %.6g disagrees with TTFT %.6g", bd.Prefill.Seconds, res.TTFTSeconds)
+	}
+	wave := float64(bd.Waves) * (bd.Prefill.Seconds + bd.Decode.Seconds)
+	if rel := math.Abs(wave-res.E2ESeconds) / res.E2ESeconds; rel > 1e-9 {
+		t.Errorf("breakdown total %.6g disagrees with E2E %.6g", wave, res.E2ESeconds)
+	}
+}
+
+func TestExplainDecodeAttribution(t *testing.T) {
+	e := mustEngine(t, "LLaMA-3-8B", "A100", "vLLM", parallel.Single)
+	bd, err := e.Explain(workload.Spec{Batch: 64, Input: 1024, Output: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := bd.Decode
+	// Decode at batch 64 / len 1024 is memory bound; the memory wall
+	// splits additively into weights + KV read + KV write.
+	if !d.MemoryBound {
+		t.Error("decode must be memory bound here")
+	}
+	sum := d.WeightStreamS + d.KVReadS + d.KVWriteS
+	if rel := math.Abs(sum-d.MemoryWall) / d.MemoryWall; rel > 1e-9 {
+		t.Errorf("memory wall split %.6g != wall %.6g", sum, d.MemoryWall)
+	}
+	// At this operating point KV traffic is a first-class cost: a
+	// significant fraction of the weight stream.
+	if d.KVReadS < 0.2*d.WeightStreamS {
+		t.Errorf("KV read %.4g implausibly small next to weights %.4g", d.KVReadS, d.WeightStreamS)
+	}
+	// Prefill is compute bound (the §III-5 asymmetry).
+	if bd.Prefill.MemoryBound {
+		t.Error("prefill must be compute bound")
+	}
+}
+
+func TestExplainWaves(t *testing.T) {
+	// LLaMA-2-7B at batch 64 / len 1024 exceeds one A100's KV room —
+	// the breakdown must expose the wave plan Run uses internally.
+	e := mustEngine(t, "LLaMA-2-7B", "A100", "vLLM", parallel.Single)
+	bd, err := e.Explain(workload.Spec{Batch: 64, Input: 1024, Output: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Waves < 2 {
+		t.Errorf("expected batch waves, got %d", bd.Waves)
+	}
+	if bd.ConcurrentBatch >= 64 || bd.ConcurrentBatch < 1 {
+		t.Errorf("concurrent batch %d out of range", bd.ConcurrentBatch)
+	}
+	if bd.PeakMemGiB <= 0 || bd.PeakMemGiB > 40 {
+		t.Errorf("peak memory %.1f GiB out of range", bd.PeakMemGiB)
+	}
+}
+
+func TestExplainSambaFlowSetupDominatesTTFT(t *testing.T) {
+	e := mustEngine(t, "LLaMA-3-8B", "SN40L", "SambaFlow", parallel.Plan{TP: 8, PP: 1, EP: 1})
+	bd, err := e.Explain(workload.Spec{Batch: 16, Input: 1024, Output: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Prefill.SetupS < 0.8*bd.Prefill.Seconds {
+		t.Errorf("graph setup %.2fs must dominate SN40L TTFT %.2fs (Fig. 21)",
+			bd.Prefill.SetupS, bd.Prefill.Seconds)
+	}
+}
+
+func TestExplainLogitsPenaltyOnlyForUnfused(t *testing.T) {
+	fused := mustEngine(t, "LLaMA-3-8B", "A100", "TRT-LLM", parallel.Single)
+	unfused := mustEngine(t, "LLaMA-3-8B", "A100", "DS-MII", parallel.Single)
+	spec := workload.Spec{Batch: 64, Input: 128, Output: 128}
+	bf, err := fused.Explain(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bu, err := unfused.Explain(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.Decode.LogitsS != 0 {
+		t.Error("TRT-LLM must pay no logits penalty")
+	}
+	if bu.Decode.LogitsS <= 0 {
+		t.Error("DS-MII must pay a logits penalty")
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	e := mustEngine(t, "LLaMA-2-70B", "A100", "vLLM", parallel.Single)
+	if _, err := e.Explain(workload.Spec{Batch: 1, Input: 128, Output: 128}); err == nil {
+		t.Error("70B on one A100 must fail to explain too")
+	}
+	ok := mustEngine(t, "LLaMA-3-8B", "A100", "vLLM", parallel.Single)
+	if _, err := ok.Explain(workload.Spec{}); err == nil {
+		t.Error("invalid spec must fail")
+	}
+}

@@ -1,0 +1,99 @@
+package engine
+
+// PowerTrace emulates the paper's pynvml sampling loop (§III-5e): it
+// walks a run's timeline — prefill, then decode steps with growing
+// context — and emits wattage samples at a fixed interval, so the
+// power-vs-time structure (compute-hot prefill, bandwidth-bound
+// decode) is observable, not just the scalar average.
+
+import (
+	"errors"
+
+	"llmbench/internal/power"
+	"llmbench/internal/workload"
+)
+
+// PowerSample is one observation of the simulated power meter.
+type PowerSample struct {
+	TimeS   float64
+	Watts   float64
+	Decode  bool // false during prefill
+	Context int  // sequence context length at sample time
+}
+
+// PowerTrace samples device power over one wave of the given workload
+// at intervalS spacing. Multi-wave workloads repeat the same profile;
+// one wave captures it.
+func (e *Engine) PowerTrace(spec workload.Spec, intervalS float64) ([]PowerSample, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if intervalS <= 0 {
+		return nil, errors.New("engine: non-positive sample interval")
+	}
+	if lim := e.cfg.Device.ServiceBatchLimit; lim > 0 && spec.Batch > lim {
+		return nil, ErrUnsupportedBatch
+	}
+	_, conc, err := e.memoryPlan(spec)
+	if err != nil {
+		return nil, err
+	}
+	waveSpec := spec
+	if conc < spec.Batch {
+		if !e.cfg.Framework.BatchWaves {
+			return nil, ErrOOM
+		}
+		waves := (spec.Batch + conc - 1) / conc
+		waveSpec.Batch = (spec.Batch + waves - 1) / waves
+	}
+
+	occupancy := float64(waveSpec.Batch) / 64
+	if occupancy > 1 {
+		occupancy = 1
+	}
+	draw := func(balance float64) (float64, error) {
+		util := power.Utilization(balance, occupancy, e.effC)
+		return power.Draw(e.cfg.Device, util)
+	}
+
+	var samples []PowerSample
+	now := 0.0
+	nextSample := 0.0
+	emit := func(until float64, watts float64, decode bool, ctx int) {
+		for nextSample < until {
+			samples = append(samples, PowerSample{TimeS: nextSample, Watts: watts, Decode: decode, Context: ctx})
+			nextSample += intervalS
+		}
+	}
+
+	pf, err := e.prefill(waveSpec)
+	if err != nil {
+		return nil, err
+	}
+	w, err := draw(powerBalance(pf))
+	if err != nil {
+		return nil, err
+	}
+	now += pf.Seconds
+	emit(now, w, false, waveSpec.Input)
+
+	for t := 0; t < waveSpec.Output-1; t++ {
+		ctx := waveSpec.Input + t + 1
+		st, err := e.decodeStep(waveSpec, ctx)
+		if err != nil {
+			return nil, err
+		}
+		w, err := draw(powerBalance(st))
+		if err != nil {
+			return nil, err
+		}
+		now += st.Seconds
+		emit(now, w, true, ctx)
+	}
+	if len(samples) == 0 {
+		// Run shorter than one interval: emit a single decode-phase
+		// sample so callers always see something.
+		samples = append(samples, PowerSample{TimeS: 0, Watts: w, Decode: spec.Output > 1, Context: waveSpec.Input})
+	}
+	return samples, nil
+}

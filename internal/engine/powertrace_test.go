@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"llmbench/internal/parallel"
+	"llmbench/internal/workload"
+)
+
+func TestPowerTraceStructure(t *testing.T) {
+	e := mustEngine(t, "LLaMA-3-8B", "A100", "TRT-LLM", parallel.Single)
+	spec := workload.Spec{Batch: 16, Input: 1024, Output: 256}
+	samples, err := e.PowerTrace(spec, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) < 10 {
+		t.Fatalf("only %d samples", len(samples))
+	}
+	sawPrefill, sawDecode := false, false
+	dev := e.Config().Device
+	for i, s := range samples {
+		if s.Watts < dev.IdleWatts || s.Watts > dev.TDPWatts {
+			t.Fatalf("sample %d outside power envelope: %v W", i, s.Watts)
+		}
+		if i > 0 && s.TimeS <= samples[i-1].TimeS {
+			t.Fatal("sample times must increase")
+		}
+		if s.Decode {
+			sawDecode = true
+			if !sawPrefill {
+				t.Fatal("decode samples before any prefill sample")
+			}
+		} else {
+			sawPrefill = true
+			if sawDecode {
+				t.Fatal("prefill sample after decode began")
+			}
+		}
+	}
+	if !sawPrefill || !sawDecode {
+		t.Error("trace must cover both phases")
+	}
+	// Prefill (compute-hot, balanced walls) draws more than
+	// memory-bound decode at moderate batch — the phase structure the
+	// pynvml plots show.
+	var pfW, decW, pfN, decN float64
+	for _, s := range samples {
+		if s.Decode {
+			decW += s.Watts
+			decN++
+		} else {
+			pfW += s.Watts
+			pfN++
+		}
+	}
+	if pfW/pfN <= decW/decN {
+		t.Errorf("prefill power %.0f W must exceed decode power %.0f W", pfW/pfN, decW/decN)
+	}
+}
+
+func TestPowerTraceMeanNearAverage(t *testing.T) {
+	e := mustEngine(t, "LLaMA-2-7B", "H100", "vLLM", parallel.Single)
+	spec := workload.Spec{Batch: 32, Input: 512, Output: 512}
+	res, err := e.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := e.PowerTrace(spec, 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, s := range samples {
+		sum += s.Watts
+	}
+	mean := sum / float64(len(samples))
+	// Run's AvgPowerWatts weights decode only; the trace includes the
+	// hotter prefill, so allow a generous band.
+	if rel := math.Abs(mean-res.AvgPowerWatts) / res.AvgPowerWatts; rel > 0.3 {
+		t.Errorf("trace mean %.0f W far from result average %.0f W", mean, res.AvgPowerWatts)
+	}
+}
+
+func TestPowerTraceErrors(t *testing.T) {
+	e := mustEngine(t, "LLaMA-3-8B", "A100", "vLLM", parallel.Single)
+	if _, err := e.PowerTrace(workload.Spec{Batch: 1, Input: 64, Output: 64}, 0); err == nil {
+		t.Error("zero interval must fail")
+	}
+	if _, err := e.PowerTrace(workload.Spec{}, 0.01); err == nil {
+		t.Error("invalid spec must fail")
+	}
+	oom := mustEngine(t, "LLaMA-2-70B", "A100", "vLLM", parallel.Single)
+	if _, err := oom.PowerTrace(workload.Spec{Batch: 1, Input: 64, Output: 64}, 0.01); err == nil {
+		t.Error("OOM config must fail")
+	}
+}
+
+func TestPowerTraceTinyRunStillSamples(t *testing.T) {
+	e := mustEngine(t, "LLaMA-3-8B", "H100", "TRT-LLM", parallel.Single)
+	samples, err := e.PowerTrace(workload.Spec{Batch: 1, Input: 16, Output: 2}, 10 /* huge interval */)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 1 {
+		t.Fatalf("want exactly one fallback sample, got %d", len(samples))
+	}
+}

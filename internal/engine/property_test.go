@@ -1,0 +1,150 @@
+package engine
+
+// Property-based invariants of the simulator, checked over randomized
+// workloads: metric consistency, monotonicity in workload dimensions,
+// and monotonicity of OOM behaviour.
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"llmbench/internal/parallel"
+	"llmbench/internal/workload"
+)
+
+func propEngine(t *testing.T) *Engine {
+	t.Helper()
+	return mustEngine(t, "Mistral-7B", "H100", "TRT-LLM", parallel.Single)
+}
+
+func TestPropMetricsConsistent(t *testing.T) {
+	e := propEngine(t)
+	f := func(b, in, out uint8) bool {
+		spec := workload.Spec{
+			Batch:  int(b%64) + 1,
+			Input:  int(in)*8 + 1,
+			Output: int(out)*8 + 2,
+		}
+		r, err := e.Run(spec)
+		if err != nil {
+			return errors.Is(err, ErrOOM) // only OOM is acceptable
+		}
+		if r.TTFTSeconds <= 0 || r.E2ESeconds < r.TTFTSeconds || r.Throughput <= 0 {
+			return false
+		}
+		// Eq. (1) and Eq. (2) hold exactly.
+		itl := (r.E2ESeconds - r.TTFTSeconds) / (float64(spec.Batch) * float64(spec.Output-1))
+		if diff := r.ITLSeconds - itl; diff > 1e-12 || diff < -1e-12 {
+			return false
+		}
+		thr := spec.TotalTokens() / r.E2ESeconds
+		if diff := r.Throughput - thr; diff > 1e-9 || diff < -1e-9 {
+			return false
+		}
+		// Power inside the device envelope.
+		return r.AvgPowerWatts >= e.cfg.Device.IdleWatts && r.AvgPowerWatts <= e.cfg.Device.TDPWatts
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropE2EMonotoneInOutput(t *testing.T) {
+	e := propEngine(t)
+	f := func(b, o1, o2 uint8) bool {
+		batch := int(b%32) + 1
+		a, z := int(o1)+2, int(o2)+2
+		if a > z {
+			a, z = z, a
+		}
+		ra, err1 := e.Run(workload.Spec{Batch: batch, Input: 256, Output: a})
+		rz, err2 := e.Run(workload.Spec{Batch: batch, Input: 256, Output: z})
+		if err1 != nil || err2 != nil {
+			return true // OOM paths tested elsewhere
+		}
+		return rz.E2ESeconds >= ra.E2ESeconds-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropTTFTMonotoneInInput(t *testing.T) {
+	e := propEngine(t)
+	f := func(i1, i2 uint8) bool {
+		a, z := int(i1)*4+1, int(i2)*4+1
+		if a > z {
+			a, z = z, a
+		}
+		ra, err1 := e.Run(workload.Spec{Batch: 4, Input: a, Output: 8})
+		rz, err2 := e.Run(workload.Spec{Batch: 4, Input: z, Output: 8})
+		if err1 != nil || err2 != nil {
+			return true
+		}
+		return rz.TTFTSeconds >= ra.TTFTSeconds-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropOOMMonotoneInBatch(t *testing.T) {
+	// For a static (no-waves) framework, if batch b OOMs then any
+	// larger batch OOMs too.
+	e := mustEngine(t, "LLaMA-3-8B", "Gaudi2", "DeepSpeed", parallel.Single)
+	firstOOM := 0
+	for b := 1; b <= 128; b *= 2 {
+		_, err := e.Run(workload.Spec{Batch: b, Input: 1024, Output: 1024})
+		if errors.Is(err, ErrOOM) {
+			firstOOM = b
+			break
+		}
+	}
+	if firstOOM == 0 {
+		t.Fatal("expected some batch to OOM on Gaudi2")
+	}
+	for b := firstOOM; b <= 256; b += 16 {
+		if _, err := e.Run(workload.Spec{Batch: b, Input: 1024, Output: 1024}); !errors.Is(err, ErrOOM) {
+			t.Fatalf("batch %d did not OOM although %d did", b, firstOOM)
+		}
+	}
+}
+
+func TestPropFasterDeviceNeverSlower(t *testing.T) {
+	// GH200 strictly dominates H100 (same compute, more and faster
+	// memory); throughput must never be lower.
+	h := mustEngine(t, "LLaMA-3-8B", "H100", "TRT-LLM", parallel.Single)
+	gh := mustEngine(t, "LLaMA-3-8B", "GH200", "TRT-LLM", parallel.Single)
+	f := func(b, l uint8) bool {
+		spec := workload.Spec{Batch: int(b%64) + 1, Input: int(l)*8 + 8, Output: int(l)*8 + 8}
+		rh, err1 := h.Run(spec)
+		rg, err2 := gh.Run(spec)
+		if err1 != nil || err2 != nil {
+			return true
+		}
+		return rg.Throughput >= rh.Throughput-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMoreDevicesNeverSlowerForTP(t *testing.T) {
+	one := mustEngine(t, "Mistral-7B", "H100", "TRT-LLM", parallel.Single)
+	four := mustEngine(t, "Mistral-7B", "H100", "TRT-LLM", parallel.Plan{TP: 4, PP: 1, EP: 1})
+	for _, b := range []int{1, 16, 64} {
+		spec := workload.Spec{Batch: b, Input: 1024, Output: 1024}
+		r1, err := one.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r4, err := four.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r4.Throughput < r1.Throughput {
+			t.Errorf("batch %d: TP=4 (%.0f) slower than TP=1 (%.0f)", b, r4.Throughput, r1.Throughput)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"fmt"
+
+	"llmbench/internal/metrics"
+	"llmbench/internal/parallel"
+	"llmbench/internal/workload"
+)
+
+func init() {
+	register(&Experiment{
+		ID:       "fig29",
+		Title:    "Perplexity vs throughput of ~7B models (one H100, vLLM, batch 32, len 1024)",
+		Workload: "9 models on the synthetic LongBench-like corpus",
+		Modules:  []string{"perplexity", "engine"},
+		Run:      func() (*Output, error) { return perplexityScatter("fig29", "H100") },
+	})
+	register(&Experiment{
+		ID:       "fig30",
+		Title:    "TRT-LLM: 7B models on 1/2/4 A100 GPUs (len 1024)",
+		Workload: "batch {1,16,32,64} × GPUs {1,2,4}",
+		Modules:  []string{"engine", "parallel"},
+		Run:      fig30,
+	})
+	register(&Experiment{
+		ID:       "fig31",
+		Title:    "vLLM: 7B models on 1/2/4 GPUs (batch 32, len 2048)",
+		Workload: "H100/A100/MI250 × GPUs {1,2,4}",
+		Modules:  []string{"engine", "parallel"},
+		Run:      fig31,
+	})
+	register(&Experiment{
+		ID:       "fig32",
+		Title:    "llama.cpp: 70B models on four GPUs (len 1024)",
+		Workload: "batch {1,16,32,64} on H100 and MI250",
+		Modules:  []string{"engine", "framework"},
+		Run:      fig32,
+	})
+	register(&Experiment{
+		ID:       "fig33",
+		Title:    "H100 framework comparison of 7B models (len 1024)",
+		Workload: "TRT-LLM/vLLM/llama.cpp × batch {1,16,32,64}",
+		Modules:  []string{"engine", "framework"},
+		Run:      fig33,
+	})
+	register(&Experiment{
+		ID:       "fig34",
+		Title:    "70B models on four A100 and H100 GPUs (len 1024)",
+		Workload: "TRT-LLM and vLLM × batch {1,16,32,64}",
+		Modules:  []string{"engine", "parallel"},
+		Run:      fig34,
+	})
+	register(&Experiment{
+		ID:       "fig35",
+		Title:    "7B models on one MI250 using vLLM (len 1024)",
+		Workload: "batch {1,16,32,64}",
+		Modules:  []string{"engine", "hw"},
+		Run:      fig35,
+	})
+	register(&Experiment{
+		ID:       "fig36",
+		Title:    "7B models on one MI250 using llama.cpp (len 1024)",
+		Workload: "batch {1,16,32,64}",
+		Modules:  []string{"engine", "framework"},
+		Run:      fig36,
+	})
+	register(&Experiment{
+		ID:       "fig37",
+		Title:    "70B models on four MI250 GPUs using vLLM (len 1024)",
+		Workload: "batch {1,16,32,64}",
+		Modules:  []string{"engine", "parallel"},
+		Run:      fig37,
+	})
+	register(&Experiment{
+		ID:       "fig38",
+		Title:    "4 Gaudi2 vs 4 H100 vs 4 A100: 70B models (len 512)",
+		Workload: "batch {1,16,32}",
+		Modules:  []string{"engine", "hw"},
+		Run:      fig38,
+	})
+}
+
+func fig30() (*Output, error) {
+	fig := &metrics.Figure{ID: "fig30", Title: "TRT-LLM 7B models on varying A100 GPUs (len 1024)",
+		XLabel: "Batch size", YLabel: "Throughput (tokens/s)"}
+	for _, gpus := range []int{1, 2, 4} {
+		for _, m := range models7B {
+			eng, err := mk(m, "A100", "TRT-LLM", tp(gpus))
+			if err != nil {
+				return nil, err
+			}
+			batchSweep(fig, eng, fmt.Sprintf("%d %s", gpus, m), workload.PaperBatches, 1024)
+		}
+	}
+	return &Output{Figure: fig}, nil
+}
+
+func fig31() (*Output, error) {
+	fig := &metrics.Figure{ID: "fig31", Title: "vLLM 7B models on GPUs (batch 32, len 2048)",
+		XLabel: "Number of GPUs", YLabel: "Throughput (tokens/s)"}
+	spec := workload.Spec{Batch: 32, Input: 2048, Output: 2048}
+	for _, dev := range []string{"H100", "A100", "MI250"} {
+		for _, m := range models7B {
+			for _, gpus := range []int{1, 2, 4} {
+				eng, err := mk(m, dev, "vLLM", tp(gpus))
+				if err != nil {
+					return nil, err
+				}
+				addOrNote(fig, eng, dev+" "+m, float64(gpus), spec, throughput)
+			}
+		}
+	}
+	return &Output{Figure: fig}, nil
+}
+
+func fig32() (*Output, error) {
+	fig := &metrics.Figure{ID: "fig32", Title: "llama.cpp 70B models on four GPUs (len 1024)",
+		XLabel: "Batch size", YLabel: "Throughput (tokens/s)"}
+	combos := []struct{ dev, m string }{
+		{"H100", "Mixtral-8x7B"}, {"H100", "LLaMA-3-70B"},
+		{"MI250", "Mixtral-8x7B"}, {"MI250", "LLaMA-2-70B"},
+	}
+	for _, c := range combos {
+		eng, err := mk(c.m, c.dev, "llama.cpp", parallel.Plan{TP: 1, PP: 4, EP: 1})
+		if err != nil {
+			return nil, err
+		}
+		batchSweep(fig, eng, c.dev+" "+c.m, workload.PaperBatches, 1024)
+	}
+	return &Output{Figure: fig}, nil
+}
+
+func fig33() (*Output, error) {
+	fig := &metrics.Figure{ID: "fig33", Title: "H100 framework comparison of 7B models (len 1024)",
+		XLabel: "Batch size", YLabel: "Throughput (tokens/s)"}
+	combos := []struct {
+		fw     string
+		models []string
+	}{
+		{"TRT-LLM", []string{"Qwen2-7B", "Mistral-7B", "LLaMA-3-8B", "LLaMA-2-7B"}},
+		{"vLLM", []string{"Qwen2-7B", "Mistral-7B", "LLaMA-3-8B", "LLaMA-2-7B"}},
+		{"llama.cpp", []string{"Mistral-7B", "LLaMA-3-8B", "LLaMA-2-7B"}},
+	}
+	for _, c := range combos {
+		for _, m := range c.models {
+			eng, err := mk(m, "H100", c.fw, parallel.Single)
+			if err != nil {
+				return nil, err
+			}
+			batchSweep(fig, eng, c.fw+" "+m, workload.PaperBatches, 1024)
+		}
+	}
+	return &Output{Figure: fig}, nil
+}
+
+func fig34() (*Output, error) {
+	fig := &metrics.Figure{ID: "fig34", Title: "70B models on four A100 and H100 GPUs (len 1024)",
+		XLabel: "Batch size", YLabel: "Throughput (tokens/s)"}
+	combos := []struct{ dev, fw, m string }{
+		{"H100", "TRT-LLM", "Mixtral-8x7B"},
+		{"H100", "TRT-LLM", "LLaMA-2-70B"},
+		{"H100", "vLLM", "LLaMA-2-70B"},
+		{"H100", "TRT-LLM", "LLaMA-3-70B"},
+		{"H100", "vLLM", "LLaMA-3-70B"},
+		{"A100", "TRT-LLM", "Mixtral-8x7B"},
+		{"A100", "vLLM", "Mixtral-8x7B"},
+		{"A100", "TRT-LLM", "LLaMA-2-70B"},
+		{"A100", "vLLM", "LLaMA-2-70B"},
+		{"A100", "TRT-LLM", "LLaMA-3-70B"},
+	}
+	for _, c := range combos {
+		eng, err := mk(c.m, c.dev, c.fw, tp(4))
+		if err != nil {
+			return nil, err
+		}
+		batchSweep(fig, eng, c.dev+" "+c.fw+" "+c.m, workload.PaperBatches, 1024)
+	}
+	return &Output{Figure: fig}, nil
+}
+
+var models7BQwen = []string{"Qwen2-7B", "Mistral-7B", "LLaMA-3-8B", "LLaMA-2-7B"}
+
+func fig35() (*Output, error) {
+	fig := &metrics.Figure{ID: "fig35", Title: "7B models on one MI250 using vLLM (len 1024)",
+		XLabel: "Batch size", YLabel: "Throughput (tokens/s)"}
+	for _, m := range models7BQwen {
+		eng, err := mk(m, "MI250", "vLLM", parallel.Single)
+		if err != nil {
+			return nil, err
+		}
+		batchSweep(fig, eng, m, workload.PaperBatches, 1024)
+	}
+	return &Output{Figure: fig}, nil
+}
+
+func fig36() (*Output, error) {
+	fig := &metrics.Figure{ID: "fig36", Title: "7B models on one MI250 using llama.cpp (len 1024)",
+		XLabel: "Batch size", YLabel: "Throughput (tokens/s)"}
+	for _, m := range []string{"LLaMA-2-7B", "Mistral-7B", "LLaMA-3-8B", "Qwen2-7B"} {
+		eng, err := mk(m, "MI250", "llama.cpp", parallel.Single)
+		if err != nil {
+			return nil, err
+		}
+		batchSweep(fig, eng, m, workload.PaperBatches, 1024)
+	}
+	return &Output{Figure: fig}, nil
+}
+
+func fig37() (*Output, error) {
+	fig := &metrics.Figure{ID: "fig37", Title: "70B models on four MI250 GPUs using vLLM (len 1024)",
+		XLabel: "Batch size", YLabel: "Throughput (tokens/s)"}
+	for _, m := range []string{"Qwen2-72B", "Mixtral-8x7B", "LLaMA-3-70B", "LLaMA-2-70B"} {
+		eng, err := mk(m, "MI250", "vLLM", tp(4))
+		if err != nil {
+			return nil, err
+		}
+		batchSweep(fig, eng, m, workload.PaperBatches, 1024)
+	}
+	return &Output{Figure: fig}, nil
+}
+
+func fig38() (*Output, error) {
+	fig := &metrics.Figure{ID: "fig38", Title: "4 Gaudi2 vs 4 H100 vs 4 A100: 70B models (len 512)",
+		XLabel: "Batch size", YLabel: "Throughput (tokens/s)"}
+	combos := []struct {
+		dev, fw string
+		models  []string
+	}{
+		{"H100", "TRT-LLM", []string{"LLaMA-2-70B", "LLaMA-3-70B", "Qwen2-72B"}},
+		{"Gaudi2", "DeepSpeed", []string{"LLaMA-2-70B", "LLaMA-3-70B", "Qwen2-72B"}},
+		{"A100", "TRT-LLM", []string{"LLaMA-2-70B", "LLaMA-3-70B"}},
+	}
+	for _, c := range combos {
+		for _, m := range c.models {
+			eng, err := mk(m, c.dev, c.fw, tp(4))
+			if err != nil {
+				return nil, err
+			}
+			batchSweep(fig, eng, c.dev+" "+c.fw+" "+m, []int{1, 16, 32}, 512)
+		}
+	}
+	return &Output{Figure: fig}, nil
+}

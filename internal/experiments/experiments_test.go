@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every evaluation figure and table of the paper must be present.
+	want := []string{
+		"fig1a", "fig1b", "fig2a", "fig2b", "fig3", "fig4a", "fig4b",
+		"fig5a", "fig5b", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+		"fig18", "fig19", "fig20", "fig21", "fig22", "fig23", "fig24",
+		"fig25", "fig29", "fig30", "fig31", "fig32", "fig33", "fig34",
+		"fig35", "fig36", "fig37", "fig38", "tab1", "tab2", "tab3",
+		"ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7", "ext8", "ext9",
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+	for _, id := range want {
+		if _, err := Get(id); err != nil {
+			t.Errorf("missing experiment %s: %v", id, err)
+		}
+	}
+}
+
+func TestAllOrdered(t *testing.T) {
+	all := All()
+	if all[0].ID != "fig1a" {
+		t.Errorf("first experiment %s, want fig1a", all[0].ID)
+	}
+	last := all[len(all)-1]
+	if last.ID != "ext9" {
+		t.Errorf("last experiment %s, want ext9", last.ID)
+	}
+	// fig2 must come before fig10 (numeric, not lexicographic).
+	pos := map[string]int{}
+	for i, e := range all {
+		pos[e.ID] = i
+	}
+	if pos["fig2a"] > pos["fig10"] {
+		t.Error("experiments must sort numerically")
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("fig99"); err == nil {
+		t.Error("unknown id must error")
+	}
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			out, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			md := out.Markdown()
+			if len(md) == 0 {
+				t.Fatalf("%s produced empty output", e.ID)
+			}
+			if out.Figure != nil {
+				if len(out.Figure.Series) == 0 {
+					t.Fatalf("%s has no series", e.ID)
+				}
+				for _, s := range out.Figure.Series {
+					if len(s.Points) == 0 {
+						t.Errorf("%s series %q has no points", e.ID, s.Label)
+					}
+					for _, p := range s.Points {
+						if p.Y < 0 {
+							t.Errorf("%s series %q has negative value at x=%v", e.ID, s.Label, p.X)
+						}
+					}
+				}
+			}
+			if !strings.Contains(md, e.ID) {
+				t.Errorf("%s markdown does not mention its id", e.ID)
+			}
+		})
+	}
+}
+
+func TestExperimentMetadata(t *testing.T) {
+	for _, e := range All() {
+		if e.Title == "" || e.Workload == "" || len(e.Modules) == 0 {
+			t.Errorf("%s has incomplete metadata", e.ID)
+		}
+	}
+}

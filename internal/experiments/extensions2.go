@@ -1,0 +1,111 @@
+package experiments
+
+// Second batch of extension experiments:
+//
+//   ext6 — cluster routing under bursty chat load: round-robin vs
+//          least-loaded across burst factors, on the multi-replica
+//          simulator.
+//   ext7 — SLO-constrained batch autotuning: the largest batch each
+//          accelerator sustains while keeping ITL under a chat SLO,
+//          and the throughput it buys (the deployment question behind
+//          §VII's takeaways).
+
+import (
+	"fmt"
+
+	"llmbench/internal/cluster"
+	"llmbench/internal/dtype"
+	"llmbench/internal/engine"
+	"llmbench/internal/framework"
+	"llmbench/internal/hw"
+	"llmbench/internal/kvcache"
+	"llmbench/internal/metrics"
+	"llmbench/internal/model"
+	"llmbench/internal/workload"
+)
+
+func init() {
+	register(&Experiment{
+		ID:       "ext6",
+		Title:    "Extension: request routing under bursty chat load (4 replicas)",
+		Workload: "Mistral-7B on A100 ×4, burst factor {1,2,4,8}, RR vs least-loaded",
+		Modules:  []string{"cluster", "workload"},
+		Run:      ext6,
+	})
+	register(&Experiment{
+		ID:       "ext7",
+		Title:    "Extension: SLO-constrained batch autotuning per accelerator",
+		Workload: "LLaMA-3-8B, ITL ≤ 25 ms/token, len 1024",
+		Modules:  []string{"engine"},
+		Run:      ext7,
+	})
+}
+
+func ext6() (*Output, error) {
+	fig := &metrics.Figure{ID: "ext6", Title: "Routing policy vs burstiness (Mistral-7B, 4×A100, vLLM)",
+		XLabel: "Burst factor", YLabel: "p99 latency (s)"}
+	m := model.MustGet("Mistral-7B")
+	makeReplicas := func() ([]cluster.Replica, error) {
+		out := make([]cluster.Replica, 4)
+		for i := range out {
+			eng, err := engine.New(engine.Config{
+				Model:     m,
+				Device:    hw.MustGet("A100"),
+				Framework: framework.MustGet("vLLM"),
+			})
+			if err != nil {
+				return nil, err
+			}
+			alloc, err := kvcache.NewPaged(16, m.KVBytesPerToken(dtype.FP16), 16*(1<<30))
+			if err != nil {
+				return nil, err
+			}
+			out[i] = cluster.Replica{Engine: eng, Alloc: alloc}
+		}
+		return out, nil
+	}
+	for _, burst := range []float64{1, 2, 4, 8} {
+		reqs, err := workload.ChatTrace(workload.ChatTraceConfig{
+			Seed: 31, Requests: 200, RatePerSec: 25, BurstFactor: burst,
+			InputMedian: 512, OutputMedian: 128, Sigma: 0.8, MaxLen: 4096,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, pol := range []cluster.Policy{cluster.RoundRobin, cluster.LeastLoaded} {
+			reps, err := makeReplicas()
+			if err != nil {
+				return nil, err
+			}
+			stats, err := cluster.Serve(cluster.Config{Replicas: reps, Policy: pol, MaxBatch: 16}, reqs)
+			if err != nil {
+				return nil, err
+			}
+			fig.Add(pol.String(), burst, stats.P99Latency)
+		}
+	}
+	return &Output{Figure: fig}, nil
+}
+
+func ext7() (*Output, error) {
+	fig := &metrics.Figure{ID: "ext7", Title: "Largest batch meeting a 25 ms ITL SLO (LLaMA-3-8B, len 1024)",
+		XLabel: "Accelerator index", YLabel: "Batch / throughput (tokens/s)"}
+	const sloITL = 0.025
+	for i, c := range acceleratorCombos() {
+		eng, err := mk("LLaMA-3-8B", c.dev, c.fw, c.plan)
+		if err != nil {
+			return nil, err
+		}
+		batch, res, err := engine.AutotuneBatch(eng, 1024, 1024, sloITL, 128)
+		if err != nil {
+			fig.Note("%s %s: %v", c.dev, c.fw, err)
+			continue
+		}
+		label := fmt.Sprintf("%d %s %s", c.plan.Devices(), c.dev, c.fw)
+		fig.Add(label+" [batch]", float64(i), float64(batch))
+		fig.Add(label+" [tok/s]", float64(i), res.Throughput)
+		fig.Note("%s sustains batch %d at %.1f ms ITL (%.0f tokens/s)",
+			label, batch, res.ITLSeconds*1000, res.Throughput)
+	}
+	return &Output{Figure: fig}, nil
+}

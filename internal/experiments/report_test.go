@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReportAllAnchorsHold(t *testing.T) {
+	rows, err := Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 20 {
+		t.Fatalf("report has only %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Holds {
+			t.Errorf("%s: %s = %s (paper %s) outside shape band", r.Figure, r.Claim, r.Measured, r.Paper)
+		}
+		if r.Figure == "" || r.Claim == "" || r.Paper == "" || r.Measured == "" {
+			t.Errorf("incomplete row %+v", r)
+		}
+	}
+}
+
+func TestReportMarkdown(t *testing.T) {
+	md, err := ReportMarkdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"| Figure |", "fig1a", "26.6x", "fig25"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("report markdown missing %q", want)
+		}
+	}
+}

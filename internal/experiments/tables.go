@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"llmbench/internal/dtype"
+	"llmbench/internal/framework"
+	"llmbench/internal/hw"
+	"llmbench/internal/model"
+)
+
+func init() {
+	register(&Experiment{
+		ID:       "tab1",
+		Title:    "Table I: LLaMA model family summary",
+		Workload: "architecture hyperparameters of the eight benchmark models",
+		Modules:  []string{"model"},
+		Run:      tab1,
+	})
+	register(&Experiment{
+		ID:       "tab2",
+		Title:    "Table II: features of evaluated AI accelerators",
+		Workload: "hardware description of the seven platforms",
+		Modules:  []string{"hw"},
+		Run:      tab2,
+	})
+	register(&Experiment{
+		ID:       "tab3",
+		Title:    "Table III: summary of inference frameworks evaluated",
+		Workload: "framework × hardware support matrix",
+		Modules:  []string{"framework"},
+		Run:      tab3,
+	})
+}
+
+func tab1() (*Output, error) {
+	var b strings.Builder
+	b.WriteString("### tab1 — Table I: LLaMA Model Family Summary\n\n")
+	b.WriteString("| Model | Layers | Hidden | Attention | Heads | KV Heads | FFN | Experts | FFN Inter | Max Seq | Vocab | Params (B) |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|---|---|---|---|\n")
+	for _, m := range model.TableI() {
+		fmt.Fprintf(&b, "| %s | %d | %d | %s | %d | %d | %s | %d | %d | %d | %d | %.2f |\n",
+			m.Name, m.Layers, m.Hidden, m.Attention, m.Heads, m.KVHeads,
+			m.FFN, m.Experts, m.Inter, m.MaxSeq, m.Vocab, m.Params()/1e9)
+	}
+	return &Output{Text: b.String()}, nil
+}
+
+func tab2() (*Output, error) {
+	var b strings.Builder
+	b.WriteString("### tab2 — Table II: Features of evaluated AI accelerators\n\n")
+	b.WriteString("| Feature |")
+	devs := hw.TableII()
+	for _, d := range devs {
+		fmt.Fprintf(&b, " %s |", d.Name)
+	}
+	b.WriteString("\n|---|")
+	for range devs {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+
+	row := func(name string, f func(*hw.Device) string) {
+		fmt.Fprintf(&b, "| %s |", name)
+		for _, d := range devs {
+			fmt.Fprintf(&b, " %s |", f(d))
+		}
+		b.WriteString("\n")
+	}
+	row("# Devices", func(d *hw.Device) string { return fmt.Sprintf("%d", d.DevicesPerNode) })
+	row("Memory (/device)", func(d *hw.Device) string { return fmt.Sprintf("%.0f GB", d.MemGiB) })
+	row("Memory (/node)", func(d *hw.Device) string {
+		return fmt.Sprintf("%.0f GB", d.MemGiB*float64(d.DevicesPerNode))
+	})
+	row("Mem BW", func(d *hw.Device) string { return fmt.Sprintf("%.1f TB/s", d.MemBWGBs/1000) })
+	row("Peak FP16/BF16", func(d *hw.Device) string {
+		tf := d.PeakTFLOPS[dtype.FP16]
+		if bf, ok := d.PeakTFLOPS[dtype.BF16]; ok && bf > tf {
+			tf = bf
+		}
+		return fmt.Sprintf("%.0f TFLOPS", tf)
+	})
+	row("FP8", func(d *hw.Device) string {
+		if d.Supports(dtype.FP8) {
+			return "yes"
+		}
+		return "no"
+	})
+	row("Interconnect", func(d *hw.Device) string { return fmt.Sprintf("%.0f GB/s", d.InterconnectGBs) })
+	row("TDP", func(d *hw.Device) string { return fmt.Sprintf("%.0f W", d.TDPWatts) })
+	row("Vendor", func(d *hw.Device) string { return d.Vendor.String() })
+	return &Output{Text: b.String()}, nil
+}
+
+func tab3() (*Output, error) {
+	var b strings.Builder
+	b.WriteString("### tab3 — Table III: Summary of inference frameworks evaluated\n\n")
+	rows, cols, cells := framework.TableIII()
+	b.WriteString("| Framework |")
+	for _, c := range cols {
+		fmt.Fprintf(&b, " %s |", c)
+	}
+	b.WriteString("\n|---|")
+	for range cols {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for i, r := range rows {
+		fmt.Fprintf(&b, "| %s |", r)
+		for j := range cols {
+			v := "No"
+			if cells[i][j] {
+				v = "Yes"
+			}
+			fmt.Fprintf(&b, " %s |", v)
+		}
+		b.WriteString("\n")
+	}
+	return &Output{Text: b.String()}, nil
+}

@@ -1,0 +1,176 @@
+package framework
+
+import (
+	"math"
+	"testing"
+
+	"llmbench/internal/hw"
+)
+
+func TestCatalogValidates(t *testing.T) {
+	for _, n := range Names() {
+		if err := MustGet(n).Validate(); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+}
+
+func TestVendorLocks(t *testing.T) {
+	// §V-1: TRT-LLM "can be used only to accelerate LLMs on NVIDIA
+	// GPUs"; SambaFlow is SN40L-only; DeepSpeed profile is Gaudi-only.
+	trt := MustGet("TRT-LLM")
+	if !trt.SupportsDevice(hw.MustGet("A100")) {
+		t.Error("TRT-LLM must support A100")
+	}
+	if trt.SupportsDevice(hw.MustGet("MI250")) {
+		t.Error("TRT-LLM must not support AMD")
+	}
+	if !MustGet("vLLM").SupportsDevice(hw.MustGet("MI300X")) {
+		t.Error("vLLM must support AMD (§V-2)")
+	}
+	if !MustGet("SambaFlow").SupportsDevice(hw.MustGet("SN40L")) {
+		t.Error("SambaFlow must support SN40L")
+	}
+	if MustGet("SambaFlow").SupportsDevice(hw.MustGet("H100")) {
+		t.Error("SambaFlow must not support NVIDIA")
+	}
+	// Table III: DS-MII ran on A100 only.
+	if !MustGet("DS-MII").SupportsDevice(hw.MustGet("A100")) {
+		t.Error("DS-MII must support A100")
+	}
+	if MustGet("DS-MII").SupportsDevice(hw.MustGet("H100")) {
+		t.Error("DS-MII must not run on H100 (Table III)")
+	}
+}
+
+func TestTRTFastestOnNvidia(t *testing.T) {
+	trt, vllm, ds := MustGet("TRT-LLM"), MustGet("vLLM"), MustGet("DS-MII")
+	if trt.EffCompute[hw.NVIDIA] <= vllm.EffCompute[hw.NVIDIA] {
+		t.Error("TRT-LLM compute efficiency must exceed vLLM on NVIDIA (§VI-1)")
+	}
+	if vllm.EffCompute[hw.NVIDIA] <= ds.EffCompute[hw.NVIDIA] {
+		t.Error("vLLM compute efficiency must exceed DS-MII (Fig. 15)")
+	}
+	lc := MustGet("llama.cpp")
+	if lc.EffCompute[hw.NVIDIA] >= ds.EffCompute[hw.NVIDIA] {
+		t.Error("llama.cpp must be the least efficient framework (§VI-1)")
+	}
+}
+
+func TestGQAExploitation(t *testing.T) {
+	if MustGet("TRT-LLM").GQAExploitation != 1 || MustGet("vLLM").GQAExploitation != 1 {
+		t.Error("TRT-LLM and vLLM fully exploit GQA (§V-1/2)")
+	}
+	if MustGet("llama.cpp").GQAExploitation != 0 {
+		t.Error("llama.cpp must not exploit GQA (§V-4)")
+	}
+}
+
+func TestUnfusedLogits(t *testing.T) {
+	// §VII-1: DS-MII and llama.cpp "do not support model-wise
+	// optimizations well" — their unembedding path is unfused, so
+	// large-vocab models lose their edge there.
+	if MustGet("DS-MII").LogitsEff >= 1 {
+		t.Error("DS-MII must pay an unfused-logits penalty")
+	}
+	if MustGet("llama.cpp").LogitsEff >= MustGet("DS-MII").LogitsEff {
+		t.Error("llama.cpp logits path must be the least efficient")
+	}
+	if MustGet("TRT-LLM").LogitsEff != 1 || MustGet("vLLM").LogitsEff != 1 {
+		t.Error("fused frameworks pay no logits penalty")
+	}
+}
+
+func TestKVTrafficRatio(t *testing.T) {
+	p := MustGet("TRT-LLM")
+	if got := p.KVTrafficRatio(0.25); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("full exploitation ratio = %v, want 0.25", got)
+	}
+	lc := MustGet("llama.cpp")
+	if got := lc.KVTrafficRatio(0.25); math.Abs(got-1) > 1e-12 {
+		t.Errorf("zero exploitation ratio = %v, want 1", got)
+	}
+	half := Profile{GQAExploitation: 0.5}
+	got := half.KVTrafficRatio(0.25)
+	if got <= 0.25 || got >= 1 {
+		t.Errorf("partial exploitation ratio = %v, want in (0.25, 1)", got)
+	}
+}
+
+func TestLlamaCppQuirks(t *testing.T) {
+	lc := MustGet("llama.cpp")
+	if lc.GEMMBatchCap == 0 {
+		t.Error("llama.cpp must cap GEMM batching (Fig. 13 flat curves)")
+	}
+	if lc.Parallel != LayerSplit {
+		t.Error("llama.cpp must use layer split, not TP (Fig. 14 weak scaling)")
+	}
+	if lc.ContinuousBatching {
+		t.Error("llama.cpp has no continuous batching")
+	}
+}
+
+func TestSambaFlowQuirks(t *testing.T) {
+	sf := MustGet("SambaFlow")
+	// Fig. 21: TTFT ≈ 2.85 s at batch 16 → ~175 ms per sequence.
+	if sf.PrefillPerSeqMS*16 < 2000 || sf.PrefillPerSeqMS*16 > 3500 {
+		t.Errorf("SambaFlow per-seq setup %v ms gives batch-16 TTFT outside the Fig. 21 band", sf.PrefillPerSeqMS)
+	}
+	if sf.CommOverlap < 0.8 {
+		t.Error("dataflow graphs must overlap nearly all communication")
+	}
+	if sf.MemBoost <= 1 {
+		t.Error("SambaFlow must model 3-tier memory overlap (MemBoost > 1)")
+	}
+	if sf.LayerOverheadUS >= MustGet("TRT-LLM").LayerOverheadUS {
+		t.Error("fused dataflow graphs must have lower per-layer overhead than kernel launches")
+	}
+}
+
+func TestPagedKV(t *testing.T) {
+	if !MustGet("vLLM").PagedKV || MustGet("vLLM").DefaultBlockSize != 16 {
+		t.Error("vLLM must default to 16-token KV blocks (§IV-B2)")
+	}
+	if MustGet("llama.cpp").PagedKV {
+		t.Error("llama.cpp does not page its KV cache")
+	}
+}
+
+func TestTableIIIMatchesPaper(t *testing.T) {
+	rows, cols, cells := TableIII()
+	want := map[string]map[string]bool{
+		"vLLM":      {"A100": true, "H100": true, "GH200": true, "MI250": true, "Gaudi2": true},
+		"llama.cpp": {"A100": true, "H100": true, "GH200": true, "MI250": true, "Gaudi2": false},
+		"TRT-LLM":   {"A100": true, "H100": true, "GH200": true, "MI250": false, "Gaudi2": false},
+		"DS-MII":    {"A100": true, "H100": false, "GH200": false, "MI250": false, "Gaudi2": false},
+	}
+	for i, r := range rows {
+		for j, c := range cols {
+			if cells[i][j] != want[r][c] {
+				t.Errorf("Table III [%s][%s] = %v, want %v", r, c, cells[i][j], want[r][c])
+			}
+		}
+	}
+}
+
+func TestEffErrorsOnUnsupportedVendor(t *testing.T) {
+	if _, _, err := MustGet("TRT-LLM").Eff(hw.AMD); err == nil {
+		t.Error("Eff on unsupported vendor must error")
+	}
+	c, m, err := MustGet("TRT-LLM").Eff(hw.NVIDIA)
+	if err != nil || c <= 0 || m <= 0 {
+		t.Errorf("Eff(NVIDIA) = %v %v %v", c, m, err)
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("MLC"); err == nil {
+		t.Error("Get(MLC) succeeded, want error")
+	}
+}
+
+func TestParallelModeString(t *testing.T) {
+	if TensorParallel.String() != "TP" || LayerSplit.String() != "layer-split" {
+		t.Error("parallel mode strings wrong")
+	}
+}

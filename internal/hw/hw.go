@@ -1,0 +1,285 @@
+// Package hw models the AI accelerators evaluated in the paper
+// (Table II and Appendix B): NVIDIA A100/H100/GH200, AMD
+// MI250/MI300X, Habana Gaudi2, and SambaNova SN40L.
+//
+// A Device is a roofline model — peak FLOPS per precision, HBM
+// bandwidth, capacity — plus the power envelope and the vendor quirks
+// the paper calls out (MI250's early NUMA saturation, SN40L's
+// three-tier memory, Gaudi2's MME/TPC overlap).
+package hw
+
+import (
+	"fmt"
+	"sort"
+
+	"llmbench/internal/dtype"
+)
+
+// Vendor identifies the accelerator manufacturer, which gates which
+// frameworks run on it (Table III).
+type Vendor int
+
+const (
+	NVIDIA Vendor = iota
+	AMD
+	Habana
+	SambaNova
+)
+
+func (v Vendor) String() string {
+	switch v {
+	case NVIDIA:
+		return "NVIDIA"
+	case AMD:
+		return "AMD"
+	case Habana:
+		return "Habana"
+	case SambaNova:
+		return "SambaNova"
+	}
+	return fmt.Sprintf("vendor(%d)", int(v))
+}
+
+// Device is a single accelerator chip (one GPU, one HPU, one RDU).
+type Device struct {
+	Name   string
+	Vendor Vendor
+
+	// PeakTFLOPS maps each supported precision to the dense peak in
+	// teraFLOPS. Missing entries mean the precision is unsupported in
+	// hardware (e.g. FP8 on A100, §IV-B3).
+	PeakTFLOPS map[dtype.DType]float64
+
+	// MemBWGBs is HBM bandwidth in GB/s.
+	MemBWGBs float64
+	// MemGiB is device memory capacity in GiB.
+	MemGiB float64
+
+	// InterconnectGBs is the per-device peer bandwidth (NVLink,
+	// Infinity Fabric, RoCE, inter-RDU) in GB/s.
+	InterconnectGBs float64
+	// InterconnectLatencyUS is the per-message latency in microseconds.
+	InterconnectLatencyUS float64
+
+	// TDPWatts and IdleWatts bound the power model.
+	TDPWatts  float64
+	IdleWatts float64
+
+	// DevicesPerNode is how many devices the paper's node has
+	// (Table II "# Devices").
+	DevicesPerNode int
+
+	// --- vendor quirks -------------------------------------------------
+
+	// SaturationBatch, if non-zero, is the batch size beyond which the
+	// device's effective bandwidth degrades (MI250 NUMA balancing,
+	// §VI-2 / Fig. 17). Degradation factor per doubling is
+	// SaturationPenalty.
+	SaturationBatch   int
+	SaturationPenalty float64
+
+	// OnChipGiB and OnChipBWGBs describe a large on-chip tier (SN40L's
+	// 520 MiB SRAM / Gaudi2's 48 MB SRAM). When the decode working set
+	// (KV slice + activations) fits, the device streams at the on-chip
+	// rate instead of HBM.
+	OnChipGiB   float64
+	OnChipBWGBs float64
+
+	// OverlapFactor models heterogeneous engines executing in parallel
+	// (Gaudi2's MME+TPC overlap, §VI-4): fraction of the smaller of
+	// compute/memory time hidden under the larger. 0 = no overlap.
+	OverlapFactor float64
+
+	// ServiceBatchLimit, if non-zero, is the largest batch the vendor
+	// serving stack accepts (SN40L "limited to serving only a few
+	// batch sizes", §VII-2).
+	ServiceBatchLimit int
+}
+
+// Supports reports whether the device supports the precision in
+// hardware.
+func (d *Device) Supports(p dtype.DType) bool {
+	_, ok := d.PeakTFLOPS[p]
+	return ok
+}
+
+// PeakFLOPS returns the dense peak in FLOP/s for the precision, or an
+// error when the precision is unsupported.
+func (d *Device) PeakFLOPS(p dtype.DType) (float64, error) {
+	tf, ok := d.PeakTFLOPS[p]
+	if !ok {
+		return 0, fmt.Errorf("hw: %s does not support %s", d.Name, p)
+	}
+	return tf * 1e12, nil
+}
+
+// MemBytes returns the device memory capacity in bytes.
+func (d *Device) MemBytes() float64 { return d.MemGiB * (1 << 30) }
+
+// MemBW returns HBM bandwidth in bytes/s.
+func (d *Device) MemBW() float64 { return d.MemBWGBs * 1e9 }
+
+// Validate checks the device description for internal consistency.
+func (d *Device) Validate() error {
+	switch {
+	case d.Name == "":
+		return fmt.Errorf("hw: empty device name")
+	case len(d.PeakTFLOPS) == 0:
+		return fmt.Errorf("hw: %s has no supported precisions", d.Name)
+	case d.MemBWGBs <= 0 || d.MemGiB <= 0:
+		return fmt.Errorf("hw: %s has non-positive memory figures", d.Name)
+	case d.TDPWatts <= d.IdleWatts:
+		return fmt.Errorf("hw: %s TDP %.0f must exceed idle %.0f", d.Name, d.TDPWatts, d.IdleWatts)
+	case d.DevicesPerNode <= 0:
+		return fmt.Errorf("hw: %s has no devices per node", d.Name)
+	}
+	for p, tf := range d.PeakTFLOPS {
+		if tf <= 0 {
+			return fmt.Errorf("hw: %s peak for %s is non-positive", d.Name, p)
+		}
+	}
+	return nil
+}
+
+// catalog holds the evaluated accelerators. Peaks are dense (no
+// sparsity) figures from the vendor whitepapers cited in Appendix B.
+var catalog = map[string]*Device{
+	"A100": {
+		Name: "A100", Vendor: NVIDIA,
+		PeakTFLOPS: map[dtype.DType]float64{
+			dtype.FP32: 19.5, dtype.TF32: 156, dtype.FP16: 312,
+			dtype.BF16: 312, dtype.INT8: 624, dtype.INT4: 1248,
+			dtype.INT1: 4992,
+		},
+		MemBWGBs: 1555, MemGiB: 40,
+		InterconnectGBs: 600, InterconnectLatencyUS: 3,
+		TDPWatts: 400, IdleWatts: 55,
+		DevicesPerNode: 4,
+	},
+	"H100": {
+		Name: "H100", Vendor: NVIDIA,
+		PeakTFLOPS: map[dtype.DType]float64{
+			dtype.FP32: 67, dtype.TF32: 494, dtype.FP16: 989,
+			dtype.BF16: 989, dtype.FP8: 1979, dtype.INT8: 1979,
+			dtype.INT4: 3958, dtype.INT1: 15832,
+		},
+		MemBWGBs: 3350, MemGiB: 80,
+		InterconnectGBs: 900, InterconnectLatencyUS: 2.5,
+		TDPWatts: 700, IdleWatts: 70,
+		DevicesPerNode: 4,
+	},
+	// GH200: Hopper GPU with 96 GB HBM3 plus the Grace-coupled 900
+	// GB/s chip-to-chip link that lets KV and activations spill at
+	// near-HBM rates; we model it as H100 compute with more, faster
+	// memory.
+	"GH200": {
+		Name: "GH200", Vendor: NVIDIA,
+		PeakTFLOPS: map[dtype.DType]float64{
+			dtype.FP32: 67, dtype.TF32: 494, dtype.FP16: 989,
+			dtype.BF16: 989, dtype.FP8: 1979, dtype.INT8: 1979,
+			dtype.INT4: 3958, dtype.INT1: 15832,
+		},
+		MemBWGBs: 4000, MemGiB: 96,
+		InterconnectGBs: 900, InterconnectLatencyUS: 2,
+		TDPWatts: 700, IdleWatts: 80,
+		DevicesPerNode: 1,
+	},
+	// MI250: whole-card figures (two GCDs). The paper observes early
+	// compute/memory saturation under NUMA balancing (Fig. 17); the
+	// saturation fields model the preemptive page-fault stalls.
+	"MI250": {
+		Name: "MI250", Vendor: AMD,
+		PeakTFLOPS: map[dtype.DType]float64{
+			dtype.FP32: 45.3, dtype.FP16: 362, dtype.BF16: 362,
+			dtype.INT8: 362, dtype.INT4: 362,
+		},
+		MemBWGBs: 3200, MemGiB: 128,
+		InterconnectGBs: 100, InterconnectLatencyUS: 5,
+		TDPWatts: 560, IdleWatts: 90,
+		DevicesPerNode:  4,
+		SaturationBatch: 32, SaturationPenalty: 0.45,
+	},
+	"MI300X": {
+		Name: "MI300X", Vendor: AMD,
+		PeakTFLOPS: map[dtype.DType]float64{
+			dtype.FP32: 163, dtype.FP16: 1307, dtype.BF16: 1307,
+			dtype.FP8: 2614, dtype.INT8: 2614,
+		},
+		MemBWGBs: 5300, MemGiB: 192,
+		InterconnectGBs: 128, InterconnectLatencyUS: 5,
+		TDPWatts: 750, IdleWatts: 110,
+		DevicesPerNode:  8,
+		SaturationBatch: 64, SaturationPenalty: 0.25,
+	},
+	// Gaudi2: two MMEs + 24 TPCs; OverlapFactor models the paper's
+	// "overlapping compute time between its matrix multiplication
+	// engine and TPC" (§VI-4). Memory pressure bites early (the paper
+	// hit OOM at batch 32/64).
+	"Gaudi2": {
+		Name: "Gaudi2", Vendor: Habana,
+		PeakTFLOPS: map[dtype.DType]float64{
+			dtype.FP32: 57, dtype.FP16: 432, dtype.BF16: 432,
+			dtype.FP8: 865,
+		},
+		MemBWGBs: 2460, MemGiB: 96,
+		InterconnectGBs: 300, InterconnectLatencyUS: 4,
+		TDPWatts: 600, IdleWatts: 100,
+		DevicesPerNode: 8,
+		OnChipGiB:      0.0469, OnChipBWGBs: 6300, // 48 MB SRAM
+		OverlapFactor: 0.45,
+	},
+	// SN40L: dataflow RDU with a three-tier memory system (520 MiB
+	// SRAM / 64 GiB HBM / DDR). Fused-graph execution removes per-op
+	// launches but graph setup makes the first token slow; the hosted
+	// service only accepts limited batch sizes (§VII-2).
+	"SN40L": {
+		Name: "SN40L", Vendor: SambaNova,
+		PeakTFLOPS: map[dtype.DType]float64{
+			dtype.FP32: 160, dtype.BF16: 638, dtype.FP16: 638,
+			dtype.INT8: 638,
+		},
+		MemBWGBs: 1600, MemGiB: 64,
+		InterconnectGBs: 160, InterconnectLatencyUS: 4,
+		TDPWatts: 550, IdleWatts: 120,
+		DevicesPerNode: 8,
+		OnChipGiB:      0.508, OnChipBWGBs: 25000, // 520 MiB PMU SRAM tier
+		ServiceBatchLimit: 64,
+	},
+}
+
+// Get returns the named device or an error listing the catalog.
+func Get(name string) (*Device, error) {
+	if d, ok := catalog[name]; ok {
+		return d, nil
+	}
+	return nil, fmt.Errorf("hw: unknown device %q (have %v)", name, Names())
+}
+
+// MustGet is Get for known-good names.
+func MustGet(name string) *Device {
+	d, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Names returns all device names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(catalog))
+	for n := range catalog {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TableII returns devices in the paper's Table II column order.
+func TableII() []*Device {
+	order := []string{"A100", "H100", "GH200", "MI250", "MI300X", "Gaudi2", "SN40L"}
+	out := make([]*Device, len(order))
+	for i, n := range order {
+		out[i] = MustGet(n)
+	}
+	return out
+}

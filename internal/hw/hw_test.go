@@ -1,0 +1,129 @@
+package hw
+
+import (
+	"testing"
+
+	"llmbench/internal/dtype"
+)
+
+func TestCatalogValidates(t *testing.T) {
+	for _, n := range Names() {
+		if err := MustGet(n).Validate(); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+}
+
+func TestTableIIComplete(t *testing.T) {
+	tab := TableII()
+	if len(tab) != 7 {
+		t.Fatalf("Table II has %d devices, want 7", len(tab))
+	}
+}
+
+func TestFP8SupportMatrix(t *testing.T) {
+	// §IV-B3: "the absence of FP8 support on A100 limits the
+	// framework's ability to leverage low precision".
+	if MustGet("A100").Supports(dtype.FP8) {
+		t.Error("A100 must not support FP8")
+	}
+	for _, n := range []string{"H100", "GH200", "MI300X", "Gaudi2"} {
+		if !MustGet(n).Supports(dtype.FP8) {
+			t.Errorf("%s must support FP8", n)
+		}
+	}
+}
+
+func TestGenerationOrdering(t *testing.T) {
+	a, h, gh := MustGet("A100"), MustGet("H100"), MustGet("GH200")
+	if h.PeakTFLOPS[dtype.FP16] <= a.PeakTFLOPS[dtype.FP16] {
+		t.Error("H100 FP16 peak must exceed A100")
+	}
+	if gh.MemBWGBs <= h.MemBWGBs {
+		t.Error("GH200 memory bandwidth must exceed H100 (§V-2)")
+	}
+	if gh.MemGiB <= h.MemGiB {
+		t.Error("GH200 memory must exceed H100")
+	}
+}
+
+func TestPeakFLOPSUnits(t *testing.T) {
+	f, err := MustGet("A100").PeakFLOPS(dtype.FP16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 312e12 {
+		t.Errorf("A100 fp16 peak = %g FLOP/s, want 312e12", f)
+	}
+	if _, err := MustGet("A100").PeakFLOPS(dtype.FP8); err == nil {
+		t.Error("A100 FP8 peak should error")
+	}
+}
+
+func TestMI250Saturation(t *testing.T) {
+	d := MustGet("MI250")
+	if d.SaturationBatch == 0 || d.SaturationPenalty <= 0 {
+		t.Error("MI250 must model early saturation (Fig. 17)")
+	}
+}
+
+func TestSN40LQuirks(t *testing.T) {
+	d := MustGet("SN40L")
+	if d.OnChipGiB < 0.5 {
+		t.Error("SN40L must model the 520 MiB SRAM tier")
+	}
+	if d.ServiceBatchLimit == 0 {
+		t.Error("SN40L must model the service batch limit (§VII-2)")
+	}
+	if d.DevicesPerNode != 8 {
+		t.Error("paper uses 8 SN40L RDUs")
+	}
+}
+
+func TestGaudi2Overlap(t *testing.T) {
+	d := MustGet("Gaudi2")
+	if d.OverlapFactor <= 0 || d.OverlapFactor >= 1 {
+		t.Error("Gaudi2 must model MME/TPC overlap in (0,1)")
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("TPUv5"); err == nil {
+		t.Error("Get(TPUv5) succeeded, want error")
+	}
+}
+
+func TestMemBytesAndBW(t *testing.T) {
+	d := MustGet("A100")
+	if d.MemBytes() != 40*(1<<30) {
+		t.Errorf("A100 MemBytes = %g", d.MemBytes())
+	}
+	if d.MemBW() != 1555e9 {
+		t.Errorf("A100 MemBW = %g", d.MemBW())
+	}
+}
+
+func TestValidateRejectsBadDevices(t *testing.T) {
+	bad := []Device{
+		{},
+		{Name: "x"},
+		{Name: "x", PeakTFLOPS: map[dtype.DType]float64{dtype.FP16: 1}},
+		{Name: "x", PeakTFLOPS: map[dtype.DType]float64{dtype.FP16: 1}, MemBWGBs: 1, MemGiB: 1, TDPWatts: 10, IdleWatts: 20, DevicesPerNode: 1},
+		{Name: "x", PeakTFLOPS: map[dtype.DType]float64{dtype.FP16: -1}, MemBWGBs: 1, MemGiB: 1, TDPWatts: 20, IdleWatts: 10, DevicesPerNode: 1},
+	}
+	for i := range bad {
+		if err := bad[i].Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid device", i)
+		}
+	}
+}
+
+func TestVendorString(t *testing.T) {
+	if NVIDIA.String() != "NVIDIA" || AMD.String() != "AMD" ||
+		Habana.String() != "Habana" || SambaNova.String() != "SambaNova" {
+		t.Error("vendor strings wrong")
+	}
+	if Vendor(9).String() != "vendor(9)" {
+		t.Error("unknown vendor string wrong")
+	}
+}

@@ -1,0 +1,246 @@
+package kvcache
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func mustPaged(t *testing.T, block int, perTok, cap float64) *Paged {
+	t.Helper()
+	p, err := NewPaged(block, perTok, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPagedAllocExtendFree(t *testing.T) {
+	p := mustPaged(t, 16, 1, 16*100) // 100 blocks
+	if err := p.Alloc(1, 100); err != nil {
+		t.Fatal(err)
+	}
+	// 100 tokens → 7 blocks (ceil(100/16)).
+	if got := p.UsedBytes(); got != 7*16 {
+		t.Errorf("used = %v, want 112", got)
+	}
+	if got := p.WasteBytes(); got != 12 {
+		t.Errorf("waste = %v, want 12 (7*16-100)", got)
+	}
+	if err := p.Extend(1, 112); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.UsedBytes(); got != 7*16 {
+		t.Errorf("extend within slack should not take blocks, used = %v", got)
+	}
+	if err := p.Extend(1, 113); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.UsedBytes(); got != 8*16 {
+		t.Errorf("extend past slack should take a block, used = %v", got)
+	}
+	p.Free(1)
+	if p.UsedBytes() != 0 || p.Sequences() != 0 {
+		t.Error("free must release everything")
+	}
+}
+
+func TestPagedOOM(t *testing.T) {
+	p := mustPaged(t, 16, 1, 16*4) // 4 blocks
+	if err := p.Alloc(1, 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Alloc(2, 1); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("expected OOM, got %v", err)
+	}
+	if err := p.Extend(1, 65); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("expected OOM on extend, got %v", err)
+	}
+	if p.CanAlloc(1) {
+		t.Error("CanAlloc must be false when full")
+	}
+}
+
+func TestPagedDoubleAllocAndUnknown(t *testing.T) {
+	p := mustPaged(t, 16, 1, 16*4)
+	if err := p.Alloc(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Alloc(1, 1); err == nil {
+		t.Error("double alloc must fail")
+	}
+	if err := p.Extend(9, 1); err == nil {
+		t.Error("extending unknown sequence must fail")
+	}
+	if err := p.Extend(1, 0); err == nil {
+		t.Error("shrinking must fail")
+	}
+	p.Free(42) // freeing unknown must be a no-op
+}
+
+func TestPagedConstructorErrors(t *testing.T) {
+	if _, err := NewPaged(0, 1, 100); err == nil {
+		t.Error("block 0 must fail")
+	}
+	if _, err := NewPaged(16, 0, 100); err == nil {
+		t.Error("zero bytes/token must fail")
+	}
+}
+
+func TestPagedWasteBounded(t *testing.T) {
+	// Paged waste per sequence is < one block — the PagedAttention
+	// claim (§IV-B2).
+	f := func(tok uint16, n uint8) bool {
+		p, err := NewPaged(16, 1, 1e9)
+		if err != nil {
+			return false
+		}
+		seqs := int(n%20) + 1
+		for i := 0; i < seqs; i++ {
+			if err := p.Alloc(i, int(tok)+1); err != nil {
+				return false
+			}
+		}
+		return p.WasteBytes() < float64(seqs)*16
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMonolithicWasteDominates(t *testing.T) {
+	// A monolithic allocator reserving 4096 tokens for a 128-token
+	// sequence wastes ~97%; the paged allocator wastes <1 block.
+	mono, err := NewMonolithic(4096, 1, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paged := mustPaged(t, 16, 1, 1e9)
+	if err := mono.Alloc(1, 128); err != nil {
+		t.Fatal(err)
+	}
+	if err := paged.Alloc(1, 128); err != nil {
+		t.Fatal(err)
+	}
+	if mono.WasteBytes() < 100*paged.WasteBytes() {
+		t.Errorf("monolithic waste %v should dwarf paged waste %v",
+			mono.WasteBytes(), paged.WasteBytes())
+	}
+}
+
+func TestMonolithicConcurrencyLimit(t *testing.T) {
+	// Capacity 10 reservations of 4096 tokens.
+	mono, err := NewMonolithic(4096, 1, 4096*10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := mono.Alloc(i, 1); err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+	}
+	if err := mono.Alloc(10, 1); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("11th sequence should OOM, got %v", err)
+	}
+	// The paged allocator fits far more short sequences in the same
+	// capacity — the concurrency win of Fig. 2b's mechanism.
+	paged := mustPaged(t, 16, 1, 4096*10)
+	n := 0
+	for paged.CanAlloc(1) {
+		if err := paged.Alloc(1000+n, 1); err != nil {
+			break
+		}
+		n++
+	}
+	if n < 100 {
+		t.Errorf("paged allocator admitted only %d short sequences", n)
+	}
+}
+
+func TestMonolithicExtendWithinReservation(t *testing.T) {
+	mono, err := NewMonolithic(128, 1, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mono.Alloc(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	used := mono.UsedBytes()
+	if err := mono.Extend(1, 128); err != nil {
+		t.Fatal(err)
+	}
+	if mono.UsedBytes() != used {
+		t.Error("extend within reservation must not change usage")
+	}
+	if err := mono.Extend(1, 129); !errors.Is(err, ErrOutOfMemory) {
+		t.Error("extend past reservation must OOM")
+	}
+	if err := mono.Extend(1, 5); err == nil {
+		t.Error("shrink must fail")
+	}
+	if err := mono.Extend(99, 5); err == nil {
+		t.Error("unknown sequence must fail")
+	}
+	if err := mono.Alloc(1, 5); err == nil {
+		t.Error("double alloc must fail")
+	}
+	if err := mono.Alloc(2, 4096); err == nil {
+		t.Error("alloc longer than reservation must fail")
+	}
+	mono.Free(1)
+	if mono.Sequences() != 0 {
+		t.Error("free failed")
+	}
+}
+
+func TestBlockEfficiency(t *testing.T) {
+	// Fig. 2b: ≥16 optimal and equal; 8 noticeably worse.
+	for _, b := range []int{16, 32, 64, 128} {
+		if BlockEfficiency(b) != 1 {
+			t.Errorf("block %d efficiency = %v, want 1", b, BlockEfficiency(b))
+		}
+	}
+	e8 := BlockEfficiency(8)
+	if e8 >= 1 || e8 < 0.5 {
+		t.Errorf("block 8 efficiency = %v, want in [0.5, 1)", e8)
+	}
+	ratio := 1 / e8
+	if ratio < 1.1 || ratio > 1.6 {
+		t.Errorf("block-16 vs block-8 KV-stream ratio = %v, want in [1.1, 1.6]", ratio)
+	}
+	if BlockEfficiency(0) != 0 {
+		t.Error("block 0 efficiency must be 0")
+	}
+	if BlockEfficiency(4) >= e8 {
+		t.Error("efficiency must decrease with smaller blocks")
+	}
+}
+
+func TestPagedUsedNeverExceedsCapacity(t *testing.T) {
+	f := func(ops []uint16) bool {
+		p, err := NewPaged(16, 2, 4096)
+		if err != nil {
+			return false
+		}
+		for i, op := range ops {
+			switch op % 3 {
+			case 0:
+				_ = p.Alloc(i, int(op%512)+1)
+			case 1:
+				_ = p.Extend(i-1, int(op))
+			case 2:
+				p.Free(i - 2)
+			}
+			if p.UsedBytes() > p.CapacityBytes()+1e-9 {
+				return false
+			}
+			if p.WasteBytes() > p.UsedBytes()+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,175 @@
+package kvcache
+
+// Prefix sharing: vLLM's paged layout lets sequences that start with
+// the same tokens (a shared system prompt) reference the same physical
+// KV blocks, multiplying effective cache capacity for chat serving.
+// PrefixPaged implements it with per-block reference counts; only full
+// blocks of the common prefix are shared (the trailing partial block
+// diverges per sequence, so it stays private).
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PrefixPaged is a Paged allocator whose sequences share the physical
+// blocks of a common prompt prefix. It satisfies Allocator: every
+// sequence allocated through it is assumed to begin with the
+// configured shared prefix (the serving pattern where one system
+// prompt fronts every request).
+type PrefixPaged struct {
+	BlockTokens   int
+	BytesPerToken float64
+	// PrefixTokens is the shared prompt length; its ⌊/BlockTokens⌋
+	// full blocks are stored once.
+	PrefixTokens int
+
+	capacity     float64
+	totalBlocks  int
+	freeBlocks   int
+	prefixBlocks int // full blocks of the shared prefix
+	prefixRef    int // sequences currently referencing them
+	seqs         map[int]prefixSeq
+}
+
+type prefixSeq struct {
+	tokens  int
+	private int // private block count (beyond the shared prefix)
+}
+
+// NewPrefixPaged creates the allocator. The shared prefix's blocks are
+// allocated lazily with the first sequence and released when the last
+// reference drops.
+func NewPrefixPaged(blockTokens, prefixTokens int, bytesPerToken, capacityBytes float64) (*PrefixPaged, error) {
+	if blockTokens <= 0 {
+		return nil, fmt.Errorf("kvcache: block size %d must be positive", blockTokens)
+	}
+	if prefixTokens < 0 {
+		return nil, errors.New("kvcache: negative prefix length")
+	}
+	if bytesPerToken <= 0 || capacityBytes <= 0 {
+		return nil, errors.New("kvcache: non-positive sizes")
+	}
+	blockBytes := float64(blockTokens) * bytesPerToken
+	total := int(capacityBytes / blockBytes)
+	return &PrefixPaged{
+		BlockTokens:   blockTokens,
+		BytesPerToken: bytesPerToken,
+		PrefixTokens:  prefixTokens,
+		capacity:      capacityBytes,
+		totalBlocks:   total,
+		freeBlocks:    total,
+		seqs:          make(map[int]prefixSeq),
+	}, nil
+}
+
+func (p *PrefixPaged) sharedFullBlocks() int { return p.PrefixTokens / p.BlockTokens }
+
+// privateBlocksFor returns the private blocks a sequence of the given
+// total length needs: everything beyond the shared full blocks.
+func (p *PrefixPaged) privateBlocksFor(tokens int) int {
+	sharedTokens := p.sharedFullBlocks() * p.BlockTokens
+	if tokens <= sharedTokens {
+		return 0
+	}
+	rest := tokens - sharedTokens
+	return (rest + p.BlockTokens - 1) / p.BlockTokens
+}
+
+// Alloc implements Allocator. tokens includes the shared prefix.
+func (p *PrefixPaged) Alloc(seqID, tokens int) error {
+	if _, ok := p.seqs[seqID]; ok {
+		return fmt.Errorf("kvcache: sequence %d already allocated", seqID)
+	}
+	need := p.privateBlocksFor(tokens)
+	if p.prefixRef == 0 {
+		need += p.sharedFullBlocks() // first reference materialises the prefix
+	}
+	if need > p.freeBlocks {
+		return ErrOutOfMemory
+	}
+	if p.prefixRef == 0 {
+		p.prefixBlocks = p.sharedFullBlocks()
+		p.freeBlocks -= p.prefixBlocks
+		need -= p.prefixBlocks
+	}
+	p.freeBlocks -= need
+	p.prefixRef++
+	p.seqs[seqID] = prefixSeq{tokens: tokens, private: need}
+	return nil
+}
+
+// Extend implements Allocator.
+func (p *PrefixPaged) Extend(seqID, tokens int) error {
+	s, ok := p.seqs[seqID]
+	if !ok {
+		return fmt.Errorf("kvcache: unknown sequence %d", seqID)
+	}
+	if tokens < s.tokens {
+		return fmt.Errorf("kvcache: cannot shrink sequence %d", seqID)
+	}
+	need := p.privateBlocksFor(tokens) - s.private
+	if need > p.freeBlocks {
+		return ErrOutOfMemory
+	}
+	p.freeBlocks -= need
+	p.seqs[seqID] = prefixSeq{tokens: tokens, private: s.private + need}
+	return nil
+}
+
+// Free implements Allocator.
+func (p *PrefixPaged) Free(seqID int) {
+	s, ok := p.seqs[seqID]
+	if !ok {
+		return
+	}
+	p.freeBlocks += s.private
+	delete(p.seqs, seqID)
+	p.prefixRef--
+	if p.prefixRef == 0 {
+		p.freeBlocks += p.prefixBlocks
+		p.prefixBlocks = 0
+	}
+}
+
+// UsedBytes implements Allocator.
+func (p *PrefixPaged) UsedBytes() float64 {
+	used := p.totalBlocks - p.freeBlocks
+	return float64(used) * float64(p.BlockTokens) * p.BytesPerToken
+}
+
+// WasteBytes implements Allocator: per-sequence partial-block slack,
+// computed over private storage only (the shared blocks are full).
+func (p *PrefixPaged) WasteBytes() float64 {
+	var waste float64
+	sharedTokens := p.sharedFullBlocks() * p.BlockTokens
+	for _, s := range p.seqs {
+		privTokens := s.tokens - sharedTokens
+		if privTokens < 0 {
+			privTokens = 0
+		}
+		slack := s.private*p.BlockTokens - privTokens
+		waste += float64(slack) * p.BytesPerToken
+	}
+	return waste
+}
+
+// CapacityBytes implements Allocator.
+func (p *PrefixPaged) CapacityBytes() float64 { return p.capacity }
+
+// CanAlloc implements Allocator.
+func (p *PrefixPaged) CanAlloc(tokens int) bool {
+	need := p.privateBlocksFor(tokens)
+	if p.prefixRef == 0 {
+		need += p.sharedFullBlocks()
+	}
+	return need <= p.freeBlocks
+}
+
+// Sequences returns the number of live sequences.
+func (p *PrefixPaged) Sequences() int { return len(p.seqs) }
+
+// SharedBytes reports the storage the shared prefix occupies (once).
+func (p *PrefixPaged) SharedBytes() float64 {
+	return float64(p.prefixBlocks) * float64(p.BlockTokens) * p.BytesPerToken
+}

@@ -1,0 +1,178 @@
+package kvcache
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func mustPrefix(t *testing.T, block, prefix int, perTok, cap float64) *PrefixPaged {
+	t.Helper()
+	p, err := NewPrefixPaged(block, prefix, perTok, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPrefixSharingSavesStorage(t *testing.T) {
+	// 8 sequences sharing a 512-token prefix: the plain paged
+	// allocator stores the prefix 8 times, the prefix-aware one once.
+	const prefix, private = 512, 128
+	plain := mustPaged(t, 16, 1, 1e9)
+	shared := mustPrefix(t, 16, prefix, 1, 1e9)
+	for i := 0; i < 8; i++ {
+		if err := plain.Alloc(i, prefix+private); err != nil {
+			t.Fatal(err)
+		}
+		if err := shared.Alloc(i, prefix+private); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if plain.UsedBytes() <= shared.UsedBytes() {
+		t.Fatalf("sharing must save storage: plain %v vs shared %v",
+			plain.UsedBytes(), shared.UsedBytes())
+	}
+	// Expected: plain 8·(512+128), shared 512 + 8·128.
+	wantShared := float64(prefix + 8*private)
+	if shared.UsedBytes() != wantShared {
+		t.Errorf("shared usage %v, want %v", shared.UsedBytes(), wantShared)
+	}
+	if shared.SharedBytes() != prefix {
+		t.Errorf("shared prefix bytes %v, want %v", shared.SharedBytes(), float64(prefix))
+	}
+}
+
+func TestPrefixRefCounting(t *testing.T) {
+	p := mustPrefix(t, 16, 256, 1, 1e6)
+	if err := p.Alloc(1, 300); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Alloc(2, 300); err != nil {
+		t.Fatal(err)
+	}
+	p.Free(1)
+	if p.SharedBytes() != 256 {
+		t.Error("prefix must stay while one reference remains")
+	}
+	p.Free(2)
+	if p.SharedBytes() != 0 {
+		t.Error("prefix must be released with the last reference")
+	}
+	if p.UsedBytes() != 0 {
+		t.Errorf("all storage must be free, used = %v", p.UsedBytes())
+	}
+	p.Free(99) // unknown free is a no-op
+}
+
+func TestPrefixExtendGrowsPrivateOnly(t *testing.T) {
+	p := mustPrefix(t, 16, 256, 1, 1e6)
+	if err := p.Alloc(1, 256); err != nil {
+		t.Fatal(err)
+	}
+	base := p.UsedBytes()
+	if err := p.Extend(1, 256+16); err != nil {
+		t.Fatal(err)
+	}
+	if p.UsedBytes() != base+16 {
+		t.Errorf("extend should add one private block: %v -> %v", base, p.UsedBytes())
+	}
+	if err := p.Extend(1, 100); err == nil {
+		t.Error("shrink must fail")
+	}
+	if err := p.Extend(9, 300); err == nil {
+		t.Error("unknown sequence must fail")
+	}
+}
+
+func TestPrefixOOM(t *testing.T) {
+	// Capacity for the prefix plus one private block only.
+	p := mustPrefix(t, 16, 64, 1, 64+16)
+	if err := p.Alloc(1, 80); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Alloc(2, 80); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("second private block must OOM, got %v", err)
+	}
+	// But a prefix-only sequence still fits (shares everything).
+	if err := p.Alloc(3, 64); err != nil {
+		t.Errorf("prefix-only sequence must share: %v", err)
+	}
+}
+
+func TestPrefixConstructorErrors(t *testing.T) {
+	if _, err := NewPrefixPaged(0, 64, 1, 100); err == nil {
+		t.Error("block 0 must fail")
+	}
+	if _, err := NewPrefixPaged(16, -1, 1, 100); err == nil {
+		t.Error("negative prefix must fail")
+	}
+	if _, err := NewPrefixPaged(16, 64, 0, 100); err == nil {
+		t.Error("zero bytes/token must fail")
+	}
+}
+
+func TestPrefixDoubleAlloc(t *testing.T) {
+	p := mustPrefix(t, 16, 64, 1, 1e6)
+	if err := p.Alloc(1, 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Alloc(1, 64); err == nil {
+		t.Error("double alloc must fail")
+	}
+}
+
+func TestPrefixZeroPrefixEquivalentToPaged(t *testing.T) {
+	// With PrefixTokens 0, the allocator degenerates to plain paging.
+	f := func(tok uint16, n uint8) bool {
+		shared, err := NewPrefixPaged(16, 0, 1, 1e9)
+		if err != nil {
+			return false
+		}
+		plain, err := NewPaged(16, 1, 1e9)
+		if err != nil {
+			return false
+		}
+		seqs := int(n%10) + 1
+		for i := 0; i < seqs; i++ {
+			t1 := int(tok)%2048 + 1
+			if err := shared.Alloc(i, t1); err != nil {
+				return false
+			}
+			if err := plain.Alloc(i, t1); err != nil {
+				return false
+			}
+		}
+		return shared.UsedBytes() == plain.UsedBytes() && shared.WasteBytes() == plain.WasteBytes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefixInvariantUnderChurn(t *testing.T) {
+	p := mustPrefix(t, 16, 512, 2, 1<<20)
+	live := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		switch i % 3 {
+		case 0, 1:
+			if p.CanAlloc(512 + i) {
+				if err := p.Alloc(i, 512+i); err == nil {
+					live[i] = true
+				}
+			}
+		case 2:
+			for id := range live {
+				p.Free(id)
+				delete(live, id)
+				break
+			}
+		}
+		if p.UsedBytes() > p.CapacityBytes() {
+			t.Fatal("usage exceeded capacity")
+		}
+		if len(live) == 0 && p.SharedBytes() != 0 {
+			t.Fatal("prefix leaked with no live sequences")
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Catalog entries. The eight headline models are copied verbatim from
+// Table I of the paper; the additional ~7B models appearing in the
+// perplexity scatters (Figs. 10, 29) and the NAS/speculative-decoding
+// studies (Fig. 4) use their public model-card hyperparameters.
+var catalog = map[string]*Config{
+	// --- Table I -------------------------------------------------------
+	"LLaMA-2-7B": {
+		Name: "LLaMA-2-7B", Layers: 32, Hidden: 4096, Attention: MHSA,
+		Heads: 32, KVHeads: 32, FFN: Dense, Experts: 1, ActiveExp: 1,
+		Inter: 11008, MaxSeq: 4096, Vocab: 32000, GatedMLP: true,
+	},
+	"LLaMA-3-8B": {
+		Name: "LLaMA-3-8B", Layers: 32, Hidden: 4096, Attention: GQA,
+		Heads: 32, KVHeads: 8, FFN: Dense, Experts: 1, ActiveExp: 1,
+		Inter: 14336, MaxSeq: 8192, Vocab: 128256, GatedMLP: true,
+	},
+	"Mistral-7B": {
+		Name: "Mistral-7B", Layers: 32, Hidden: 4096, Attention: GQA,
+		Heads: 32, KVHeads: 8, FFN: Dense, Experts: 1, ActiveExp: 1,
+		Inter: 14336, MaxSeq: 32768, Vocab: 32000, GatedMLP: true,
+	},
+	"Qwen2-7B": {
+		Name: "Qwen2-7B", Layers: 28, Hidden: 3584, Attention: GQA,
+		Heads: 28, KVHeads: 4, FFN: Dense, Experts: 1, ActiveExp: 1,
+		Inter: 18944, MaxSeq: 131072, Vocab: 152064, GatedMLP: true,
+	},
+	"LLaMA-2-70B": {
+		Name: "LLaMA-2-70B", Layers: 80, Hidden: 8192, Attention: GQA,
+		Heads: 64, KVHeads: 8, FFN: Dense, Experts: 1, ActiveExp: 1,
+		Inter: 28672, MaxSeq: 4096, Vocab: 32000, GatedMLP: true,
+	},
+	"LLaMA-3-70B": {
+		Name: "LLaMA-3-70B", Layers: 80, Hidden: 8192, Attention: GQA,
+		Heads: 64, KVHeads: 8, FFN: Dense, Experts: 1, ActiveExp: 1,
+		Inter: 28672, MaxSeq: 8192, Vocab: 128256, GatedMLP: true,
+	},
+	"Qwen2-72B": {
+		Name: "Qwen2-72B", Layers: 80, Hidden: 8192, Attention: GQA,
+		Heads: 64, KVHeads: 8, FFN: Dense, Experts: 1, ActiveExp: 1,
+		Inter: 29568, MaxSeq: 131072, Vocab: 152064, GatedMLP: true,
+	},
+	"Mixtral-8x7B": {
+		Name: "Mixtral-8x7B", Layers: 32, Hidden: 4096, Attention: GQA,
+		Heads: 32, KVHeads: 8, FFN: MoE, Experts: 8, ActiveExp: 2,
+		Inter: 14336, MaxSeq: 32768, Vocab: 32000, GatedMLP: true,
+	},
+
+	// --- additional ~7B models (Figs. 4, 10, 29) ------------------------
+	// DeciLM-7B discovered its per-layer KV head counts with NAS (§IV-B4):
+	// 67 KV heads over 32 layers ≈ 2 per layer vs 8 for LLaMA-3/Mistral.
+	"DeciLM-7B": {
+		Name: "DeciLM-7B", Layers: 32, Hidden: 4096, Attention: GQA,
+		Heads: 32, KVHeads: 2, FFN: Dense, Experts: 1, ActiveExp: 1,
+		Inter: 11008, MaxSeq: 8192, Vocab: 32000, GatedMLP: true,
+	},
+	// Gemma-7B: few wide heads (head dim 256) and a very large FFN —
+	// the paper attributes its lowest throughput to exactly this.
+	"Gemma-7B": {
+		Name: "Gemma-7B", Layers: 28, Hidden: 3072, Attention: MHSA,
+		Heads: 16, KVHeads: 16, FFN: Dense, Experts: 1, ActiveExp: 1,
+		Inter: 24576, MaxSeq: 8192, Vocab: 256000, GatedMLP: true,
+		HeadDim: 256, TiedEmbed: true,
+	},
+	"GPT-J-6B": {
+		Name: "GPT-J-6B", Layers: 28, Hidden: 4096, Attention: MHSA,
+		Heads: 16, KVHeads: 16, FFN: Dense, Experts: 1, ActiveExp: 1,
+		Inter: 16384, MaxSeq: 2048, Vocab: 50400, GatedMLP: false,
+	},
+	"OPT-6.7B": {
+		Name: "OPT-6.7B", Layers: 32, Hidden: 4096, Attention: MHSA,
+		Heads: 32, KVHeads: 32, FFN: Dense, Experts: 1, ActiveExp: 1,
+		Inter: 16384, MaxSeq: 2048, Vocab: 50272, GatedMLP: false,
+	},
+	"Bloom-7.1B": {
+		Name: "Bloom-7.1B", Layers: 30, Hidden: 4096, Attention: MHSA,
+		Heads: 32, KVHeads: 32, FFN: Dense, Experts: 1, ActiveExp: 1,
+		Inter: 16384, MaxSeq: 2048, Vocab: 250880, GatedMLP: false,
+	},
+	"Qwen1.5-7B": {
+		Name: "Qwen1.5-7B", Layers: 32, Hidden: 4096, Attention: MHSA,
+		Heads: 32, KVHeads: 32, FFN: Dense, Experts: 1, ActiveExp: 1,
+		Inter: 11008, MaxSeq: 32768, Vocab: 151936, GatedMLP: true,
+	},
+	"Aquila-7B": {
+		Name: "Aquila-7B", Layers: 32, Hidden: 4096, Attention: MHSA,
+		Heads: 32, KVHeads: 32, FFN: Dense, Experts: 1, ActiveExp: 1,
+		Inter: 11008, MaxSeq: 2048, Vocab: 100008, GatedMLP: true,
+	},
+	"LLaMA-7B": {
+		Name: "LLaMA-7B", Layers: 32, Hidden: 4096, Attention: MHSA,
+		Heads: 32, KVHeads: 32, FFN: Dense, Experts: 1, ActiveExp: 1,
+		Inter: 11008, MaxSeq: 2048, Vocab: 32000, GatedMLP: true,
+	},
+	// Draft model for speculative decoding (Fig. 4b).
+	"LLaMA-68M": {
+		Name: "LLaMA-68M", Layers: 2, Hidden: 768, Attention: MHSA,
+		Heads: 12, KVHeads: 12, FFN: Dense, Experts: 1, ActiveExp: 1,
+		Inter: 3072, MaxSeq: 2048, Vocab: 32000, GatedMLP: true,
+		DraftModel: true,
+	},
+}
+
+// Get returns the named architecture or an error listing the catalog.
+func Get(name string) (*Config, error) {
+	if c, ok := catalog[name]; ok {
+		return c, nil
+	}
+	return nil, fmt.Errorf("model: unknown model %q (have %v)", name, Names())
+}
+
+// MustGet is Get for known-good names in tests and experiment tables.
+func MustGet(name string) *Config {
+	c, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Names returns all catalog model names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(catalog))
+	for n := range catalog {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TableI returns the eight headline models in the paper's Table I
+// order.
+func TableI() []*Config {
+	order := []string{
+		"LLaMA-2-7B", "LLaMA-3-8B", "Mistral-7B", "Qwen2-7B",
+		"LLaMA-2-70B", "LLaMA-3-70B", "Qwen2-72B", "Mixtral-8x7B",
+	}
+	out := make([]*Config, len(order))
+	for i, n := range order {
+		out[i] = MustGet(n)
+	}
+	return out
+}

@@ -1,0 +1,277 @@
+// Package model describes decoder-only LLM architectures and provides
+// the analytic FLOPs / byte-traffic / memory-footprint calculators the
+// performance model is built on.
+//
+// The architecture hyperparameters follow Table I of the paper
+// exactly; additional ~7B models used in the perplexity scatter plots
+// (Figs. 10 and 29) are included with configurations from their
+// HuggingFace model cards.
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"llmbench/internal/dtype"
+)
+
+// AttentionKind distinguishes the attention variants the paper
+// compares (Appendix A, Fig. 27).
+type AttentionKind int
+
+const (
+	// MHSA is multi-head self-attention: one KV head per query head.
+	MHSA AttentionKind = iota
+	// GQA is grouped-query attention: query heads share KV heads.
+	GQA
+)
+
+func (a AttentionKind) String() string {
+	if a == MHSA {
+		return "MHSA"
+	}
+	return "GQA"
+}
+
+// FFNKind distinguishes dense MLP blocks from mixture-of-experts.
+type FFNKind int
+
+const (
+	// Dense is a conventional gated MLP used by every token.
+	Dense FFNKind = iota
+	// MoE routes each token to a subset of expert MLPs.
+	MoE
+)
+
+func (f FFNKind) String() string {
+	if f == Dense {
+		return "Dense"
+	}
+	return "MoE"
+}
+
+// Config is a decoder-only transformer architecture. All counts are
+// per the usual LLaMA-style conventions: a gated MLP has three weight
+// matrices (gate, up, down); attention has Q, K, V, and output
+// projections.
+type Config struct {
+	Name       string
+	Layers     int           // number of decoder layers
+	Hidden     int           // model (embedding) dimension
+	Attention  AttentionKind // MHSA or GQA
+	Heads      int           // query heads
+	KVHeads    int           // key/value heads (== Heads for MHSA)
+	FFN        FFNKind       // Dense or MoE
+	Experts    int           // expert count (1 for dense)
+	ActiveExp  int           // experts active per token (1 for dense)
+	Inter      int           // FFN intermediate size (per expert)
+	MaxSeq     int           // maximum sequence length
+	Vocab      int           // vocabulary size
+	GatedMLP   bool          // true for SiLU-gated MLP (3 matrices)
+	HeadDim    int           // per-head dimension; 0 means Hidden/Heads
+	TiedEmbed  bool          // input/output embeddings share weights
+	DraftModel bool          // tiny model usable as a speculative-decoding draft
+}
+
+// headDim returns the per-head dimension.
+func (c *Config) headDim() int {
+	if c.HeadDim > 0 {
+		return c.HeadDim
+	}
+	return c.Hidden / c.Heads
+}
+
+// Validate checks internal consistency of the configuration.
+func (c *Config) Validate() error {
+	switch {
+	case c.Layers <= 0 || c.Hidden <= 0 || c.Heads <= 0 || c.KVHeads <= 0:
+		return fmt.Errorf("model %s: non-positive dimension", c.Name)
+	case c.Heads%c.KVHeads != 0:
+		return fmt.Errorf("model %s: heads %d not divisible by kv heads %d", c.Name, c.Heads, c.KVHeads)
+	case c.Attention == MHSA && c.Heads != c.KVHeads:
+		return fmt.Errorf("model %s: MHSA requires heads == kv heads", c.Name)
+	case c.Attention == GQA && c.Heads == c.KVHeads:
+		return fmt.Errorf("model %s: GQA requires fewer kv heads than heads", c.Name)
+	case c.FFN == Dense && c.Experts != 1:
+		return fmt.Errorf("model %s: dense FFN must have 1 expert", c.Name)
+	case c.FFN == MoE && (c.Experts < 2 || c.ActiveExp < 1 || c.ActiveExp > c.Experts):
+		return fmt.Errorf("model %s: bad MoE expert counts %d/%d", c.Name, c.ActiveExp, c.Experts)
+	case c.Inter <= 0 || c.Vocab <= 0 || c.MaxSeq <= 0:
+		return fmt.Errorf("model %s: non-positive inter/vocab/maxseq", c.Name)
+	case c.HeadDim == 0 && c.Hidden%c.Heads != 0:
+		return fmt.Errorf("model %s: hidden %d not divisible by heads %d", c.Name, c.Hidden, c.Heads)
+	}
+	return nil
+}
+
+// KVGroupRatio is KVHeads/Heads — the fraction of MHSA KV traffic a
+// GQA model pays. 1.0 for MHSA.
+func (c *Config) KVGroupRatio() float64 {
+	return float64(c.KVHeads) / float64(c.Heads)
+}
+
+// mlpMatrices is the number of weight matrices per FFN expert.
+func (c *Config) mlpMatrices() float64 {
+	if c.GatedMLP {
+		return 3
+	}
+	return 2
+}
+
+// AttnParamsPerLayer counts attention weights in one layer:
+// Q and output projections (Hidden×Hidden each, via head dim), plus
+// shared K/V projections scaled by the KV group ratio.
+func (c *Config) AttnParamsPerLayer() float64 {
+	h := float64(c.Hidden)
+	d := float64(c.headDim())
+	q := h * d * float64(c.Heads)        // Q projection
+	o := d * float64(c.Heads) * h        // output projection
+	kv := 2 * h * d * float64(c.KVHeads) // K and V projections
+	return q + o + kv
+}
+
+// FFNParamsPerLayer counts FFN weights in one layer across all experts
+// (MoE stores every expert even though few are active).
+func (c *Config) FFNParamsPerLayer() float64 {
+	return c.mlpMatrices() * float64(c.Hidden) * float64(c.Inter) * float64(c.Experts)
+}
+
+// FFNActiveParamsPerLayer counts the FFN weights touched by one token.
+func (c *Config) FFNActiveParamsPerLayer() float64 {
+	return c.mlpMatrices() * float64(c.Hidden) * float64(c.Inter) * float64(c.ActiveExp)
+}
+
+// EmbedParams counts embedding parameters (input + output unless tied).
+func (c *Config) EmbedParams() float64 {
+	n := float64(c.Vocab) * float64(c.Hidden)
+	if c.TiedEmbed {
+		return n
+	}
+	return 2 * n
+}
+
+// Params is the total parameter count.
+func (c *Config) Params() float64 {
+	return float64(c.Layers)*(c.AttnParamsPerLayer()+c.FFNParamsPerLayer()) + c.EmbedParams()
+}
+
+// NonEmbedParams is the parameter count excluding embeddings — the
+// quantity Qwen's model cards quote and a better proxy for per-token
+// core compute.
+func (c *Config) NonEmbedParams() float64 {
+	return float64(c.Layers) * (c.AttnParamsPerLayer() + c.FFNParamsPerLayer())
+}
+
+// ActiveParams counts the parameters touched per token (MoE uses only
+// active experts). This is the "Mixtral behaves like a 14B model"
+// quantity from §V-1 of the paper.
+func (c *Config) ActiveParams() float64 {
+	return float64(c.Layers)*(c.AttnParamsPerLayer()+c.FFNActiveParamsPerLayer()) + c.EmbedParams()
+}
+
+// WeightBytes is the weight footprint at the given precision.
+func (c *Config) WeightBytes(d dtype.DType) float64 {
+	return c.Params() * d.Bytes()
+}
+
+// KVBytesPerToken is the KV-cache growth per generated or prefilled
+// token at the given cache precision: 2 (K and V) × layers × kv heads
+// × head dim × bytes.
+func (c *Config) KVBytesPerToken(d dtype.DType) float64 {
+	return 2 * float64(c.Layers) * float64(c.KVHeads) * float64(c.headDim()) * d.Bytes()
+}
+
+// ExpectedActiveExperts returns the expected number of distinct
+// experts activated in one decode step for a batch of b sequences,
+// assuming uniform routing: E·(1−(1−A/E)^b). For dense models it is 1.
+// This drives MoE weight-read traffic: at batch 1 Mixtral reads 2 of 8
+// experts; at large batch it reads nearly all 8.
+func (c *Config) ExpectedActiveExperts(batch int) float64 {
+	if c.FFN == Dense {
+		return 1
+	}
+	e := float64(c.Experts)
+	a := float64(c.ActiveExp)
+	if batch <= 0 {
+		return a
+	}
+	return e * (1 - math.Pow(1-a/e, float64(batch)))
+}
+
+// --- FLOPs accounting -------------------------------------------------
+
+// A matmul of (m×k)·(k×n) costs 2·m·n·k FLOPs.
+
+// DecodeFLOPsPerToken is the FLOPs to generate one token for one
+// sequence whose context currently holds ctx tokens. Includes the
+// final logits GEMM.
+func (c *Config) DecodeFLOPsPerToken(ctx int) float64 {
+	d := float64(c.headDim())
+	h := float64(c.Hidden)
+	proj := 2 * (c.AttnParamsPerLayer() + c.FFNActiveParamsPerLayer()) // GEMV: 2 FLOPs/param
+	// Attention score and value aggregation: per head, q·Kᵀ and
+	// softmax·V over ctx positions.
+	attn := 2 * 2 * float64(c.Heads) * d * float64(ctx)
+	logits := 2 * h * float64(c.Vocab)
+	return float64(c.Layers)*(proj+attn) + logits
+}
+
+// PrefillFLOPs is the FLOPs to process an input prompt of n tokens for
+// one sequence (causal attention over the prompt).
+func (c *Config) PrefillFLOPs(n int) float64 {
+	d := float64(c.headDim())
+	proj := 2 * (c.AttnParamsPerLayer() + c.FFNActiveParamsPerLayer()) * float64(n)
+	// Causal attention: sum over positions i of 2·2·heads·d·i ≈
+	// 2·heads·d·n².
+	attn := 2 * float64(c.Heads) * d * float64(n) * float64(n)
+	logits := 2 * float64(c.Hidden) * float64(c.Vocab) // only last position needs logits
+	return float64(c.Layers)*(proj+attn) + logits
+}
+
+// --- byte-traffic accounting ------------------------------------------
+
+// DecodeWeightBytes is the weight traffic of one decode step for a
+// whole batch: every weight is read once per step regardless of batch
+// (that is why batching raises throughput), except MoE experts, which
+// are read only if some token routes to them.
+func (c *Config) DecodeWeightBytes(batch int, w dtype.DType) float64 {
+	attn := c.AttnParamsPerLayer()
+	ffnPerExpert := c.mlpMatrices() * float64(c.Hidden) * float64(c.Inter)
+	ffn := ffnPerExpert * c.ExpectedActiveExperts(batch)
+	logits := float64(c.Hidden) * float64(c.Vocab)
+	return (float64(c.Layers)*(attn+ffn) + logits) * w.Bytes()
+}
+
+// DecodeKVReadBytes is the KV-cache read traffic of one decode step
+// for a batch of sequences each at context ctx. If gqaExploited is
+// false (a framework without GQA-aware kernels, §V-3/4 of the paper),
+// the kernel materialises full-head KV and pays MHSA-equivalent
+// traffic.
+func (c *Config) DecodeKVReadBytes(batch, ctx int, kv dtype.DType, gqaExploited bool) float64 {
+	per := c.KVBytesPerToken(kv)
+	if !gqaExploited {
+		per /= c.KVGroupRatio() // inflate to MHSA-equivalent
+	}
+	return float64(batch) * float64(ctx) * per
+}
+
+// DecodeKVWriteBytes is the KV write traffic of one step.
+func (c *Config) DecodeKVWriteBytes(batch int, kv dtype.DType) float64 {
+	return float64(batch) * c.KVBytesPerToken(kv)
+}
+
+// KVCacheBytes is the total KV footprint of a batch of sequences each
+// holding ctx tokens.
+func (c *Config) KVCacheBytes(batch, ctx int, kv dtype.DType) float64 {
+	return float64(batch) * float64(ctx) * c.KVBytesPerToken(kv)
+}
+
+// ActivationBytes estimates transient activation memory for a batch
+// processing n tokens each: a few live tensors of size n·Hidden plus
+// the logits buffer, at 2 bytes.
+func (c *Config) ActivationBytes(batch, n int) float64 {
+	live := 8.0 // live activation tensors (residual, attn in/out, MLP)
+	act := float64(batch) * float64(n) * float64(c.Hidden) * 2 * live
+	logits := float64(batch) * float64(c.Vocab) * 2
+	return act + logits
+}

@@ -1,0 +1,224 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"llmbench/internal/dtype"
+)
+
+func TestCatalogValidates(t *testing.T) {
+	for _, name := range Names() {
+		c := MustGet(name)
+		if err := c.Validate(); err != nil {
+			t.Errorf("catalog model %s invalid: %v", name, err)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("GPT-5"); err == nil {
+		t.Error("Get(GPT-5) succeeded, want error")
+	}
+}
+
+func TestParamCountsMatchBillings(t *testing.T) {
+	// Parameter counts should land near the models' advertised sizes.
+	cases := []struct {
+		name string
+		loB  float64 // billions, inclusive band
+		hiB  float64
+	}{
+		{"LLaMA-2-7B", 6.3, 7.2},
+		{"LLaMA-3-8B", 7.5, 8.5},
+		{"Mistral-7B", 6.8, 7.6},
+		{"Qwen2-7B", 6.5, 8.0},
+		{"LLaMA-2-70B", 65, 72},
+		{"LLaMA-3-70B", 68, 73},
+		{"Qwen2-72B", 70, 75},
+		{"Mixtral-8x7B", 44, 48},
+	}
+	for _, c := range cases {
+		p := MustGet(c.name).Params() / 1e9
+		if p < c.loB || p > c.hiB {
+			t.Errorf("%s: params = %.2fB, want in [%.1f, %.1f]", c.name, p, c.loB, c.hiB)
+		}
+	}
+}
+
+func TestMixtralActsLike14B(t *testing.T) {
+	// §V-1: "The Mixtral model is equivalent to a 14B model, as only
+	// two of eight experts are active per layer during inference."
+	active := MustGet("Mixtral-8x7B").ActiveParams() / 1e9
+	if active < 11 || active > 15 {
+		t.Errorf("Mixtral active params = %.2fB, want ~12-14B", active)
+	}
+}
+
+func TestQwen2NonEmbedParams(t *testing.T) {
+	// The Qwen2-7B card quotes 5.98B non-embedding parameters; our
+	// gated-MLP accounting lands slightly above (6.5B).
+	ne := MustGet("Qwen2-7B").NonEmbedParams() / 1e9
+	if ne < 5.5 || ne > 7.0 {
+		t.Errorf("Qwen2-7B non-embedding params = %.2fB, want ~5.98B", ne)
+	}
+}
+
+func TestGQAKVSmallerThanMHSA(t *testing.T) {
+	l2 := MustGet("LLaMA-2-7B") // MHSA
+	l3 := MustGet("LLaMA-3-8B") // GQA 8/32
+	r := l2.KVBytesPerToken(dtype.FP16) / l3.KVBytesPerToken(dtype.FP16)
+	if math.Abs(r-4) > 1e-9 {
+		t.Errorf("LLaMA-2-7B/LLaMA-3-8B KV-per-token ratio = %v, want exactly 4 (same dims, 32 vs 8 KV heads)", r)
+	}
+}
+
+func TestExpectedActiveExperts(t *testing.T) {
+	m := MustGet("Mixtral-8x7B")
+	if got := m.ExpectedActiveExperts(1); math.Abs(got-2) > 1e-9 {
+		t.Errorf("batch 1 active experts = %v, want 2", got)
+	}
+	b64 := m.ExpectedActiveExperts(64)
+	if b64 < 7.9 || b64 > 8 {
+		t.Errorf("batch 64 active experts = %v, want ~8", b64)
+	}
+	dense := MustGet("LLaMA-2-7B")
+	if got := dense.ExpectedActiveExperts(64); got != 1 {
+		t.Errorf("dense active experts = %v, want 1", got)
+	}
+}
+
+func TestExpectedActiveExpertsMonotonic(t *testing.T) {
+	m := MustGet("Mixtral-8x7B")
+	f := func(a, b uint8) bool {
+		x, y := int(a%64)+1, int(b%64)+1
+		if x > y {
+			x, y = y, x
+		}
+		return m.ExpectedActiveExperts(x) <= m.ExpectedActiveExperts(y)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeFLOPsGrowWithContext(t *testing.T) {
+	c := MustGet("LLaMA-3-8B")
+	if c.DecodeFLOPsPerToken(2048) <= c.DecodeFLOPsPerToken(128) {
+		t.Error("decode FLOPs must grow with context length")
+	}
+}
+
+func TestDecodeFLOPsApproxTwiceActiveParams(t *testing.T) {
+	// For short contexts, decode FLOPs/token ≈ 2×active params.
+	for _, name := range []string{"LLaMA-2-7B", "LLaMA-3-8B", "Mixtral-8x7B"} {
+		c := MustGet(name)
+		got := c.DecodeFLOPsPerToken(1)
+		want := 2 * c.ActiveParams()
+		// Embedding lookup is free; logits GEMM is included in both.
+		if got < 0.75*want || got > 1.25*want {
+			t.Errorf("%s: decode FLOPs %.3g vs 2·active %.3g out of band", name, got, want)
+		}
+	}
+}
+
+func TestPrefillFLOPsSuperlinear(t *testing.T) {
+	c := MustGet("LLaMA-3-8B")
+	f1 := c.PrefillFLOPs(512)
+	f2 := c.PrefillFLOPs(1024)
+	if f2 < 2*f1 {
+		t.Errorf("prefill FLOPs should be superlinear in length: f(1024)=%.3g < 2·f(512)=%.3g", f2, 2*f1)
+	}
+}
+
+func TestDecodeWeightBytesBatchIndependentForDense(t *testing.T) {
+	c := MustGet("LLaMA-3-8B")
+	if c.DecodeWeightBytes(1, dtype.FP16) != c.DecodeWeightBytes(64, dtype.FP16) {
+		t.Error("dense weight traffic must not depend on batch size")
+	}
+}
+
+func TestDecodeWeightBytesGrowWithBatchForMoE(t *testing.T) {
+	c := MustGet("Mixtral-8x7B")
+	b1 := c.DecodeWeightBytes(1, dtype.FP16)
+	b64 := c.DecodeWeightBytes(64, dtype.FP16)
+	if b64 <= b1 {
+		t.Error("MoE weight traffic must grow with batch (more experts activated)")
+	}
+	// At batch 1 only ~2/8 of the FFN is read; total must be far below
+	// the full-model bytes.
+	full := c.WeightBytes(dtype.FP16)
+	if b1 > 0.55*full {
+		t.Errorf("Mixtral batch-1 weight traffic %.3g too close to full weights %.3g", b1, full)
+	}
+}
+
+func TestGQAExploitationAffectsKVTraffic(t *testing.T) {
+	c := MustGet("LLaMA-3-8B")
+	with := c.DecodeKVReadBytes(16, 1024, dtype.FP16, true)
+	without := c.DecodeKVReadBytes(16, 1024, dtype.FP16, false)
+	if math.Abs(without/with-4) > 1e-9 {
+		t.Errorf("non-GQA kernel should pay 4x KV traffic for LLaMA-3-8B, got %.3f", without/with)
+	}
+	// MHSA models are unaffected.
+	m := MustGet("LLaMA-2-7B")
+	if m.DecodeKVReadBytes(16, 1024, dtype.FP16, true) != m.DecodeKVReadBytes(16, 1024, dtype.FP16, false) {
+		t.Error("MHSA KV traffic must not depend on GQA exploitation")
+	}
+}
+
+func TestKVCacheBytesLinear(t *testing.T) {
+	c := MustGet("Mistral-7B")
+	f := func(b, n uint8) bool {
+		batch, ctx := int(b%32)+1, int(n)+1
+		got := c.KVCacheBytes(batch, ctx, dtype.FP16)
+		want := float64(batch) * float64(ctx) * c.KVBytesPerToken(dtype.FP16)
+		return math.Abs(got-want) < 1e-6*want+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{Name: "x", Layers: 0, Hidden: 1, Heads: 1, KVHeads: 1, Experts: 1, ActiveExp: 1, Inter: 1, Vocab: 1, MaxSeq: 1},
+		{Name: "x", Layers: 1, Hidden: 8, Heads: 3, KVHeads: 2, Experts: 1, ActiveExp: 1, Inter: 1, Vocab: 1, MaxSeq: 1},
+		{Name: "x", Layers: 1, Hidden: 8, Attention: MHSA, Heads: 4, KVHeads: 2, Experts: 1, ActiveExp: 1, Inter: 1, Vocab: 1, MaxSeq: 1},
+		{Name: "x", Layers: 1, Hidden: 8, Attention: GQA, Heads: 4, KVHeads: 4, Experts: 1, ActiveExp: 1, Inter: 1, Vocab: 1, MaxSeq: 1},
+		{Name: "x", Layers: 1, Hidden: 8, Attention: GQA, Heads: 4, KVHeads: 2, FFN: MoE, Experts: 1, ActiveExp: 1, Inter: 1, Vocab: 1, MaxSeq: 1},
+		{Name: "x", Layers: 1, Hidden: 9, Attention: GQA, Heads: 4, KVHeads: 2, Experts: 1, ActiveExp: 1, Inter: 1, Vocab: 1, MaxSeq: 1},
+	}
+	for i := range bad {
+		if err := bad[i].Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid config", i)
+		}
+	}
+}
+
+func TestTableIOrderAndCount(t *testing.T) {
+	tab := TableI()
+	if len(tab) != 8 {
+		t.Fatalf("Table I has %d entries, want 8", len(tab))
+	}
+	if tab[0].Name != "LLaMA-2-7B" || tab[7].Name != "Mixtral-8x7B" {
+		t.Errorf("Table I order wrong: first=%s last=%s", tab[0].Name, tab[7].Name)
+	}
+}
+
+func TestAttentionStrings(t *testing.T) {
+	if MHSA.String() != "MHSA" || GQA.String() != "GQA" {
+		t.Error("attention kind strings wrong")
+	}
+	if Dense.String() != "Dense" || MoE.String() != "MoE" {
+		t.Error("ffn kind strings wrong")
+	}
+}
+
+func TestWeightBytesScaleWithPrecision(t *testing.T) {
+	c := MustGet("LLaMA-2-7B")
+	if c.WeightBytes(dtype.FP16) != 2*c.WeightBytes(dtype.INT8) {
+		t.Error("fp16 weights must be exactly 2x int8 weights")
+	}
+}

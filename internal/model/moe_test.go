@@ -1,0 +1,92 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRouteStepBasics(t *testing.T) {
+	m := MustGet("Mixtral-8x7B")
+	s, err := m.RouteStep(1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One token activates exactly top-k experts.
+	if s.DistinctExperts != m.ActiveExp {
+		t.Errorf("batch 1 activated %d experts, want %d", s.DistinctExperts, m.ActiveExp)
+	}
+	big, err := m.RouteStep(256, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.DistinctExperts != m.Experts {
+		t.Errorf("batch 256 should touch all %d experts, got %d", m.Experts, big.DistinctExperts)
+	}
+	if big.Imbalance < 1 {
+		t.Errorf("imbalance %v must be ≥ 1", big.Imbalance)
+	}
+}
+
+func TestRouteStepErrors(t *testing.T) {
+	if _, err := MustGet("LLaMA-2-7B").RouteStep(4, 1); err == nil {
+		t.Error("dense model must reject routing")
+	}
+	if _, err := MustGet("Mixtral-8x7B").RouteStep(0, 1); err == nil {
+		t.Error("batch 0 must fail")
+	}
+	if _, err := MustGet("Mixtral-8x7B").MeasuredActiveExperts(4, 0, 1); err == nil {
+		t.Error("zero trials must fail")
+	}
+	if _, err := MustGet("Mixtral-8x7B").MeasuredImbalance(4, 0, 1); err == nil {
+		t.Error("zero trials must fail")
+	}
+}
+
+func TestMeasuredActiveExpertsMatchesAnalytic(t *testing.T) {
+	// The Monte-Carlo router must land near the closed-form expectation
+	// the weight-traffic model uses — for every batch size in the
+	// paper's grid.
+	m := MustGet("Mixtral-8x7B")
+	for _, batch := range []int{1, 4, 16, 64} {
+		want := m.ExpectedActiveExperts(batch)
+		got, err := m.MeasuredActiveExperts(batch, 400, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(got-want) / want; rel > 0.05 {
+			t.Errorf("batch %d: measured %.3f vs analytic %.3f (rel %.3f)", batch, got, want, rel)
+		}
+	}
+}
+
+func TestMeasuredImbalanceSupportsEPModel(t *testing.T) {
+	// parallel.Plan.EPImbalance charges ~1.11 for EP=4 on Mixtral
+	// (2 experts per device). The measured token-level imbalance at
+	// serving batch sizes must be of that order: clearly above 1,
+	// clearly below 2.
+	m := MustGet("Mixtral-8x7B")
+	imb, err := m.MeasuredImbalance(64, 300, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imb <= 1.05 || imb >= 2 {
+		t.Errorf("batch-64 imbalance %v outside the plausible band", imb)
+	}
+	// Imbalance shrinks as batches grow (law of large numbers).
+	small, err := m.MeasuredImbalance(8, 300, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small <= imb {
+		t.Errorf("small-batch imbalance %v must exceed large-batch %v", small, imb)
+	}
+}
+
+func TestRouteStepDeterministic(t *testing.T) {
+	m := MustGet("Mixtral-8x7B")
+	a, _ := m.RouteStep(32, 7)
+	b, _ := m.RouteStep(32, 7)
+	if a != b {
+		t.Error("same seed must give identical routing")
+	}
+}

@@ -1,0 +1,209 @@
+// Package nas implements the neural-architecture-search study of
+// §IV-B4: DeciLM-7B used NAS to pick per-layer KV-head counts from the
+// pool {1, 2, 4}, landing on 67 KV heads across 32 layers where
+// LLaMA-3-8B and Mistral-7B spend 256 — trading a little attention
+// quality for a large KV-traffic saving.
+//
+// Search runs simulated annealing over per-layer allocations,
+// maximizing simulated decode throughput subject to a quality budget.
+// The decode-time objective uses the same first-order physics as the
+// engine: weight traffic is allocation-independent, KV traffic scales
+// with the summed per-layer KV heads.
+package nas
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"llmbench/internal/dtype"
+	"llmbench/internal/framework"
+	"llmbench/internal/hw"
+	"llmbench/internal/model"
+	"llmbench/internal/trace"
+)
+
+// Allocation assigns a KV-head count to each layer.
+type Allocation []int
+
+// Total returns the summed KV heads (DeciLM's "67 KV heads").
+func (a Allocation) Total() int {
+	t := 0
+	for _, v := range a {
+		t += v
+	}
+	return t
+}
+
+// Config parameterises a search.
+type Config struct {
+	// Base is the architecture whose attention is being searched;
+	// Base.Heads stays fixed, per-layer KV heads vary.
+	Base *model.Config
+	// Options is the per-layer KV-head pool ({1,2,4} in the paper).
+	Options []int
+	// QualityBudget ∈ (0,1]: minimum mean per-layer quality, where a
+	// layer with kv heads k scores log(1+k)/log(1+Heads). MHSA scores
+	// 1.0; tighter budgets force more KV heads.
+	QualityBudget float64
+	// Device and Framework set the rates the objective uses.
+	Device    *hw.Device
+	Framework *framework.Profile
+	// Batch and Context are the decode operating point to optimize.
+	Batch   int
+	Context int
+	// Iterations and Seed control the annealer.
+	Iterations int
+	Seed       uint64
+}
+
+// Result is a completed search.
+type Result struct {
+	Allocation Allocation
+	Quality    float64
+	StepTime   float64 // simulated decode-step seconds
+	Baseline   float64 // step time of the all-max-option allocation
+	Speedup    float64 // Baseline / StepTime
+}
+
+// LayerQuality scores one layer's attention capacity.
+func LayerQuality(kvHeads, heads int) float64 {
+	return math.Log(1+float64(kvHeads)) / math.Log(1+float64(heads))
+}
+
+// Quality is the mean layer quality of an allocation.
+func (c *Config) Quality(a Allocation) float64 {
+	sum := 0.0
+	for _, kv := range a {
+		sum += LayerQuality(kv, c.Base.Heads)
+	}
+	return sum / float64(len(a))
+}
+
+// StepTime evaluates the first-order decode-step time of an
+// allocation: weight stream (allocation-independent except K/V
+// projection width) plus KV stream proportional to summed KV heads.
+func (c *Config) StepTime(a Allocation) (float64, error) {
+	effC, effM, err := c.Framework.Eff(c.Device.Vendor)
+	if err != nil {
+		return 0, err
+	}
+	peak, err := c.Device.PeakFLOPS(dtype.FP16)
+	if err != nil {
+		return 0, err
+	}
+	bw := c.Device.MemBW() * effM
+	d := c.Base.Hidden / c.Base.Heads
+	bytesPerParam := dtype.FP16.Bytes()
+
+	var weightBytes, kvBytes, flops float64
+	for _, kv := range a {
+		attnParams := float64(c.Base.Hidden)*float64(d)*float64(c.Base.Heads)*2 + // Q + O
+			2*float64(c.Base.Hidden)*float64(d)*float64(kv) // K + V
+		ffnParams := 3 * float64(c.Base.Hidden) * float64(c.Base.Inter)
+		weightBytes += (attnParams + ffnParams) * bytesPerParam
+		kvBytes += float64(c.Batch) * float64(c.Context) * 2 * float64(kv) * float64(d) * bytesPerParam
+		flops += float64(c.Batch) * 2 * (attnParams + ffnParams)
+	}
+	weightBytes += float64(c.Base.Hidden) * float64(c.Base.Vocab) * bytesPerParam
+	flops += float64(c.Batch) * 2 * float64(c.Base.Hidden) * float64(c.Base.Vocab)
+
+	mem := (weightBytes + kvBytes) / bw
+	cmp := flops / (peak * effC)
+	return math.Max(mem, cmp), nil
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.Base == nil:
+		return errors.New("nas: nil base model")
+	case len(c.Options) == 0:
+		return errors.New("nas: empty option pool")
+	case c.QualityBudget <= 0 || c.QualityBudget > 1:
+		return fmt.Errorf("nas: quality budget %v out of (0,1]", c.QualityBudget)
+	case c.Device == nil || c.Framework == nil:
+		return errors.New("nas: nil device or framework")
+	case c.Batch < 1 || c.Context < 1:
+		return errors.New("nas: non-positive operating point")
+	case c.Iterations < 1:
+		return errors.New("nas: non-positive iterations")
+	}
+	for _, o := range c.Options {
+		if o < 1 || o > c.Base.Heads || c.Base.Heads%o != 0 {
+			return fmt.Errorf("nas: option %d incompatible with %d heads", o, c.Base.Heads)
+		}
+	}
+	return nil
+}
+
+// Search runs the annealer and returns the best feasible allocation.
+func Search(c Config) (*Result, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	rng := trace.NewRNG(c.Seed)
+	layers := c.Base.Layers
+	maxOpt := c.Options[0]
+	for _, o := range c.Options {
+		if o > maxOpt {
+			maxOpt = o
+		}
+	}
+	// Start from the all-max allocation (always feasible if anything is).
+	cur := make(Allocation, layers)
+	for i := range cur {
+		cur[i] = maxOpt
+	}
+	if c.Quality(cur) < c.QualityBudget {
+		return nil, fmt.Errorf("nas: quality budget %v unreachable even with %d KV heads/layer",
+			c.QualityBudget, maxOpt)
+	}
+	baseline, err := c.StepTime(cur)
+	if err != nil {
+		return nil, err
+	}
+	curTime := baseline
+	best := append(Allocation{}, cur...)
+	bestTime := curTime
+
+	temp := baseline * 0.2
+	cool := math.Pow(1e-3, 1/float64(c.Iterations)) // anneal to 0.1% of start
+	for it := 0; it < c.Iterations; it++ {
+		layer := rng.Intn(layers)
+		opt := c.Options[rng.Intn(len(c.Options))]
+		if opt == cur[layer] {
+			continue
+		}
+		old := cur[layer]
+		cur[layer] = opt
+		if c.Quality(cur) < c.QualityBudget {
+			cur[layer] = old
+			continue
+		}
+		t, err := c.StepTime(cur)
+		if err != nil {
+			return nil, err
+		}
+		accept := t < curTime
+		if !accept && temp > 0 {
+			accept = rng.Float64() < math.Exp((curTime-t)/temp)
+		}
+		if !accept {
+			cur[layer] = old
+		} else {
+			curTime = t
+			if t < bestTime {
+				bestTime = t
+				copy(best, cur)
+			}
+		}
+		temp *= cool
+	}
+	return &Result{
+		Allocation: best,
+		Quality:    c.Quality(best),
+		StepTime:   bestTime,
+		Baseline:   baseline,
+		Speedup:    baseline / bestTime,
+	}, nil
+}

@@ -1,0 +1,179 @@
+package perplexity
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	c, err := GenerateCorpus(7, 64, 60000, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCorpusDeterministic(t *testing.T) {
+	a, err := GenerateCorpus(3, 64, 5000, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := GenerateCorpus(3, 64, 5000, 500)
+	for i := range a.Train {
+		if a.Train[i] != b.Train[i] {
+			t.Fatal("corpus must be deterministic in the seed")
+		}
+	}
+}
+
+func TestCorpusErrors(t *testing.T) {
+	if _, err := GenerateCorpus(1, 2, 5000, 500); err == nil {
+		t.Error("tiny vocab must fail")
+	}
+	if _, err := GenerateCorpus(1, 64, 10, 500); err == nil {
+		t.Error("tiny train must fail")
+	}
+}
+
+func TestTokensInRange(t *testing.T) {
+	c := testCorpus(t)
+	for _, tok := range c.Train {
+		if tok < 0 || tok >= c.Vocab {
+			t.Fatalf("token %d out of vocab", tok)
+		}
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	c := testCorpus(t)
+	if _, err := Train(nil, 0.5); err == nil {
+		t.Error("nil corpus must fail")
+	}
+	if _, err := Train(c, 0); err == nil {
+		t.Error("zero capacity must fail")
+	}
+	if _, err := Train(c, 1.5); err == nil {
+		t.Error("capacity > 1 must fail")
+	}
+}
+
+func TestProbIsDistribution(t *testing.T) {
+	c := testCorpus(t)
+	m, err := Train(c, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Probabilities over the whole vocabulary must sum to ~1 for a
+	// few contexts.
+	for _, ctx := range [][2]int{{0, 1}, {5, 9}, {63, 63}} {
+		sum := 0.0
+		for tok := 0; tok < c.Vocab; tok++ {
+			p := m.Prob(ctx[0], ctx[1], tok)
+			if p < 0 {
+				t.Fatalf("negative probability at ctx %v tok %d", ctx, tok)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 0.02 {
+			t.Errorf("ctx %v: probabilities sum to %v", ctx, sum)
+		}
+	}
+}
+
+func TestHigherCapacityLowerPerplexity(t *testing.T) {
+	c := testCorpus(t)
+	var prev float64 = math.Inf(1)
+	for _, cap_ := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 1.0} {
+		m, err := Train(c, cap_)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ppl, err := m.Perplexity(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ppl >= prev {
+			t.Errorf("capacity %v: ppl %v not below previous %v", cap_, ppl, prev)
+		}
+		prev = ppl
+	}
+}
+
+func TestEvaluatorMatchesPaperLayout(t *testing.T) {
+	ev, err := NewEvaluator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := ev.ModelPerplexity("LLaMA-2-7B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mistral, _ := ev.ModelPerplexity("Mistral-7B")
+	l3, _ := ev.ModelPerplexity("LLaMA-3-8B")
+	bloom, _ := ev.ModelPerplexity("Bloom-7.1B")
+	opt, _ := ev.ModelPerplexity("OPT-6.7B")
+
+	// §V-2: LLaMA-2-7B has the best perplexity (MHSA); Mistral is
+	// close behind ("only 0.09 higher"); OPT/Bloom trail far behind.
+	if !(l2 < mistral && mistral < l3) {
+		t.Errorf("ordering wrong: L2=%v Mistral=%v L3=%v", l2, mistral, l3)
+	}
+	if d := mistral - l2; d <= 0 || d > 0.3 {
+		t.Errorf("Mistral gap = %v, want small (paper: 0.09)", d)
+	}
+	if bloom < opt {
+		t.Errorf("Bloom (%v) must trail OPT (%v)", bloom, opt)
+	}
+	// The whole scatter lives in the paper's 3–5.5 band.
+	for _, name := range ScatterModels() {
+		ppl, err := ev.ModelPerplexity(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ppl < 2.5 || ppl > 5.6 {
+			t.Errorf("%s: ppl %v outside the paper's band", name, ppl)
+		}
+	}
+}
+
+func TestEvaluatorUnknownModel(t *testing.T) {
+	ev, err := NewEvaluator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.ModelPerplexity("GPT-5"); err == nil {
+		t.Error("unknown model must error")
+	}
+}
+
+func TestEvaluatorCacheConsistent(t *testing.T) {
+	ev, err := NewEvaluator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := ev.ModelPerplexity("DeciLM-7B")
+	b, _ := ev.ModelPerplexity("DeciLM-7B")
+	if a != b {
+		t.Error("repeated evaluation must be identical")
+	}
+}
+
+func TestPerplexityBounds(t *testing.T) {
+	c := testCorpus(t)
+	f := func(capRaw uint8) bool {
+		cap_ := 0.05 + 0.95*float64(capRaw)/255
+		m, err := Train(c, cap_)
+		if err != nil {
+			return false
+		}
+		ppl, err := m.Perplexity(c)
+		// Perplexity must be between 1 and vocab size for an
+		// interpolated model with a uniform floor.
+		return err == nil && ppl > 1 && ppl < float64(c.Vocab)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}

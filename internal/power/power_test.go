@@ -1,0 +1,101 @@
+package power
+
+import (
+	"testing"
+	"testing/quick"
+
+	"llmbench/internal/hw"
+)
+
+func TestDrawBounds(t *testing.T) {
+	a100 := hw.MustGet("A100")
+	idle, err := Draw(a100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idle != a100.IdleWatts {
+		t.Errorf("zero-util draw = %v, want idle %v", idle, a100.IdleWatts)
+	}
+	full, err := Draw(a100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full != a100.TDPWatts {
+		t.Errorf("full-util draw = %v, want TDP %v", full, a100.TDPWatts)
+	}
+}
+
+func TestDrawMonotone(t *testing.T) {
+	a100 := hw.MustGet("A100")
+	f := func(a, b uint8) bool {
+		x := float64(a) / 255
+		y := float64(b) / 255
+		if x > y {
+			x, y = y, x
+		}
+		px, err1 := Draw(a100, x)
+		py, err2 := Draw(a100, y)
+		return err1 == nil && err2 == nil && px <= py+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDrawErrors(t *testing.T) {
+	if _, err := Draw(nil, 0.5); err == nil {
+		t.Error("nil device must error")
+	}
+	if _, err := Draw(hw.MustGet("A100"), 1.5); err == nil {
+		t.Error("util > 1 must error")
+	}
+	if _, err := Draw(hw.MustGet("A100"), -0.1); err == nil {
+		t.Error("util < 0 must error")
+	}
+}
+
+func TestUtilizationRangeAndMonotone(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		u := Utilization(float64(a)/255, float64(b)/255, float64(c)/255)
+		return u >= 0 && u <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if Utilization(1, 1, 1) <= Utilization(0, 0, 0) {
+		t.Error("utilisation must grow with balance, occupancy, and drive")
+	}
+	// A better-fused framework (higher drive) lights more of the chip.
+	if Utilization(0.5, 0.5, 0.78) <= Utilization(0.5, 0.5, 0.62) {
+		t.Error("higher drive must raise utilisation")
+	}
+	// Out-of-range inputs are clamped.
+	if Utilization(-5, 7, 3) < 0 || Utilization(-5, 7, 3) > 1 {
+		t.Error("clamping failed")
+	}
+}
+
+func TestHigherUtilizationMeansBetterPerfPerWatt(t *testing.T) {
+	// The Fig. 16 mechanism: a framework that achieves k× the
+	// throughput at higher (but sub-linear) power wins tokens/s/W.
+	a100 := hw.MustGet("A100")
+	lowW, _ := Draw(a100, 0.5)
+	highW, _ := Draw(a100, 0.9)
+	lowEff := TokensPerSecondPerWatt(1000, lowW)
+	highEff := TokensPerSecondPerWatt(1800, highW) // 1.8x throughput
+	if highEff <= lowEff {
+		t.Errorf("high-util framework should win perf/W: %v vs %v", highEff, lowEff)
+	}
+}
+
+func TestTokensPerSecondPerWattZeroWatts(t *testing.T) {
+	if TokensPerSecondPerWatt(100, 0) != 0 {
+		t.Error("zero watts must yield zero efficiency, not Inf")
+	}
+}
+
+func TestEnergy(t *testing.T) {
+	if Energy(100, 10) != 1000 {
+		t.Error("energy must be watts × seconds")
+	}
+}

@@ -1,0 +1,104 @@
+// Package quant models weight and KV-cache quantization (§IV-B3,
+// Fig. 3 of the paper): a Scheme pairs a weight precision with a KV
+// precision, is checked against hardware support (FP8 does not exist
+// on A100), and carries the small output-quality penalty quantization
+// costs (used when reporting perplexity next to quantized throughput).
+package quant
+
+import (
+	"fmt"
+
+	"llmbench/internal/dtype"
+	"llmbench/internal/hw"
+)
+
+// Scheme is a weight/KV-cache precision pair, e.g. {fp16, fp8}.
+type Scheme struct {
+	Weights dtype.DType
+	KV      dtype.DType
+}
+
+// FP16 is the paper's baseline scheme.
+var FP16 = Scheme{Weights: dtype.FP16, KV: dtype.FP16}
+
+// String renders the paper's "{w, kv}" notation.
+func (s Scheme) String() string {
+	return fmt.Sprintf("{%s, %s}", s.Weights, s.KV)
+}
+
+// SupportedOn reports whether the device can run the scheme. Weight
+// precision needs hardware GEMM support — this is the constraint
+// behind Fig. 3: "the absence of FP8 support on A100 limits the
+// framework's ability to leverage low precision", so A100's only
+// low-precision *weight* option is INT8. KV-cache precision needs only
+// storage plus software conversion, which is why Fig. 3 legitimately
+// runs {fp16, fp8} and {int8, fp8} on A100.
+func (s Scheme) SupportedOn(d *hw.Device) error {
+	if !d.Supports(s.Weights) {
+		return fmt.Errorf("quant: %s has no %s GEMM support for weights", d.Name, s.Weights)
+	}
+	switch s.KV {
+	case dtype.FP32, dtype.TF32, dtype.FP16, dtype.BF16, dtype.FP8, dtype.INT8:
+		return nil
+	}
+	return fmt.Errorf("quant: %s KV-cache storage is not supported", s.KV)
+}
+
+// ComputeType is the precision the GEMMs execute in: quantized
+// weights execute on the matching low-precision engine when the
+// device has one; fp16 weights always execute at fp16.
+func (s Scheme) ComputeType() dtype.DType { return s.Weights }
+
+// PerplexityDelta is the additive perplexity degradation a scheme
+// costs relative to fp16, following the published behaviour of
+// GPTQ/AWQ-class methods ("without compromising the output quality"
+// — small but non-zero).
+func (s Scheme) PerplexityDelta() float64 {
+	var d float64
+	switch s.Weights {
+	case dtype.FP16, dtype.BF16, dtype.FP32, dtype.TF32:
+		d = 0
+	case dtype.FP8:
+		d += 0.015
+	case dtype.INT8:
+		d += 0.03
+	case dtype.INT4:
+		d += 0.12
+	default:
+		d += 0.3
+	}
+	switch s.KV {
+	case dtype.FP16, dtype.BF16, dtype.FP32, dtype.TF32:
+	case dtype.FP8:
+		d += 0.01
+	case dtype.INT8:
+		d += 0.02
+	default:
+		d += 0.1
+	}
+	return d
+}
+
+// Fig3Schemes returns the hardware/framework/precision combinations of
+// Fig. 3 (LLaMA-3-8B quantization benchmarking) in the paper's legend
+// order.
+type Fig3Combo struct {
+	Device    string
+	Framework string
+	Scheme    Scheme
+}
+
+// Fig3Combos lists the nine legend entries of Fig. 3.
+func Fig3Combos() []Fig3Combo {
+	return []Fig3Combo{
+		{"H100", "vLLM", Scheme{dtype.FP8, dtype.FP8}},
+		{"H100", "vLLM", Scheme{dtype.FP16, dtype.FP16}},
+		{"A100", "TRT-LLM", Scheme{dtype.INT8, dtype.INT8}},
+		{"H100", "vLLM", Scheme{dtype.FP16, dtype.FP8}},
+		{"A100", "TRT-LLM", Scheme{dtype.FP16, dtype.INT8}},
+		{"A100", "vLLM", Scheme{dtype.FP16, dtype.FP16}},
+		{"A100", "TRT-LLM", Scheme{dtype.INT8, dtype.FP8}},
+		{"A100", "TRT-LLM", Scheme{dtype.FP16, dtype.FP8}},
+		{"A100", "vLLM", Scheme{dtype.FP16, dtype.FP8}},
+	}
+}

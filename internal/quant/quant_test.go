@@ -1,0 +1,80 @@
+package quant
+
+import (
+	"testing"
+
+	"llmbench/internal/dtype"
+	"llmbench/internal/hw"
+)
+
+func TestFP8UnsupportedOnA100(t *testing.T) {
+	s := Scheme{Weights: dtype.FP8, KV: dtype.FP8}
+	if err := s.SupportedOn(hw.MustGet("A100")); err == nil {
+		t.Error("FP8 weights must be rejected on A100 (§IV-B3)")
+	}
+	if err := s.SupportedOn(hw.MustGet("H100")); err != nil {
+		t.Errorf("FP8 on H100: %v", err)
+	}
+	// FP8 KV is storage-only and legal on A100 — Fig. 3 runs
+	// {fp16, fp8} there.
+	kvOnly := Scheme{Weights: dtype.FP16, KV: dtype.FP8}
+	if err := kvOnly.SupportedOn(hw.MustGet("A100")); err != nil {
+		t.Errorf("FP8 KV storage on A100 must be allowed: %v", err)
+	}
+	if err := (Scheme{dtype.FP16, dtype.INT4}).SupportedOn(hw.MustGet("A100")); err == nil {
+		t.Error("INT4 KV storage must be rejected")
+	}
+}
+
+func TestINT8SupportedOnA100(t *testing.T) {
+	s := Scheme{Weights: dtype.INT8, KV: dtype.INT8}
+	if err := s.SupportedOn(hw.MustGet("A100")); err != nil {
+		t.Errorf("INT8 on A100: %v", err)
+	}
+}
+
+func TestPerplexityDeltaOrdering(t *testing.T) {
+	fp16 := FP16.PerplexityDelta()
+	fp8 := Scheme{dtype.FP8, dtype.FP8}.PerplexityDelta()
+	int8 := Scheme{dtype.INT8, dtype.INT8}.PerplexityDelta()
+	int4 := Scheme{dtype.INT4, dtype.FP16}.PerplexityDelta()
+	if fp16 != 0 {
+		t.Errorf("fp16 delta = %v, want 0", fp16)
+	}
+	if !(fp8 < int8 && int8 < int4) {
+		t.Errorf("delta ordering wrong: fp8=%v int8=%v int4=%v", fp8, int8, int4)
+	}
+	// All small: quantization works "without compromising the output
+	// quality" (§IV-B3).
+	if int8 > 0.1 {
+		t.Errorf("int8 delta %v too large", int8)
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := (Scheme{dtype.FP16, dtype.FP8}).String(); s != "{fp16, fp8}" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestFig3CombosValid(t *testing.T) {
+	combos := Fig3Combos()
+	if len(combos) != 9 {
+		t.Fatalf("Fig. 3 has %d legend entries, want 9", len(combos))
+	}
+	for _, c := range combos {
+		d := hw.MustGet(c.Device)
+		if err := c.Scheme.SupportedOn(d); err != nil {
+			t.Errorf("combo %v on %s invalid: %v", c.Scheme, c.Device, err)
+		}
+		if c.Device == "A100" && (c.Scheme.Weights == dtype.FP8) {
+			t.Error("Fig. 3 must not place FP8 weights on A100")
+		}
+	}
+}
+
+func TestComputeType(t *testing.T) {
+	if (Scheme{dtype.INT8, dtype.FP8}).ComputeType() != dtype.INT8 {
+		t.Error("compute type must follow weight precision")
+	}
+}

@@ -1,0 +1,188 @@
+package quant
+
+// Executable quantization: the paper's Fig. 3 sweeps precision
+// schemes whose quality cost it takes from the GPTQ/AWQ literature.
+// This file implements the actual rounding arithmetic — absmax INT8,
+// group-wise INT4, and FP8-E4M3 — on synthetic weight tensors, so the
+// package's quality ordering (fp8 < int8 < int4 error) is *measured*,
+// not asserted. TestEmpiricalErrorOrdering pins the constants in
+// PerplexityDelta to the measured ordering.
+
+import (
+	"errors"
+	"math"
+
+	"llmbench/internal/dtype"
+	"llmbench/internal/trace"
+)
+
+// QuantizeInt8 quantizes values with per-tensor absmax scaling to
+// signed 8-bit integers. It returns the codes and the scale such that
+// value ≈ code·scale.
+func QuantizeInt8(vals []float64) ([]int8, float64, error) {
+	if len(vals) == 0 {
+		return nil, 0, errors.New("quant: empty tensor")
+	}
+	absmax := 0.0
+	for _, v := range vals {
+		if a := math.Abs(v); a > absmax {
+			absmax = a
+		}
+	}
+	if absmax == 0 {
+		return make([]int8, len(vals)), 1, nil
+	}
+	scale := absmax / 127
+	out := make([]int8, len(vals))
+	for i, v := range vals {
+		q := math.RoundToEven(v / scale)
+		if q > 127 {
+			q = 127
+		}
+		if q < -127 {
+			q = -127
+		}
+		out[i] = int8(q)
+	}
+	return out, scale, nil
+}
+
+// DequantizeInt8 reverses QuantizeInt8.
+func DequantizeInt8(codes []int8, scale float64) []float64 {
+	out := make([]float64, len(codes))
+	for i, c := range codes {
+		out[i] = float64(c) * scale
+	}
+	return out
+}
+
+// QuantizeInt4Grouped quantizes with per-group absmax scaling to
+// signed 4-bit integers (the GPTQ/AWQ storage layout). groupSize must
+// divide len(vals).
+func QuantizeInt4Grouped(vals []float64, groupSize int) ([]int8, []float64, error) {
+	if len(vals) == 0 {
+		return nil, nil, errors.New("quant: empty tensor")
+	}
+	if groupSize <= 0 || len(vals)%groupSize != 0 {
+		return nil, nil, errors.New("quant: group size must divide tensor length")
+	}
+	codes := make([]int8, len(vals))
+	scales := make([]float64, len(vals)/groupSize)
+	for g := 0; g < len(scales); g++ {
+		lo, hi := g*groupSize, (g+1)*groupSize
+		absmax := 0.0
+		for _, v := range vals[lo:hi] {
+			if a := math.Abs(v); a > absmax {
+				absmax = a
+			}
+		}
+		scale := 1.0
+		if absmax > 0 {
+			scale = absmax / 7
+		}
+		scales[g] = scale
+		for i := lo; i < hi; i++ {
+			q := math.RoundToEven(vals[i] / scale)
+			if q > 7 {
+				q = 7
+			}
+			if q < -7 {
+				q = -7
+			}
+			codes[i] = int8(q)
+		}
+	}
+	return codes, scales, nil
+}
+
+// DequantizeInt4Grouped reverses QuantizeInt4Grouped.
+func DequantizeInt4Grouped(codes []int8, scales []float64, groupSize int) []float64 {
+	out := make([]float64, len(codes))
+	for i, c := range codes {
+		out[i] = float64(c) * scales[i/groupSize]
+	}
+	return out
+}
+
+// RoundFP8E4M3 rounds a value to the nearest representable FP8-E4M3
+// number (1 sign, 4 exponent, 3 mantissa bits; max finite 448).
+func RoundFP8E4M3(v float64) float64 {
+	if v == 0 || math.IsNaN(v) {
+		return v
+	}
+	sign := 1.0
+	if v < 0 {
+		sign = -1
+		v = -v
+	}
+	const maxFinite = 448
+	if v > maxFinite {
+		return sign * maxFinite
+	}
+	exp := math.Floor(math.Log2(v))
+	if exp < -6 {
+		// Subnormal range: fixed quantum 2^-9.
+		q := math.RoundToEven(v/0x1p-9) * 0x1p-9
+		return sign * q
+	}
+	quantum := math.Exp2(exp - 3) // 3 mantissa bits
+	return sign * math.RoundToEven(v/quantum) * quantum
+}
+
+// RMSError quantizes a deterministic synthetic Gaussian-ish weight
+// tensor at the given precision and returns the relative RMS
+// reconstruction error — the measured counterpart of the
+// PerplexityDelta constants.
+func RMSError(d dtype.DType, n int, seed uint64) (float64, error) {
+	if n < 16 {
+		return 0, errors.New("quant: tensor too small")
+	}
+	rng := trace.NewRNG(seed)
+	vals := make([]float64, n)
+	for i := range vals {
+		// Sum of uniforms ≈ normal; weights are zero-mean with a few
+		// large outliers like real LLM weights.
+		s := 0.0
+		for k := 0; k < 6; k++ {
+			s += rng.Float64() - 0.5
+		}
+		vals[i] = s * 0.02
+		if rng.Intn(128) == 0 {
+			// Heavy outlier channels, the hallmark of LLM weight and
+			// activation distributions (the reason absmax INT8 loses
+			// to FP8's exponent — "the power of the exponent").
+			vals[i] *= 64
+		}
+	}
+	var rec []float64
+	switch d {
+	case dtype.FP16, dtype.BF16, dtype.FP32, dtype.TF32:
+		return 0, nil // treated as the reference precision
+	case dtype.FP8:
+		rec = make([]float64, n)
+		for i, v := range vals {
+			rec[i] = RoundFP8E4M3(v)
+		}
+	case dtype.INT8:
+		codes, scale, err := QuantizeInt8(vals)
+		if err != nil {
+			return 0, err
+		}
+		rec = DequantizeInt8(codes, scale)
+	case dtype.INT4:
+		codes, scales, err := QuantizeInt4Grouped(vals, 16)
+		if err != nil {
+			return 0, err
+		}
+		rec = DequantizeInt4Grouped(codes, scales, 16)
+	default:
+		return 0, errors.New("quant: no quantizer for " + d.String())
+	}
+	var num, den float64
+	for i := range vals {
+		e := vals[i] - rec[i]
+		num += e * e
+		den += vals[i] * vals[i]
+	}
+	return math.Sqrt(num / den), nil
+}

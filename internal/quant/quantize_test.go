@@ -1,0 +1,173 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"llmbench/internal/dtype"
+)
+
+func TestQuantizeInt8RoundTrip(t *testing.T) {
+	vals := []float64{-1, -0.5, 0, 0.25, 0.99, 1}
+	codes, scale, err := QuantizeInt8(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := DequantizeInt8(codes, scale)
+	for i := range vals {
+		if math.Abs(vals[i]-rec[i]) > scale {
+			t.Errorf("element %d: %v -> %v (scale %v)", i, vals[i], rec[i], scale)
+		}
+	}
+	// Extremes map to ±127.
+	if codes[0] != -127 || codes[5] != 127 {
+		t.Errorf("extreme codes = %d, %d", codes[0], codes[5])
+	}
+}
+
+func TestQuantizeInt8Degenerate(t *testing.T) {
+	if _, _, err := QuantizeInt8(nil); err == nil {
+		t.Error("empty tensor must fail")
+	}
+	codes, scale, err := QuantizeInt8([]float64{0, 0, 0})
+	if err != nil || scale != 1 {
+		t.Fatalf("all-zero tensor: %v %v", scale, err)
+	}
+	for _, c := range codes {
+		if c != 0 {
+			t.Error("zeros must stay zero")
+		}
+	}
+}
+
+func TestQuantizeInt8ErrorBound(t *testing.T) {
+	// |error| ≤ scale/2 for in-range values — the rounding guarantee.
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, r := range raw {
+			vals[i] = float64(r) / 1000
+		}
+		codes, scale, err := QuantizeInt8(vals)
+		if err != nil {
+			return false
+		}
+		rec := DequantizeInt8(codes, scale)
+		for i := range vals {
+			if math.Abs(vals[i]-rec[i]) > scale/2+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInt4Grouped(t *testing.T) {
+	vals := make([]float64, 64)
+	for i := range vals {
+		vals[i] = math.Sin(float64(i)) * float64(1+i/16) // varying scale per group
+	}
+	codes, scales, err := QuantizeInt4Grouped(vals, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scales) != 4 {
+		t.Fatalf("want 4 group scales, got %d", len(scales))
+	}
+	rec := DequantizeInt4Grouped(codes, scales, 16)
+	for i := range vals {
+		if math.Abs(vals[i]-rec[i]) > scales[i/16]/2+1e-12 {
+			t.Errorf("element %d error too large: %v vs %v", i, vals[i], rec[i])
+		}
+	}
+	for _, c := range codes {
+		if c < -7 || c > 7 {
+			t.Errorf("int4 code %d out of range", c)
+		}
+	}
+	if _, _, err := QuantizeInt4Grouped(vals, 7); err == nil {
+		t.Error("non-dividing group size must fail")
+	}
+}
+
+func TestRoundFP8E4M3(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{448, 448},
+		{1000, 448}, // clamps to max finite
+		{-1000, -448},
+		{1.0, 1.0}, // exactly representable
+		{0.0625, 0.0625},
+	}
+	for _, c := range cases {
+		if got := RoundFP8E4M3(c.in); got != c.want {
+			t.Errorf("RoundFP8E4M3(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// Relative error within one mantissa quantum (2^-3) for normal range.
+	f := func(raw int16) bool {
+		v := float64(raw) / 100
+		if v == 0 {
+			return true
+		}
+		got := RoundFP8E4M3(v)
+		return math.Abs(got-v) <= math.Abs(v)/8+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmpiricalErrorOrdering(t *testing.T) {
+	// The measured reconstruction errors must order fp8 < int8 < int4
+	// — the same ordering PerplexityDelta encodes.
+	fp8, err := RMSError(dtype.FP8, 1<<14, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	int8v, err := RMSError(dtype.INT8, 1<<14, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	int4v, err := RMSError(dtype.INT4, 1<<14, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FP8's exponent absorbs the outlier channels that blow up
+	// per-tensor absmax INT8 ("the power of the exponent"); group-wise
+	// INT4 is competitive with per-tensor INT8 (the GPTQ result) but
+	// still behind FP8.
+	if !(fp8 < int8v && fp8 < int4v) {
+		t.Errorf("fp8 must have the lowest measured error: fp8=%v int8=%v int4=%v", fp8, int8v, int4v)
+	}
+	// All small — quantization preserves quality (§IV-B3).
+	if int8v > 0.25 || int4v > 0.25 {
+		t.Errorf("RMS errors implausibly large: int8=%v int4=%v", int8v, int4v)
+	}
+	// fp16 is the reference: zero error.
+	if e, err := RMSError(dtype.FP16, 1<<10, 1); err != nil || e != 0 {
+		t.Errorf("fp16 error = %v, %v", e, err)
+	}
+	// Consistency with the PerplexityDelta constants: fp8 cheapest.
+	dFP8 := Scheme{dtype.FP8, dtype.FP16}.PerplexityDelta()
+	dINT8 := Scheme{dtype.INT8, dtype.FP16}.PerplexityDelta()
+	dINT4 := Scheme{dtype.INT4, dtype.FP16}.PerplexityDelta()
+	if !(dFP8 < dINT8 && dFP8 < dINT4) {
+		t.Error("PerplexityDelta constants disagree with measured ordering")
+	}
+}
+
+func TestRMSErrorErrors(t *testing.T) {
+	if _, err := RMSError(dtype.INT8, 3, 1); err == nil {
+		t.Error("tiny tensor must fail")
+	}
+	if _, err := RMSError(dtype.INT1, 1024, 1); err == nil {
+		t.Error("unsupported precision must fail")
+	}
+}

@@ -1,0 +1,115 @@
+package refmodel
+
+// KV-cache quantization on the executable reference model: Fig. 3
+// runs {fp16, fp8} and {fp16, int8} schemes whose premise is that a
+// low-precision KV cache barely changes the model's outputs. Here that
+// premise is *measured*: quantize the cached K/V tensors with the real
+// rounding arithmetic from internal/quant and compare greedy decodes
+// against the fp64 reference.
+
+import (
+	"errors"
+	"math"
+
+	"llmbench/internal/dtype"
+	"llmbench/internal/quant"
+)
+
+// QuantizeCache rounds every cached K/V element to the given storage
+// precision in place, returning the relative RMS perturbation.
+func (c *KVCache) QuantizeCache(d dtype.DType) (float64, error) {
+	var round func(float64) float64
+	switch d {
+	case dtype.FP16, dtype.BF16, dtype.FP32:
+		round = func(v float64) float64 { return v } // reference-precision storage
+	case dtype.FP8:
+		round = quant.RoundFP8E4M3
+	case dtype.INT8:
+		round = nil // per-tensor absmax below
+	default:
+		return 0, errors.New("refmodel: unsupported KV storage precision " + d.String())
+	}
+	var num, den float64
+	apply := func(data []float64) error {
+		if len(data) == 0 {
+			return nil
+		}
+		if round != nil {
+			for i, v := range data {
+				q := round(v)
+				num += (v - q) * (v - q)
+				den += v * v
+				data[i] = q
+			}
+			return nil
+		}
+		codes, scale, err := quant.QuantizeInt8(data)
+		if err != nil {
+			return err
+		}
+		rec := quant.DequantizeInt8(codes, scale)
+		for i, v := range data {
+			num += (v - rec[i]) * (v - rec[i])
+			den += v * v
+			data[i] = rec[i]
+		}
+		return nil
+	}
+	for li := range c.keys {
+		if err := apply(c.keys[li].data); err != nil {
+			return 0, err
+		}
+		if err := apply(c.values[li].data); err != nil {
+			return 0, err
+		}
+	}
+	if den == 0 {
+		return 0, nil
+	}
+	return math.Sqrt(num / den), nil
+}
+
+// GenerateWithKVPrecision decodes greedily with the KV cache stored at
+// the given precision: after every forward pass the newly written
+// cache entries are re-rounded, exactly as a low-precision cache
+// behaves. It returns the generated tokens and the mean relative RMS
+// perturbation of the cache.
+func (m *Model) GenerateWithKVPrecision(prompt []int, steps int, d dtype.DType, cnt *Counters) ([]int, float64, error) {
+	if steps < 1 {
+		return nil, 0, errors.New("refmodel: steps must be ≥ 1")
+	}
+	cache := m.NewKVCache()
+	var out []int
+	feed := append([]int{}, prompt...)
+	var errSum float64
+	for s := 0; s < steps; s++ {
+		logits, err := m.Forward(feed, cache, cnt)
+		if err != nil {
+			return nil, 0, err
+		}
+		e, err := cache.QuantizeCache(d)
+		if err != nil {
+			return nil, 0, err
+		}
+		errSum += e
+		next := argmax(logits)
+		out = append(out, next)
+		feed = []int{next}
+	}
+	return out, errSum / float64(steps), nil
+}
+
+// Agreement compares two token sequences and returns the fraction of
+// positions that match.
+func Agreement(a, b []int) float64 {
+	if len(a) == 0 || len(a) != len(b) {
+		return 0
+	}
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	return float64(same) / float64(len(a))
+}

@@ -1,0 +1,105 @@
+package refmodel
+
+import (
+	"testing"
+
+	"llmbench/internal/dtype"
+	"llmbench/internal/model"
+)
+
+func TestKVQuantizationPreservesOutputs(t *testing.T) {
+	// The Fig. 3 premise: an FP8 or INT8 KV cache barely changes the
+	// model's generations. Measured on the executable reference model.
+	cfg := tinyConfig(model.GQA, 2)
+	m, err := New(cfg, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prompt := []int{3, 41, 7, 90, 12, 55, 23, 8}
+	const steps = 24
+	var cRef Counters
+	ref, err := m.Generate(prompt, steps, true, &cRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []dtype.DType{dtype.FP8, dtype.INT8} {
+		var cnt Counters
+		got, perturb, err := m.GenerateWithKVPrecision(prompt, steps, d, &cnt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if agree := Agreement(ref, got); agree < 0.85 {
+			t.Errorf("%s KV: token agreement %.2f too low (ref %v vs %v)", d, agree, ref, got)
+		}
+		if perturb <= 0 || perturb > 0.1 {
+			t.Errorf("%s KV: cache perturbation %.4f outside (0, 0.1]", d, perturb)
+		}
+	}
+	// Reference-precision storage is exact.
+	got, perturb, err := m.GenerateWithKVPrecision(prompt, steps, dtype.FP16, &Counters{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perturb != 0 {
+		t.Errorf("fp16 storage must not perturb, got %v", perturb)
+	}
+	if Agreement(ref, got) != 1 {
+		t.Error("fp16 KV storage must reproduce the reference exactly")
+	}
+}
+
+func TestKVQuantizationErrorOrdering(t *testing.T) {
+	// On this reference model's KV tensors — random weights, hence no
+	// trained outlier channels — per-tensor absmax INT8 (127 levels)
+	// is *more* faithful than FP8's 3 mantissa bits. FP8 only wins
+	// when heavy outliers stretch the absmax scale (see
+	// quant.TestEmpiricalErrorOrdering, which injects them). Both
+	// regimes are real; asserting each where it holds keeps the
+	// quantization story honest.
+	cfg := tinyConfig(model.MHSA, 8)
+	m, err := New(cfg, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prompt := []int{1, 2, 3, 4, 5, 6}
+	var c1, c2 Counters
+	_, fp8Err, err := m.GenerateWithKVPrecision(prompt, 12, dtype.FP8, &c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, int8Err, err := m.GenerateWithKVPrecision(prompt, 12, dtype.INT8, &c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int8Err >= fp8Err {
+		t.Errorf("outlier-free cache: int8 %.5f must be below fp8 %.5f", int8Err, fp8Err)
+	}
+	if fp8Err > 0.05 {
+		t.Errorf("fp8 perturbation %.5f implausibly large", fp8Err)
+	}
+}
+
+func TestKVQuantizationUnsupported(t *testing.T) {
+	m, err := New(tinyConfig(model.GQA, 2), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.GenerateWithKVPrecision([]int{1}, 4, dtype.INT1, &Counters{}); err == nil {
+		t.Error("unsupported precision must fail")
+	}
+	if _, _, err := m.GenerateWithKVPrecision([]int{1}, 0, dtype.FP8, &Counters{}); err == nil {
+		t.Error("zero steps must fail")
+	}
+}
+
+func TestAgreement(t *testing.T) {
+	if Agreement([]int{1, 2, 3}, []int{1, 2, 4}) != 2.0/3 {
+		t.Error("agreement fraction wrong")
+	}
+	if Agreement(nil, nil) != 0 {
+		t.Error("empty agreement must be 0")
+	}
+	if Agreement([]int{1}, []int{1, 2}) != 0 {
+		t.Error("length mismatch must be 0")
+	}
+}

@@ -1,0 +1,370 @@
+// Package refmodel is an executable reference implementation of the
+// decoder-only transformer the analytic performance model abstracts:
+// real (small) tensors, real MHSA/GQA attention, a real KV cache, and
+// an instrumented matmul that counts FLOPs and weight-bytes touched.
+//
+// It exists to *validate* the rest of the system:
+//
+//   - the FLOP counter cross-checks model.Config.DecodeFLOPsPerToken
+//     and PrefillFLOPs against actually-executed arithmetic;
+//   - decoding with the KV cache must produce bit-identical logits to
+//     re-running the full forward pass each step — the correctness
+//     property behind the Fig. 2a ablation;
+//   - GQA (shared KV heads) must touch exactly KVHeads/Heads of the
+//     MHSA KV state, the traffic ratio the engine prices.
+package refmodel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"llmbench/internal/model"
+	"llmbench/internal/trace"
+)
+
+// Counters accumulate executed work.
+type Counters struct {
+	MatmulFLOPs  float64 // 2·m·n·k per matmul
+	AttnFLOPs    float64 // score + value aggregation matmuls
+	WeightElems  float64 // weight elements touched (reads)
+	KVElemsRead  float64 // KV cache elements read
+	KVElemsWrite float64 // KV cache elements written
+}
+
+// Add merges c2 into c.
+func (c *Counters) Add(c2 Counters) {
+	c.MatmulFLOPs += c2.MatmulFLOPs
+	c.AttnFLOPs += c2.AttnFLOPs
+	c.WeightElems += c2.WeightElems
+	c.KVElemsRead += c2.KVElemsRead
+	c.KVElemsWrite += c2.KVElemsWrite
+}
+
+// Total returns all FLOPs.
+func (c Counters) Total() float64 { return c.MatmulFLOPs + c.AttnFLOPs }
+
+// matrix is a dense row-major matrix.
+type matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+func newMatrix(rows, cols int) *matrix {
+	return &matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+func (m *matrix) at(r, c int) float64     { return m.data[r*m.cols+c] }
+func (m *matrix) set(r, c int, v float64) { m.data[r*m.cols+c] = v }
+
+// randomMatrix fills a matrix with small deterministic values.
+func randomMatrix(rng *trace.RNG, rows, cols int) *matrix {
+	m := newMatrix(rows, cols)
+	scale := 1 / math.Sqrt(float64(cols))
+	for i := range m.data {
+		m.data[i] = (rng.Float64()*2 - 1) * scale
+	}
+	return m
+}
+
+// matmul computes a·b, counting FLOPs and weight traffic (b is the
+// weight operand).
+func matmul(a, b *matrix, cnt *Counters) (*matrix, error) {
+	if a.cols != b.rows {
+		return nil, fmt.Errorf("refmodel: matmul shape mismatch %dx%d · %dx%d", a.rows, a.cols, b.rows, b.cols)
+	}
+	out := newMatrix(a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		for k := 0; k < a.cols; k++ {
+			av := a.at(i, k)
+			if av == 0 {
+				// Still counted: hardware does not skip zeros.
+				_ = av
+			}
+			row := b.data[k*b.cols:]
+			outRow := out.data[i*out.cols:]
+			for j := 0; j < b.cols; j++ {
+				outRow[j] += av * row[j]
+			}
+		}
+	}
+	cnt.MatmulFLOPs += 2 * float64(a.rows) * float64(a.cols) * float64(b.cols)
+	cnt.WeightElems += float64(b.rows) * float64(b.cols)
+	return out, nil
+}
+
+// Model is an executable scaled-down decoder.
+type Model struct {
+	Cfg *model.Config
+
+	embed   *matrix // vocab × hidden
+	layers  []*layer
+	unembed *matrix // hidden × vocab
+}
+
+type layer struct {
+	wq, wk, wv, wo *matrix
+	gate, up, down *matrix // gated MLP (gate/up nil when not gated)
+}
+
+// New builds a model with deterministic random weights for the given
+// (small!) architecture. Memory grows with vocab·hidden and
+// layers·hidden·inter — keep dimensions in the hundreds.
+func New(cfg *model.Config, seed uint64) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.FFN != model.Dense {
+		return nil, errors.New("refmodel: MoE not supported in the reference implementation")
+	}
+	if cfg.Hidden > 2048 || cfg.Layers > 16 || cfg.Vocab > 8192 {
+		return nil, errors.New("refmodel: architecture too large for the reference implementation")
+	}
+	rng := trace.NewRNG(seed)
+	d := cfg.Hidden / cfg.Heads
+	if cfg.HeadDim > 0 {
+		d = cfg.HeadDim
+	}
+	m := &Model{
+		Cfg:     cfg,
+		embed:   randomMatrix(rng, cfg.Vocab, cfg.Hidden),
+		unembed: randomMatrix(rng, cfg.Hidden, cfg.Vocab),
+	}
+	for i := 0; i < cfg.Layers; i++ {
+		l := &layer{
+			wq:   randomMatrix(rng, cfg.Hidden, cfg.Heads*d),
+			wk:   randomMatrix(rng, cfg.Hidden, cfg.KVHeads*d),
+			wv:   randomMatrix(rng, cfg.Hidden, cfg.KVHeads*d),
+			wo:   randomMatrix(rng, cfg.Heads*d, cfg.Hidden),
+			down: randomMatrix(rng, cfg.Inter, cfg.Hidden),
+			up:   randomMatrix(rng, cfg.Hidden, cfg.Inter),
+		}
+		if cfg.GatedMLP {
+			l.gate = randomMatrix(rng, cfg.Hidden, cfg.Inter)
+		}
+		m.layers = append(m.layers, l)
+	}
+	return m, nil
+}
+
+// KVCache holds per-layer key/value tensors for one sequence.
+type KVCache struct {
+	keys   []*matrix // per layer: ctx × (kvHeads·d)
+	values []*matrix
+	ctx    int
+}
+
+// NewKVCache creates an empty cache for the model.
+func (m *Model) NewKVCache() *KVCache {
+	c := &KVCache{}
+	for range m.layers {
+		c.keys = append(c.keys, newMatrix(0, 0))
+		c.values = append(c.values, newMatrix(0, 0))
+	}
+	return c
+}
+
+// Len returns the cached context length.
+func (c *KVCache) Len() int { return c.ctx }
+
+func appendRows(dst *matrix, src *matrix) *matrix {
+	if dst.rows == 0 {
+		out := newMatrix(src.rows, src.cols)
+		copy(out.data, src.data)
+		return out
+	}
+	out := &matrix{rows: dst.rows + src.rows, cols: dst.cols,
+		data: append(append([]float64{}, dst.data...), src.data...)}
+	return out
+}
+
+// Forward runs tokens (a full prompt, or one step of decode) through
+// the model, extending cache (which may be nil for cache-less
+// execution over the full sequence). pastLen is the number of tokens
+// already in the cache. It returns the logits of the last position.
+func (m *Model) Forward(tokens []int, cache *KVCache, cnt *Counters) ([]float64, error) {
+	if len(tokens) == 0 {
+		return nil, errors.New("refmodel: empty token slice")
+	}
+	cfg := m.Cfg
+	for _, t := range tokens {
+		if t < 0 || t >= cfg.Vocab {
+			return nil, fmt.Errorf("refmodel: token %d out of vocab %d", t, cfg.Vocab)
+		}
+	}
+	d := cfg.Hidden / cfg.Heads
+	if cfg.HeadDim > 0 {
+		d = cfg.HeadDim
+	}
+	group := cfg.Heads / cfg.KVHeads
+
+	// Embedding lookup (no matmul cost: a gather).
+	x := newMatrix(len(tokens), cfg.Hidden)
+	for i, t := range tokens {
+		copy(x.data[i*cfg.Hidden:(i+1)*cfg.Hidden], m.embed.data[t*cfg.Hidden:(t+1)*cfg.Hidden])
+	}
+
+	for li, l := range m.layers {
+		q, err := matmul(x, l.wq, cnt)
+		if err != nil {
+			return nil, err
+		}
+		k, err := matmul(x, l.wk, cnt)
+		if err != nil {
+			return nil, err
+		}
+		v, err := matmul(x, l.wv, cnt)
+		if err != nil {
+			return nil, err
+		}
+		var keys, values *matrix
+		past := 0
+		if cache != nil {
+			past = cache.keys[li].rows
+			keys = appendRows(cache.keys[li], k)
+			values = appendRows(cache.values[li], v)
+			cache.keys[li] = keys
+			cache.values[li] = values
+			cnt.KVElemsWrite += float64(k.rows * k.cols * 2)
+			cnt.KVElemsRead += float64(past) * float64(k.cols) * 2
+		} else {
+			keys, values = k, v
+		}
+
+		// Attention per query head; KV heads are shared across groups.
+		attnOut := newMatrix(len(tokens), cfg.Heads*d)
+		for h := 0; h < cfg.Heads; h++ {
+			kv := h / group
+			for qi := 0; qi < len(tokens); qi++ {
+				limit := past + qi + 1 // causal mask
+				if limit > keys.rows {
+					limit = keys.rows
+				}
+				// Scores.
+				scores := make([]float64, limit)
+				maxS := math.Inf(-1)
+				for pos := 0; pos < limit; pos++ {
+					s := 0.0
+					for e := 0; e < d; e++ {
+						s += q.at(qi, h*d+e) * keys.at(pos, kv*d+e)
+					}
+					s /= math.Sqrt(float64(d))
+					scores[pos] = s
+					if s > maxS {
+						maxS = s
+					}
+				}
+				cnt.AttnFLOPs += 2 * float64(limit) * float64(d)
+				// Softmax.
+				var sum float64
+				for pos := range scores {
+					scores[pos] = math.Exp(scores[pos] - maxS)
+					sum += scores[pos]
+				}
+				// Weighted value sum.
+				for e := 0; e < d; e++ {
+					acc := 0.0
+					for pos := 0; pos < limit; pos++ {
+						acc += scores[pos] / sum * values.at(pos, kv*d+e)
+					}
+					attnOut.set(qi, h*d+e, acc)
+				}
+				cnt.AttnFLOPs += 2 * float64(limit) * float64(d)
+			}
+		}
+		o, err := matmul(attnOut, l.wo, cnt)
+		if err != nil {
+			return nil, err
+		}
+		// Residual.
+		for i := range x.data {
+			x.data[i] += o.data[i]
+		}
+
+		// MLP (SiLU-gated when configured).
+		upOut, err := matmul(x, l.up, cnt)
+		if err != nil {
+			return nil, err
+		}
+		if l.gate != nil {
+			gateOut, err := matmul(x, l.gate, cnt)
+			if err != nil {
+				return nil, err
+			}
+			for i := range upOut.data {
+				g := gateOut.data[i]
+				upOut.data[i] *= g / (1 + math.Exp(-g)) // SiLU
+			}
+		} else {
+			for i := range upOut.data {
+				if upOut.data[i] < 0 {
+					upOut.data[i] = 0 // ReLU
+				}
+			}
+		}
+		downOut, err := matmul(upOut, l.down, cnt)
+		if err != nil {
+			return nil, err
+		}
+		for i := range x.data {
+			x.data[i] += downOut.data[i]
+		}
+	}
+	if cache != nil {
+		cache.ctx += len(tokens)
+	}
+
+	// Logits of the last position only.
+	last := &matrix{rows: 1, cols: cfg.Hidden,
+		data: x.data[(len(tokens)-1)*cfg.Hidden:]}
+	logits, err := matmul(last, m.unembed, cnt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, cfg.Vocab)
+	copy(out, logits.data)
+	return out, nil
+}
+
+// Generate decodes greedily for steps tokens after the prompt, using
+// the KV cache when useCache is true or re-running the whole sequence
+// each step otherwise. It returns the generated tokens.
+func (m *Model) Generate(prompt []int, steps int, useCache bool, cnt *Counters) ([]int, error) {
+	if steps < 1 {
+		return nil, errors.New("refmodel: steps must be ≥ 1")
+	}
+	seq := append([]int{}, prompt...)
+	var out []int
+	var cache *KVCache
+	if useCache {
+		cache = m.NewKVCache()
+	}
+	feed := seq
+	for s := 0; s < steps; s++ {
+		var logits []float64
+		var err error
+		if useCache {
+			logits, err = m.Forward(feed, cache, cnt)
+		} else {
+			logits, err = m.Forward(seq, nil, cnt)
+		}
+		if err != nil {
+			return nil, err
+		}
+		next := argmax(logits)
+		out = append(out, next)
+		seq = append(seq, next)
+		feed = []int{next}
+	}
+	return out, nil
+}
+
+func argmax(v []float64) int {
+	best, bi := math.Inf(-1), 0
+	for i, x := range v {
+		if x > best {
+			best, bi = x, i
+		}
+	}
+	return bi
+}

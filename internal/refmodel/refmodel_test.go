@@ -1,0 +1,196 @@
+package refmodel
+
+import (
+	"math"
+	"testing"
+
+	"llmbench/internal/model"
+)
+
+// tinyConfig is a scaled-down LLaMA-style architecture the reference
+// implementation can execute quickly.
+func tinyConfig(attn model.AttentionKind, kvHeads int) *model.Config {
+	return &model.Config{
+		Name: "tiny", Layers: 2, Hidden: 64, Attention: attn,
+		Heads: 8, KVHeads: kvHeads, FFN: model.Dense, Experts: 1,
+		ActiveExp: 1, Inter: 128, MaxSeq: 256, Vocab: 97, GatedMLP: true,
+	}
+}
+
+func TestNewRejectsBigAndMoE(t *testing.T) {
+	big := tinyConfig(model.GQA, 2)
+	big.Hidden = 8192
+	big.Heads = 64
+	big.KVHeads = 8
+	if _, err := New(big, 1); err == nil {
+		t.Error("oversized architecture must be rejected")
+	}
+	if _, err := New(model.MustGet("Mixtral-8x7B"), 1); err == nil {
+		t.Error("MoE must be rejected")
+	}
+}
+
+func TestKVCacheEquivalence(t *testing.T) {
+	// Decoding with the KV cache must produce exactly the same tokens
+	// as re-running the full forward pass every step — the correctness
+	// property behind the Fig. 2a ablation.
+	for _, cfg := range []*model.Config{tinyConfig(model.MHSA, 8), tinyConfig(model.GQA, 2)} {
+		m, err := New(cfg, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prompt := []int{5, 17, 3, 88, 21, 9}
+		var cWith, cWithout Counters
+		with, err := m.Generate(prompt, 8, true, &cWith)
+		if err != nil {
+			t.Fatal(err)
+		}
+		without, err := m.Generate(prompt, 8, false, &cWithout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range with {
+			if with[i] != without[i] {
+				t.Fatalf("%s: token %d differs with cache: %v vs %v", cfg.Attention, i, with, without)
+			}
+		}
+		// And the cache must save a lot of work.
+		if cWith.Total() >= cWithout.Total() {
+			t.Errorf("%s: cached FLOPs %.3g must be below uncached %.3g",
+				cfg.Attention, cWith.Total(), cWithout.Total())
+		}
+	}
+}
+
+func TestDecodeFLOPsMatchAnalyticModel(t *testing.T) {
+	// One cached decode step at context ctx must execute the FLOPs the
+	// analytic model predicts (matmul + attention only; norms and
+	// elementwise ops are excluded on both sides).
+	cfg := tinyConfig(model.GQA, 2)
+	m, err := New(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prompt := make([]int, 31)
+	for i := range prompt {
+		prompt[i] = (i * 13) % cfg.Vocab
+	}
+	cache := m.NewKVCache()
+	var warm Counters
+	if _, err := m.Forward(prompt, cache, &warm); err != nil {
+		t.Fatal(err)
+	}
+	var step Counters
+	if _, err := m.Forward([]int{1}, cache, &step); err != nil {
+		t.Fatal(err)
+	}
+	ctx := len(prompt) + 1 // cache now holds prompt + the new token
+	want := cfg.DecodeFLOPsPerToken(ctx)
+	got := step.Total()
+	if rel := math.Abs(got-want) / want; rel > 0.02 {
+		t.Errorf("decode FLOPs: executed %.6g vs analytic %.6g (rel err %.3f)", got, want, rel)
+	}
+}
+
+func TestPrefillFLOPsMatchAnalyticModel(t *testing.T) {
+	cfg := tinyConfig(model.GQA, 2)
+	m, err := New(cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 48
+	prompt := make([]int, n)
+	for i := range prompt {
+		prompt[i] = (i * 7) % cfg.Vocab
+	}
+	var cnt Counters
+	if _, err := m.Forward(prompt, m.NewKVCache(), &cnt); err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.PrefillFLOPs(n)
+	got := cnt.Total()
+	// The analytic prefill approximates causal attention as n² rather
+	// than n(n+1)/2·2; allow a modest band.
+	if rel := math.Abs(got-want) / want; rel > 0.05 {
+		t.Errorf("prefill FLOPs: executed %.6g vs analytic %.6g (rel err %.3f)", got, want, rel)
+	}
+}
+
+func TestGQAKVTrafficRatio(t *testing.T) {
+	// A GQA model with 2 of 8 KV heads must read exactly 1/4 of the
+	// MHSA model's KV elements per step — the traffic ratio the engine
+	// prices.
+	run := func(cfg *model.Config) Counters {
+		m, err := New(cfg, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cache := m.NewKVCache()
+		var warm Counters
+		prompt := make([]int, 32)
+		if _, err := m.Forward(prompt, cache, &warm); err != nil {
+			t.Fatal(err)
+		}
+		var step Counters
+		if _, err := m.Forward([]int{1}, cache, &step); err != nil {
+			t.Fatal(err)
+		}
+		return step
+	}
+	mhsa := run(tinyConfig(model.MHSA, 8))
+	gqa := run(tinyConfig(model.GQA, 2))
+	ratio := gqa.KVElemsRead / mhsa.KVElemsRead
+	if math.Abs(ratio-0.25) > 1e-9 {
+		t.Errorf("GQA KV read ratio = %v, want exactly 0.25", ratio)
+	}
+	// Analytic counterpart.
+	wantRatio := tinyConfig(model.GQA, 2).KVGroupRatio()
+	if math.Abs(ratio-wantRatio) > 1e-9 {
+		t.Errorf("executed ratio %v disagrees with KVGroupRatio %v", ratio, wantRatio)
+	}
+}
+
+func TestForwardErrors(t *testing.T) {
+	m, err := New(tinyConfig(model.GQA, 2), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cnt Counters
+	if _, err := m.Forward(nil, nil, &cnt); err == nil {
+		t.Error("empty tokens must fail")
+	}
+	if _, err := m.Forward([]int{10000}, nil, &cnt); err == nil {
+		t.Error("out-of-vocab token must fail")
+	}
+	if _, err := m.Generate([]int{1}, 0, true, &cnt); err == nil {
+		t.Error("zero steps must fail")
+	}
+}
+
+func TestDeterministicWeights(t *testing.T) {
+	a, _ := New(tinyConfig(model.GQA, 2), 5)
+	bm, _ := New(tinyConfig(model.GQA, 2), 5)
+	var ca, cb Counters
+	la, err := a.Forward([]int{1, 2, 3}, nil, &ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, _ := bm.Forward([]int{1, 2, 3}, nil, &cb)
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatal("same seed must give identical logits")
+		}
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{MatmulFLOPs: 1, AttnFLOPs: 2, WeightElems: 3, KVElemsRead: 4, KVElemsWrite: 5}
+	b := a
+	a.Add(b)
+	if a.MatmulFLOPs != 2 || a.KVElemsWrite != 10 {
+		t.Errorf("Add broken: %+v", a)
+	}
+	if a.Total() != 6 {
+		t.Errorf("Total = %v", a.Total())
+	}
+}

@@ -1,0 +1,125 @@
+// Package roofline implements the op-level timing primitive the
+// engine is built on: an operation with F FLOPs of compute and B bytes
+// of memory traffic on a device achieving effective rates C FLOP/s and
+// M B/s takes max(F/C, B/M) — it is either compute-bound or
+// memory-bound.
+//
+// Heterogeneous devices that genuinely co-execute engines (Gaudi2's
+// MME + TPC, §VI-4 of the paper) may additionally hide part of the
+// shorter wall under the longer one, expressed by Rates.Overlap.
+//
+// The package reports which wall an op hit and the ratio between the
+// walls, which the power model consumes.
+package roofline
+
+import (
+	"errors"
+	"math"
+)
+
+// Bound says which resource limited an operation.
+type Bound int
+
+const (
+	// ComputeBound: FLOPs dominated (prefill, large batches).
+	ComputeBound Bound = iota
+	// MemoryBound: byte traffic dominated (decode at small batch).
+	MemoryBound
+)
+
+func (b Bound) String() string {
+	if b == ComputeBound {
+		return "compute"
+	}
+	return "memory"
+}
+
+// Op is one roofline operation.
+type Op struct {
+	FLOPs float64 // total floating-point work
+	Bytes float64 // total memory traffic
+}
+
+// Rates are the effective device rates for an Op.
+type Rates struct {
+	FLOPS float64 // effective FLOP/s (peak × efficiency)
+	BW    float64 // effective bytes/s
+	// Overlap ∈ [0,1): fraction of the shorter wall hidden under the
+	// longer one by co-executing engines. The credit is capped so an
+	// op can never run faster than 60% of its dominant wall.
+	Overlap float64
+}
+
+// Result is the timing outcome of an Op.
+type Result struct {
+	Seconds     float64 // wall time
+	Bound       Bound
+	ComputeTime float64 // F/C
+	MemoryTime  float64 // B/M
+	// Balance = min(wall)/max(wall) ∈ [0,1]. 1 means both resources
+	// were saturated (maximum power draw); near 0 means one resource
+	// idled.
+	Balance float64
+}
+
+// ErrBadRates is returned for non-positive effective rates.
+var ErrBadRates = errors.New("roofline: non-positive effective rate")
+
+// ErrNegativeWork is returned for negative FLOP or byte counts.
+var ErrNegativeWork = errors.New("roofline: negative work")
+
+// Time evaluates the roofline for one op.
+func Time(op Op, r Rates) (Result, error) {
+	if r.FLOPS <= 0 || r.BW <= 0 {
+		return Result{}, ErrBadRates
+	}
+	if op.FLOPs < 0 || op.Bytes < 0 {
+		return Result{}, ErrNegativeWork
+	}
+	if r.Overlap < 0 || r.Overlap >= 1 {
+		return Result{}, errors.New("roofline: overlap out of [0,1)")
+	}
+	ct := op.FLOPs / r.FLOPS
+	mt := op.Bytes / r.BW
+	long := math.Max(ct, mt)
+	short := math.Min(ct, mt)
+	t := long
+	if r.Overlap > 0 {
+		t = math.Max(long-short*r.Overlap, 0.6*long)
+	}
+	bound := ComputeBound
+	if mt > ct {
+		bound = MemoryBound
+	}
+	balance := 0.0
+	if long > 0 {
+		balance = short / long
+	}
+	return Result{
+		Seconds:     t,
+		Bound:       bound,
+		ComputeTime: ct,
+		MemoryTime:  mt,
+		Balance:     balance,
+	}, nil
+}
+
+// Sum accumulates results of sequential ops: times add; the bound and
+// balance are work-weighted.
+func Sum(results ...Result) Result {
+	var out Result
+	var wBal float64
+	for _, r := range results {
+		out.Seconds += r.Seconds
+		out.ComputeTime += r.ComputeTime
+		out.MemoryTime += r.MemoryTime
+		wBal += r.Balance * r.Seconds
+	}
+	if out.Seconds > 0 {
+		out.Balance = wBal / out.Seconds
+	}
+	if out.MemoryTime > out.ComputeTime {
+		out.Bound = MemoryBound
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package roofline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestComputeBound(t *testing.T) {
+	r, err := Time(Op{FLOPs: 1e12, Bytes: 1e6}, Rates{FLOPS: 1e12, BW: 1e12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bound != ComputeBound {
+		t.Errorf("bound = %v, want compute", r.Bound)
+	}
+	if math.Abs(r.Seconds-1) > 1e-12 {
+		t.Errorf("seconds = %v, want 1", r.Seconds)
+	}
+}
+
+func TestMemoryBound(t *testing.T) {
+	r, err := Time(Op{FLOPs: 1e6, Bytes: 2e12}, Rates{FLOPS: 1e12, BW: 1e12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bound != MemoryBound {
+		t.Errorf("bound = %v, want memory", r.Bound)
+	}
+	if math.Abs(r.Seconds-2) > 1e-12 {
+		t.Errorf("seconds = %v, want 2", r.Seconds)
+	}
+}
+
+func TestOverlapShortensButBounded(t *testing.T) {
+	op := Op{FLOPs: 1e12, Bytes: 0.9e12}
+	base, _ := Time(op, Rates{FLOPS: 1e12, BW: 1e12})
+	over, _ := Time(op, Rates{FLOPS: 1e12, BW: 1e12, Overlap: 0.5})
+	if over.Seconds >= base.Seconds {
+		t.Error("overlap must shorten the op")
+	}
+	if over.Seconds < 0.6*base.Seconds {
+		t.Error("overlap credit must be capped at 60% of the dominant wall")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Time(Op{FLOPs: 1}, Rates{FLOPS: 0, BW: 1}); err == nil {
+		t.Error("zero FLOPS rate must error")
+	}
+	if _, err := Time(Op{FLOPs: -1}, Rates{FLOPS: 1, BW: 1}); err == nil {
+		t.Error("negative work must error")
+	}
+	if _, err := Time(Op{}, Rates{FLOPS: 1, BW: 1, Overlap: 1}); err == nil {
+		t.Error("overlap=1 must error")
+	}
+}
+
+func TestTimeNeverBelowDominantWallWithoutOverlap(t *testing.T) {
+	f := func(fl, by uint32) bool {
+		op := Op{FLOPs: float64(fl), Bytes: float64(by)}
+		r, err := Time(op, Rates{FLOPS: 1e9, BW: 1e9})
+		if err != nil {
+			return false
+		}
+		want := math.Max(op.FLOPs, op.Bytes) / 1e9
+		return math.Abs(r.Seconds-want) < 1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBalanceRange(t *testing.T) {
+	f := func(fl, by uint32) bool {
+		r, err := Time(Op{FLOPs: float64(fl) + 1, Bytes: float64(by) + 1}, Rates{FLOPS: 1e9, BW: 1e9})
+		return err == nil && r.Balance >= 0 && r.Balance <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSum(t *testing.T) {
+	a, _ := Time(Op{FLOPs: 1e9, Bytes: 1e6}, Rates{FLOPS: 1e9, BW: 1e9})
+	b, _ := Time(Op{FLOPs: 1e6, Bytes: 3e9}, Rates{FLOPS: 1e9, BW: 1e9})
+	s := Sum(a, b)
+	if math.Abs(s.Seconds-(a.Seconds+b.Seconds)) > 1e-12 {
+		t.Errorf("sum seconds = %v", s.Seconds)
+	}
+	if s.Bound != MemoryBound {
+		t.Error("sum should be memory bound (3e9 bytes vs 1e9+1e6 flops)")
+	}
+	if s.Balance < 0 || s.Balance > 1 {
+		t.Errorf("sum balance out of range: %v", s.Balance)
+	}
+}
+
+func TestBoundString(t *testing.T) {
+	if ComputeBound.String() != "compute" || MemoryBound.String() != "memory" {
+		t.Error("bound strings wrong")
+	}
+}

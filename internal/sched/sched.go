@@ -1,0 +1,363 @@
+// Package sched simulates online serving with the two batch-scheduling
+// strategies the paper contrasts (§IV-A1): Orca-style continuous
+// batching — "new requests of variable length can be processed without
+// waiting for the previous batch to be finished" — and traditional
+// static batching, which drains a whole batch before admitting more.
+//
+// The simulation is mechanistic: requests arrive on a trace, occupy
+// real KV-cache blocks from internal/kvcache, advance token by token
+// at per-iteration costs priced by the engine, and are preempted when
+// the cache runs out.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"llmbench/internal/engine"
+	"llmbench/internal/kvcache"
+	"llmbench/internal/workload"
+)
+
+// Policy selects the batching strategy.
+type Policy int
+
+const (
+	// Continuous admits requests at iteration granularity (vLLM,
+	// TRT-LLM, DS-MII).
+	Continuous Policy = iota
+	// Static collects a batch, runs it to completion, then repeats
+	// (pre-Orca serving).
+	Static
+)
+
+func (p Policy) String() string {
+	if p == Continuous {
+		return "continuous"
+	}
+	return "static"
+}
+
+// Config parameterises a serving simulation.
+type Config struct {
+	Engine   *engine.Engine
+	Policy   Policy
+	MaxBatch int // concurrency cap per iteration
+	// Alloc is the KV allocator used for admission control and
+	// preemption. Required.
+	Alloc kvcache.Allocator
+
+	// ChunkedPrefill enables Dynamic-SplitFuse-style scheduling
+	// (DS-MII, §V-3): prompts are prefilled in PrefillChunk-token
+	// slices fused into decode iterations, so running requests keep
+	// generating instead of stalling behind a long admission prefill.
+	ChunkedPrefill bool
+	// PrefillChunk is the slice size in tokens (default 512).
+	PrefillChunk int
+}
+
+// RequestStats records one request's lifecycle.
+type RequestStats struct {
+	ID        int
+	Input     int
+	Output    int
+	Arrival   float64
+	Started   float64 // when prefill began
+	FirstTok  float64 // when the first output token appeared
+	Finished  float64
+	Preempted int // times this request was evicted and restarted
+}
+
+// Latency is the request's end-to-end time.
+func (r RequestStats) Latency() float64 { return r.Finished - r.Arrival }
+
+// QueueDelay is the time spent waiting before prefill.
+func (r RequestStats) QueueDelay() float64 { return r.Started - r.Arrival }
+
+// Stats summarises a serving run.
+type Stats struct {
+	Completed   int
+	MakespanS   float64
+	Throughput  float64 // total (in+out) tokens per second, Eq. (2) spirit
+	MeanLatency float64
+	P99Latency  float64
+	MeanTTFT    float64
+	Preemptions int
+	// MaxIterationS is the longest single scheduler iteration — the
+	// worst token-level stall a running request experienced. Chunked
+	// prefill exists to bound it (§V-3).
+	MaxIterationS float64
+	Requests      []RequestStats
+}
+
+type running struct {
+	req            workload.Request
+	generated      int
+	pendingPrefill int // prompt tokens not yet prefilled (chunked mode)
+	stats          *RequestStats
+}
+
+// Serve runs the trace to completion and returns statistics.
+func Serve(cfg Config, reqs []workload.Request) (Stats, error) {
+	if cfg.Engine == nil || cfg.Alloc == nil {
+		return Stats{}, errors.New("sched: nil engine or allocator")
+	}
+	if cfg.MaxBatch < 1 {
+		return Stats{}, errors.New("sched: MaxBatch must be ≥ 1")
+	}
+	if len(reqs) == 0 {
+		return Stats{}, errors.New("sched: empty trace")
+	}
+	queue := make([]workload.Request, len(reqs))
+	copy(queue, reqs)
+	sort.Slice(queue, func(i, j int) bool { return queue[i].Arrival < queue[j].Arrival })
+
+	switch cfg.Policy {
+	case Continuous:
+		return serveContinuous(cfg, queue)
+	case Static:
+		return serveStatic(cfg, queue)
+	}
+	return Stats{}, fmt.Errorf("sched: unknown policy %d", cfg.Policy)
+}
+
+func serveContinuous(cfg Config, queue []workload.Request) (Stats, error) {
+	now := 0.0
+	var run []*running
+	done := make([]RequestStats, 0, len(queue))
+	preemptions := 0
+	maxIter := 0.0
+
+	for len(queue) > 0 || len(run) > 0 {
+		// Idle: jump to the next arrival.
+		if len(run) == 0 && len(queue) > 0 && queue[0].Arrival > now {
+			now = queue[0].Arrival
+		}
+		// Admit arrived requests while capacity remains.
+		var admitted []*running
+		for len(queue) > 0 && queue[0].Arrival <= now && len(run)+len(admitted) < cfg.MaxBatch {
+			req := queue[0]
+			if !cfg.Alloc.CanAlloc(req.Input) {
+				break
+			}
+			if err := cfg.Alloc.Alloc(req.ID, req.Input); err != nil {
+				break
+			}
+			queue = queue[1:]
+			admitted = append(admitted, &running{
+				req: req,
+				stats: &RequestStats{
+					ID: req.ID, Input: req.Input, Output: req.Output,
+					Arrival: req.Arrival, Started: now,
+				},
+			})
+		}
+		if len(admitted) > 0 {
+			if cfg.ChunkedPrefill {
+				// Prompts enter the prefill queue; their tokens are
+				// processed in slices fused with decode iterations.
+				for _, a := range admitted {
+					a.pendingPrefill = a.req.Input
+				}
+			} else {
+				// Charge one batched prefill for the admitted prompts,
+				// stalling the running set (the non-SplitFuse cost).
+				in := 0
+				for _, a := range admitted {
+					in += a.req.Input
+				}
+				pf, err := cfg.Engine.PrefillSeconds(len(admitted), in/len(admitted))
+				if err != nil {
+					return Stats{}, err
+				}
+				if len(run) > 0 && pf > maxIter {
+					maxIter = pf // running requests stalled this long
+				}
+				now += pf
+				for _, a := range admitted {
+					a.stats.FirstTok = now
+					a.generated = 1 // prefill emits the first token
+				}
+			}
+			run = append(run, admitted...)
+		}
+		if len(run) == 0 {
+			continue
+		}
+		// One iteration: a decode step for the generating set, fused
+		// with at most one prefill slice in chunked mode.
+		var decoding []*running
+		var prefilling *running
+		for _, r := range run {
+			if r.pendingPrefill > 0 {
+				if prefilling == nil {
+					prefilling = r
+				}
+			} else {
+				decoding = append(decoding, r)
+			}
+		}
+		var step float64
+		if len(decoding) > 0 {
+			ctxSum := 0
+			for _, r := range decoding {
+				ctxSum += r.req.Input + r.generated
+			}
+			t, err := cfg.Engine.DecodeStepSeconds(len(decoding), ctxSum/len(decoding))
+			if err != nil {
+				return Stats{}, err
+			}
+			step += t
+		}
+		if prefilling != nil {
+			chunkTokens := cfg.PrefillChunk
+			if chunkTokens <= 0 {
+				chunkTokens = 512
+			}
+			if chunkTokens > prefilling.pendingPrefill {
+				chunkTokens = prefilling.pendingPrefill
+			}
+			t, err := cfg.Engine.PrefillSeconds(1, chunkTokens)
+			if err != nil {
+				return Stats{}, err
+			}
+			step += t
+			prefilling.pendingPrefill -= chunkTokens
+			if prefilling.pendingPrefill == 0 {
+				prefilling.stats.FirstTok = now + step
+				prefilling.generated = 1
+			}
+		}
+		if len(decoding) > 0 && step > maxIter {
+			maxIter = step
+		}
+		now += step
+		next := run[:0]
+		for _, r := range run {
+			if r.pendingPrefill > 0 || (r == prefilling && r.generated == 1) {
+				// Still prefilling, or just emitted its first token
+				// this iteration — no decode advance yet.
+				next = append(next, r)
+				continue
+			}
+			r.generated++
+			if err := cfg.Alloc.Extend(r.req.ID, r.req.Input+r.generated); err != nil {
+				if errors.Is(err, kvcache.ErrOutOfMemory) {
+					// Preempt: evict and requeue (recompute later).
+					cfg.Alloc.Free(r.req.ID)
+					preemptions++
+					r.stats.Preempted++
+					requeued := r.req
+					requeued.Arrival = now
+					queue = insertByArrival(queue, requeued)
+					continue
+				}
+				return Stats{}, err
+			}
+			if r.generated >= r.req.Output {
+				cfg.Alloc.Free(r.req.ID)
+				r.stats.Finished = now
+				done = append(done, *r.stats)
+				continue
+			}
+			next = append(next, r)
+		}
+		run = next
+	}
+	stats, err := summarize(done, now, preemptions)
+	if err != nil {
+		return Stats{}, err
+	}
+	stats.MaxIterationS = maxIter
+	return stats, nil
+}
+
+func serveStatic(cfg Config, queue []workload.Request) (Stats, error) {
+	now := 0.0
+	done := make([]RequestStats, 0, len(queue))
+	for len(queue) > 0 {
+		if queue[0].Arrival > now {
+			now = queue[0].Arrival
+		}
+		// Collect up to MaxBatch arrived requests.
+		batch := make([]workload.Request, 0, cfg.MaxBatch)
+		rest := queue[:0]
+		for _, r := range queue {
+			if r.Arrival <= now && len(batch) < cfg.MaxBatch && cfg.Alloc.CanAlloc(r.Input+r.Output) {
+				if err := cfg.Alloc.Alloc(r.ID, r.Input+r.Output); err == nil {
+					batch = append(batch, r)
+					continue
+				}
+			}
+			rest = append(rest, r)
+		}
+		queue = rest
+		if len(batch) == 0 {
+			// Allocator full with nothing running cannot happen (we
+			// free below); this means the next request hasn't arrived.
+			continue
+		}
+		// The static batch runs until its longest member finishes.
+		maxIn, maxOut := 0, 0
+		for _, r := range batch {
+			if r.Input > maxIn {
+				maxIn = r.Input
+			}
+			if r.Output > maxOut {
+				maxOut = r.Output
+			}
+		}
+		res, err := cfg.Engine.Run(workload.Spec{Batch: len(batch), Input: maxIn, Output: maxOut})
+		if err != nil {
+			return Stats{}, err
+		}
+		for _, r := range batch {
+			cfg.Alloc.Free(r.ID)
+			done = append(done, RequestStats{
+				ID: r.ID, Input: r.Input, Output: r.Output,
+				Arrival: r.Arrival, Started: now,
+				FirstTok: now + res.TTFTSeconds,
+				Finished: now + res.E2ESeconds,
+			})
+		}
+		now += res.E2ESeconds
+	}
+	return summarize(done, now, 0)
+}
+
+func insertByArrival(queue []workload.Request, r workload.Request) []workload.Request {
+	i := sort.Search(len(queue), func(i int) bool { return queue[i].Arrival > r.Arrival })
+	queue = append(queue, workload.Request{})
+	copy(queue[i+1:], queue[i:])
+	queue[i] = r
+	return queue
+}
+
+func summarize(done []RequestStats, makespan float64, preemptions int) (Stats, error) {
+	if len(done) == 0 {
+		return Stats{}, errors.New("sched: no requests completed")
+	}
+	var tokens, latSum, ttftSum float64
+	lats := make([]float64, len(done))
+	for i, r := range done {
+		lats[i] = r.Latency()
+		latSum += lats[i]
+		ttftSum += r.FirstTok - r.Arrival
+		tokens += float64(r.Input + r.Output)
+	}
+	sort.Float64s(lats)
+	if makespan <= 0 {
+		return Stats{}, errors.New("sched: zero makespan")
+	}
+	return Stats{
+		Completed:   len(done),
+		MakespanS:   makespan,
+		Throughput:  tokens / makespan,
+		MeanLatency: latSum / float64(len(done)),
+		P99Latency:  lats[int(float64(len(lats)-1)*0.99)],
+		MeanTTFT:    ttftSum / float64(len(done)),
+		Preemptions: preemptions,
+		Requests:    done,
+	}, nil
+}

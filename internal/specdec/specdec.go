@@ -1,0 +1,90 @@
+// Package specdec models speculative decoding (§IV-B5, Fig. 4b of the
+// paper): a small draft model proposes γ tokens which the large target
+// model verifies in one parallel pass.
+//
+// The model captures the two effects the paper reports: the benefit
+// exists only when the draft is much cheaper than the target *and*
+// acceptance stays high — so it helps LLaMA-2-7B but not Mixtral-8x7B,
+// and it fades as sequence length grows.
+package specdec
+
+import (
+	"errors"
+	"math"
+
+	"llmbench/internal/model"
+)
+
+// Config parameterises a speculative-decoding setup.
+type Config struct {
+	// Gamma is the number of draft tokens proposed per verification.
+	Gamma int
+	// BaseAcceptance is the per-token acceptance probability at a
+	// short (128-token) context.
+	BaseAcceptance float64
+	// AcceptanceDecay is subtracted per doubling of sequence length
+	// beyond 128 — long contexts are harder to guess (Fig. 4b shows
+	// the SD benefit vanishing with length).
+	AcceptanceDecay float64
+}
+
+// Default is the paper's setup: a LLaMA-68M draft with γ=4.
+var Default = Config{Gamma: 4, BaseAcceptance: 0.70, AcceptanceDecay: 0.06}
+
+// Acceptance returns the per-token acceptance rate at a given
+// sequence length.
+func (c Config) Acceptance(seqLen int) float64 {
+	a := c.BaseAcceptance
+	if seqLen > 128 {
+		a -= c.AcceptanceDecay * math.Log2(float64(seqLen)/128)
+	}
+	if a < 0.05 {
+		a = 0.05
+	}
+	if a > 0.99 {
+		a = 0.99
+	}
+	return a
+}
+
+// ExpectedTokensPerPass is the expected number of tokens emitted per
+// draft-then-verify round: 1 + α + α² + … + α^γ (the verified prefix
+// plus the target's own corrected token).
+func (c Config) ExpectedTokensPerPass(seqLen int) float64 {
+	a := c.Acceptance(seqLen)
+	return (1 - math.Pow(a, float64(c.Gamma)+1)) / (1 - a)
+}
+
+// VerifyCostFactor is how much more expensive a γ-token verification
+// pass is than one ordinary decode step of the target. For dense
+// models the pass is still one weight sweep (≈1); for MoE models the
+// γ speculative tokens route to different experts, multiplying the
+// expert weight traffic — this is why SD does not pay off for
+// Mixtral-8x7B in Fig. 4b.
+func VerifyCostFactor(target *model.Config, gamma int) float64 {
+	if target.FFN != model.MoE {
+		// Extra attention/activation work for γ tokens on top of the
+		// dominant weight sweep.
+		return 1 + 0.05*float64(gamma)
+	}
+	// Expected distinct experts touched by γ+1 tokens vs one token.
+	one := target.ExpectedActiveExperts(1)
+	many := target.ExpectedActiveExperts(gamma + 1)
+	return many / one * (1 + 0.05*float64(gamma))
+}
+
+// Speedup computes the throughput ratio of speculative decoding over
+// plain decoding given the per-step costs of the target and draft
+// models (seconds per decode step at the operating batch size).
+func Speedup(c Config, targetStep, draftStep float64, target *model.Config, seqLen int) (float64, error) {
+	if targetStep <= 0 || draftStep < 0 {
+		return 0, errors.New("specdec: non-positive step times")
+	}
+	if c.Gamma < 1 {
+		return 0, errors.New("specdec: gamma must be ≥ 1")
+	}
+	tokens := c.ExpectedTokensPerPass(seqLen)
+	passCost := float64(c.Gamma)*draftStep + targetStep*VerifyCostFactor(target, c.Gamma)
+	plainCost := tokens * targetStep // time plain decoding needs for the same tokens
+	return plainCost / passCost, nil
+}

@@ -1,0 +1,94 @@
+package specdec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"llmbench/internal/model"
+)
+
+func TestAcceptanceDecaysWithLength(t *testing.T) {
+	c := Default
+	if c.Acceptance(1024) >= c.Acceptance(128) {
+		t.Error("acceptance must decay with sequence length")
+	}
+	if a := c.Acceptance(1 << 30); a < 0.05 || a > 0.99 {
+		t.Errorf("acceptance must stay clamped, got %v", a)
+	}
+}
+
+func TestExpectedTokensBounds(t *testing.T) {
+	f := func(l uint16) bool {
+		e := Default.ExpectedTokensPerPass(int(l) + 1)
+		return e >= 1 && e <= float64(Default.Gamma)+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSDHelps7BNotMixtral(t *testing.T) {
+	// Fig. 4b: with a near-free draft, SD speeds up LLaMA-2-7B but
+	// not Mixtral-8x7B.
+	llama := model.MustGet("LLaMA-2-7B")
+	mixtral := model.MustGet("Mixtral-8x7B")
+	targetStep := 20e-3
+	draftStep := 0.5e-3 // LLaMA-68M is ~100x smaller
+	sLLaMA, err := Speedup(Default, targetStep, draftStep, llama, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sMixtral, err := Speedup(Default, targetStep, draftStep, mixtral, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sLLaMA <= 1.0 {
+		t.Errorf("SD must help LLaMA-2-7B at short length, speedup = %v", sLLaMA)
+	}
+	if sMixtral >= 1.0 {
+		t.Errorf("SD must not help Mixtral-8x7B, speedup = %v", sMixtral)
+	}
+}
+
+func TestSDBenefitShrinksWithLength(t *testing.T) {
+	llama := model.MustGet("LLaMA-2-7B")
+	short, _ := Speedup(Default, 20e-3, 0.5e-3, llama, 128)
+	long, _ := Speedup(Default, 20e-3, 0.5e-3, llama, 1024)
+	if long >= short {
+		t.Errorf("SD benefit must shrink with length: short=%v long=%v", short, long)
+	}
+}
+
+func TestVerifyCostFactorMoE(t *testing.T) {
+	dense := VerifyCostFactor(model.MustGet("LLaMA-2-7B"), 4)
+	moe := VerifyCostFactor(model.MustGet("Mixtral-8x7B"), 4)
+	if moe <= dense {
+		t.Errorf("MoE verification must cost more: dense=%v moe=%v", dense, moe)
+	}
+	if dense < 1 {
+		t.Errorf("verify factor must be ≥ 1, got %v", dense)
+	}
+}
+
+func TestSpeedupErrors(t *testing.T) {
+	llama := model.MustGet("LLaMA-2-7B")
+	if _, err := Speedup(Default, 0, 1e-3, llama, 128); err == nil {
+		t.Error("zero target step must error")
+	}
+	bad := Default
+	bad.Gamma = 0
+	if _, err := Speedup(bad, 1e-3, 1e-4, llama, 128); err == nil {
+		t.Error("gamma 0 must error")
+	}
+}
+
+func TestExpensiveDraftKillsSpeedup(t *testing.T) {
+	llama := model.MustGet("LLaMA-2-7B")
+	s, err := Speedup(Default, 20e-3, 20e-3, llama, 128) // draft as slow as target
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s >= 1 {
+		t.Errorf("an expensive draft must not speed decoding up, got %v", s)
+	}
+}

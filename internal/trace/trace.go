@@ -1,0 +1,150 @@
+// Package trace provides the discrete-event simulation core used by
+// the serving scheduler: a monotonic simulated clock, a time-ordered
+// event queue, and a small deterministic RNG so simulations are
+// reproducible across runs and platforms.
+package trace
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+)
+
+// Event is a callback scheduled at a simulated time.
+type Event struct {
+	At float64 // simulated seconds
+	Fn func(now float64)
+
+	seq int // tie-break: FIFO among equal timestamps
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulator.
+type Sim struct {
+	now    float64
+	nextID int
+	events eventHeap
+}
+
+// NewSim creates an empty simulator at time zero.
+func NewSim() *Sim {
+	s := &Sim{}
+	heap.Init(&s.events)
+	return s
+}
+
+// Now returns the current simulated time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// ErrPastEvent is returned when scheduling before the current time.
+var ErrPastEvent = errors.New("trace: event scheduled in the past")
+
+// At schedules fn at absolute simulated time t.
+func (s *Sim) At(t float64, fn func(now float64)) error {
+	if t < s.now {
+		return ErrPastEvent
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return errors.New("trace: non-finite event time")
+	}
+	e := &Event{At: t, Fn: fn, seq: s.nextID}
+	s.nextID++
+	heap.Push(&s.events, e)
+	return nil
+}
+
+// After schedules fn after a delay from now.
+func (s *Sim) After(d float64, fn func(now float64)) error {
+	return s.At(s.now+d, fn)
+}
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return s.events.Len() }
+
+// Step runs the earliest event; it reports false when the queue is
+// empty.
+func (s *Sim) Step() bool {
+	if s.events.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(*Event)
+	s.now = e.At
+	e.Fn(s.now)
+	return true
+}
+
+// Run drains the event queue, stopping early if the clock passes
+// horizon (≤0 means no horizon). It returns the number of events run.
+func (s *Sim) Run(horizon float64) int {
+	n := 0
+	for s.events.Len() > 0 {
+		next := s.events[0].At
+		if horizon > 0 && next > horizon {
+			break
+		}
+		s.Step()
+		n++
+	}
+	return n
+}
+
+// --- deterministic RNG ---------------------------------------------------
+
+// RNG is a small deterministic PRNG (splitmix64) for reproducible
+// workload generation.
+type RNG struct{ state uint64 }
+
+// NewRNG seeds a generator; the same seed always yields the same
+// stream on every platform.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next raw value.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Intn returns a uniform value in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("trace: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Exp returns an exponentially distributed value with the given mean
+// (inter-arrival times of a Poisson process).
+func (r *RNG) Exp(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}

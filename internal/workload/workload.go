@@ -1,0 +1,111 @@
+// Package workload generates the benchmark workloads of §III-2: fixed
+// input/output-length batches swept over the paper's grid (lengths
+// 128–2048, batch sizes 1–64), blended-token grids (Fig. 1b), and
+// Poisson-arrival serving traces for the continuous-batching
+// scheduler.
+package workload
+
+import (
+	"fmt"
+
+	"llmbench/internal/trace"
+)
+
+// PaperLengths is the input/output length grid of §III-2.
+var PaperLengths = []int{128, 256, 512, 1024, 2048}
+
+// PaperBatches is the batch-size grid of §III-2.
+var PaperBatches = []int{1, 16, 32, 64}
+
+// Spec is one offline benchmark point: a batch of identical requests.
+type Spec struct {
+	Batch  int
+	Input  int // prompt tokens per request
+	Output int // generated tokens per request
+}
+
+// Validate checks the spec.
+func (s Spec) Validate() error {
+	if s.Batch < 1 || s.Input < 1 || s.Output < 1 {
+		return fmt.Errorf("workload: non-positive spec %+v", s)
+	}
+	return nil
+}
+
+// TotalTokens is the paper's throughput numerator: batch × (input +
+// output) tokens (Eq. 2).
+func (s Spec) TotalTokens() float64 {
+	return float64(s.Batch) * float64(s.Input+s.Output)
+}
+
+// Grid enumerates batch × length specs with equal input and output
+// length — the workload of most figures.
+func Grid(batches, lengths []int) []Spec {
+	var out []Spec
+	for _, b := range batches {
+		for _, l := range lengths {
+			out = append(out, Spec{Batch: b, Input: l, Output: l})
+		}
+	}
+	return out
+}
+
+// BlendedGrid enumerates all input × output combinations at a fixed
+// batch size (the Fig. 1b heatmap).
+func BlendedGrid(batch int, lengths []int) []Spec {
+	var out []Spec
+	for _, in := range lengths {
+		for _, outLen := range lengths {
+			out = append(out, Spec{Batch: batch, Input: in, Output: outLen})
+		}
+	}
+	return out
+}
+
+// Request is one serving request in an online trace.
+type Request struct {
+	ID      int
+	Arrival float64 // seconds since trace start
+	Input   int
+	Output  int
+}
+
+// TraceConfig parameterises a Poisson serving trace.
+type TraceConfig struct {
+	Seed         uint64
+	Requests     int
+	RatePerSec   float64 // mean arrival rate
+	InputMean    int     // mean prompt length
+	OutputMean   int     // mean generation length
+	LengthJitter float64 // ±fraction of uniform jitter on lengths
+}
+
+// PoissonTrace generates a reproducible request trace with
+// exponential inter-arrivals and jittered lengths.
+func PoissonTrace(cfg TraceConfig) ([]Request, error) {
+	if cfg.Requests < 1 || cfg.RatePerSec <= 0 || cfg.InputMean < 1 || cfg.OutputMean < 1 {
+		return nil, fmt.Errorf("workload: bad trace config %+v", cfg)
+	}
+	if cfg.LengthJitter < 0 || cfg.LengthJitter >= 1 {
+		return nil, fmt.Errorf("workload: jitter %v out of [0,1)", cfg.LengthJitter)
+	}
+	rng := trace.NewRNG(cfg.Seed)
+	reqs := make([]Request, cfg.Requests)
+	now := 0.0
+	jl := func(mean int) int {
+		if cfg.LengthJitter == 0 {
+			return mean
+		}
+		span := cfg.LengthJitter * float64(mean)
+		v := float64(mean) - span + 2*span*rng.Float64()
+		if v < 1 {
+			v = 1
+		}
+		return int(v)
+	}
+	for i := range reqs {
+		now += rng.Exp(1 / cfg.RatePerSec)
+		reqs[i] = Request{ID: i, Arrival: now, Input: jl(cfg.InputMean), Output: jl(cfg.OutputMean)}
+	}
+	return reqs, nil
+}

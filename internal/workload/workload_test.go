@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGridSize(t *testing.T) {
+	g := Grid(PaperBatches, PaperLengths)
+	if len(g) != len(PaperBatches)*len(PaperLengths) {
+		t.Fatalf("grid size %d", len(g))
+	}
+	for _, s := range g {
+		if s.Input != s.Output {
+			t.Error("grid specs must have equal input/output")
+		}
+		if err := s.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestBlendedGrid(t *testing.T) {
+	g := BlendedGrid(1, PaperLengths)
+	if len(g) != 25 {
+		t.Fatalf("blended grid size %d, want 25 (Fig. 1b)", len(g))
+	}
+	seen := map[[2]int]bool{}
+	for _, s := range g {
+		if s.Batch != 1 {
+			t.Error("blended grid batch must be fixed")
+		}
+		seen[[2]int{s.Input, s.Output}] = true
+	}
+	if len(seen) != 25 {
+		t.Error("blended grid must cover all combinations")
+	}
+}
+
+func TestTotalTokens(t *testing.T) {
+	s := Spec{Batch: 64, Input: 1024, Output: 1024}
+	if s.TotalTokens() != 64*2048 {
+		t.Errorf("TotalTokens = %v", s.TotalTokens())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Spec{Batch: 0, Input: 1, Output: 1}).Validate(); err == nil {
+		t.Error("batch 0 must fail")
+	}
+}
+
+func TestPoissonTraceReproducible(t *testing.T) {
+	cfg := TraceConfig{Seed: 9, Requests: 100, RatePerSec: 5, InputMean: 512, OutputMean: 128, LengthJitter: 0.5}
+	a, err := PoissonTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := PoissonTrace(cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("trace must be reproducible")
+		}
+	}
+}
+
+func TestPoissonTraceProperties(t *testing.T) {
+	cfg := TraceConfig{Seed: 1, Requests: 2000, RatePerSec: 10, InputMean: 512, OutputMean: 128, LengthJitter: 0.3}
+	reqs, err := PoissonTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arrivals strictly increase; mean rate ≈ 10/s.
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].Arrival <= reqs[i-1].Arrival {
+			t.Fatal("arrivals must increase")
+		}
+	}
+	rate := float64(len(reqs)) / reqs[len(reqs)-1].Arrival
+	if rate < 8.5 || rate > 11.5 {
+		t.Errorf("empirical rate = %v, want ~10", rate)
+	}
+	for _, r := range reqs {
+		if r.Input < 1 || r.Output < 1 {
+			t.Fatal("lengths must be positive")
+		}
+		lo := float64(cfg.InputMean) * (1 - cfg.LengthJitter - 0.01)
+		hi := float64(cfg.InputMean) * (1 + cfg.LengthJitter + 0.01)
+		if float64(r.Input) < lo || float64(r.Input) > hi {
+			t.Fatalf("input %d outside jitter band [%v,%v]", r.Input, lo, hi)
+		}
+	}
+}
+
+func TestPoissonTraceErrors(t *testing.T) {
+	if _, err := PoissonTrace(TraceConfig{}); err == nil {
+		t.Error("empty config must fail")
+	}
+	if _, err := PoissonTrace(TraceConfig{Requests: 1, RatePerSec: 1, InputMean: 1, OutputMean: 1, LengthJitter: 1.5}); err == nil {
+		t.Error("jitter ≥ 1 must fail")
+	}
+}
+
+func TestSpecValidateProperty(t *testing.T) {
+	f := func(b, i, o int8) bool {
+		s := Spec{Batch: int(b), Input: int(i), Output: int(o)}
+		err := s.Validate()
+		valid := s.Batch >= 1 && s.Input >= 1 && s.Output >= 1
+		return (err == nil) == valid
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,164 @@
+package llmbench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunQuickstart(t *testing.T) {
+	res, err := Run(System{Model: "LLaMA-3-8B", Device: "A100", Framework: "vLLM"},
+		Workload{Batch: 16, Input: 1024, Output: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= 0 || res.TTFTSeconds <= 0 || res.ITLSeconds <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+}
+
+func TestRunUnknownNames(t *testing.T) {
+	cases := []System{
+		{Model: "GPT-5", Device: "A100", Framework: "vLLM"},
+		{Model: "LLaMA-3-8B", Device: "TPU", Framework: "vLLM"},
+		{Model: "LLaMA-3-8B", Device: "A100", Framework: "MLC"},
+		{Model: "LLaMA-3-8B", Device: "A100", Framework: "vLLM", Weights: "fp13"},
+		{Model: "LLaMA-3-8B", Device: "A100", Framework: "vLLM", KV: "fp13"},
+	}
+	for i, sys := range cases {
+		if _, err := Run(sys, Workload{Batch: 1, Input: 128, Output: 128}); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestCatalogs(t *testing.T) {
+	if len(Models()) < 10 {
+		t.Error("model catalog too small")
+	}
+	if len(Devices()) != 7 {
+		t.Errorf("device catalog has %d entries, want 7", len(Devices()))
+	}
+	if len(Frameworks()) != 6 {
+		t.Errorf("framework catalog has %d entries, want 6", len(Frameworks()))
+	}
+}
+
+func TestExperimentsList(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 51 {
+		t.Errorf("have %d experiments, want 51", len(exps))
+	}
+	for _, e := range exps {
+		if e.ID == "" || e.Title == "" {
+			t.Errorf("experiment %+v incomplete", e)
+		}
+	}
+}
+
+func TestRunExperiment(t *testing.T) {
+	res, err := RunExperiment("fig2b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Markdown, "fig2b") || res.CSV == "" {
+		t.Error("experiment output incomplete")
+	}
+	tab, err := RunExperiment("tab1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.CSV != "" {
+		t.Error("tables have no CSV")
+	}
+	if _, err := RunExperiment("fig99"); err == nil {
+		t.Error("unknown experiment must error")
+	}
+}
+
+func TestPerplexityFacade(t *testing.T) {
+	ppl, err := Perplexity("LLaMA-2-7B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ppl < 2.5 || ppl > 5 {
+		t.Errorf("perplexity %v outside paper band", ppl)
+	}
+	if _, err := Perplexity("GPT-5"); err == nil {
+		t.Error("unknown model must error")
+	}
+}
+
+func TestServeFacade(t *testing.T) {
+	stats, err := Serve(ServeConfig{
+		System:     System{Model: "LLaMA-3-8B", Device: "A100", Framework: "vLLM"},
+		Continuous: true, MaxBatch: 16,
+		Seed: 3, Requests: 40, RatePerSec: 5, InputMean: 512, OutputMean: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed != 40 {
+		t.Errorf("completed %d/40", stats.Completed)
+	}
+	// A 70B model cannot be served on one A100.
+	if _, err := Serve(ServeConfig{
+		System:   System{Model: "LLaMA-2-70B", Device: "A100", Framework: "vLLM"},
+		MaxBatch: 4, Requests: 4, RatePerSec: 1, InputMean: 128, OutputMean: 64,
+	}); err == nil {
+		t.Error("serving a 70B on one A100 must fail")
+	}
+}
+
+func TestServeClusterFacade(t *testing.T) {
+	stats, err := ServeCluster(ClusterConfig{
+		System:      System{Model: "Mistral-7B", Device: "A100", Framework: "vLLM"},
+		Replicas:    2,
+		LeastLoaded: true,
+		MaxBatch:    16,
+		Seed:        5, Requests: 30, RatePerSec: 6, InputMean: 256, OutputMean: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed != 30 || len(stats.PerReplica) != 2 {
+		t.Errorf("cluster stats incomplete: %+v", stats.Stats)
+	}
+	if _, err := ServeCluster(ClusterConfig{Replicas: 0}); err == nil {
+		t.Error("zero replicas must fail")
+	}
+	if _, err := ServeCluster(ClusterConfig{
+		System: System{Model: "LLaMA-2-70B", Device: "A100", Framework: "vLLM"}, Replicas: 1,
+		MaxBatch: 4, Requests: 4, RatePerSec: 1, InputMean: 64, OutputMean: 16,
+	}); err == nil {
+		t.Error("a 70B model on one A100 replica must fail")
+	}
+}
+
+func TestQuantizedSystem(t *testing.T) {
+	res, err := Run(System{
+		Model: "LLaMA-3-8B", Device: "H100", Framework: "vLLM",
+		Weights: "fp8", KV: "fp8",
+	}, Workload{Batch: 16, Input: 1024, Output: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(System{Model: "LLaMA-3-8B", Device: "H100", Framework: "vLLM"},
+		Workload{Batch: 16, Input: 1024, Output: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= base.Throughput {
+		t.Error("fp8 must beat fp16 on H100")
+	}
+}
+
+func TestParallelSystem(t *testing.T) {
+	res, err := Run(System{Model: "LLaMA-3-70B", Device: "H100", Framework: "TRT-LLM", TP: 4},
+		Workload{Batch: 16, Input: 512, Output: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= 0 {
+		t.Error("TP=4 70B run must succeed")
+	}
+}
