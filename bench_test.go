@@ -190,3 +190,73 @@ func BenchmarkExt7BatchAutotune(b *testing.B)  { benchExperiment(b, "ext7") }
 
 func BenchmarkExt8PrefixSharing(b *testing.B) { benchExperiment(b, "ext8") }
 func BenchmarkExt9Autoscaling(b *testing.B)   { benchExperiment(b, "ext9") }
+
+// --- concurrency / caching benchmarks ------------------------------------
+//
+// BenchmarkReportSerial vs BenchmarkReportParallel tracks the anchor
+// report's fan-out speedup (the -j flag); the Sweep pair tracks what
+// the engine cache saves over rebuilding the engine per point.
+
+func benchReport(b *testing.B, parallelism int) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Report(parallelism); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReportSerial(b *testing.B)   { benchReport(b, 1) }
+func BenchmarkReportParallel(b *testing.B) { benchReport(b, 4) }
+
+// Parallelism 1 so the pair below differs only in engine
+// construction: the cached variant builds once, the uncached baseline
+// rebuilds per point.
+var benchGrid = Grid{
+	Batches:     []int{1, 8, 16, 32, 64},
+	Lengths:     []int{128, 256, 512, 1024, 2048},
+	Parallelism: 1,
+}
+
+// BenchmarkSweepEngineCache runs the paper's full 25-point grid with
+// the engine built once through the shared cache.
+func BenchmarkSweepEngineCache(b *testing.B) {
+	sys := System{Model: "LLaMA-3-8B", Device: "A100", Framework: "vLLM"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := Sweep(sys, benchGrid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.Err != nil {
+				b.Fatal(p.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkSweepUncachedEngines is the pre-pool baseline: the same
+// grid with a fresh NewEngine at every point, paying catalog lookup +
+// engine construction per point (what Run did before the cache).
+func BenchmarkSweepUncachedEngines(b *testing.B) {
+	sys := System{Model: "LLaMA-3-8B", Device: "A100", Framework: "vLLM"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, l := range benchGrid.Lengths {
+			for _, bs := range benchGrid.Batches {
+				eng, err := NewEngine(sys)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.Run(workload.Spec{Batch: bs, Input: l, Output: l}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}

@@ -3,10 +3,14 @@
 // sizes and sequence lengths, printing a Markdown table of throughput,
 // TTFT, ITL, and power.
 //
+// Points are evaluated concurrently (-j bounds the workers, 0 = all
+// cores) but always print in grid order, so output is identical at
+// any parallelism.
+//
 // Example:
 //
 //	llmbench-sweep -model LLaMA-3-8B -device H100 -framework TRT-LLM \
-//	    -batches 1,8,16,32,64 -lengths 128,1024 -tp 1
+//	    -batches 1,8,16,32,64 -lengths 128,1024 -tp 1 -j 4
 package main
 
 import (
@@ -31,6 +35,7 @@ func main() {
 		kv        = flag.String("kv", "", "KV-cache precision (default fp16)")
 		batches   = flag.String("batches", "1,16,32,64", "comma-separated batch sizes")
 		lengths   = flag.String("lengths", "1024", "comma-separated input/output lengths")
+		j         = flag.Int("j", 0, "sweep parallelism (0 = all cores)")
 	)
 	flag.Parse()
 
@@ -46,20 +51,22 @@ func main() {
 		Model: *modelName, Device: *device, Framework: *fw,
 		TP: *tp, PP: *pp, EP: *ep, Weights: *weights, KV: *kv,
 	}
+	pts, err := llmbench.Sweep(sys, llmbench.Grid{Batches: bs, Lengths: ls, Parallelism: *j})
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Printf("### %s on %s×%d via %s\n\n", *modelName, *device, (*tp)*(*pp)*(*ep), *fw)
 	fmt.Println("| Batch | Length | Throughput (tok/s) | TTFT (s) | ITL (ms) | Power (W) | tok/s/W |")
 	fmt.Println("|---|---|---|---|---|---|---|")
-	for _, l := range ls {
-		for _, b := range bs {
-			res, err := llmbench.Run(sys, llmbench.Workload{Batch: b, Input: l, Output: l})
-			if err != nil {
-				fmt.Printf("| %d | %d | — (%v) | | | | |\n", b, l, err)
-				continue
-			}
-			fmt.Printf("| %d | %d | %.0f | %.3f | %.3f | %.0f | %.2f |\n",
-				b, l, res.Throughput, res.TTFTSeconds, res.ITLSeconds*1000,
-				res.TotalPowerWatts, res.TokensPerSecPerW)
+	for _, p := range pts {
+		if p.Err != nil {
+			fmt.Printf("| %d | %d | — (%v) | | | | |\n", p.Batch, p.Length, p.Err)
+			continue
 		}
+		res := p.Result
+		fmt.Printf("| %d | %d | %.0f | %.3f | %.3f | %.0f | %.2f |\n",
+			p.Batch, p.Length, res.Throughput, res.TTFTSeconds, res.ITLSeconds*1000,
+			res.TotalPowerWatts, res.TokensPerSecPerW)
 	}
 }
 

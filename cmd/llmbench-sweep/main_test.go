@@ -13,7 +13,27 @@ func TestParseInts(t *testing.T) {
 			t.Fatalf("parseInts = %v", got)
 		}
 	}
-	if _, err := parseInts("1,x,3"); err == nil {
-		t.Error("bad list must fail")
+}
+
+func TestParseIntsSingle(t *testing.T) {
+	got, err := parseInts("1024")
+	if err != nil || len(got) != 1 || got[0] != 1024 {
+		t.Fatalf("parseInts(%q) = %v, %v", "1024", got, err)
+	}
+}
+
+func TestParseIntsErrors(t *testing.T) {
+	cases := []string{
+		"1,x,3", // non-numeric element
+		"1,,2",  // empty element between commas
+		"",      // empty string (splits to one empty element)
+		"x",     // single non-numeric
+		",",     // only separators
+		"1,2,",  // trailing comma
+	}
+	for _, in := range cases {
+		if got, err := parseInts(in); err == nil {
+			t.Errorf("parseInts(%q) = %v, want error", in, got)
+		}
 	}
 }

@@ -64,6 +64,7 @@ func run(args []string) error {
 	case "all":
 		fs := flag.NewFlagSet("all", flag.ContinueOnError)
 		csvDir := fs.String("csv", "", "directory to write per-figure CSV files")
+		j := fs.Int("j", 0, "experiment parallelism (0 = all cores)")
 		if err := fs.Parse(args[1:]); err != nil {
 			return err
 		}
@@ -72,14 +73,18 @@ func run(args []string) error {
 				return err
 			}
 		}
+		var ids []string
 		for _, e := range llmbench.Experiments() {
-			if err := runOne(e.ID, *csvDir); err != nil {
-				return err
-			}
+			ids = append(ids, e.ID)
 		}
-		return nil
+		return runMany(ids, *csvDir, *j)
 	case "report":
-		md, err := llmbench.Report()
+		fs := flag.NewFlagSet("report", flag.ContinueOnError)
+		j := fs.Int("j", 0, "figure parallelism (0 = all cores)")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		md, err := llmbench.ReportParallel(*j)
 		if err != nil {
 			return err
 		}
@@ -105,7 +110,12 @@ func run(args []string) error {
 		printBreakdown(bd)
 		return nil
 	case "verify":
-		rows, err := llmbench.VerifyAnchors()
+		fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+		j := fs.Int("j", 0, "figure parallelism (0 = all cores)")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		rows, err := llmbench.VerifyAnchorsParallel(*j)
 		if err != nil {
 			return err
 		}
@@ -144,19 +154,30 @@ func run(args []string) error {
 }
 
 func runOne(id, csvDir string) error {
-	res, err := llmbench.RunExperiment(id)
-	if err != nil {
-		return err
-	}
-	fmt.Println(res.Markdown)
-	if csvDir != "" && res.CSV != "" {
-		path := filepath.Join(csvDir, id+".csv")
-		if err := os.WriteFile(path, []byte(res.CSV), 0o644); err != nil {
-			return err
+	return runMany([]string{id}, csvDir, 1)
+}
+
+// runMany regenerates experiments concurrently but prints them in
+// paper order, so `llmbench all -j 8` output matches `llmbench all`.
+// On failure the experiments before the failing one still print —
+// the serial loop's partial-output behaviour (RunExperiments
+// guarantees every id below the failing one is complete).
+func runMany(ids []string, csvDir string, parallelism int) error {
+	results, err := llmbench.RunExperiments(ids, parallelism)
+	for _, res := range results {
+		if res.ID == "" {
+			break // the failing experiment; err names it
 		}
-		fmt.Printf("(wrote %s)\n\n", path)
+		fmt.Println(res.Markdown)
+		if csvDir != "" && res.CSV != "" {
+			path := filepath.Join(csvDir, res.ID+".csv")
+			if err := os.WriteFile(path, []byte(res.CSV), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("(wrote %s)\n\n", path)
+		}
 	}
-	return nil
+	return err
 }
 
 func printBreakdown(bd *llmbench.Breakdown) {
@@ -192,9 +213,11 @@ func usage() {
 Commands:
   list            list every reproduced figure/table
   run <id>...     regenerate specific experiments (e.g. fig6, tab2)
-  all [-csv DIR]  regenerate everything in paper order
-  report          print the paper-vs-measured anchor table (EXPERIMENTS.md)
-  verify          CI check: fail if any paper anchor leaves its shape band
+  all [-csv DIR] [-j N]
+                  regenerate everything in paper order; -j bounds the
+                  worker count (0 = all cores, output order unchanged)
+  report [-j N]   print the paper-vs-measured anchor table (EXPERIMENTS.md)
+  verify [-j N]   CI check: fail if any paper anchor leaves its shape band
   explain [-model M -device D -framework F -tp N -batch B -len L]
                   attribute one benchmark point's time to mechanisms
   perplexity      evaluate the Fig. 10 quality axis

@@ -55,14 +55,18 @@ func main() {
 	for _, c := range bestStack {
 		sys := llmbench.System{Model: modelName, Device: c.dev, Framework: c.fw, TP: c.tp}
 		r := row{name: fmt.Sprintf("%d× %s (%s)", c.tp, c.dev, c.fw), thr: map[int]float64{}}
-		for _, b := range batches {
-			res, err := llmbench.Run(sys, llmbench.Workload{Batch: b, Input: 1024, Output: 1024})
-			if err != nil {
+		pts, err := llmbench.Sweep(sys, llmbench.Grid{Batches: batches, Lengths: []int{1024}})
+		if err != nil {
+			log.Printf("%s: %v", r.name, err)
+			continue
+		}
+		for _, p := range pts {
+			if p.Err != nil {
 				continue
 			}
-			r.thr[b] = res.Throughput
-			if res.TokensPerSecPerW > r.eff {
-				r.eff = res.TokensPerSecPerW
+			r.thr[p.Batch] = p.Result.Throughput
+			if p.Result.TokensPerSecPerW > r.eff {
+				r.eff = p.Result.TokensPerSecPerW
 			}
 		}
 		if len(r.thr) == 0 {

@@ -31,18 +31,25 @@ func main() {
 		{"int8", "int8"},
 		{"int8", "fp8"},
 	}
+	// Each scheme is its own System, so the shared engine cache (not a
+	// per-point rebuild) carries the whole sweep.
+	grid := llmbench.Grid{Batches: []int{16}, Lengths: []int{1024}}
 	for _, dev := range []string{"H100", "A100"} {
 		fmt.Printf("-- %s (TRT-LLM) --\n", dev)
 		var baseline float64
 		for _, s := range schemes {
-			res, err := llmbench.Run(llmbench.System{
+			pts, err := llmbench.Sweep(llmbench.System{
 				Model: modelName, Device: dev, Framework: "TRT-LLM",
 				Weights: s.w, KV: s.kv,
-			}, llmbench.Workload{Batch: 16, Input: 1024, Output: 1024})
+			}, grid)
+			if err == nil && pts[0].Err != nil {
+				err = pts[0].Err
+			}
 			if err != nil {
 				fmt.Printf("  {%-4s, %-4s}  unsupported: %v\n", s.w, s.kv, err)
 				continue
 			}
+			res := pts[0].Result
 			if s.w == "fp16" && s.kv == "fp16" {
 				baseline = res.Throughput
 			}

@@ -1,0 +1,3 @@
+module llmbench
+
+go 1.22

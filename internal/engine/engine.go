@@ -70,7 +70,11 @@ type Config struct {
 	DisableKVCache bool
 }
 
-// Engine evaluates benchmark points for one configuration.
+// Engine evaluates benchmark points for one configuration. An Engine
+// is immutable after New and safe for concurrent use: Run, Explain,
+// and the step-cost helpers only read the configuration, which is
+// what lets sweeps share one engine across workers and cache engines
+// by system (internal/pool, llmbench.Sweep).
 type Engine struct {
 	cfg    Config
 	link   parallel.Link

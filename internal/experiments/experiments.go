@@ -19,6 +19,7 @@ import (
 	"llmbench/internal/metrics"
 	"llmbench/internal/model"
 	"llmbench/internal/parallel"
+	"llmbench/internal/pool"
 	"llmbench/internal/workload"
 )
 
@@ -115,14 +116,51 @@ func Get(id string) (*Experiment, error) {
 	return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
 }
 
+// RunExperiments runs the experiments with the given IDs on at most
+// parallelism workers (parallelism < 1 means GOMAXPROCS) and returns
+// their outputs in the same order as ids. Experiments are
+// deterministic pure computations, so the outputs are identical at
+// any parallelism; on failure the error reported is the one belonging
+// to the earliest id, again independent of scheduling.
+func RunExperiments(ids []string, parallelism int) ([]*Output, error) {
+	exps := make([]*Experiment, len(ids))
+	for i, id := range ids {
+		e, err := Get(id)
+		if err != nil {
+			return nil, err
+		}
+		exps[i] = e
+	}
+	return pool.Map(len(exps), parallelism, func(i int) (*Output, error) {
+		out, err := exps[i].Run()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", exps[i].ID, err)
+		}
+		return out, nil
+	})
+}
+
 // --- shared helpers -------------------------------------------------------
 
+// engineKey identifies one cached engine configuration: experiment
+// engines are immutable after construction and safe for concurrent
+// Run, so a sweep pays catalog lookup + engine construction once per
+// distinct system instead of once per point.
+type engineKey struct {
+	model, dev, fw string
+	plan           parallel.Plan
+}
+
+var engineCache pool.Cache[engineKey, *engine.Engine]
+
 func mk(modelName, devName, fwName string, plan parallel.Plan) (*engine.Engine, error) {
-	return engine.New(engine.Config{
-		Model:     model.MustGet(modelName),
-		Device:    hw.MustGet(devName),
-		Framework: framework.MustGet(fwName),
-		Plan:      plan,
+	return engineCache.Get(engineKey{modelName, devName, fwName, plan}, func() (*engine.Engine, error) {
+		return engine.New(engine.Config{
+			Model:     model.MustGet(modelName),
+			Device:    hw.MustGet(devName),
+			Framework: framework.MustGet(fwName),
+			Plan:      plan,
+		})
 	})
 }
 

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestReportDeterministicAcrossParallelism is the reproducibility
+// contract of the pool refactor: the anchor table — Markdown and row
+// values — must be byte-identical whether the figures regenerate
+// serially or on eight workers.
+func TestReportDeterministicAcrossParallelism(t *testing.T) {
+	serial, err := ReportMarkdown(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := ReportMarkdown(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != parallel {
+		t.Fatalf("parallel report differs from serial:\n-- serial --\n%s\n-- parallel --\n%s", serial, parallel)
+	}
+
+	rowsSerial, err := Report(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsParallel, err := Report(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rowsSerial) != len(rowsParallel) {
+		t.Fatalf("row count differs: %d vs %d", len(rowsSerial), len(rowsParallel))
+	}
+	for i := range rowsSerial {
+		if rowsSerial[i] != rowsParallel[i] {
+			t.Errorf("row %d differs: %+v vs %+v", i, rowsSerial[i], rowsParallel[i])
+		}
+	}
+}
+
+// TestRunExperimentsMatchesSerialRuns checks that the concurrent
+// experiment runner returns outputs in id order with content
+// identical to direct serial Run calls, including CSV bytes.
+func TestRunExperimentsMatchesSerialRuns(t *testing.T) {
+	ids := []string{"fig1a", "fig2b", "fig6", "tab1"}
+	outs, err := RunExperiments(ids, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != len(ids) {
+		t.Fatalf("got %d outputs for %d ids", len(outs), len(ids))
+	}
+	for i, id := range ids {
+		e, err := Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if outs[i].Markdown() != want.Markdown() {
+			t.Errorf("%s: parallel markdown differs from serial", id)
+		}
+		if want.Figure != nil && outs[i].Figure.CSV() != want.Figure.CSV() {
+			t.Errorf("%s: parallel CSV differs from serial", id)
+		}
+	}
+}
+
+func TestRunExperimentsUnknownID(t *testing.T) {
+	if _, err := RunExperiments([]string{"fig1a", "nope"}, 2); err == nil {
+		t.Fatal("unknown id must fail before running anything")
+	}
+}
+
+// TestEngineCacheReuse checks that mk hands back the same engine for
+// a repeated configuration instead of rebuilding it.
+func TestEngineCacheReuse(t *testing.T) {
+	a, err := mk("LLaMA-3-8B", "A100", "vLLM", tp(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mk("LLaMA-3-8B", "A100", "vLLM", tp(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("mk rebuilt an engine for a cached configuration")
+	}
+	c, err := mk("LLaMA-3-8B", "A100", "vLLM", tp(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("distinct plans must not share an engine")
+	}
+}

@@ -6,7 +6,7 @@ import (
 )
 
 func TestReportAllAnchorsHold(t *testing.T) {
-	rows, err := Report()
+	rows, err := Report(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,7 +24,7 @@ func TestReportAllAnchorsHold(t *testing.T) {
 }
 
 func TestReportMarkdown(t *testing.T) {
-	md, err := ReportMarkdown()
+	md, err := ReportMarkdown(1)
 	if err != nil {
 		t.Fatal(err)
 	}

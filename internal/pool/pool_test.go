@@ -1,0 +1,233 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdersBySubmissionIndex(t *testing.T) {
+	for _, par := range []int{1, 2, 8, 0} {
+		got, err := Map(100, par, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		if len(got) != 100 {
+			t.Fatalf("par=%d: len = %d", par, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("par=%d: got[%d] = %d, want %d", par, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(0, 4, func(i int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("Map(0) = %v, %v; want nil, nil", got, err)
+	}
+	got, err = Map(-3, 4, func(i int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("Map(-3) = %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	// Items 7 and 3 both fail; regardless of completion order the
+	// error must be item 3's.
+	for _, par := range []int{1, 4, 16} {
+		_, err := Map(10, par, func(i int) (int, error) {
+			if i == 3 || i == 7 {
+				return 0, fmt.Errorf("item %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "item 3 failed" {
+			t.Fatalf("par=%d: err = %v, want item 3's", par, err)
+		}
+	}
+}
+
+func TestMapAbortsDispatchAfterFailure(t *testing.T) {
+	// Serial: exactly items 0..failure run, later items are skipped.
+	var ran []int
+	sentinel := errors.New("boom")
+	out, err := Map(50, 1, func(i int) (int, error) {
+		ran = append(ran, i)
+		if i == 10 {
+			return 0, sentinel
+		}
+		return i + 1, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(ran) != 11 || ran[10] != 10 {
+		t.Fatalf("serial ran %v, want exactly 0..10", ran)
+	}
+	for i := 0; i < 10; i++ {
+		if out[i] != i+1 {
+			t.Fatalf("result %d lost on abort: %d", i, out[i])
+		}
+	}
+
+	// Parallel: everything below the failing index always runs (its
+	// results intact), and the failure is always reported even when
+	// later items are skipped.
+	var count atomic.Int64
+	out, err = Map(1000, 4, func(i int) (int, error) {
+		count.Add(1)
+		if i == 20 {
+			return 0, sentinel
+		}
+		return i + 1, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("parallel err = %v", err)
+	}
+	for i := 0; i < 20; i++ {
+		if out[i] != i+1 {
+			t.Fatalf("result %d below the failure missing: %d", i, out[i])
+		}
+	}
+	if n := count.Load(); n >= 1000 {
+		t.Fatalf("dispatch never aborted: all %d items ran", n)
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const par = 3
+	var inFlight, peak atomic.Int64
+	_, err := Map(64, par, func(i int) (int, error) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		runtime.Gosched()
+		inFlight.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() > par {
+		t.Fatalf("observed %d concurrent workers, cap %d", peak.Load(), par)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForEach(10, 4, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 45 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+	err := ForEach(5, 2, func(i int) error {
+		if i >= 1 {
+			return fmt.Errorf("e%d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "e1" {
+		t.Fatalf("err = %v, want e1", err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	cases := []struct{ par, n, want int }{
+		{4, 100, 4},
+		{4, 2, 2},
+		{0, 100, procs},
+		{-1, 100, procs},
+		{8, 0, 1},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.par, c.n); got != c.want {
+			t.Errorf("Clamp(%d, %d) = %d, want %d", c.par, c.n, got, c.want)
+		}
+	}
+}
+
+func TestCacheBuildsOncePerKey(t *testing.T) {
+	var c Cache[string, int]
+	var builds atomic.Int64
+	const callers = 32
+	var wg sync.WaitGroup
+	results := make([]int, callers)
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			v, err := c.Get("k", func() (int, error) {
+				builds.Add(1)
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[g] = v
+		}(g)
+	}
+	wg.Wait()
+	if builds.Load() != 1 {
+		t.Fatalf("build ran %d times, want 1", builds.Load())
+	}
+	for g, v := range results {
+		if v != 42 {
+			t.Fatalf("caller %d got %d", g, v)
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestCacheDistinctKeys(t *testing.T) {
+	var c Cache[int, string]
+	for i := 0; i < 5; i++ {
+		v, err := c.Get(i, func() (string, error) { return fmt.Sprintf("v%d", i), nil })
+		if err != nil || v != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get(%d) = %q, %v", i, v, err)
+		}
+	}
+	if c.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", c.Len())
+	}
+}
+
+func TestCacheDoesNotPinFailures(t *testing.T) {
+	var c Cache[string, int]
+	var calls atomic.Int64
+	build := func() (int, error) {
+		if calls.Add(1) == 1 {
+			return 0, errors.New("transient")
+		}
+		return 7, nil
+	}
+	if _, err := c.Get("k", build); err == nil {
+		t.Fatal("first build should fail")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("failed build cached; Len = %d", c.Len())
+	}
+	v, err := c.Get("k", build)
+	if err != nil || v != 7 {
+		t.Fatalf("retry = %d, %v", v, err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("build called %d times, want 2", calls.Load())
+	}
+}

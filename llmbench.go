@@ -15,6 +15,20 @@
 //	    Model: "LLaMA-3-8B", Device: "A100", Framework: "vLLM",
 //	}, llmbench.Workload{Batch: 16, Input: 1024, Output: 1024})
 //
+// Grids of points — the shape of every figure in the paper — go
+// through Sweep, which builds the engine once, fans the points out
+// over a bounded worker pool, and returns them in grid order:
+//
+//	pts, err := llmbench.Sweep(sys, llmbench.Grid{
+//	    Batches: []int{1, 16, 32, 64}, Lengths: []int{128, 1024},
+//	})
+//
+// All fan-out APIs (Sweep, RunExperiments, Report, VerifyAnchors) are
+// deterministic: results are ordered by submission, never by
+// completion, so parallel output is byte-identical to serial output.
+// Engines are immutable once built and shared through a cache keyed
+// by System.
+//
 // Deeper control — quantization schemes, parallelism plans, paged-KV
 // block sizes, serving traces — is available through the same System
 // struct; the internal packages hold the mechanism implementations.
@@ -119,9 +133,10 @@ func max1(v int) int {
 	return v
 }
 
-// Run evaluates one benchmark point.
+// Run evaluates one benchmark point through the shared engine cache:
+// repeated calls for one System reuse its engine.
 func Run(sys System, w Workload) (Result, error) {
-	eng, err := NewEngine(sys)
+	eng, err := CachedEngine(sys)
 	if err != nil {
 		return Result{}, err
 	}
@@ -136,7 +151,7 @@ type Breakdown = engine.Breakdown
 // communication, overheads, setup — the quantities the paper's
 // analysis sections reason about.
 func Explain(sys System, w Workload) (*Breakdown, error) {
-	eng, err := NewEngine(sys)
+	eng, err := CachedEngine(sys)
 	if err != nil {
 		return nil, err
 	}
@@ -181,35 +196,76 @@ type ExperimentResult struct {
 // RunExperiment regenerates one figure or table by ID (e.g. "fig6",
 // "tab2").
 func RunExperiment(id string) (*ExperimentResult, error) {
-	e, err := experiments.Get(id)
+	res, err := RunExperiments([]string{id}, 1)
 	if err != nil {
 		return nil, err
 	}
-	out, err := e.Run()
+	return &res[0], nil
+}
+
+// RunExperiments regenerates the given figures and tables
+// concurrently on at most parallelism workers (values below 1 mean
+// GOMAXPROCS). Results come back in the order of ids regardless of
+// completion order.
+//
+// On failure the error belongs to the earliest failing id; results
+// for every id before it are still returned, and every entry from
+// the failing id on is zero (empty ID) — even where a later
+// experiment happened to finish — so the failure path is as
+// deterministic as the success path.
+func RunExperiments(ids []string, parallelism int) ([]ExperimentResult, error) {
+	outs, err := experiments.RunExperiments(ids, parallelism)
 	if err != nil {
-		return nil, fmt.Errorf("llmbench: experiment %s: %w", id, err)
+		err = fmt.Errorf("llmbench: %w", err)
+		if outs == nil {
+			return nil, err
+		}
 	}
-	res := &ExperimentResult{ID: id, Markdown: out.Markdown()}
-	if out.Figure != nil {
-		res.CSV = out.Figure.CSV()
+	res := make([]ExperimentResult, len(outs))
+	for i, out := range outs {
+		if out == nil {
+			// The earliest failure: everything before it is complete
+			// (the pool dispatches in index order); everything after
+			// is scheduling-dependent, so drop it.
+			break
+		}
+		res[i] = ExperimentResult{ID: ids[i], Markdown: out.Markdown()}
+		if out.Figure != nil {
+			res[i].CSV = out.Figure.CSV()
+		}
 	}
-	return res, nil
+	return res, err
 }
 
 // Report renders the paper-vs-measured anchor table recorded in
-// EXPERIMENTS.md by regenerating the relevant figures.
+// EXPERIMENTS.md by regenerating the relevant figures, using every
+// available core. The table is byte-identical at any parallelism.
 func Report() (string, error) {
-	return experiments.ReportMarkdown()
+	return ReportParallel(0)
+}
+
+// ReportParallel is Report with an explicit worker bound (`llmbench
+// report -j N`); parallelism below 1 means GOMAXPROCS.
+func ReportParallel(parallelism int) (string, error) {
+	return experiments.ReportMarkdown(parallelism)
 }
 
 // Anchor re-exports one paper-vs-measured comparison row.
 type Anchor = experiments.AnchorRow
 
-// VerifyAnchors regenerates the anchor figures and returns each
-// paper claim with its measured value and whether the shape holds —
-// the CI check behind `llmbench verify`.
+// VerifyAnchors regenerates the anchor figures (concurrently, using
+// every available core) and returns each paper claim with its
+// measured value and whether the shape holds — the CI check behind
+// `llmbench verify`.
 func VerifyAnchors() ([]Anchor, error) {
-	return experiments.Report()
+	return experiments.Report(0)
+}
+
+// VerifyAnchorsParallel is VerifyAnchors with an explicit worker
+// bound (`llmbench verify -j N`); parallelism below 1 means
+// GOMAXPROCS.
+func VerifyAnchorsParallel(parallelism int) ([]Anchor, error) {
+	return experiments.Report(parallelism)
 }
 
 // Perplexity evaluates the named model's perplexity on the synthetic

@@ -1,0 +1,97 @@
+package llmbench
+
+import (
+	"fmt"
+
+	"llmbench/internal/engine"
+	"llmbench/internal/pool"
+	"llmbench/internal/workload"
+)
+
+// Grid enumerates the workload points of a sweep: every (batch,
+// length) combination, lengths outer and batches inner — the order
+// the paper's figures (and `llmbench-sweep`) print.
+type Grid struct {
+	Batches []int
+	Lengths []int // input = output = length, the paper's convention
+
+	// Parallelism bounds the sweep's worker count; values below 1
+	// mean GOMAXPROCS. Results are ordered by grid position
+	// regardless, so output is byte-identical at any setting.
+	Parallelism int
+}
+
+// points expands the grid in deterministic order.
+func (g Grid) points() []Workload {
+	pts := make([]Workload, 0, len(g.Batches)*len(g.Lengths))
+	for _, l := range g.Lengths {
+		for _, b := range g.Batches {
+			pts = append(pts, Workload{Batch: b, Input: l, Output: l})
+		}
+	}
+	return pts
+}
+
+// SweepPoint is one grid point's outcome. Err records points that
+// fail individually (OOM, unsupported batch — the paper's gaps)
+// without aborting the rest of the sweep.
+type SweepPoint struct {
+	Batch  int
+	Length int
+	Result Result
+	Err    error
+}
+
+// Sweep evaluates every grid point of one System concurrently,
+// building the engine once (via the shared engine cache) instead of
+// once per point. The returned slice is ordered by grid position —
+// lengths outer, batches inner — never by completion, so sweep output
+// is reproducible at any parallelism.
+//
+// An invalid system or empty grid fails the whole call; per-point
+// failures are aggregated in SweepPoint.Err.
+func Sweep(sys System, grid Grid) ([]SweepPoint, error) {
+	if len(grid.Batches) == 0 || len(grid.Lengths) == 0 {
+		return nil, fmt.Errorf("llmbench: empty sweep grid (batches %v, lengths %v)",
+			grid.Batches, grid.Lengths)
+	}
+	eng, err := CachedEngine(sys)
+	if err != nil {
+		return nil, err
+	}
+	pts := grid.points()
+	out := make([]SweepPoint, len(pts))
+	pool.ForEach(len(pts), grid.Parallelism, func(i int) error {
+		w := pts[i]
+		res, err := eng.Run(workload.Spec{Batch: w.Batch, Input: w.Input, Output: w.Output})
+		out[i] = SweepPoint{Batch: w.Batch, Length: w.Input, Result: res, Err: err}
+		return nil
+	})
+	return out, nil
+}
+
+// engines memoises constructed engines by normalised System. Engines
+// are immutable after construction and safe for concurrent use, so
+// Run, Explain, and Sweep all share one build per system.
+var engines pool.Cache[System, *engine.Engine]
+
+// normalized maps equivalent System spellings to one cache key:
+// zero parallelism degrees mean 1 and empty precisions mean fp16, so
+// e.g. {TP: 0} and {TP: 1} share an engine.
+func (s System) normalized() System {
+	s.TP, s.PP, s.EP = max1(s.TP), max1(s.PP), max1(s.EP)
+	if s.Weights == "" {
+		s.Weights = "fp16"
+	}
+	if s.KV == "" {
+		s.KV = "fp16"
+	}
+	return s
+}
+
+// CachedEngine returns the shared engine for sys, building it on
+// first use. Use NewEngine for a private instance.
+func CachedEngine(sys System) (*engine.Engine, error) {
+	sys = sys.normalized()
+	return engines.Get(sys, func() (*engine.Engine, error) { return NewEngine(sys) })
+}

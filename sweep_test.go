@@ -1,0 +1,173 @@
+package llmbench
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"llmbench/internal/engine"
+)
+
+var sweepSys = System{Model: "LLaMA-3-8B", Device: "A100", Framework: "vLLM"}
+
+func TestSweepGridOrderAndValues(t *testing.T) {
+	grid := Grid{Batches: []int{1, 16}, Lengths: []int{128, 1024}, Parallelism: 4}
+	pts, err := Sweep(sweepSys, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOrder := []struct{ b, l int }{{1, 128}, {16, 128}, {1, 1024}, {16, 1024}}
+	if len(pts) != len(wantOrder) {
+		t.Fatalf("got %d points, want %d", len(pts), len(wantOrder))
+	}
+	for i, w := range wantOrder {
+		if pts[i].Batch != w.b || pts[i].Length != w.l {
+			t.Errorf("point %d = (bs %d, len %d), want (bs %d, len %d)",
+				i, pts[i].Batch, pts[i].Length, w.b, w.l)
+		}
+		if pts[i].Err != nil {
+			t.Errorf("point %d failed: %v", i, pts[i].Err)
+		}
+		// Every point must agree with a direct serial Run.
+		res, err := Run(sweepSys, Workload{Batch: w.b, Input: w.l, Output: w.l})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pts[i].Result != res {
+			t.Errorf("point %d differs from serial Run", i)
+		}
+	}
+}
+
+func TestSweepDeterministicAcrossParallelism(t *testing.T) {
+	grid := Grid{Batches: []int{1, 16, 32, 64}, Lengths: []int{128, 1024}}
+	grid.Parallelism = 1
+	serial, err := Sweep(sweepSys, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid.Parallelism = 8
+	parallel, err := Sweep(sweepSys, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("point %d differs between parallelism 1 and 8", i)
+		}
+	}
+}
+
+func TestSweepEmptyGrid(t *testing.T) {
+	for _, g := range []Grid{
+		{},
+		{Batches: []int{1}},
+		{Lengths: []int{128}},
+	} {
+		if _, err := Sweep(sweepSys, g); err == nil {
+			t.Errorf("Sweep(%+v) should reject an empty grid", g)
+		} else if !strings.Contains(err.Error(), "empty sweep grid") {
+			t.Errorf("Sweep(%+v) error = %v", g, err)
+		}
+	}
+}
+
+func TestSweepInvalidSystem(t *testing.T) {
+	_, err := Sweep(System{Model: "no-such-model", Device: "A100", Framework: "vLLM"},
+		Grid{Batches: []int{1}, Lengths: []int{128}})
+	if err == nil {
+		t.Fatal("invalid system must fail the whole sweep")
+	}
+}
+
+// TestSweepAggregatesPointErrors: a grid mixing fitting and OOM
+// points must return every point, with failures recorded per point
+// rather than aborting the sweep.
+func TestSweepAggregatesPointErrors(t *testing.T) {
+	// LLaMA-3-70B on one A100 cannot even hold its weights; every
+	// point errs but the sweep itself succeeds.
+	pts, err := Sweep(System{Model: "LLaMA-3-70B", Device: "A100", Framework: "vLLM"},
+		Grid{Batches: []int{1, 16}, Lengths: []int{128}, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for i, p := range pts {
+		if !errors.Is(p.Err, engine.ErrOOM) {
+			t.Errorf("point %d: err = %v, want ErrOOM", i, p.Err)
+		}
+	}
+
+	// Mixed case: SN40L's hosted service refuses batch > 64, so bs
+	// 128 fails while bs 1 succeeds in the same sweep.
+	pts, err = Sweep(System{Model: "Mistral-7B", Device: "SN40L", Framework: "SambaFlow", TP: 8},
+		Grid{Batches: []int{1, 128}, Lengths: []int{128}, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Err != nil {
+		t.Errorf("bs 1 should fit: %v", pts[0].Err)
+	}
+	if !errors.Is(pts[1].Err, engine.ErrUnsupportedBatch) {
+		t.Errorf("bs 128: err = %v, want ErrUnsupportedBatch", pts[1].Err)
+	}
+}
+
+func TestCachedEngineReuse(t *testing.T) {
+	a, err := CachedEngine(sweepSys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CachedEngine(sweepSys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("CachedEngine rebuilt a cached system")
+	}
+	other := sweepSys
+	other.TP = 4
+	c, err := CachedEngine(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatal("distinct systems must not share an engine")
+	}
+	// Equivalent spellings normalise to one key: zero degrees mean 1,
+	// empty precisions mean fp16.
+	norm := sweepSys
+	norm.TP, norm.PP, norm.EP = 1, 1, 1
+	norm.Weights, norm.KV = "fp16", "fp16"
+	d, err := CachedEngine(norm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != a {
+		t.Fatal("normalised spelling must share the zero-value spelling's engine")
+	}
+	if _, err := CachedEngine(System{Model: "nope", Device: "A100", Framework: "vLLM"}); err == nil {
+		t.Fatal("invalid system must error")
+	}
+}
+
+func TestRunExperimentsOrdered(t *testing.T) {
+	ids := []string{"fig2b", "fig1a"}
+	res, err := RunExperiments(ids, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].ID != "fig2b" || res[1].ID != "fig1a" {
+		t.Fatalf("results out of order: %v, %v", res[0].ID, res[1].ID)
+	}
+	for _, r := range res {
+		if r.Markdown == "" || r.CSV == "" {
+			t.Errorf("%s: empty output", r.ID)
+		}
+	}
+	if _, err := RunExperiments([]string{"bogus"}, 1); err == nil {
+		t.Fatal("unknown experiment must fail")
+	}
+}
