@@ -9,6 +9,7 @@ package llmbench
 import (
 	"testing"
 
+	"llmbench/internal/cluster"
 	"llmbench/internal/dtype"
 	"llmbench/internal/experiments"
 	"llmbench/internal/kvcache"
@@ -190,6 +191,93 @@ func BenchmarkExt7BatchAutotune(b *testing.B)  { benchExperiment(b, "ext7") }
 
 func BenchmarkExt8PrefixSharing(b *testing.B) { benchExperiment(b, "ext8") }
 func BenchmarkExt9Autoscaling(b *testing.B)   { benchExperiment(b, "ext9") }
+
+// --- decode-pricing / coalescing benchmarks ------------------------------
+//
+// The three benchmarks below are the perf trajectory of the
+// O(state-change) serving work (BENCH.md): a long-output engine point
+// and the two serving simulators on a ≥1024-token-output trace.
+
+// BenchmarkRunLongOutput is a single long-generation benchmark point:
+// 2048 output tokens, the workload whose decode loop dominated Run
+// before range pricing.
+func BenchmarkRunLongOutput(b *testing.B) {
+	eng, err := NewEngine(System{Model: "LLaMA-3-8B", Device: "A100", Framework: "vLLM"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := workload.Spec{Batch: 8, Input: 256, Output: 2048}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// longOutputTrace is the serving workload of the coalescing
+// benchmarks: bursty arrivals generating ≥ 1024 tokens each, so almost
+// all simulated iterations are identical decode steps.
+func longOutputTrace(b *testing.B, requests int) []workload.Request {
+	b.Helper()
+	reqs, err := workload.PoissonTrace(workload.TraceConfig{
+		Seed: 11, Requests: requests, RatePerSec: 0.5,
+		InputMean: 256, OutputMean: 1024, LengthJitter: 0.3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return reqs
+}
+
+func BenchmarkServeContinuous(b *testing.B) {
+	eng, err := NewEngine(System{Model: "LLaMA-3-8B", Device: "A100", Framework: "vLLM"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := model.MustGet("LLaMA-3-8B")
+	reqs := longOutputTrace(b, 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alloc, err := kvcache.NewPaged(16, m.KVBytesPerToken(dtype.FP16), 30*(1<<30))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sched.Serve(sched.Config{
+			Engine: eng, Policy: sched.Continuous, MaxBatch: 16, Alloc: alloc,
+		}, reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServeCluster(b *testing.B) {
+	eng, err := NewEngine(System{Model: "LLaMA-3-8B", Device: "A100", Framework: "vLLM"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := model.MustGet("LLaMA-3-8B")
+	reqs := longOutputTrace(b, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		replicas := make([]cluster.Replica, 4)
+		for j := range replicas {
+			alloc, err := kvcache.NewPaged(16, m.KVBytesPerToken(dtype.FP16), 30*(1<<30))
+			if err != nil {
+				b.Fatal(err)
+			}
+			replicas[j] = cluster.Replica{Engine: eng, Alloc: alloc}
+		}
+		if _, err := cluster.Serve(cluster.Config{
+			Replicas: replicas, Policy: cluster.LeastLoaded, MaxBatch: 16,
+		}, reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // --- concurrency / caching benchmarks ------------------------------------
 //

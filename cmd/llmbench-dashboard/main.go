@@ -5,7 +5,10 @@
 //
 // Usage:
 //
-//	llmbench-dashboard [-addr :8080]
+//	llmbench-dashboard [-addr :8080] [-j N]
+//
+// -j bounds the worker pool interactive regeneration fans out on
+// (custom sweeps, /api/run?id=all); values below 1 mean every core.
 package main
 
 import (
@@ -19,9 +22,10 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	parallelism := flag.Int("j", 0, "regeneration workers (<1 = all cores)")
 	flag.Parse()
 	fmt.Printf("LLM-Inference-Bench dashboard on http://localhost%s\n", *addr)
-	if err := http.ListenAndServe(*addr, dashboard.Handler()); err != nil {
+	if err := http.ListenAndServe(*addr, dashboard.Handler(*parallelism)); err != nil {
 		fmt.Fprintln(os.Stderr, "llmbench-dashboard:", err)
 		os.Exit(1)
 	}

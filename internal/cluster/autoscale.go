@@ -80,6 +80,16 @@ func ServeAutoscale(cfg Config, as Autoscale, reqs []workload.Request) (AutoStat
 	var events []ScaleEvent
 	peak := 0
 	lastScaleUp := -1e18
+	var window []float64 // shared fast-forward buffers (the sim is serial)
+	var ids []int
+
+	ordered := make([]workload.Request, len(reqs))
+	copy(ordered, reqs)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Arrival < ordered[j].Arrival })
+	// Scaling decisions happen only at arrival events, so bounding
+	// fast-forward windows by the next arrival also keeps the scaling
+	// trajectory byte-identical to the stepped path.
+	nextArrival := arrivalCursor(ordered)
 
 	addReplica := func(now float64, initial bool) error {
 		rep, err := as.Factory()
@@ -91,7 +101,6 @@ func ServeAutoscale(cfg Config, as Autoscale, reqs []workload.Request) (AutoStat
 		}
 		states = append(states, &autoState{
 			replicaState: replicaState{id: len(events) + len(states), rep: rep},
-			idleSince:    now,
 		})
 		if !initial {
 			events = append(events, ScaleEvent{TimeS: now, Replicas: active(states), Up: true})
@@ -120,24 +129,27 @@ func ServeAutoscale(cfg Config, as Autoscale, reqs []workload.Request) (AutoStat
 		}
 	}
 
+	// makespan is the end of the last completed work (see Serve).
+	makespan := 0.0
 	iterate = func(s *autoState) func(now float64) {
 		return func(now float64) {
 			s.active = false
 			if simErr != nil {
 				return
 			}
-			step, finished, err := s.iterateOnce(cfg.MaxBatch, now)
+			end, finished, err := s.iterateOnce(cfg.MaxBatch, now, nextArrival(now), cfg.Stepped, &window, &ids)
 			if err != nil {
 				simErr = err
 				return
 			}
 			done = append(done, finished...)
-			if len(s.run) == 0 && len(s.queue) == 0 {
-				s.idleSince = now + step
-				return
+			if len(finished) > 0 && end > makespan {
+				makespan = end
 			}
-			if step > 0 {
-				schedule(s, now+step)
+			if len(s.run) > 0 || len(s.queue) > 0 {
+				if end > now {
+					schedule(s, end)
+				}
 			}
 		}
 	}
@@ -188,9 +200,6 @@ func ServeAutoscale(cfg Config, as Autoscale, reqs []workload.Request) (AutoStat
 		}
 	}
 
-	ordered := make([]workload.Request, len(reqs))
-	copy(ordered, reqs)
-	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Arrival < ordered[j].Arrival })
 	for _, req := range ordered {
 		req := req
 		if err := sim.At(req.Arrival, func(now float64) {
@@ -210,7 +219,8 @@ func ServeAutoscale(cfg Config, as Autoscale, reqs []workload.Request) (AutoStat
 	if len(done) != len(reqs) {
 		return AutoStats{}, fmt.Errorf("cluster: only %d of %d requests completed", len(done), len(reqs))
 	}
-	agg, err := summarize(done, sim.Now())
+	sortByCompletion(done)
+	agg, err := sched.Summarize(done, makespan, 0)
 	if err != nil {
 		return AutoStats{}, err
 	}
@@ -219,8 +229,7 @@ func ServeAutoscale(cfg Config, as Autoscale, reqs []workload.Request) (AutoStat
 
 type autoState struct {
 	replicaState
-	idleSince float64
-	retired   bool
+	retired bool
 }
 
 func active(states []*autoState) int {
@@ -233,78 +242,3 @@ func active(states []*autoState) int {
 	return n
 }
 
-// iterateOnce runs one admit+decode iteration for this replica and
-// returns the iteration duration and any finished requests.
-func (s *autoState) iterateOnce(maxBatch int, now float64) (float64, []sched.RequestStats, error) {
-	var admitted []*runReq
-	for len(s.queue) > 0 && len(s.run)+len(admitted) < maxBatch {
-		req := s.queue[0]
-		if !s.rep.Alloc.CanAlloc(req.Input) {
-			break
-		}
-		if err := s.rep.Alloc.Alloc(req.ID, req.Input); err != nil {
-			break
-		}
-		s.queue = s.queue[1:]
-		admitted = append(admitted, &runReq{
-			req: req,
-			stats: &sched.RequestStats{
-				ID: req.ID, Input: req.Input, Output: req.Output,
-				Arrival: req.Arrival, Started: now,
-			},
-		})
-	}
-	var step float64
-	if len(admitted) > 0 {
-		in := 0
-		for _, a := range admitted {
-			in += a.req.Input
-		}
-		pf, err := s.rep.Engine.PrefillSeconds(len(admitted), in/len(admitted))
-		if err != nil {
-			return 0, nil, err
-		}
-		step += pf
-		for _, a := range admitted {
-			a.stats.FirstTok = now + step
-			a.generated = 1
-		}
-		s.run = append(s.run, admitted...)
-	}
-	if len(s.run) == 0 {
-		if len(s.queue) > 0 {
-			return 0, nil, fmt.Errorf("cluster: replica %d cannot admit request %d (cache too small)",
-				s.id, s.queue[0].ID)
-		}
-		return 0, nil, nil
-	}
-	ctxSum := 0
-	for _, r := range s.run {
-		ctxSum += r.req.Input + r.generated
-	}
-	t, err := s.rep.Engine.DecodeStepSeconds(len(s.run), ctxSum/len(s.run))
-	if err != nil {
-		return 0, nil, err
-	}
-	step += t
-	end := now + step
-	s.busy += step
-	var finished []sched.RequestStats
-	next := s.run[:0]
-	for _, r := range s.run {
-		r.generated++
-		if r.generated >= r.req.Output {
-			s.rep.Alloc.Free(r.req.ID)
-			r.stats.Finished = end
-			finished = append(finished, *r.stats)
-			s.done++
-			continue
-		}
-		if err := s.rep.Alloc.Extend(r.req.ID, r.req.Input+r.generated); err != nil {
-			return 0, nil, err
-		}
-		next = append(next, r)
-	}
-	s.run = next
-	return step, finished, nil
-}

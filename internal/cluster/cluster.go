@@ -8,6 +8,14 @@
 //
 // Two routing policies are provided: round-robin and
 // join-the-shortest-queue (least outstanding work).
+//
+// Like the single-replica scheduler, the event loop coalesces
+// iterations: between two state changes (arrival, admission,
+// completion, KV-pressure boundary) every decode iteration of a
+// replica is identical, so it is fast-forwarded in one event at
+// memoised step costs — O(state changes) events instead of O(output
+// tokens) — with Stats byte-identical to the stepped reference
+// (Config.Stepped); see sched.CoalesceWindow for the contract.
 package cluster
 
 import (
@@ -51,6 +59,13 @@ type Config struct {
 	Replicas []Replica
 	Policy   Policy
 	MaxBatch int // per replica
+
+	// Stepped disables iteration coalescing (see internal/sched): one
+	// decode iteration per simulator event instead of fast-forwarding
+	// identical iterations between state changes. Output is
+	// byte-identical either way; the flag exists as the reference path
+	// for the equivalence tests.
+	Stepped bool
 }
 
 // Stats aggregates the run; PerReplica reports each replica's share.
@@ -107,6 +122,13 @@ func Serve(cfg Config, reqs []workload.Request) (Stats, error) {
 	var done []sched.RequestStats
 	var simErr error
 	rr := 0
+	var window []float64 // shared fast-forward buffers (the sim is serial)
+	var ids []int
+
+	ordered := make([]workload.Request, len(reqs))
+	copy(ordered, reqs)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Arrival < ordered[j].Arrival })
+	nextArrival := arrivalCursor(ordered)
 
 	pick := func() *replicaState {
 		if cfg.Policy == RoundRobin {
@@ -134,86 +156,27 @@ func Serve(cfg Config, reqs []workload.Request) (Stats, error) {
 		}
 	}
 
+	// makespan is the end of the last completed work. The event clock
+	// cannot serve here: the final event starts before the work it
+	// prices ends, and a coalesced final event starts a whole window
+	// earlier than a stepped one — completion times are what both
+	// paths agree on byte-for-byte.
+	makespan := 0.0
 	iterate = func(s *replicaState) func(now float64) {
 		return func(now float64) {
 			s.active = false
 			if simErr != nil {
 				return
 			}
-			// Admit.
-			var admitted []*runReq
-			for len(s.queue) > 0 && len(s.run)+len(admitted) < cfg.MaxBatch {
-				req := s.queue[0]
-				if !s.rep.Alloc.CanAlloc(req.Input) {
-					break
-				}
-				if err := s.rep.Alloc.Alloc(req.ID, req.Input); err != nil {
-					break
-				}
-				s.queue = s.queue[1:]
-				admitted = append(admitted, &runReq{
-					req: req,
-					stats: &sched.RequestStats{
-						ID: req.ID, Input: req.Input, Output: req.Output,
-						Arrival: req.Arrival, Started: now,
-					},
-				})
-			}
-			var step float64
-			if len(admitted) > 0 {
-				in := 0
-				for _, a := range admitted {
-					in += a.req.Input
-				}
-				pf, err := s.rep.Engine.PrefillSeconds(len(admitted), in/len(admitted))
-				if err != nil {
-					simErr = err
-					return
-				}
-				step += pf
-				for _, a := range admitted {
-					a.stats.FirstTok = now + step
-					a.generated = 1
-				}
-				s.run = append(s.run, admitted...)
-			}
-			if len(s.run) == 0 {
-				if len(s.queue) > 0 {
-					simErr = fmt.Errorf("cluster: replica %d cannot admit request %d (cache too small)",
-						s.id, s.queue[0].ID)
-				}
-				return
-			}
-			// One decode iteration.
-			ctxSum := 0
-			for _, r := range s.run {
-				ctxSum += r.req.Input + r.generated
-			}
-			t, err := s.rep.Engine.DecodeStepSeconds(len(s.run), ctxSum/len(s.run))
+			end, finished, err := s.iterateOnce(cfg.MaxBatch, now, nextArrival(now), cfg.Stepped, &window, &ids)
 			if err != nil {
 				simErr = err
 				return
 			}
-			step += t
-			end := now + step
-			s.busy += step
-			next := s.run[:0]
-			for _, r := range s.run {
-				r.generated++
-				if r.generated >= r.req.Output {
-					s.rep.Alloc.Free(r.req.ID)
-					r.stats.Finished = end
-					done = append(done, *r.stats)
-					s.done++
-					continue
-				}
-				if err := s.rep.Alloc.Extend(r.req.ID, r.req.Input+r.generated); err != nil {
-					simErr = err
-					return
-				}
-				next = append(next, r)
+			done = append(done, finished...)
+			if len(finished) > 0 && end > makespan {
+				makespan = end
 			}
-			s.run = next
 			if len(s.run) > 0 || len(s.queue) > 0 {
 				schedule(s, end)
 			}
@@ -221,9 +184,6 @@ func Serve(cfg Config, reqs []workload.Request) (Stats, error) {
 	}
 
 	// Arrival events.
-	ordered := make([]workload.Request, len(reqs))
-	copy(ordered, reqs)
-	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Arrival < ordered[j].Arrival })
 	for _, req := range ordered {
 		req := req
 		if err := sim.At(req.Arrival, func(now float64) {
@@ -243,7 +203,8 @@ func Serve(cfg Config, reqs []workload.Request) (Stats, error) {
 		return Stats{}, fmt.Errorf("cluster: only %d of %d requests completed", len(done), len(reqs))
 	}
 
-	agg, err := summarize(done, sim.Now())
+	sortByCompletion(done)
+	agg, err := sched.Summarize(done, makespan, 0)
 	if err != nil {
 		return Stats{}, err
 	}
@@ -252,32 +213,182 @@ func Serve(cfg Config, reqs []workload.Request) (Stats, error) {
 		out.PerReplica = append(out.PerReplica, ReplicaStats{
 			Completed: s.done,
 			BusyS:     s.busy,
-			Util:      s.busy / sim.Now(),
+			Util:      s.busy / makespan,
 		})
 	}
 	return out, nil
 }
 
-func summarize(done []sched.RequestStats, makespan float64) (sched.Stats, error) {
-	if makespan <= 0 {
-		return sched.Stats{}, errors.New("cluster: zero makespan")
+// sortByCompletion puts finished requests in completion order with an
+// ID tie-break. Replicas append completions in event-start order,
+// which depends on how many iterations each event carries — a
+// coalesced window surfaces its completions when the window starts,
+// a stepped run interleaves them with other replicas' events — so the
+// raw append order is representation-dependent. Completion times are
+// not: sorting on them makes Stats (including the float summation
+// order inside Summarize) identical for both paths.
+func sortByCompletion(done []sched.RequestStats) {
+	sort.Slice(done, func(i, j int) bool {
+		if done[i].Finished != done[j].Finished {
+			return done[i].Finished < done[j].Finished
+		}
+		return done[i].ID < done[j].ID
+	})
+}
+
+// arrivalCursor returns a next-arrival query over an arrival-sorted
+// trace: the earliest arrival strictly after now, or -1 when none
+// remain. Simulated time is monotone, so one advancing cursor serves
+// every replica's events.
+func arrivalCursor(ordered []workload.Request) func(now float64) float64 {
+	arrivals := make([]float64, len(ordered))
+	for i, r := range ordered {
+		arrivals[i] = r.Arrival
 	}
-	var tokens, latSum, ttftSum float64
-	lats := make([]float64, len(done))
-	for i, r := range done {
-		lats[i] = r.Latency()
-		latSum += lats[i]
-		ttftSum += r.FirstTok - r.Arrival
-		tokens += float64(r.Input + r.Output)
+	idx := 0
+	return func(now float64) float64 {
+		for idx < len(arrivals) && arrivals[idx] <= now {
+			idx++
+		}
+		if idx == len(arrivals) {
+			return -1
+		}
+		return arrivals[idx]
 	}
-	sort.Float64s(lats)
-	return sched.Stats{
-		Completed:   len(done),
-		MakespanS:   makespan,
-		Throughput:  tokens / makespan,
-		MeanLatency: latSum / float64(len(done)),
-		P99Latency:  lats[int(float64(len(lats)-1)*0.99)],
-		MeanTTFT:    ttftSum / float64(len(done)),
-		Requests:    done,
-	}, nil
+}
+
+// iterateOnce runs one scheduler event for this replica: admission
+// (with its prefill charge) and then either a single decode iteration
+// or — when the state is stable — a coalesced fast-forward over every
+// identical iteration up to the next state change (earliest
+// completion, KV headroom, next trace arrival). It returns the event's
+// end time (== now when nothing ran) and the requests that finished.
+// Shared by cluster.Serve and ServeAutoscale; the coalescing contract
+// is documented on sched.CoalesceWindow.
+func (s *replicaState) iterateOnce(maxBatch int, now, nextArrival float64,
+	stepped bool, window *[]float64, ids *[]int) (float64, []sched.RequestStats, error) {
+	// Admit.
+	var admitted []*runReq
+	for len(s.queue) > 0 && len(s.run)+len(admitted) < maxBatch {
+		req := s.queue[0]
+		if !s.rep.Alloc.CanAlloc(req.Input) {
+			break
+		}
+		if err := s.rep.Alloc.Alloc(req.ID, req.Input); err != nil {
+			break
+		}
+		s.queue = s.queue[1:]
+		admitted = append(admitted, &runReq{
+			req: req,
+			stats: &sched.RequestStats{
+				ID: req.ID, Input: req.Input, Output: req.Output,
+				Arrival: req.Arrival, Started: now,
+			},
+		})
+	}
+	var step float64
+	if len(admitted) > 0 {
+		in := 0
+		for _, a := range admitted {
+			in += a.req.Input
+		}
+		pf, err := s.rep.Engine.PrefillSeconds(len(admitted), in/len(admitted))
+		if err != nil {
+			return 0, nil, err
+		}
+		step += pf
+		for _, a := range admitted {
+			a.stats.FirstTok = now + step
+			a.generated = 1
+		}
+		s.run = append(s.run, admitted...)
+	}
+	if len(s.run) == 0 {
+		if len(s.queue) > 0 {
+			return 0, nil, fmt.Errorf("cluster: replica %d cannot admit request %d (cache too small)",
+				s.id, s.queue[0].ID)
+		}
+		return now, nil, nil
+	}
+	ctxSum := 0
+	for _, r := range s.run {
+		ctxSum += r.req.Input + r.generated
+	}
+	// Coalescing fast path: pure-decode events only (an admission event
+	// runs its fused prefill+decode stepped; by the next event every
+	// member is established, so each step extends each sequence by
+	// exactly one token — the trajectory MaxExtendSteps prices).
+	if !stepped && len(admitted) == 0 {
+		kMax := s.run[0].req.Output - s.run[0].generated
+		*ids = (*ids)[:0]
+		for _, r := range s.run {
+			if r.generated < 2 {
+				kMax = 0
+				break
+			}
+			if rem := r.req.Output - r.generated; rem < kMax {
+				kMax = rem
+			}
+			*ids = append(*ids, r.req.ID)
+		}
+		var err error
+		*window, err = sched.CoalesceWindow(s.rep.Engine, s.rep.Alloc, *ids,
+			len(s.run), ctxSum/len(s.run), kMax, now, nextArrival, *window)
+		if err != nil {
+			return 0, nil, err
+		}
+		if k := len(*window); k > 0 {
+			end := now
+			for _, c := range *window {
+				end += c
+				s.busy += c
+			}
+			var finished []sched.RequestStats
+			next := s.run[:0]
+			for _, r := range s.run {
+				r.generated += k
+				if r.generated >= r.req.Output {
+					s.rep.Alloc.Free(r.req.ID)
+					r.stats.Finished = end
+					finished = append(finished, *r.stats)
+					s.done++
+					continue
+				}
+				if err := s.rep.Alloc.Extend(r.req.ID, r.req.Input+r.generated); err != nil {
+					return 0, nil, err
+				}
+				next = append(next, r)
+			}
+			s.run = next
+			return end, finished, nil
+		}
+	}
+	// One reference iteration. Completion is checked before Extend —
+	// a sequence emitting its final token does not grow its
+	// reservation — and the coalesced path above mirrors that order.
+	t, err := s.rep.Engine.DecodeStepSeconds(len(s.run), ctxSum/len(s.run))
+	if err != nil {
+		return 0, nil, err
+	}
+	step += t
+	end := now + step
+	s.busy += step
+	var finished []sched.RequestStats
+	next := s.run[:0]
+	for _, r := range s.run {
+		r.generated++
+		if r.generated >= r.req.Output {
+			s.rep.Alloc.Free(r.req.ID)
+			r.stats.Finished = end
+			finished = append(finished, *r.stats)
+			s.done++
+			continue
+		}
+		if err := s.rep.Alloc.Extend(r.req.ID, r.req.Input+r.generated); err != nil {
+			return 0, nil, err
+		}
+		next = append(next, r)
+	}
+	s.run = next
+	return end, finished, nil
 }

@@ -19,12 +19,19 @@ import (
 	"llmbench/internal/metrics"
 	"llmbench/internal/model"
 	"llmbench/internal/parallel"
+	"llmbench/internal/pool"
 	"llmbench/internal/workload"
 )
 
-// Handler returns the dashboard's HTTP handler.
-func Handler() http.Handler {
-	s := &server{cache: make(map[string]*experiments.Output)}
+// Handler returns the dashboard's HTTP handler. parallelism bounds
+// the worker pool interactive regeneration fans out on (the
+// `llmbench-dashboard -j` flag): custom sweeps evaluate their grid
+// points concurrently and multi-id /api/run requests regenerate
+// experiments concurrently. Values below 1 mean GOMAXPROCS. Output is
+// deterministic at any setting (internal/pool orders results by
+// submission).
+func Handler(parallelism int) http.Handler {
+	s := &server{cache: make(map[string]*experiments.Output), parallelism: parallelism}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.index)
 	mux.HandleFunc("/api/experiments", s.list)
@@ -34,8 +41,9 @@ func Handler() http.Handler {
 }
 
 type server struct {
-	mu    sync.Mutex
-	cache map[string]*experiments.Output
+	mu          sync.Mutex
+	cache       map[string]*experiments.Output
+	parallelism int
 }
 
 type expInfo struct {
@@ -76,6 +84,10 @@ type runResponse struct {
 
 func (s *server) run(w http.ResponseWriter, r *http.Request) {
 	id := r.URL.Query().Get("id")
+	if id == "all" {
+		s.runAll(w)
+		return
+	}
 	exp, err := experiments.Get(id)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
@@ -101,6 +113,27 @@ func (s *server) run(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// runAll regenerates every experiment concurrently on the -j worker
+// pool and fills the cache, so subsequent clicks render instantly.
+func (s *server) runAll(w http.ResponseWriter) {
+	all := experiments.All()
+	ids := make([]string, len(all))
+	for i, e := range all {
+		ids[i] = e.ID
+	}
+	outs, err := experiments.RunExperiments(ids, s.parallelism)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.mu.Lock()
+	for i, out := range outs {
+		s.cache[ids[i]] = out
+	}
+	s.mu.Unlock()
+	writeJSON(w, runResponse{Markdown: fmt.Sprintf("regenerated %d experiments", len(ids))})
+}
+
 // sweep runs an ad-hoc batch sweep:
 // /api/sweep?model=…&device=…&framework=…&tp=N&len=1024
 func (s *server) sweep(w http.ResponseWriter, r *http.Request) {
@@ -116,9 +149,14 @@ func (s *server) sweep(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "dashboard: bad tp", http.StatusBadRequest)
 		return
 	}
+	// Cap the sweep length: sweeps run on process-shared cached
+	// engines whose step-cost memo grows with context, so an
+	// unbounded query parameter would let clients grow server memory
+	// without bound (the paper's own grids stop at 2048).
+	const maxSweepLen = 8192
 	length, err := strconv.Atoi(get("len", "1024"))
-	if err != nil || length < 1 {
-		http.Error(w, "dashboard: bad len", http.StatusBadRequest)
+	if err != nil || length < 1 || length > maxSweepLen {
+		http.Error(w, fmt.Sprintf("dashboard: len must be in [1, %d]", maxSweepLen), http.StatusBadRequest)
 		return
 	}
 	m, err := model.Get(get("model", "LLaMA-3-8B"))
@@ -136,7 +174,9 @@ func (s *server) sweep(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	eng, err := engine.New(engine.Config{
+	// Share the process-wide engine cache: a repeated sweep of one
+	// system reuses its engine and memoised step costs.
+	eng, err := engine.Cached(engine.Config{
 		Model: m, Device: dev, Framework: fw,
 		Plan: parallel.Plan{TP: tp, PP: 1, EP: 1},
 	})
@@ -149,15 +189,27 @@ func (s *server) sweep(w http.ResponseWriter, r *http.Request) {
 		Title:  fmt.Sprintf("%s on %d× %s via %s (len %d)", m.Name, tp, dev.Name, fw.Name, length),
 		XLabel: "Batch size", YLabel: "Throughput (tokens/s)",
 	}
-	for _, b := range workload.PaperBatches {
+	// Fan the grid points over the -j pool; the figure is filled
+	// serially afterwards, so series order is identical at any
+	// parallelism.
+	type point struct {
+		res engine.Result
+		err error
+	}
+	pts, _ := pool.Map(len(workload.PaperBatches), s.parallelism, func(i int) (point, error) {
+		b := workload.PaperBatches[i]
 		res, err := eng.Run(workload.Spec{Batch: b, Input: length, Output: length})
-		if err != nil {
-			fig.Note("batch %d skipped: %v", b, err)
+		return point{res, err}, nil
+	})
+	for i, p := range pts {
+		b := workload.PaperBatches[i]
+		if p.err != nil {
+			fig.Note("batch %d skipped: %v", b, p.err)
 			continue
 		}
-		fig.Add("throughput", float64(b), res.Throughput)
-		fig.Add("TTFT (s)", float64(b), res.TTFTSeconds)
-		fig.Add("ITL (ms)", float64(b), res.ITLSeconds*1000)
+		fig.Add("throughput", float64(b), p.res.Throughput)
+		fig.Add("TTFT (s)", float64(b), p.res.TTFTSeconds)
+		fig.Add("ITL (ms)", float64(b), p.res.ITLSeconds*1000)
 	}
 	writeJSON(w, runResponse{Figure: toJSON(fig), Markdown: fig.Markdown()})
 }
@@ -226,6 +278,7 @@ const indexHTML = `<!DOCTYPE html>
  tp <input id="sw-tp" value="1" size="2"> len <input id="sw-len" value="1024" size="5">
  <button onclick="sweep()">run</button>
 </div>
+<button onclick="runAll()" style="margin-bottom:8px">regenerate all (pooled)</button>
 <div id="list">loading…</div></div>
 <div id="main"><p>Select a figure or table on the left. Every entry regenerates the
 corresponding table/figure of the SC'24 paper from the simulation engine.</p></div>
@@ -345,6 +398,14 @@ async function sweep() {
   const pre = document.createElement("pre");
   pre.textContent = data.markdown;
   main.appendChild(pre);
+}
+async function runAll() {
+  const main = document.getElementById("main");
+  main.innerHTML = "<p>regenerating every experiment on the worker pool…</p>";
+  const res = await fetch("/api/run?id=all");
+  if (!res.ok) { main.innerHTML = "<pre>" + await res.text() + "</pre>"; return; }
+  const data = await res.json();
+  main.innerHTML = "<p>" + data.markdown + " — cached; entries now render instantly.</p>";
 }
 load();
 </script>

@@ -9,7 +9,7 @@ import (
 )
 
 func TestIndex(t *testing.T) {
-	srv := httptest.NewServer(Handler())
+	srv := httptest.NewServer(Handler(2))
 	defer srv.Close()
 	res, err := http.Get(srv.URL + "/")
 	if err != nil {
@@ -31,7 +31,7 @@ func TestIndex(t *testing.T) {
 }
 
 func TestListEndpoint(t *testing.T) {
-	srv := httptest.NewServer(Handler())
+	srv := httptest.NewServer(Handler(2))
 	defer srv.Close()
 	res, err := http.Get(srv.URL + "/api/experiments")
 	if err != nil {
@@ -48,7 +48,7 @@ func TestListEndpoint(t *testing.T) {
 }
 
 func TestRunEndpointFigure(t *testing.T) {
-	srv := httptest.NewServer(Handler())
+	srv := httptest.NewServer(Handler(2))
 	defer srv.Close()
 	res, err := http.Get(srv.URL + "/api/run?id=fig2b")
 	if err != nil {
@@ -81,7 +81,7 @@ func TestRunEndpointFigure(t *testing.T) {
 }
 
 func TestSweepEndpoint(t *testing.T) {
-	srv := httptest.NewServer(Handler())
+	srv := httptest.NewServer(Handler(2))
 	defer srv.Close()
 	res, err := http.Get(srv.URL + "/api/sweep?model=Mistral-7B&device=H100&framework=TRT-LLM&len=512")
 	if err != nil {
@@ -114,7 +114,7 @@ func TestSweepEndpoint(t *testing.T) {
 }
 
 func TestRunEndpointTableAndErrors(t *testing.T) {
-	srv := httptest.NewServer(Handler())
+	srv := httptest.NewServer(Handler(2))
 	defer srv.Close()
 	res, err := http.Get(srv.URL + "/api/run?id=tab1")
 	if err != nil {

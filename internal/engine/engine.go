@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"llmbench/internal/framework"
 	"llmbench/internal/hw"
@@ -70,11 +71,14 @@ type Config struct {
 	DisableKVCache bool
 }
 
-// Engine evaluates benchmark points for one configuration. An Engine
-// is immutable after New and safe for concurrent use: Run, Explain,
-// and the step-cost helpers only read the configuration, which is
-// what lets sweeps share one engine across workers and cache engines
-// by system (internal/pool, llmbench.Sweep).
+// Engine evaluates benchmark points for one configuration. An
+// Engine's configuration is immutable after New and every method is
+// safe for concurrent use: Run, Explain, and the step-cost helpers
+// only read the configuration, which is what lets sweeps share one
+// engine across workers and cache engines by system (engine.Cached,
+// llmbench.Sweep). The only mutable state is the step-cost memo table
+// (rangecost.go), which is guarded by mu and deterministic — a cached
+// step is byte-identical to a recomputed one.
 type Engine struct {
 	cfg    Config
 	link   parallel.Link
@@ -82,6 +86,10 @@ type Engine struct {
 	effM   float64 // memory efficiency on this vendor
 	peak   float64 // FLOP/s at the compute precision
 	blkEff float64
+
+	mu     sync.RWMutex
+	steps  map[stepKey]memoStep
+	ranges map[rangeKey]RangeStats
 }
 
 // New validates and builds an engine.
@@ -147,6 +155,8 @@ func New(cfg Config) (*Engine, error) {
 		effM:   effM,
 		peak:   peak,
 		blkEff: blk,
+		steps:  make(map[stepKey]memoStep),
+		ranges: make(map[rangeKey]RangeStats),
 	}, nil
 }
 
@@ -490,20 +500,15 @@ func (e *Engine) Run(spec workload.Spec) (Result, error) {
 	}
 	ttft := pf.Seconds
 
-	decode := 0.0
-	var balanceAcc, timeAcc float64
-	var lastBound roofline.Bound
-	for t := 0; t < waveSpec.Output-1; t++ {
-		ctx := waveSpec.Input + t + 1
-		st, err := e.decodeStep(waveSpec, ctx)
-		if err != nil {
-			return Result{}, err
-		}
-		decode += st.Seconds
-		balanceAcc += powerBalance(st) * st.Seconds
-		timeAcc += st.Seconds
-		lastBound = st.Bound
+	// The whole decode phase is one range of identical-batch steps at
+	// contexts Input+1 … Input+Output-1; price it in a single memoised
+	// call (summed in step order, so the result is byte-identical to
+	// the per-step loop this replaced).
+	rng, err := e.DecodeRangeSeconds(waveSpec.Batch, waveSpec.Input+1, waveSpec.Output-1)
+	if err != nil {
+		return Result{}, err
 	}
+	decode := rng.Seconds
 	e2e := float64(waves) * (ttft + decode)
 
 	itl := 0.0
@@ -514,8 +519,8 @@ func (e *Engine) Run(spec workload.Spec) (Result, error) {
 	throughput := spec.TotalTokens() / e2e // Paper Eq. (2)
 
 	balance := 0.0
-	if timeAcc > 0 {
-		balance = balanceAcc / timeAcc
+	if rng.Seconds > 0 {
+		balance = rng.BalanceSeconds / rng.Seconds
 	}
 	occupancy := math.Min(1, float64(waveSpec.Batch)/64)
 	util := power.Utilization(balance, occupancy, e.effC)
@@ -531,7 +536,7 @@ func (e *Engine) Run(spec workload.Spec) (Result, error) {
 		ITLSeconds:       itl,
 		E2ESeconds:       e2e,
 		Throughput:       throughput,
-		DecodeBound:      lastBound,
+		DecodeBound:      rng.LastBound,
 		AvgPowerWatts:    watts,
 		TotalPowerWatts:  total,
 		TokensPerSecPerW: power.TokensPerSecondPerWatt(throughput, total),
@@ -554,14 +559,15 @@ func (e *Engine) PrefillSeconds(batch, input int) (float64, error) {
 }
 
 // DecodeStepSeconds exposes the cost of one decode step at a given
-// context — the speculative-decoding study builds on it.
+// context — the speculative-decoding study builds on it. Costs come
+// from the engine's memo table, so repeated queries are map lookups.
 func (e *Engine) DecodeStepSeconds(batch, ctx int) (float64, error) {
 	if batch < 1 || ctx < 1 {
 		return 0, errors.New("engine: non-positive batch or context")
 	}
-	st, err := e.decodeStep(workload.Spec{Batch: batch, Input: 1, Output: 1}, ctx)
+	c, err := e.stepCost(batch, ctx)
 	if err != nil {
 		return 0, err
 	}
-	return st.Seconds, nil
+	return c.seconds, nil
 }

@@ -1,0 +1,175 @@
+package engine
+
+// Range pricing: every top-level metric this package produces is a sum
+// of per-token decode-step costs, and for an immutable engine a step's
+// cost depends only on (batch, context). This file prices whole runs
+// of consecutive steps in one call — engine.Run's decode loop, the
+// serving scheduler's coalesced iterations (internal/sched), and the
+// cluster simulator (internal/cluster) all sit on top of it — backed
+// by a concurrency-safe memo table so each distinct (batch, ctx) pair
+// is evaluated once per engine lifetime.
+//
+// Invariant: the aggregates are summed in step order (ctxStart,
+// ctxStart+1, …), exactly the order the step-by-step loops used, so
+// range-priced results are byte-identical to stepped results —
+// floating-point summation order is part of the contract, and the
+// equivalence tests in this package, internal/sched, and
+// internal/cluster guard it.
+
+import (
+	"errors"
+	"fmt"
+
+	"llmbench/internal/parallel"
+	"llmbench/internal/pool"
+	"llmbench/internal/quant"
+	"llmbench/internal/roofline"
+	"llmbench/internal/workload"
+)
+
+// stepKey identifies one decode step's price.
+type stepKey struct{ batch, ctx int }
+
+// memoStep is the cached outcome of one decode step: everything Run
+// and the serving simulators consume, reduced from the full roofline
+// result.
+type memoStep struct {
+	seconds float64
+	balance float64 // powerBalance of the step's roofline outcome
+	bound   roofline.Bound
+}
+
+// stepCost returns the memoised price of the decode step at (batch,
+// ctx), evaluating it on first use. Concurrent callers may race to
+// fill a missing entry; the computation is pure, so every racer stores
+// the identical value and the table stays deterministic.
+func (e *Engine) stepCost(batch, ctx int) (memoStep, error) {
+	k := stepKey{batch, ctx}
+	e.mu.RLock()
+	c, ok := e.steps[k]
+	e.mu.RUnlock()
+	if ok {
+		return c, nil
+	}
+	st, err := e.decodeStep(workload.Spec{Batch: batch, Input: 1, Output: 1}, ctx)
+	if err != nil {
+		return memoStep{}, err
+	}
+	c = memoStep{seconds: st.Seconds, balance: powerBalance(st), bound: st.Bound}
+	e.mu.Lock()
+	e.steps[k] = c
+	e.mu.Unlock()
+	return c, nil
+}
+
+// StepCost is the memoised outcome of one decode step, the unit the
+// serving simulators advance by when they coalesce iterations.
+type StepCost struct {
+	Seconds float64
+	Bound   roofline.Bound
+}
+
+// DecodeStepCost returns the memoised cost of one decode step at the
+// given batch size and context length.
+func (e *Engine) DecodeStepCost(batch, ctx int) (StepCost, error) {
+	if batch < 1 || ctx < 1 {
+		return StepCost{}, errors.New("engine: non-positive batch or context")
+	}
+	c, err := e.stepCost(batch, ctx)
+	if err != nil {
+		return StepCost{}, err
+	}
+	return StepCost{Seconds: c.seconds, Bound: c.bound}, nil
+}
+
+// RangeStats aggregates a run of consecutive decode steps at constant
+// batch: steps at contexts ctxStart, ctxStart+1, …, ctxStart+steps-1,
+// summed in that order.
+type RangeStats struct {
+	// Seconds is Σ step seconds.
+	Seconds float64
+	// BalanceSeconds is Σ powerBalance(step) · step seconds, the
+	// time-weighted balance accumulator of the power model.
+	BalanceSeconds float64
+	// MaxStepSeconds is the longest single step in the range.
+	MaxStepSeconds float64
+	// LastBound is the binding resource of the final step.
+	LastBound roofline.Bound
+}
+
+// rangeKey identifies one priced range.
+type rangeKey struct{ batch, ctxStart, steps int }
+
+// DecodeRangeSeconds prices steps consecutive decode iterations of a
+// batch whose context starts at ctxStart, in one pass over the
+// memoised step table. steps may be 0 (an empty range). The aggregates
+// are summed in step order, so the result is byte-identical to calling
+// DecodeStepCost step by step and accumulating.
+func (e *Engine) DecodeRangeSeconds(batch, ctxStart, steps int) (RangeStats, error) {
+	if batch < 1 || ctxStart < 1 {
+		return RangeStats{}, errors.New("engine: non-positive batch or context")
+	}
+	if steps < 0 {
+		return RangeStats{}, fmt.Errorf("engine: negative step count %d", steps)
+	}
+	if steps == 0 {
+		return RangeStats{}, nil
+	}
+	k := rangeKey{batch, ctxStart, steps}
+	e.mu.RLock()
+	rs, ok := e.ranges[k]
+	e.mu.RUnlock()
+	if ok {
+		return rs, nil
+	}
+	for i := 0; i < steps; i++ {
+		c, err := e.stepCost(batch, ctxStart+i)
+		if err != nil {
+			return RangeStats{}, err
+		}
+		rs.Seconds += c.seconds
+		rs.BalanceSeconds += c.balance * c.seconds
+		if c.seconds > rs.MaxStepSeconds {
+			rs.MaxStepSeconds = c.seconds
+		}
+		rs.LastBound = c.bound
+	}
+	e.mu.Lock()
+	e.ranges[k] = rs
+	e.mu.Unlock()
+	return rs, nil
+}
+
+// --- process-wide engine cache -------------------------------------------
+
+// cache is the one engine cache in the process: the root llmbench
+// package (Run, Sweep) and internal/experiments both build through it,
+// so a figure and an ad-hoc sweep of the same system share one engine
+// and one step-cost table.
+var cache pool.Cache[Config, *Engine]
+
+// cacheKey maps equivalent Config spellings to one entry, mirroring
+// the normalisation New applies (zero Plan means single-device, zero
+// Scheme means fp16/fp16).
+func cacheKey(cfg Config) Config {
+	if cfg.Plan == (parallel.Plan{}) {
+		cfg.Plan = parallel.Single
+	}
+	if cfg.Scheme == (quant.Scheme{}) {
+		cfg.Scheme = quant.FP16
+	}
+	return cfg
+}
+
+// Cached returns the shared engine for cfg, building it on first use.
+// Component pointers are part of the key, so catalog-backed configs
+// (internal/model, internal/hw, internal/framework getters return
+// canonical pointers) dedupe across every caller in the process; use
+// New directly for ad-hoc private instances.
+func Cached(cfg Config) (*Engine, error) {
+	key := cacheKey(cfg)
+	return cache.Get(key, func() (*Engine, error) { return New(key) })
+}
+
+// CachedCount reports how many engines the process-wide cache holds.
+func CachedCount() int { return cache.Len() }

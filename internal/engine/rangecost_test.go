@@ -1,0 +1,180 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"llmbench/internal/framework"
+	"llmbench/internal/hw"
+	"llmbench/internal/model"
+	"llmbench/internal/parallel"
+	"llmbench/internal/quant"
+	"llmbench/internal/workload"
+)
+
+func rangeTestEngine(t *testing.T, fw string) *Engine {
+	t.Helper()
+	e, err := New(Config{
+		Model:     model.MustGet("LLaMA-3-8B"),
+		Device:    hw.MustGet("A100"),
+		Framework: framework.MustGet(fw),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestDecodeRangeMatchesSteppedSum verifies the core range-pricing
+// invariant: DecodeRangeSeconds aggregates exactly what a per-step
+// loop over the raw (unmemoised) decode pricing produces, in the same
+// summation order, byte for byte.
+func TestDecodeRangeMatchesSteppedSum(t *testing.T) {
+	for _, fw := range []string{"vLLM", "llama.cpp"} {
+		eng := rangeTestEngine(t, fw)
+		fresh := rangeTestEngine(t, fw) // separate memo table
+		for _, c := range []struct{ batch, ctxStart, steps int }{
+			{1, 1, 1},
+			{16, 129, 511},
+			{64, 1025, 1023},
+			{8, 4097, 100},
+		} {
+			rng, err := eng.DecodeRangeSeconds(c.batch, c.ctxStart, c.steps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sum, balSum, maxStep float64
+			for i := 0; i < c.steps; i++ {
+				st, err := fresh.decodeStep(workload.Spec{Batch: c.batch, Input: 1, Output: 1}, c.ctxStart+i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sum += st.Seconds
+				balSum += powerBalance(st) * st.Seconds
+				if st.Seconds > maxStep {
+					maxStep = st.Seconds
+				}
+			}
+			if rng.Seconds != sum || rng.BalanceSeconds != balSum || rng.MaxStepSeconds != maxStep {
+				t.Errorf("%s %+v: range {%v %v %v} != stepped {%v %v %v}",
+					fw, c, rng.Seconds, rng.BalanceSeconds, rng.MaxStepSeconds, sum, balSum, maxStep)
+			}
+		}
+	}
+}
+
+// TestRunDeterministicUnderMemo asserts a warm memo table changes
+// nothing: the same point run repeatedly, and on a fresh engine, is
+// byte-identical.
+func TestRunDeterministicUnderMemo(t *testing.T) {
+	eng := rangeTestEngine(t, "vLLM")
+	spec := workload.Spec{Batch: 16, Input: 512, Output: 512}
+	first, err := eng.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := eng.Run(spec) // fully memoised now
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := rangeTestEngine(t, "vLLM").Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != warm || first != cold {
+		t.Errorf("memoised Run differs:\nfirst %+v\nwarm  %+v\ncold  %+v", first, warm, cold)
+	}
+}
+
+// TestDecodeStepCostConcurrent hammers one engine's memo table from
+// many goroutines (meaningful under -race) and checks every reader
+// observes the same value.
+func TestDecodeStepCostConcurrent(t *testing.T) {
+	eng := rangeTestEngine(t, "vLLM")
+	want, err := eng.DecodeStepCost(8, 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				got, err := eng.DecodeStepCost(8, 700+i%100)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if i%100 == 77 && got != want {
+					errs <- fmt.Errorf("ctx 777: got %+v want %+v", got, want)
+					return
+				}
+				if _, err := eng.DecodeRangeSeconds(8, 700, 50); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestCachedSharesOneEngine pins the single-cache property: every
+// spelling of one system resolves to the same *Engine through the
+// process-wide cache.
+func TestCachedSharesOneEngine(t *testing.T) {
+	cfg := Config{
+		Model:     model.MustGet("LLaMA-2-7B"),
+		Device:    hw.MustGet("H100"),
+		Framework: framework.MustGet("TRT-LLM"),
+	}
+	a, err := Cached(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normal := cfg
+	normal.Plan = parallel.Single
+	normal.Scheme = quant.FP16
+	b, err := Cached(normal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("zero-valued and normalised configs must share one cached engine")
+	}
+	private, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if private == a {
+		t.Error("New must build a private instance, not the cached one")
+	}
+	if CachedCount() < 1 {
+		t.Error("cache must report its entries")
+	}
+}
+
+// TestDecodeRangeValidation covers the error surface.
+func TestDecodeRangeValidation(t *testing.T) {
+	eng := rangeTestEngine(t, "vLLM")
+	if _, err := eng.DecodeRangeSeconds(0, 1, 1); err == nil {
+		t.Error("batch 0 must fail")
+	}
+	if _, err := eng.DecodeRangeSeconds(1, 0, 1); err == nil {
+		t.Error("ctx 0 must fail")
+	}
+	if _, err := eng.DecodeRangeSeconds(1, 1, -1); err == nil {
+		t.Error("negative steps must fail")
+	}
+	empty, err := eng.DecodeRangeSeconds(1, 1, 0)
+	if err != nil || empty != (RangeStats{}) {
+		t.Errorf("empty range must be zero: %+v, %v", empty, err)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"llmbench/internal/engine"
 	"llmbench/internal/framework"
@@ -142,35 +143,58 @@ func RunExperiments(ids []string, parallelism int) ([]*Output, error) {
 
 // --- shared helpers -------------------------------------------------------
 
-// engineKey identifies one cached engine configuration: experiment
-// engines are immutable after construction and safe for concurrent
-// Run, so a sweep pays catalog lookup + engine construction once per
-// distinct system instead of once per point.
-type engineKey struct {
-	model, dev, fw string
-	plan           parallel.Plan
-}
-
-var engineCache pool.Cache[engineKey, *engine.Engine]
-
+// mk returns the shared engine for a catalog-named system through the
+// process-wide engine cache (engine.Cached) — the same cache the root
+// llmbench package builds through, so experiments and ad-hoc sweeps in
+// one process share every build and its memoised step costs.
 func mk(modelName, devName, fwName string, plan parallel.Plan) (*engine.Engine, error) {
-	return engineCache.Get(engineKey{modelName, devName, fwName, plan}, func() (*engine.Engine, error) {
-		return engine.New(engine.Config{
-			Model:     model.MustGet(modelName),
-			Device:    hw.MustGet(devName),
-			Framework: framework.MustGet(fwName),
-			Plan:      plan,
-		})
+	return engine.Cached(engine.Config{
+		Model:     model.MustGet(modelName),
+		Device:    hw.MustGet(devName),
+		Framework: framework.MustGet(fwName),
+		Plan:      plan,
 	})
 }
 
 func tp(n int) parallel.Plan { return parallel.Plan{TP: n, PP: 1, EP: 1} }
 
+// resultKey identifies one evaluated benchmark point. Engines are
+// canonical (one pointer per configuration, via engine.Cached), so
+// pointer identity plus the workload spec is a complete key.
+type resultKey struct {
+	eng  *engine.Engine
+	spec workload.Spec
+}
+
+// resultCache memoises benchmark points across experiments: many
+// figures re-run identical (system, workload) points, and a figure
+// re-run (dashboard regeneration, repeated reports) re-runs all of
+// them. Failed points are not cached (pool.Cache drops them), which
+// preserves the per-call error text the figure notes record.
+var resultCache pool.Cache[resultKey, engine.Result]
+
+var resultLookups, resultMisses atomic.Int64
+
+// runPoint evaluates one benchmark point through the result cache.
+func runPoint(eng *engine.Engine, spec workload.Spec) (engine.Result, error) {
+	resultLookups.Add(1)
+	return resultCache.Get(resultKey{eng, spec}, func() (engine.Result, error) {
+		resultMisses.Add(1)
+		return eng.Run(spec)
+	})
+}
+
+// ResultCacheCounts reports (lookups, misses) of the experiment result
+// cache; the difference is the hit count. Test hook.
+func ResultCacheCounts() (lookups, misses int64) {
+	return resultLookups.Load(), resultMisses.Load()
+}
+
 // addOrNote runs one point and records throughput, or notes the
 // skip reason (paper-style OOM gaps).
 func addOrNote(fig *metrics.Figure, eng *engine.Engine, label string, x float64, spec workload.Spec,
 	metric func(engine.Result) float64) {
-	res, err := eng.Run(spec)
+	res, err := runPoint(eng, spec)
 	if err != nil {
 		if errors.Is(err, engine.ErrOOM) || errors.Is(err, engine.ErrUnsupportedBatch) {
 			fig.Note("%s skipped at x=%g: %v", label, x, err)

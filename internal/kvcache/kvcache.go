@@ -33,6 +33,14 @@ type Allocator interface {
 	CapacityBytes() float64
 	// CanAlloc reports whether a new sequence of the given length fits.
 	CanAlloc(tokens int) bool
+	// MaxExtendSteps returns the largest k ≤ limit such that extending
+	// every listed sequence by one token per step, for k consecutive
+	// steps (all sequences advancing together each step), would
+	// succeed without ErrOutOfMemory. It never mutates state; the
+	// serving schedulers use it to bound how many identical decode
+	// iterations they may fast-forward in one event. An unknown
+	// sequence id makes the result 0.
+	MaxExtendSteps(seqIDs []int, limit int) int
 }
 
 // --- Paged allocator ----------------------------------------------------
@@ -140,6 +148,39 @@ func (p *Paged) CapacityBytes() float64 { return p.capacity }
 // CanAlloc implements Allocator.
 func (p *Paged) CanAlloc(tokens int) bool { return p.blocksFor(tokens) <= p.freeBlocks }
 
+// MaxExtendSteps implements Allocator. Block demand is monotone in the
+// step count, so the largest feasible k is found by binary search; a
+// cumulative demand that fits also fits at every intermediate step and
+// in any per-step extension order.
+func (p *Paged) MaxExtendSteps(seqIDs []int, limit int) int {
+	if limit <= 0 {
+		return 0
+	}
+	demand := func(k int) (blocks int, ok bool) {
+		for _, id := range seqIDs {
+			s, present := p.seqs[id]
+			if !present {
+				return 0, false
+			}
+			blocks += p.blocksFor(s.tokens+k) - s.blocks
+		}
+		return blocks, true
+	}
+	if _, ok := demand(0); !ok {
+		return 0
+	}
+	lo, hi := 0, limit
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if need, _ := demand(mid); need <= p.freeBlocks {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
 // Sequences returns the number of live sequences.
 func (p *Paged) Sequences() int { return len(p.seqs) }
 
@@ -226,6 +267,29 @@ func (m *Monolithic) CapacityBytes() float64 { return m.capacity }
 // CanAlloc implements Allocator.
 func (m *Monolithic) CanAlloc(tokens int) bool {
 	return tokens <= m.ReserveTokens && m.UsedBytes()+m.reserveBytes() <= m.capacity
+}
+
+// MaxExtendSteps implements Allocator: growth within a reservation
+// never allocates, so the bound is each sequence's remaining headroom
+// below ReserveTokens.
+func (m *Monolithic) MaxExtendSteps(seqIDs []int, limit int) int {
+	if limit <= 0 {
+		return 0
+	}
+	max := limit
+	for _, id := range seqIDs {
+		cur, ok := m.seqs[id]
+		if !ok {
+			return 0
+		}
+		if room := m.ReserveTokens - cur; room < max {
+			max = room
+		}
+	}
+	if max < 0 {
+		return 0
+	}
+	return max
 }
 
 // Sequences returns the number of live sequences.

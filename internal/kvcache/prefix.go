@@ -166,6 +166,37 @@ func (p *PrefixPaged) CanAlloc(tokens int) bool {
 	return need <= p.freeBlocks
 }
 
+// MaxExtendSteps implements Allocator: like Paged, but demand counts
+// private blocks only (the shared prefix never grows).
+func (p *PrefixPaged) MaxExtendSteps(seqIDs []int, limit int) int {
+	if limit <= 0 {
+		return 0
+	}
+	demand := func(k int) (blocks int, ok bool) {
+		for _, id := range seqIDs {
+			s, present := p.seqs[id]
+			if !present {
+				return 0, false
+			}
+			blocks += p.privateBlocksFor(s.tokens+k) - s.private
+		}
+		return blocks, true
+	}
+	if _, ok := demand(0); !ok {
+		return 0
+	}
+	lo, hi := 0, limit
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if need, _ := demand(mid); need <= p.freeBlocks {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
 // Sequences returns the number of live sequences.
 func (p *PrefixPaged) Sequences() int { return len(p.seqs) }
 

@@ -1,0 +1,146 @@
+package kvcache
+
+import "testing"
+
+// bruteMaxSteps replays the allocator's live sequences on a twin and
+// step-extends all of them together until one Extend fails — the
+// ground truth MaxExtendSteps must match.
+func bruteMaxSteps(t *testing.T, build func() Allocator, seqs map[int]int, limit int) int {
+	t.Helper()
+	twin := build()
+	ids := make([]int, 0, len(seqs))
+	for id, tokens := range seqs {
+		if err := twin.Alloc(id, tokens); err != nil {
+			t.Fatalf("twin alloc %d: %v", id, err)
+		}
+		ids = append(ids, id)
+	}
+	for k := 1; k <= limit; k++ {
+		for _, id := range ids {
+			if err := twin.Extend(id, seqs[id]+k); err != nil {
+				return k - 1
+			}
+		}
+	}
+	return limit
+}
+
+func TestPagedMaxExtendSteps(t *testing.T) {
+	const blockTokens, bytesPerToken = 16, 1024.0
+	cases := []struct {
+		name     string
+		capacity float64 // in blocks
+		seqs     map[int]int
+	}{
+		{"plenty", 1000, map[int]int{1: 100, 2: 200}},
+		{"tight", 40, map[int]int{1: 100, 2: 200, 3: 17}},
+		{"exact-boundary", 24, map[int]int{1: 16, 2: 32}},
+		{"single", 12, map[int]int{7: 31}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			build := func() Allocator {
+				a, err := NewPaged(blockTokens, bytesPerToken, c.capacity*blockTokens*bytesPerToken)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return a
+			}
+			live := build()
+			ids := make([]int, 0, len(c.seqs))
+			for id, tokens := range c.seqs {
+				if err := live.Alloc(id, tokens); err != nil {
+					t.Fatalf("alloc %d: %v", id, err)
+				}
+				ids = append(ids, id)
+			}
+			for _, limit := range []int{1, 7, 64, 500} {
+				want := bruteMaxSteps(t, build, c.seqs, limit)
+				if got := live.MaxExtendSteps(ids, limit); got != want {
+					t.Errorf("limit %d: got %d want %d", limit, got, want)
+				}
+			}
+			if got := live.MaxExtendSteps([]int{999}, 10); got != 0 {
+				t.Errorf("unknown id: got %d want 0", got)
+			}
+			if got := live.MaxExtendSteps(ids, 0); got != 0 {
+				t.Errorf("limit 0: got %d want 0", got)
+			}
+		})
+	}
+}
+
+func TestMonolithicMaxExtendSteps(t *testing.T) {
+	build := func() Allocator {
+		a, err := NewMonolithic(256, 1024, 10*256*1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	seqs := map[int]int{1: 200, 2: 250, 3: 100}
+	live := build()
+	for id, tokens := range seqs {
+		if err := live.Alloc(id, tokens); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := []int{1, 2, 3}
+	for _, limit := range []int{1, 6, 7, 100} {
+		want := bruteMaxSteps(t, build, seqs, limit)
+		if got := live.MaxExtendSteps(ids, limit); got != want {
+			t.Errorf("limit %d: got %d want %d", limit, got, want)
+		}
+	}
+	if got := live.MaxExtendSteps([]int{42}, 5); got != 0 {
+		t.Errorf("unknown id: got %d want 0", got)
+	}
+}
+
+func TestPrefixPagedMaxExtendSteps(t *testing.T) {
+	const blockTokens, prefixTokens, bytesPerToken = 16, 64, 1024.0
+	build := func() Allocator {
+		a, err := NewPrefixPaged(blockTokens, prefixTokens, bytesPerToken, 30*blockTokens*bytesPerToken)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	seqs := map[int]int{1: 80, 2: 100, 3: 65}
+	live := build()
+	for id, tokens := range seqs {
+		if err := live.Alloc(id, tokens); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := []int{1, 2, 3}
+	for _, limit := range []int{1, 10, 100, 400} {
+		want := bruteMaxSteps(t, build, seqs, limit)
+		if got := live.MaxExtendSteps(ids, limit); got != want {
+			t.Errorf("limit %d: got %d want %d", limit, got, want)
+		}
+	}
+}
+
+// TestMaxExtendStepsDoesNotMutate runs the query and checks the
+// allocator still extends exactly as far as predicted.
+func TestMaxExtendStepsDoesNotMutate(t *testing.T) {
+	a, err := NewPaged(16, 1024, 20*16*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Alloc(1, 100); err != nil {
+		t.Fatal(err)
+	}
+	before := a.UsedBytes()
+	k := a.MaxExtendSteps([]int{1}, 1000)
+	if a.UsedBytes() != before {
+		t.Fatal("MaxExtendSteps mutated the allocator")
+	}
+	if err := a.Extend(1, 100+k); err != nil {
+		t.Fatalf("predicted %d steps but extend failed: %v", k, err)
+	}
+	if err := a.Extend(1, 100+k+16); err == nil {
+		t.Error("a full block past the bound must fail")
+	}
+}

@@ -20,6 +20,21 @@ import (
 	"llmbench/internal/workload"
 )
 
+// Iteration coalescing: between two scheduler state changes —
+// an arrival, a prefill slice, a completion, or a KV-pressure
+// boundary — every decode iteration is identical except that each
+// running context is one token longer, so the continuous scheduler
+// fast-forwards whole runs of them in a single event instead of one
+// event per output token. The fast-forward is exact, not an
+// approximation: step costs come from the engine's memoised
+// step-cost table (engine.DecodeStepCost), the clock advances by
+// adding each step's cost in order (floating-point summation order is
+// part of the contract), and the window never crosses a state change
+// (bounded by the earliest completion, the next arrival, and
+// kvcache.MaxExtendSteps headroom), so coalesced Stats are
+// byte-identical to the one-event-per-token reference path
+// (Config.Stepped), which the equivalence tests assert.
+
 // Policy selects the batching strategy.
 type Policy int
 
@@ -55,6 +70,12 @@ type Config struct {
 	ChunkedPrefill bool
 	// PrefillChunk is the slice size in tokens (default 512).
 	PrefillChunk int
+
+	// Stepped disables iteration coalescing, advancing the simulation
+	// one decode iteration per scheduler event — the O(output tokens)
+	// reference path the coalesced fast-forward is tested against.
+	// Output is byte-identical either way; Stepped only costs time.
+	Stepped bool
 }
 
 // RequestStats records one request's lifecycle.
@@ -128,6 +149,8 @@ func serveContinuous(cfg Config, queue []workload.Request) (Stats, error) {
 	done := make([]RequestStats, 0, len(queue))
 	preemptions := 0
 	maxIter := 0.0
+	var window []float64 // reused per-step cost buffer for fast-forwards
+	var ids []int        // reused sequence-id buffer
 
 	for len(queue) > 0 || len(run) > 0 {
 		// Idle: jump to the next arrival.
@@ -183,6 +206,15 @@ func serveContinuous(cfg Config, queue []workload.Request) (Stats, error) {
 			run = append(run, admitted...)
 		}
 		if len(run) == 0 {
+			if len(queue) > 0 && queue[0].Arrival <= now {
+				// Nothing is running, nothing was admitted, and the head
+				// has arrived: no future completion can free capacity, so
+				// it will never fit. Erroring matches the cluster
+				// scheduler; before this the loop spun forever.
+				return Stats{}, fmt.Errorf(
+					"sched: request %d (input %d) can never be admitted (KV cache too small)",
+					queue[0].ID, queue[0].Input)
+			}
 			continue
 		}
 		// One iteration: a decode step for the generating set, fused
@@ -196,6 +228,74 @@ func serveContinuous(cfg Config, queue []workload.Request) (Stats, error) {
 				}
 			} else {
 				decoding = append(decoding, r)
+			}
+		}
+		// Coalescing fast path: a pure-decode state (no chunked prefill
+		// in flight) whose next iterations are identical except for
+		// context growth. Fast-forward up to the next state change in
+		// one pass; admission cannot unblock mid-window (free blocks
+		// only shrink and the running set only shrinks at completions,
+		// which bound the window), so an already-arrived but blocked
+		// queue head does not cut it — only a future arrival does.
+		if !cfg.Stepped && prefilling == nil && len(decoding) == len(run) && len(run) > 0 {
+			// Every member must be established — generated ≥ 2, so its
+			// allocator reservation already equals Input+generated and
+			// each further step extends it by exactly one token, the
+			// trajectory MaxExtendSteps prices. A fresh request (one
+			// decode step after prefill) jumps two tokens on its first
+			// extend; its first iteration runs stepped.
+			kMax := run[0].req.Output - run[0].generated
+			ctxSum := 0
+			ids = ids[:0]
+			for _, r := range run {
+				if r.generated < 2 {
+					kMax = 0
+					break
+				}
+				if rem := r.req.Output - r.generated; rem < kMax {
+					kMax = rem
+				}
+				ctxSum += r.req.Input + r.generated
+				ids = append(ids, r.req.ID)
+			}
+			nextArrival := -1.0
+			if len(queue) > 0 && queue[0].Arrival > now {
+				nextArrival = queue[0].Arrival
+			}
+			var err error
+			window, err = CoalesceWindow(cfg.Engine, cfg.Alloc, ids,
+				len(run), ctxSum/len(run), kMax, now, nextArrival, window)
+			if err != nil {
+				return Stats{}, err
+			}
+			if k := len(window); k > 0 {
+				for _, c := range window {
+					if c > maxIter {
+						maxIter = c
+					}
+					now += c
+				}
+				// One batched Extend to each final context: headroom was
+				// verified for the whole window, so none of these can OOM,
+				// and the allocator lands in the same state as k
+				// single-token extends. Requests extend before the
+				// completion check, exactly as the stepped path does.
+				next := run[:0]
+				for _, r := range run {
+					r.generated += k
+					if err := cfg.Alloc.Extend(r.req.ID, r.req.Input+r.generated); err != nil {
+						return Stats{}, err
+					}
+					if r.generated >= r.req.Output {
+						cfg.Alloc.Free(r.req.ID)
+						r.stats.Finished = now
+						done = append(done, *r.stats)
+						continue
+					}
+					next = append(next, r)
+				}
+				run = next
+				continue
 			}
 		}
 		var step float64
@@ -265,7 +365,7 @@ func serveContinuous(cfg Config, queue []workload.Request) (Stats, error) {
 		}
 		run = next
 	}
-	stats, err := summarize(done, now, preemptions)
+	stats, err := Summarize(done, now, preemptions)
 	if err != nil {
 		return Stats{}, err
 	}
@@ -323,7 +423,55 @@ func serveStatic(cfg Config, queue []workload.Request) (Stats, error) {
 		}
 		now += res.E2ESeconds
 	}
-	return summarize(done, now, 0)
+	return Summarize(done, now, 0)
+}
+
+// CoalesceWindow bounds and prices one coalesced run of identical
+// decode iterations: batch sequences whose mean context starts at
+// ctx0, each growing one token per step. kMax must already be bounded
+// by the earliest completion in the batch; the allocator bound
+// (kvcache.MaxExtendSteps over seqIDs) and the next-arrival cut are
+// applied here. nextArrival < 0 means no future arrival is pending.
+//
+// The per-step costs are appended to buf (pass the previous return
+// value to reuse its storage) and returned; an empty result means the
+// state does not admit a fast-forward of at least one full iteration
+// beyond the current one, and the caller must fall back to its
+// one-step reference path (which also handles preemption). The caller
+// advances its clock by adding the returned costs one at a time, in
+// order — that keeps coalesced time byte-identical to stepped time.
+//
+// Shared by serveContinuous, cluster.Serve, and cluster.ServeAutoscale.
+func CoalesceWindow(eng *engine.Engine, alloc kvcache.Allocator, seqIDs []int,
+	batch, ctx0, kMax int, now, nextArrival float64, buf []float64) ([]float64, error) {
+	buf = buf[:0]
+	if kMax > 1 {
+		if k := alloc.MaxExtendSteps(seqIDs, kMax); k < kMax {
+			// The KV pool runs dry inside the window: fast-forward to the
+			// last iteration that fits, then let the reference path take
+			// the preemption (or OOM) at the boundary.
+			kMax = k
+		}
+	}
+	if kMax < 2 {
+		return buf, nil
+	}
+	end := now
+	for j := 0; j < kMax; j++ {
+		c, err := eng.DecodeStepCost(batch, ctx0+j)
+		if err != nil {
+			return buf, err
+		}
+		buf = append(buf, c.Seconds)
+		end += c.Seconds
+		if nextArrival >= 0 && end >= nextArrival {
+			// A request lands inside the window: it is admitted at the
+			// first iteration boundary at or after its arrival, so this
+			// step is the window's last.
+			break
+		}
+	}
+	return buf, nil
 }
 
 func insertByArrival(queue []workload.Request, r workload.Request) []workload.Request {
@@ -334,7 +482,10 @@ func insertByArrival(queue []workload.Request, r workload.Request) []workload.Re
 	return queue
 }
 
-func summarize(done []RequestStats, makespan float64, preemptions int) (Stats, error) {
+// Summarize aggregates completed request lifecycles into Stats. It is
+// the single summary implementation behind both the single-replica
+// scheduler and the cluster simulators (internal/cluster).
+func Summarize(done []RequestStats, makespan float64, preemptions int) (Stats, error) {
 	if len(done) == 0 {
 		return Stats{}, errors.New("sched: no requests completed")
 	}

@@ -85,37 +85,40 @@ type Workload struct {
 // Result re-exports the engine's per-point metrics.
 type Result = engine.Result
 
-// NewEngine builds the simulator for a System.
-func NewEngine(sys System) (*engine.Engine, error) {
+// systemConfig resolves a System's catalog names into an engine
+// configuration. Catalog getters return canonical pointers, so two
+// resolutions of equivalent Systems compare equal — the property the
+// engine-layer cache keys on.
+func systemConfig(sys System) (engine.Config, error) {
 	m, err := model.Get(sys.Model)
 	if err != nil {
-		return nil, err
+		return engine.Config{}, err
 	}
 	d, err := hw.Get(sys.Device)
 	if err != nil {
-		return nil, err
+		return engine.Config{}, err
 	}
 	fw, err := framework.Get(sys.Framework)
 	if err != nil {
-		return nil, err
+		return engine.Config{}, err
 	}
 	plan := parallel.Plan{TP: max1(sys.TP), PP: max1(sys.PP), EP: max1(sys.EP)}
 	scheme := quant.FP16
 	if sys.Weights != "" {
 		w, err := dtype.Parse(sys.Weights)
 		if err != nil {
-			return nil, err
+			return engine.Config{}, err
 		}
 		scheme.Weights = w
 	}
 	if sys.KV != "" {
 		kv, err := dtype.Parse(sys.KV)
 		if err != nil {
-			return nil, err
+			return engine.Config{}, err
 		}
 		scheme.KV = kv
 	}
-	return engine.New(engine.Config{
+	return engine.Config{
 		Model:          m,
 		Device:         d,
 		Framework:      fw,
@@ -123,7 +126,17 @@ func NewEngine(sys System) (*engine.Engine, error) {
 		Scheme:         scheme,
 		KVBlockTokens:  sys.KVBlockTokens,
 		DisableKVCache: sys.DisableKVCache,
-	})
+	}, nil
+}
+
+// NewEngine builds a private simulator instance for a System (not
+// shared through the engine cache; see CachedEngine).
+func NewEngine(sys System) (*engine.Engine, error) {
+	cfg, err := systemConfig(sys)
+	if err != nil {
+		return nil, err
+	}
+	return engine.New(cfg)
 }
 
 func max1(v int) int {

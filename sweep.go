@@ -70,28 +70,19 @@ func Sweep(sys System, grid Grid) ([]SweepPoint, error) {
 	return out, nil
 }
 
-// engines memoises constructed engines by normalised System. Engines
-// are immutable after construction and safe for concurrent use, so
-// Run, Explain, and Sweep all share one build per system.
-var engines pool.Cache[System, *engine.Engine]
-
-// normalized maps equivalent System spellings to one cache key:
-// zero parallelism degrees mean 1 and empty precisions mean fp16, so
-// e.g. {TP: 0} and {TP: 1} share an engine.
-func (s System) normalized() System {
-	s.TP, s.PP, s.EP = max1(s.TP), max1(s.PP), max1(s.EP)
-	if s.Weights == "" {
-		s.Weights = "fp16"
-	}
-	if s.KV == "" {
-		s.KV = "fp16"
-	}
-	return s
-}
-
 // CachedEngine returns the shared engine for sys, building it on
-// first use. Use NewEngine for a private instance.
+// first use. The cache lives at the engine layer (engine.Cached) and
+// is the only engine cache in the process: internal/experiments
+// builds through the same one, so a figure regeneration and an ad-hoc
+// sweep of the same system share a single engine and its memoised
+// step costs. Catalog getters return canonical pointers and
+// engine.Cached normalises zero plans/schemes, so equivalent System
+// spellings ({TP: 0} vs {TP: 1}, "" vs "fp16") share an entry. Use
+// NewEngine for a private instance.
 func CachedEngine(sys System) (*engine.Engine, error) {
-	sys = sys.normalized()
-	return engines.Get(sys, func() (*engine.Engine, error) { return NewEngine(sys) })
+	cfg, err := systemConfig(sys)
+	if err != nil {
+		return nil, err
+	}
+	return engine.Cached(cfg)
 }

@@ -153,6 +153,29 @@ func TestCachedEngineReuse(t *testing.T) {
 	}
 }
 
+// TestOneEngineCacheInProcess pins the cache unification: the root
+// package's CachedEngine and a direct engine.Cached call with the
+// resolved configuration return the same instance, because the only
+// engine cache in the process lives at the engine layer (shared with
+// internal/experiments).
+func TestOneEngineCacheInProcess(t *testing.T) {
+	a, err := CachedEngine(sweepSys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := systemConfig(sweepSys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := engine.Cached(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("root CachedEngine and engine.Cached must share one instance")
+	}
+}
+
 func TestRunExperimentsOrdered(t *testing.T) {
 	ids := []string{"fig2b", "fig1a"}
 	res, err := RunExperiments(ids, 2)
