@@ -279,6 +279,106 @@ func BenchmarkServeCluster(b *testing.B) {
 	}
 }
 
+// benchClusterTrace is the shared workload of the replica-scaling
+// benchmarks: bursty long-output arrivals sized so 8 and 32 replicas
+// both stay busy. Fixed per replica count so numbers stay comparable
+// across commits.
+func benchClusterTrace(b *testing.B, requests int, rate float64) []workload.Request {
+	b.Helper()
+	reqs, err := workload.PoissonTrace(workload.TraceConfig{
+		Seed: 17, Requests: requests, RatePerSec: rate,
+		InputMean: 256, OutputMean: 1024, LengthJitter: 0.3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return reqs
+}
+
+func benchServeClusterN(b *testing.B, replicas int, reqs []workload.Request, cfg cluster.Config) {
+	b.Helper()
+	eng, err := NewEngine(System{Model: "LLaMA-3-8B", Device: "A100", Framework: "vLLM"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := model.MustGet("LLaMA-3-8B")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reps := make([]cluster.Replica, replicas)
+		for j := range reps {
+			alloc, err := kvcache.NewPaged(16, m.KVBytesPerToken(dtype.FP16), 30*(1<<30))
+			if err != nil {
+				b.Fatal(err)
+			}
+			reps[j] = cluster.Replica{Engine: eng, Alloc: alloc}
+		}
+		cfg.Replicas = reps
+		if _, err := cluster.Serve(cfg, reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeCluster8/32 track the cluster DES at deployment scale
+// (the autoscaling/router experiments the kernel exists to unlock).
+// The Parallel variants advance replicas on per-replica goroutines
+// between arrival barriers — byte-identical Stats, wall-clock bounded
+// by GOMAXPROCS (on a single-core host they only measure barrier
+// overhead).
+func BenchmarkServeCluster8(b *testing.B) {
+	benchServeClusterN(b, 8, benchClusterTrace(b, 128, 2),
+		cluster.Config{Policy: cluster.LeastLoaded, MaxBatch: 16})
+}
+
+func BenchmarkServeCluster8Parallel(b *testing.B) {
+	benchServeClusterN(b, 8, benchClusterTrace(b, 128, 2),
+		cluster.Config{Policy: cluster.LeastLoaded, MaxBatch: 16, Parallelism: 8})
+}
+
+func BenchmarkServeCluster32(b *testing.B) {
+	benchServeClusterN(b, 32, benchClusterTrace(b, 384, 8),
+		cluster.Config{Policy: cluster.LeastLoaded, MaxBatch: 16})
+}
+
+func BenchmarkServeCluster32Parallel(b *testing.B) {
+	benchServeClusterN(b, 32, benchClusterTrace(b, 384, 8),
+		cluster.Config{Policy: cluster.LeastLoaded, MaxBatch: 16, Parallelism: 8})
+}
+
+// BenchmarkServeAutoscale is the bench-smoke guard for the dynamic
+// capacity path (bursty chat load, replicas 1..8).
+func BenchmarkServeAutoscale(b *testing.B) {
+	eng, err := NewEngine(System{Model: "Mistral-7B", Device: "A100", Framework: "vLLM"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := model.MustGet("Mistral-7B")
+	factory := func() (cluster.Replica, error) {
+		alloc, err := kvcache.NewPaged(16, m.KVBytesPerToken(dtype.FP16), 16*(1<<30))
+		if err != nil {
+			return cluster.Replica{}, err
+		}
+		return cluster.Replica{Engine: eng, Alloc: alloc}, nil
+	}
+	reqs, err := workload.ChatTrace(workload.ChatTraceConfig{
+		Seed: 61, Requests: 300, RatePerSec: 15, BurstFactor: 6, BurstLenS: 4,
+		InputMedian: 512, OutputMedian: 128, Sigma: 0.7, MaxLen: 4096,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.ServeAutoscale(cluster.Config{MaxBatch: 16}, cluster.Autoscale{
+			Factory: factory, Min: 1, Max: 8, UpOutstanding: 12, DownIdleS: 3, CooldownS: 1,
+		}, reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- concurrency / caching benchmarks ------------------------------------
 //
 // BenchmarkReportSerial vs BenchmarkReportParallel tracks the anchor

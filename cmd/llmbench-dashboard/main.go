@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strings"
 
 	"llmbench/internal/dashboard"
 )
@@ -24,7 +25,11 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	parallelism := flag.Int("j", 0, "regeneration workers (<1 = all cores)")
 	flag.Parse()
-	fmt.Printf("LLM-Inference-Bench dashboard on http://localhost%s\n", *addr)
+	url := *addr
+	if strings.HasPrefix(url, ":") {
+		url = "localhost" + url
+	}
+	fmt.Printf("LLM-Inference-Bench dashboard on http://%s\n", url)
 	if err := http.ListenAndServe(*addr, dashboard.Handler(*parallelism)); err != nil {
 		fmt.Fprintln(os.Stderr, "llmbench-dashboard:", err)
 		os.Exit(1)

@@ -1,16 +1,21 @@
 // Command llmbench-sweep runs ad-hoc parameter sweeps outside the
-// paper's fixed figures: pick a model/device/framework and sweep batch
-// sizes and sequence lengths, printing a Markdown table of throughput,
-// TTFT, ITL, and power.
+// paper's fixed figures: pick a model and sweep batch sizes, sequence
+// lengths, and optionally devices, frameworks, and quantization
+// schemes in one call, printing a Markdown table of throughput, TTFT,
+// ITL, and power.
 //
 // Points are evaluated concurrently (-j bounds the workers, 0 = all
 // cores) but always print in grid order, so output is identical at
 // any parallelism.
 //
-// Example:
+// Examples:
 //
 //	llmbench-sweep -model LLaMA-3-8B -device H100 -framework TRT-LLM \
 //	    -batches 1,8,16,32,64 -lengths 128,1024 -tp 1 -j 4
+//	llmbench-sweep -model LLaMA-3-8B -devices A100,H100,MI300X \
+//	    -frameworks vLLM,TRT-LLM -batches 16 -lengths 1024
+//	llmbench-sweep -model LLaMA-3-8B -device H100 -framework TRT-LLM \
+//	    -schemes fp16:fp16,fp8:fp8,int8:fp8 -batches 16 -lengths 1024
 package main
 
 import (
@@ -25,17 +30,20 @@ import (
 
 func main() {
 	var (
-		modelName = flag.String("model", "LLaMA-3-8B", "model name (see 'llmbench catalog')")
-		device    = flag.String("device", "A100", "accelerator name")
-		fw        = flag.String("framework", "vLLM", "framework name")
-		tp        = flag.Int("tp", 1, "tensor-parallel degree")
-		pp        = flag.Int("pp", 1, "pipeline-parallel degree")
-		ep        = flag.Int("ep", 1, "expert-parallel degree")
-		weights   = flag.String("weights", "", "weight precision (default fp16)")
-		kv        = flag.String("kv", "", "KV-cache precision (default fp16)")
-		batches   = flag.String("batches", "1,16,32,64", "comma-separated batch sizes")
-		lengths   = flag.String("lengths", "1024", "comma-separated input/output lengths")
-		j         = flag.Int("j", 0, "sweep parallelism (0 = all cores)")
+		modelName  = flag.String("model", "LLaMA-3-8B", "model name (see 'llmbench catalog')")
+		device     = flag.String("device", "A100", "accelerator name")
+		fw         = flag.String("framework", "vLLM", "framework name")
+		tp         = flag.Int("tp", 1, "tensor-parallel degree")
+		pp         = flag.Int("pp", 1, "pipeline-parallel degree")
+		ep         = flag.Int("ep", 1, "expert-parallel degree")
+		weights    = flag.String("weights", "", "weight precision (default fp16)")
+		kv         = flag.String("kv", "", "KV-cache precision (default fp16)")
+		batches    = flag.String("batches", "1,16,32,64", "comma-separated batch sizes")
+		lengths    = flag.String("lengths", "1024", "comma-separated input/output lengths")
+		devices    = flag.String("devices", "", "comma-separated device axis (overrides -device per point)")
+		frameworks = flag.String("frameworks", "", "comma-separated framework axis (overrides -framework per point)")
+		schemes    = flag.String("schemes", "", "comma-separated weights:kv scheme axis, e.g. fp16:fp16,int8:fp8")
+		j          = flag.Int("j", 0, "sweep parallelism (0 = all cores)")
 	)
 	flag.Parse()
 
@@ -47,27 +55,55 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	grid := llmbench.Grid{Batches: bs, Lengths: ls, Parallelism: *j}
+	grid.Devices = parseList(*devices)
+	grid.Frameworks = parseList(*frameworks)
+	if *schemes != "" {
+		grid.Schemes, err = parseSchemes(*schemes)
+		if err != nil {
+			fatal(err)
+		}
+	}
 	sys := llmbench.System{
 		Model: *modelName, Device: *device, Framework: *fw,
 		TP: *tp, PP: *pp, EP: *ep, Weights: *weights, KV: *kv,
 	}
-	pts, err := llmbench.Sweep(sys, llmbench.Grid{Batches: bs, Lengths: ls, Parallelism: *j})
+	pts, err := llmbench.Sweep(sys, grid)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("### %s on %s×%d via %s\n\n", *modelName, *device, (*tp)*(*pp)*(*ep), *fw)
-	fmt.Println("| Batch | Length | Throughput (tok/s) | TTFT (s) | ITL (ms) | Power (W) | tok/s/W |")
-	fmt.Println("|---|---|---|---|---|---|---|")
+	axes := len(grid.Devices) > 0 || len(grid.Frameworks) > 0 || len(grid.Schemes) > 0
+	if axes {
+		fmt.Printf("### %s ×%d sweep\n\n", *modelName, (*tp)*(*pp)*(*ep))
+		fmt.Println("| Device | Framework | W/KV | Batch | Length | Throughput (tok/s) | TTFT (s) | ITL (ms) | Power (W) | tok/s/W |")
+		fmt.Println("|---|---|---|---|---|---|---|---|---|---|")
+	} else {
+		fmt.Printf("### %s on %s×%d via %s\n\n", *modelName, *device, (*tp)*(*pp)*(*ep), *fw)
+		fmt.Println("| Batch | Length | Throughput (tok/s) | TTFT (s) | ITL (ms) | Power (W) | tok/s/W |")
+		fmt.Println("|---|---|---|---|---|---|---|")
+	}
 	for _, p := range pts {
+		prefix := ""
+		if axes {
+			prefix = fmt.Sprintf("| %s | %s | %s/%s ", p.Device, p.Framework,
+				orFP16(p.Scheme.Weights), orFP16(p.Scheme.KV))
+		}
 		if p.Err != nil {
-			fmt.Printf("| %d | %d | — (%v) | | | | |\n", p.Batch, p.Length, p.Err)
+			fmt.Printf("%s| %d | %d | — (%v) | | | | |\n", prefix, p.Batch, p.Length, p.Err)
 			continue
 		}
 		res := p.Result
-		fmt.Printf("| %d | %d | %.0f | %.3f | %.3f | %.0f | %.2f |\n",
-			p.Batch, p.Length, res.Throughput, res.TTFTSeconds, res.ITLSeconds*1000,
+		fmt.Printf("%s| %d | %d | %.0f | %.3f | %.3f | %.0f | %.2f |\n",
+			prefix, p.Batch, p.Length, res.Throughput, res.TTFTSeconds, res.ITLSeconds*1000,
 			res.TotalPowerWatts, res.TokensPerSecPerW)
 	}
+}
+
+func orFP16(s string) string {
+	if s == "" {
+		return "fp16"
+	}
+	return s
 }
 
 func parseInts(s string) ([]int, error) {
@@ -79,6 +115,44 @@ func parseInts(s string) ([]int, error) {
 			return nil, fmt.Errorf("bad integer list %q: %w", s, err)
 		}
 		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseList splits a comma-separated axis; empty input means the axis
+// is unset.
+func parseList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if v := strings.TrimSpace(p); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// parseSchemes parses "weights:kv" pairs ("fp16:fp16,int8:fp8"); a
+// bare precision applies to both weights and KV.
+func parseSchemes(s string) ([]llmbench.Scheme, error) {
+	parts := strings.Split(s, ",")
+	out := make([]llmbench.Scheme, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("bad scheme list %q: empty element", s)
+		}
+		w, kv, found := strings.Cut(p, ":")
+		if !found {
+			kv = w
+		}
+		if w == "" || kv == "" {
+			return nil, fmt.Errorf("bad scheme %q: want weights:kv", p)
+		}
+		out = append(out, llmbench.Scheme{Weights: w, KV: kv})
 	}
 	return out, nil
 }

@@ -22,6 +22,43 @@ func TestParseIntsSingle(t *testing.T) {
 	}
 }
 
+func TestParseList(t *testing.T) {
+	got := parseList(" A100, H100 ,MI300X")
+	want := []string{"A100", "H100", "MI300X"}
+	if len(got) != len(want) {
+		t.Fatalf("parseList = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseList = %v", got)
+		}
+	}
+	if parseList("") != nil {
+		t.Error("empty list must leave the axis unset")
+	}
+}
+
+func TestParseSchemes(t *testing.T) {
+	got, err := parseSchemes("fp16:fp16, int8:fp8 ,fp8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct{ w, kv string }{{"fp16", "fp16"}, {"int8", "fp8"}, {"fp8", "fp8"}}
+	if len(got) != len(want) {
+		t.Fatalf("parseSchemes = %v", got)
+	}
+	for i, w := range want {
+		if got[i].Weights != w.w || got[i].KV != w.kv {
+			t.Errorf("scheme %d = %v, want %v", i, got[i], w)
+		}
+	}
+	for _, bad := range []string{"", "fp16:", ":fp8", "fp16,,int8"} {
+		if got, err := parseSchemes(bad); err == nil {
+			t.Errorf("parseSchemes(%q) = %v, want error", bad, got)
+		}
+	}
+}
+
 func TestParseIntsErrors(t *testing.T) {
 	cases := []string{
 		"1,x,3", // non-numeric element

@@ -1,8 +1,10 @@
 // quantsweep reproduces the quantization decision of §IV-B3 / Fig. 3
-// interactively: for a given model it sweeps the weight/KV precision
-// combinations on H100 and A100, showing both the throughput gain and
-// the (small) perplexity cost — and that A100's missing FP8 hardware
-// limits its options to INT8.
+// interactively: one llmbench.Sweep call (the Devices and Schemes
+// grid axes) covers every weight/KV precision combination on H100 and
+// A100, showing both the throughput gain and the (small) perplexity
+// cost — and that A100's missing FP8 hardware limits its options to
+// INT8, which surfaces as per-point errors rather than a separate
+// code path.
 //
 //	go run ./examples/quantsweep
 package main
@@ -17,48 +19,59 @@ func main() {
 	const modelName = "LLaMA-3-8B"
 	fmt.Printf("Quantization sweep: %s, batch 16, input/output 1024\n\n", modelName)
 
-	basePPL, err := llmbench.Perplexity("LLaMA-3-8B")
+	basePPL, err := llmbench.Perplexity(modelName)
 	if err != nil {
 		fmt.Println("perplexity unavailable:", err)
 		return
 	}
 
-	type scheme struct{ w, kv string }
-	schemes := []scheme{
-		{"fp16", "fp16"},
-		{"fp16", "fp8"},
-		{"fp8", "fp8"},
-		{"int8", "int8"},
-		{"int8", "fp8"},
+	// The whole figure is one sweep: devices × schemes, the engine
+	// cache carrying every combination.
+	devices := []string{"H100", "A100"}
+	schemes := []llmbench.Scheme{
+		{Weights: "fp16", KV: "fp16"},
+		{Weights: "fp16", KV: "fp8"},
+		{Weights: "fp8", KV: "fp8"},
+		{Weights: "int8", KV: "int8"},
+		{Weights: "int8", KV: "fp8"},
 	}
-	// Each scheme is its own System, so the shared engine cache (not a
-	// per-point rebuild) carries the whole sweep.
-	grid := llmbench.Grid{Batches: []int{16}, Lengths: []int{1024}}
-	for _, dev := range []string{"H100", "A100"} {
-		fmt.Printf("-- %s (TRT-LLM) --\n", dev)
-		var baseline float64
-		for _, s := range schemes {
-			pts, err := llmbench.Sweep(llmbench.System{
-				Model: modelName, Device: dev, Framework: "TRT-LLM",
-				Weights: s.w, KV: s.kv,
-			}, grid)
-			if err == nil && pts[0].Err != nil {
-				err = pts[0].Err
+	pts, err := llmbench.Sweep(llmbench.System{Model: modelName, Framework: "TRT-LLM"}, llmbench.Grid{
+		Devices: devices,
+		Schemes: schemes,
+		Batches: []int{16},
+		Lengths: []int{1024},
+	})
+	if err != nil {
+		fmt.Println("sweep failed:", err)
+		return
+	}
+
+	// Points arrive in axis order (devices outermost), so a single
+	// pass prints the per-device sections.
+	lastDev := ""
+	var baseline float64
+	for _, p := range pts {
+		if p.Device != lastDev {
+			if lastDev != "" {
+				fmt.Println()
 			}
-			if err != nil {
-				fmt.Printf("  {%-4s, %-4s}  unsupported: %v\n", s.w, s.kv, err)
-				continue
-			}
-			res := pts[0].Result
-			if s.w == "fp16" && s.kv == "fp16" {
-				baseline = res.Throughput
-			}
-			speedup := res.Throughput / baseline
-			fmt.Printf("  {%-4s, %-4s}  %7.0f tok/s  (%.2fx fp16)  ppl ~%.2f\n",
-				s.w, s.kv, res.Throughput, speedup, basePPL+pplDelta(s.w, s.kv))
+			fmt.Printf("-- %s (TRT-LLM) --\n", p.Device)
+			lastDev = p.Device
+			baseline = 0
 		}
-		fmt.Println()
+		s := p.Scheme
+		if p.Err != nil {
+			fmt.Printf("  {%-4s, %-4s}  unsupported: %v\n", s.Weights, s.KV, p.Err)
+			continue
+		}
+		if s.Weights == "fp16" && s.KV == "fp16" {
+			baseline = p.Result.Throughput
+		}
+		fmt.Printf("  {%-4s, %-4s}  %7.0f tok/s  (%.2fx fp16)  ppl ~%.2f\n",
+			s.Weights, s.KV, p.Result.Throughput, p.Result.Throughput/baseline,
+			basePPL+pplDelta(s.Weights, s.KV))
 	}
+	fmt.Println()
 	fmt.Println("FP8 weights error out on A100 — the hardware has no FP8 GEMM")
 	fmt.Println("(§IV-B3), so INT8 is its only low-precision weight option.")
 }

@@ -18,8 +18,8 @@ func main() {
 	fmt.Println("Chat serving: Mistral-7B on one H100 via vLLM")
 	fmt.Println("200 requests, prompts ~512 tokens, replies ~128 tokens")
 	fmt.Println()
-	fmt.Printf("%-10s %-12s %12s %12s %12s %12s %6s\n",
-		"load", "scheduler", "tok/s", "mean lat", "p99 lat", "mean TTFT", "preempt")
+	fmt.Printf("%-10s %-12s %9s %9s %9s %9s %9s %9s %7s\n",
+		"load", "scheduler", "tok/s", "p50 lat", "p95 lat", "p99 lat", "p99 queue", "mean TTFT", "preempt")
 
 	for _, rate := range []float64{2, 8, 20} {
 		for _, continuous := range []bool{true, false} {
@@ -40,10 +40,10 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			fmt.Printf("%-10s %-12s %12.0f %11.2fs %11.2fs %11.2fs %6d\n",
+			fmt.Printf("%-10s %-12s %9.0f %8.2fs %8.2fs %8.2fs %8.2fs %8.2fs %7d\n",
 				fmt.Sprintf("%.0f req/s", rate), name,
-				stats.Throughput, stats.MeanLatency, stats.P99Latency,
-				stats.MeanTTFT, stats.Preemptions)
+				stats.Throughput, stats.P50Latency, stats.P95Latency, stats.P99Latency,
+				stats.P99QueueDelay, stats.MeanTTFT, stats.Preemptions)
 		}
 	}
 

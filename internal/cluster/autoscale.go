@@ -3,15 +3,17 @@ package cluster
 // Autoscaling extends the cluster simulator with dynamic capacity:
 // replicas are added when queues build and retired when they sit
 // idle — the operational layer a production deployment puts on top of
-// the per-accelerator numbers this benchmark produces.
+// the per-accelerator numbers this benchmark produces. The policy is
+// a scale-tick event handler on the shared kernel (internal/des):
+// ticks fire immediately before each arrival, so window bounds at the
+// next arrival also keep the scaling trajectory byte-identical
+// between the coalesced, stepped, serial, and parallel paths.
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 
-	"llmbench/internal/sched"
-	"llmbench/internal/trace"
+	"llmbench/internal/des"
 	"llmbench/internal/workload"
 )
 
@@ -73,24 +75,25 @@ func ServeAutoscale(cfg Config, as Autoscale, reqs []workload.Request) (AutoStat
 		return AutoStats{}, errors.New("cluster: empty trace")
 	}
 
-	sim := trace.NewSim()
-	var states []*autoState
-	var done []sched.RequestStats
-	var simErr error
+	k := des.New(des.Config{
+		MaxBatch:    cfg.MaxBatch,
+		Stepped:     cfg.Stepped,
+		Parallelism: cfg.Parallelism,
+	})
 	var events []ScaleEvent
 	peak := 0
 	lastScaleUp := -1e18
-	var window []float64 // shared fast-forward buffers (the sim is serial)
-	var ids []int
+	lastScaleDown := -1e18
 
-	ordered := make([]workload.Request, len(reqs))
-	copy(ordered, reqs)
-	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Arrival < ordered[j].Arrival })
-	// Scaling decisions happen only at arrival events, so bounding
-	// fast-forward windows by the next arrival also keeps the scaling
-	// trajectory byte-identical to the stepped path.
-	nextArrival := arrivalCursor(ordered)
-
+	active := func() int {
+		n := 0
+		for _, s := range k.Stations() {
+			if !s.Retired {
+				n++
+			}
+		}
+		return n
+	}
 	addReplica := func(now float64, initial bool) error {
 		rep, err := as.Factory()
 		if err != nil {
@@ -99,14 +102,12 @@ func ServeAutoscale(cfg Config, as Autoscale, reqs []workload.Request) (AutoStat
 		if rep.Engine == nil || rep.Alloc == nil {
 			return errors.New("cluster: factory produced an incomplete replica")
 		}
-		states = append(states, &autoState{
-			replicaState: replicaState{id: len(events) + len(states), rep: rep},
-		})
+		k.NewStation(rep.Engine, rep.Alloc)
 		if !initial {
-			events = append(events, ScaleEvent{TimeS: now, Replicas: active(states), Up: true})
+			events = append(events, ScaleEvent{TimeS: now, Replicas: active(), Up: true})
 		}
-		if active(states) > peak {
-			peak = active(states)
+		if a := active(); a > peak {
+			peak = a
 		}
 		return nil
 	}
@@ -116,129 +117,63 @@ func ServeAutoscale(cfg Config, as Autoscale, reqs []workload.Request) (AutoStat
 		}
 	}
 	peak = as.Min
-	lastScaleDown := -1e18
 
-	var iterate func(s *autoState) func(now float64)
-	schedule := func(s *autoState, at float64) {
-		if s.active {
-			return
-		}
-		s.active = true
-		if err := sim.At(at, iterate(s)); err != nil && simErr == nil {
-			simErr = err
-		}
-	}
-
-	// makespan is the end of the last completed work (see Serve).
-	makespan := 0.0
-	iterate = func(s *autoState) func(now float64) {
-		return func(now float64) {
-			s.active = false
-			if simErr != nil {
-				return
-			}
-			end, finished, err := s.iterateOnce(cfg.MaxBatch, now, nextArrival(now), cfg.Stepped, &window, &ids)
-			if err != nil {
-				simErr = err
-				return
-			}
-			done = append(done, finished...)
-			if len(finished) > 0 && end > makespan {
-				makespan = end
-			}
-			if len(s.run) > 0 || len(s.queue) > 0 {
-				if end > now {
-					schedule(s, end)
-				}
-			}
-		}
-	}
-
-	pickLeastLoaded := func() *autoState {
-		var best *autoState
-		for _, s := range states {
-			if s.retired {
-				continue
-			}
-			if best == nil || len(s.queue)+len(s.run) < len(best.queue)+len(best.run) {
-				best = s
-			}
-		}
-		return best
-	}
-
-	scaleIfNeeded := func(now float64) {
+	// The scale-tick handler: fired by the kernel immediately before
+	// each arrival is routed, with every replica synchronised at the
+	// arrival barrier.
+	k.ScaleTick = func(now float64) error {
 		// Scale up on queue pressure.
 		outstanding := 0
-		for _, s := range states {
-			if !s.retired {
-				outstanding += len(s.queue) + len(s.run)
+		for _, s := range k.Stations() {
+			if !s.Retired {
+				outstanding += s.Outstanding()
 			}
 		}
-		act := active(states)
+		act := active()
 		if act < as.Max && now-lastScaleUp >= as.CooldownS &&
 			outstanding > as.UpOutstanding*act {
 			if err := addReplica(now, false); err != nil {
-				if simErr == nil {
-					simErr = err
-				}
-				return
+				return err
 			}
 			lastScaleUp = now
 		}
 		// Retire one empty replica when the rest run comfortably.
 		if act > as.Min && now-lastScaleDown >= as.DownIdleS &&
 			outstanding <= as.UpOutstanding*(act-1)/2 {
-			for _, s := range states {
-				if !s.retired && len(s.run) == 0 && len(s.queue) == 0 {
-					s.retired = true
+			for _, s := range k.Stations() {
+				if !s.Retired && s.Outstanding() == 0 {
+					s.Retired = true
 					lastScaleDown = now
-					events = append(events, ScaleEvent{TimeS: now, Replicas: active(states), Up: false})
+					events = append(events, ScaleEvent{TimeS: now, Replicas: active(), Up: false})
 					break
 				}
 			}
 		}
+		return nil
 	}
-
-	for _, req := range ordered {
-		req := req
-		if err := sim.At(req.Arrival, func(now float64) {
-			scaleIfNeeded(now)
-			s := pickLeastLoaded()
-			s.queue = append(s.queue, req)
-			schedule(s, now)
-		}); err != nil {
-			return AutoStats{}, err
+	k.Route = func(now float64) *des.Station {
+		var best *des.Station
+		for _, s := range k.Stations() {
+			if s.Retired {
+				continue
+			}
+			if best == nil || s.Outstanding() < best.Outstanding() {
+				best = s
+			}
 		}
+		return best
 	}
 
-	sim.Run(0)
-	if simErr != nil {
-		return AutoStats{}, simErr
+	res, err := k.Run(reqs)
+	if err != nil {
+		return AutoStats{}, fmt.Errorf("cluster: %w", err)
 	}
-	if len(done) != len(reqs) {
-		return AutoStats{}, fmt.Errorf("cluster: only %d of %d requests completed", len(done), len(reqs))
+	if len(res.Finished) != len(reqs) {
+		return AutoStats{}, fmt.Errorf("cluster: only %d of %d requests completed", len(res.Finished), len(reqs))
 	}
-	sortByCompletion(done)
-	agg, err := sched.Summarize(done, makespan, 0)
+	stats, err := assemble(res)
 	if err != nil {
 		return AutoStats{}, err
 	}
-	return AutoStats{Stats: Stats{Stats: agg}, Events: events, PeakReplicas: peak}, nil
+	return AutoStats{Stats: stats, Events: events, PeakReplicas: peak}, nil
 }
-
-type autoState struct {
-	replicaState
-	retired bool
-}
-
-func active(states []*autoState) int {
-	n := 0
-	for _, s := range states {
-		if !s.retired {
-			n++
-		}
-	}
-	return n
-}
-

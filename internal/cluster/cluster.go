@@ -1,32 +1,30 @@
 // Package cluster simulates a multi-replica serving deployment: N
-// independent engine replicas behind a request router, driven by one
-// discrete-event loop (internal/trace). It extends the single-device
-// scheduler (internal/sched) to the deployment question the paper's
-// data exists to answer — how many of which accelerator meet a target
-// load (§VII: "the choice … should be tailored to specific user
-// scenarios and infrastructure constraints").
+// independent engine replicas behind a request router. It extends the
+// single-device scheduler (internal/sched) to the deployment question
+// the paper's data exists to answer — how many of which accelerator
+// meet a target load (§VII: "the choice … should be tailored to
+// specific user scenarios and infrastructure constraints").
 //
 // Two routing policies are provided: round-robin and
 // join-the-shortest-queue (least outstanding work).
 //
-// Like the single-replica scheduler, the event loop coalesces
-// iterations: between two state changes (arrival, admission,
-// completion, KV-pressure boundary) every decode iteration of a
-// replica is identical, so it is fast-forwarded in one event at
-// memoised step costs — O(state changes) events instead of O(output
-// tokens) — with Stats byte-identical to the stepped reference
-// (Config.Stepped); see sched.CoalesceWindow for the contract.
+// The event loop is the shared discrete-event kernel (internal/des):
+// this package contributes only the routing policy (and, in
+// autoscale.go, the scale-tick handler); the kernel owns arrival
+// delivery, the coalesced-window advance, and the determinism
+// contract. Replicas may be advanced on per-replica goroutines
+// between arrival barriers (Config.Parallelism) with Stats
+// byte-identical to the serial and Stepped paths.
 package cluster
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 
+	"llmbench/internal/des"
 	"llmbench/internal/engine"
 	"llmbench/internal/kvcache"
 	"llmbench/internal/sched"
-	"llmbench/internal/trace"
 	"llmbench/internal/workload"
 )
 
@@ -60,7 +58,12 @@ type Config struct {
 	Policy   Policy
 	MaxBatch int // per replica
 
-	// Stepped disables iteration coalescing (see internal/sched): one
+	// Parallelism ≥ 2 advances replicas on that many goroutines
+	// between arrival barriers (see internal/des); values ≤ 1 run
+	// serially. Stats are byte-identical at any setting.
+	Parallelism int
+
+	// Stepped disables iteration coalescing (see internal/des): one
 	// decode iteration per simulator event instead of fast-forwarding
 	// identical iterations between state changes. Output is
 	// byte-identical either way; the flag exists as the reference path
@@ -81,22 +84,6 @@ type ReplicaStats struct {
 	Util      float64 // BusyS / makespan
 }
 
-type replicaState struct {
-	id     int
-	rep    Replica
-	queue  []workload.Request
-	run    []*runReq
-	active bool // an iteration event is scheduled
-	busy   float64
-	done   int
-}
-
-type runReq struct {
-	req       workload.Request
-	generated int
-	stats     *sched.RequestStats
-}
-
 // Serve routes the trace across the replicas and runs to completion.
 func Serve(cfg Config, reqs []workload.Request) (Stats, error) {
 	if len(cfg.Replicas) == 0 {
@@ -114,281 +101,55 @@ func Serve(cfg Config, reqs []workload.Request) (Stats, error) {
 		}
 	}
 
-	sim := trace.NewSim()
-	states := make([]*replicaState, len(cfg.Replicas))
+	k := des.New(des.Config{
+		MaxBatch:    cfg.MaxBatch,
+		Stepped:     cfg.Stepped,
+		Parallelism: cfg.Parallelism,
+	})
+	stations := make([]*des.Station, len(cfg.Replicas))
 	for i, r := range cfg.Replicas {
-		states[i] = &replicaState{id: i, rep: r}
+		stations[i] = k.NewStation(r.Engine, r.Alloc)
 	}
-	var done []sched.RequestStats
-	var simErr error
 	rr := 0
-	var window []float64 // shared fast-forward buffers (the sim is serial)
-	var ids []int
-
-	ordered := make([]workload.Request, len(reqs))
-	copy(ordered, reqs)
-	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Arrival < ordered[j].Arrival })
-	nextArrival := arrivalCursor(ordered)
-
-	pick := func() *replicaState {
+	k.Route = func(now float64) *des.Station {
 		if cfg.Policy == RoundRobin {
-			s := states[rr%len(states)]
+			s := stations[rr%len(stations)]
 			rr++
 			return s
 		}
-		best := states[0]
-		for _, s := range states[1:] {
-			if len(s.queue)+len(s.run) < len(best.queue)+len(best.run) {
+		best := stations[0]
+		for _, s := range stations[1:] {
+			if s.Outstanding() < best.Outstanding() {
 				best = s
 			}
 		}
 		return best
 	}
 
-	var iterate func(s *replicaState) func(now float64)
-	schedule := func(s *replicaState, at float64) {
-		if s.active {
-			return
-		}
-		s.active = true
-		if err := sim.At(at, iterate(s)); err != nil && simErr == nil {
-			simErr = err
-		}
+	res, err := k.Run(reqs)
+	if err != nil {
+		return Stats{}, fmt.Errorf("cluster: %w", err)
 	}
+	if len(res.Finished) != len(reqs) {
+		return Stats{}, fmt.Errorf("cluster: only %d of %d requests completed", len(res.Finished), len(reqs))
+	}
+	return assemble(res)
+}
 
-	// makespan is the end of the last completed work. The event clock
-	// cannot serve here: the final event starts before the work it
-	// prices ends, and a coalesced final event starts a whole window
-	// earlier than a stepped one — completion times are what both
-	// paths agree on byte-for-byte.
-	makespan := 0.0
-	iterate = func(s *replicaState) func(now float64) {
-		return func(now float64) {
-			s.active = false
-			if simErr != nil {
-				return
-			}
-			end, finished, err := s.iterateOnce(cfg.MaxBatch, now, nextArrival(now), cfg.Stepped, &window, &ids)
-			if err != nil {
-				simErr = err
-				return
-			}
-			done = append(done, finished...)
-			if len(finished) > 0 && end > makespan {
-				makespan = end
-			}
-			if len(s.run) > 0 || len(s.queue) > 0 {
-				schedule(s, end)
-			}
-		}
-	}
-
-	// Arrival events.
-	for _, req := range ordered {
-		req := req
-		if err := sim.At(req.Arrival, func(now float64) {
-			s := pick()
-			s.queue = append(s.queue, req)
-			schedule(s, now)
-		}); err != nil {
-			return Stats{}, err
-		}
-	}
-
-	sim.Run(0)
-	if simErr != nil {
-		return Stats{}, simErr
-	}
-	if len(done) != len(reqs) {
-		return Stats{}, fmt.Errorf("cluster: only %d of %d requests completed", len(done), len(reqs))
-	}
-
-	sortByCompletion(done)
-	agg, err := sched.Summarize(done, makespan, 0)
+// assemble turns a kernel result into cluster Stats.
+func assemble(res des.Result) (Stats, error) {
+	agg, err := sched.Summarize(res.Finished, res.MakespanS, res.Preemptions)
 	if err != nil {
 		return Stats{}, err
 	}
+	agg.MaxIterationS = res.MaxIterationS
 	out := Stats{Stats: agg}
-	for _, s := range states {
+	for _, ps := range res.PerStation {
 		out.PerReplica = append(out.PerReplica, ReplicaStats{
-			Completed: s.done,
-			BusyS:     s.busy,
-			Util:      s.busy / makespan,
+			Completed: ps.Completed,
+			BusyS:     ps.BusyS,
+			Util:      ps.BusyS / res.MakespanS,
 		})
 	}
 	return out, nil
-}
-
-// sortByCompletion puts finished requests in completion order with an
-// ID tie-break. Replicas append completions in event-start order,
-// which depends on how many iterations each event carries — a
-// coalesced window surfaces its completions when the window starts,
-// a stepped run interleaves them with other replicas' events — so the
-// raw append order is representation-dependent. Completion times are
-// not: sorting on them makes Stats (including the float summation
-// order inside Summarize) identical for both paths.
-func sortByCompletion(done []sched.RequestStats) {
-	sort.Slice(done, func(i, j int) bool {
-		if done[i].Finished != done[j].Finished {
-			return done[i].Finished < done[j].Finished
-		}
-		return done[i].ID < done[j].ID
-	})
-}
-
-// arrivalCursor returns a next-arrival query over an arrival-sorted
-// trace: the earliest arrival strictly after now, or -1 when none
-// remain. Simulated time is monotone, so one advancing cursor serves
-// every replica's events.
-func arrivalCursor(ordered []workload.Request) func(now float64) float64 {
-	arrivals := make([]float64, len(ordered))
-	for i, r := range ordered {
-		arrivals[i] = r.Arrival
-	}
-	idx := 0
-	return func(now float64) float64 {
-		for idx < len(arrivals) && arrivals[idx] <= now {
-			idx++
-		}
-		if idx == len(arrivals) {
-			return -1
-		}
-		return arrivals[idx]
-	}
-}
-
-// iterateOnce runs one scheduler event for this replica: admission
-// (with its prefill charge) and then either a single decode iteration
-// or — when the state is stable — a coalesced fast-forward over every
-// identical iteration up to the next state change (earliest
-// completion, KV headroom, next trace arrival). It returns the event's
-// end time (== now when nothing ran) and the requests that finished.
-// Shared by cluster.Serve and ServeAutoscale; the coalescing contract
-// is documented on sched.CoalesceWindow.
-func (s *replicaState) iterateOnce(maxBatch int, now, nextArrival float64,
-	stepped bool, window *[]float64, ids *[]int) (float64, []sched.RequestStats, error) {
-	// Admit.
-	var admitted []*runReq
-	for len(s.queue) > 0 && len(s.run)+len(admitted) < maxBatch {
-		req := s.queue[0]
-		if !s.rep.Alloc.CanAlloc(req.Input) {
-			break
-		}
-		if err := s.rep.Alloc.Alloc(req.ID, req.Input); err != nil {
-			break
-		}
-		s.queue = s.queue[1:]
-		admitted = append(admitted, &runReq{
-			req: req,
-			stats: &sched.RequestStats{
-				ID: req.ID, Input: req.Input, Output: req.Output,
-				Arrival: req.Arrival, Started: now,
-			},
-		})
-	}
-	var step float64
-	if len(admitted) > 0 {
-		in := 0
-		for _, a := range admitted {
-			in += a.req.Input
-		}
-		pf, err := s.rep.Engine.PrefillSeconds(len(admitted), in/len(admitted))
-		if err != nil {
-			return 0, nil, err
-		}
-		step += pf
-		for _, a := range admitted {
-			a.stats.FirstTok = now + step
-			a.generated = 1
-		}
-		s.run = append(s.run, admitted...)
-	}
-	if len(s.run) == 0 {
-		if len(s.queue) > 0 {
-			return 0, nil, fmt.Errorf("cluster: replica %d cannot admit request %d (cache too small)",
-				s.id, s.queue[0].ID)
-		}
-		return now, nil, nil
-	}
-	ctxSum := 0
-	for _, r := range s.run {
-		ctxSum += r.req.Input + r.generated
-	}
-	// Coalescing fast path: pure-decode events only (an admission event
-	// runs its fused prefill+decode stepped; by the next event every
-	// member is established, so each step extends each sequence by
-	// exactly one token — the trajectory MaxExtendSteps prices).
-	if !stepped && len(admitted) == 0 {
-		kMax := s.run[0].req.Output - s.run[0].generated
-		*ids = (*ids)[:0]
-		for _, r := range s.run {
-			if r.generated < 2 {
-				kMax = 0
-				break
-			}
-			if rem := r.req.Output - r.generated; rem < kMax {
-				kMax = rem
-			}
-			*ids = append(*ids, r.req.ID)
-		}
-		var err error
-		*window, err = sched.CoalesceWindow(s.rep.Engine, s.rep.Alloc, *ids,
-			len(s.run), ctxSum/len(s.run), kMax, now, nextArrival, *window)
-		if err != nil {
-			return 0, nil, err
-		}
-		if k := len(*window); k > 0 {
-			end := now
-			for _, c := range *window {
-				end += c
-				s.busy += c
-			}
-			var finished []sched.RequestStats
-			next := s.run[:0]
-			for _, r := range s.run {
-				r.generated += k
-				if r.generated >= r.req.Output {
-					s.rep.Alloc.Free(r.req.ID)
-					r.stats.Finished = end
-					finished = append(finished, *r.stats)
-					s.done++
-					continue
-				}
-				if err := s.rep.Alloc.Extend(r.req.ID, r.req.Input+r.generated); err != nil {
-					return 0, nil, err
-				}
-				next = append(next, r)
-			}
-			s.run = next
-			return end, finished, nil
-		}
-	}
-	// One reference iteration. Completion is checked before Extend —
-	// a sequence emitting its final token does not grow its
-	// reservation — and the coalesced path above mirrors that order.
-	t, err := s.rep.Engine.DecodeStepSeconds(len(s.run), ctxSum/len(s.run))
-	if err != nil {
-		return 0, nil, err
-	}
-	step += t
-	end := now + step
-	s.busy += step
-	var finished []sched.RequestStats
-	next := s.run[:0]
-	for _, r := range s.run {
-		r.generated++
-		if r.generated >= r.req.Output {
-			s.rep.Alloc.Free(r.req.ID)
-			r.stats.Finished = end
-			finished = append(finished, *r.stats)
-			s.done++
-			continue
-		}
-		if err := s.rep.Alloc.Extend(r.req.ID, r.req.Input+r.generated); err != nil {
-			return 0, nil, err
-		}
-		next = append(next, r)
-	}
-	s.run = next
-	return end, finished, nil
 }

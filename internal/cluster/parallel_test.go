@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestClusterParallelMatchesSerial asserts the headline kernel
+// property at the cluster layer: replicas advanced on per-replica
+// goroutines between arrival barriers produce byte-identical Stats to
+// the serial kernel, at any Parallelism, for both routers.
+func TestClusterParallelMatchesSerial(t *testing.T) {
+	reqs := longClusterTrace(t, 64, 3, 384)
+	for _, policy := range []Policy{RoundRobin, LeastLoaded} {
+		serial, err := Serve(Config{Replicas: makeReplicas(t, 4), Policy: policy, MaxBatch: 8}, reqs)
+		if err != nil {
+			t.Fatalf("%v serial: %v", policy, err)
+		}
+		for _, par := range []int{2, 4, 8} {
+			got, err := Serve(Config{
+				Replicas: makeReplicas(t, 4), Policy: policy, MaxBatch: 8, Parallelism: par,
+			}, reqs)
+			if err != nil {
+				t.Fatalf("%v parallelism %d: %v", policy, par, err)
+			}
+			if !reflect.DeepEqual(got, serial) {
+				t.Errorf("%v: parallelism %d Stats differ from serial", policy, par)
+			}
+		}
+		// The stepped reference at full parallelism closes the square:
+		// parallel == serial == stepped.
+		stepped, err := Serve(Config{
+			Replicas: makeReplicas(t, 4), Policy: policy, MaxBatch: 8, Parallelism: 4, Stepped: true,
+		}, reqs)
+		if err != nil {
+			t.Fatalf("%v parallel stepped: %v", policy, err)
+		}
+		if !reflect.DeepEqual(stepped, serial) {
+			t.Errorf("%v: parallel stepped Stats differ from serial coalesced", policy)
+		}
+	}
+}
+
+// TestAutoscaleParallelMatchesSerial extends the property to dynamic
+// capacity: the scaling trajectory (events, peak) and every request
+// stat must be identical whether replicas advance serially or on
+// goroutines, coalesced or stepped — including scale-downs that
+// retire an empty replica while the remaining replicas still hold
+// in-flight requests.
+func TestAutoscaleParallelMatchesSerial(t *testing.T) {
+	as := Autoscale{
+		Factory:       autoscaleFactory(t),
+		Min:           1,
+		Max:           5,
+		UpOutstanding: 6,
+		DownIdleS:     4,
+		CooldownS:     1,
+	}
+	reqs := burstyTrace(t)
+	serial, err := ServeAutoscale(Config{MaxBatch: 8}, as, reqs)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	for _, par := range []int{2, 4} {
+		got, err := ServeAutoscale(Config{MaxBatch: 8, Parallelism: par}, as, reqs)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if !reflect.DeepEqual(got, serial) {
+			t.Errorf("parallelism %d AutoStats differ from serial", par)
+		}
+	}
+	stepped, err := ServeAutoscale(Config{MaxBatch: 8, Parallelism: 4, Stepped: true}, as, reqs)
+	if err != nil {
+		t.Fatalf("parallel stepped: %v", err)
+	}
+	if !reflect.DeepEqual(stepped, serial) {
+		t.Error("parallel stepped AutoStats differ from serial coalesced")
+	}
+
+	// The trajectory must actually exercise down-scaling while work
+	// is in flight: at some scale-down instant, requests were still
+	// being served (the retired replica was empty; its peers were
+	// not). Without this the equivalence above would not cover the
+	// retire path.
+	lastFinish := serial.MakespanS
+	sawLiveDown := false
+	for _, e := range serial.Events {
+		if !e.Up && e.TimeS < lastFinish {
+			sawLiveDown = true
+		}
+	}
+	if !sawLiveDown {
+		t.Error("trace must force a scale-down while requests are in flight")
+	}
+}

@@ -9,9 +9,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 
+	"llmbench"
 	"llmbench/internal/engine"
 	"llmbench/internal/experiments"
 	"llmbench/internal/framework"
@@ -37,6 +40,7 @@ func Handler(parallelism int) http.Handler {
 	mux.HandleFunc("/api/experiments", s.list)
 	mux.HandleFunc("/api/run", s.run)
 	mux.HandleFunc("/api/sweep", s.sweep)
+	mux.HandleFunc("/api/serve", s.serve)
 	return mux
 }
 
@@ -214,6 +218,131 @@ func (s *server) sweep(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, runResponse{Figure: toJSON(fig), Markdown: fig.Markdown()})
 }
 
+// serve runs an interactive cluster-serving simulation on the shared
+// DES kernel (internal/des via the root llmbench API):
+// /api/serve?model=…&device=…&framework=…&replicas=4&rate=20&requests=200
+// With autoscale=1 the fleet scales dynamically between 1 and
+// `replicas` instead of being fixed. Replicas advance on per-replica
+// goroutines bounded by the -j pool; Stats are byte-identical at any
+// parallelism, so the table below is reproducible.
+func (s *server) serve(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	get := func(key, def string) string {
+		if v := q.Get(key); v != "" {
+			return v
+		}
+		return def
+	}
+	// Bounded knobs: serving simulations run on process-shared cached
+	// engines, so unbounded query parameters would let clients grow
+	// server memory and burn CPU without limit.
+	var firstErr error
+	atoiIn := func(key, def string, lo, hi int) int {
+		v, err := strconv.Atoi(get(key, def))
+		if err != nil || v < lo || v > hi {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("dashboard: %s must be an integer in [%d, %d]", key, lo, hi)
+			}
+			return lo
+		}
+		return v
+	}
+	p := serveParams{
+		sys: llmbench.System{
+			Model:     get("model", "LLaMA-3-8B"),
+			Device:    get("device", "A100"),
+			Framework: get("framework", "vLLM"),
+		},
+		replicas:  atoiIn("replicas", "4", 1, 64),
+		requests:  atoiIn("requests", "200", 1, 2000),
+		maxBatch:  atoiIn("maxbatch", "32", 1, 256),
+		inMean:    atoiIn("inmean", "512", 1, 8192),
+		outMean:   atoiIn("outmean", "128", 1, 8192),
+		autoscale: get("autoscale", "") == "1",
+	}
+	// Positive-form bounds so NaN (which ParseFloat accepts) fails.
+	rate, err := strconv.ParseFloat(get("rate", "10"), 64)
+	if (err != nil || !(rate > 0 && rate <= 1000)) && firstErr == nil {
+		firstErr = fmt.Errorf("dashboard: rate must be in (0, 1000]")
+	}
+	p.rate = rate
+	if firstErr != nil {
+		http.Error(w, firstErr.Error(), http.StatusBadRequest)
+		return
+	}
+	s.serveSim(w, p)
+}
+
+type serveParams struct {
+	sys                llmbench.System
+	replicas, requests int
+	maxBatch           int
+	inMean, outMean    int
+	rate               float64
+	autoscale          bool
+}
+
+func (s *server) serveSim(w http.ResponseWriter, p serveParams) {
+	// The -j flag follows the pool convention (<1 = all cores) while
+	// the DES kernel treats ≤1 as serial: resolve before handing it
+	// over so the default actually runs replicas on goroutines.
+	par := s.parallelism
+	if par < 1 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	var md strings.Builder
+	var stats llmbench.ClusterStats
+	if p.autoscale {
+		auto, err := llmbench.ServeAutoscale(llmbench.AutoscaleConfig{
+			System: p.sys, MaxBatch: p.maxBatch,
+			MinReplicas: 1, MaxReplicas: p.replicas,
+			UpOutstanding: 2 * p.maxBatch, DownIdleS: 3, CooldownS: 1,
+			Parallelism: par,
+			Seed:        42, Requests: p.requests, RatePerSec: p.rate,
+			InputMean: p.inMean, OutputMean: p.outMean,
+			BurstFactor: 4, BurstLenS: 4,
+		})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		stats = auto.Stats
+		fmt.Fprintf(&md, "### Autoscaled serving: %s on %s via %s (1..%d replicas, bursty %g req/s)\n\n",
+			p.sys.Model, p.sys.Device, p.sys.Framework, p.replicas, p.rate)
+		fmt.Fprintf(&md, "peak %d replicas over %d scale events\n\n", auto.PeakReplicas, len(auto.Events))
+	} else {
+		var err error
+		stats, err = llmbench.ServeCluster(llmbench.ClusterConfig{
+			System: p.sys, Replicas: p.replicas, LeastLoaded: true,
+			MaxBatch: p.maxBatch, Parallelism: par,
+			Seed: 42, Requests: p.requests, RatePerSec: p.rate,
+			InputMean: p.inMean, OutputMean: p.outMean,
+		})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		fmt.Fprintf(&md, "### Cluster serving: %s on %d× %s via %s (%g req/s, least-loaded)\n\n",
+			p.sys.Model, p.replicas, p.sys.Device, p.sys.Framework, p.rate)
+	}
+	fmt.Fprintf(&md, "| metric | value |\n|---|---|\n")
+	fmt.Fprintf(&md, "| completed | %d |\n", stats.Completed)
+	fmt.Fprintf(&md, "| throughput | %.0f tok/s |\n", stats.Throughput)
+	fmt.Fprintf(&md, "| latency p50 / p95 / p99 | %.2f / %.2f / %.2f s |\n",
+		stats.P50Latency, stats.P95Latency, stats.P99Latency)
+	fmt.Fprintf(&md, "| queue delay p50 / p95 / p99 | %.2f / %.2f / %.2f s |\n",
+		stats.P50QueueDelay, stats.P95QueueDelay, stats.P99QueueDelay)
+	fmt.Fprintf(&md, "| mean latency / TTFT | %.2f / %.2f s |\n", stats.MeanLatency, stats.MeanTTFT)
+	fmt.Fprintf(&md, "| makespan | %.1f s |\n", stats.MakespanS)
+	if len(stats.PerReplica) > 0 {
+		fmt.Fprintf(&md, "\n| replica | completed | busy (s) | util |\n|---|---|---|---|\n")
+		for i, rep := range stats.PerReplica {
+			fmt.Fprintf(&md, "| %d | %d | %.1f | %.0f%% |\n", i, rep.Completed, rep.BusyS, rep.Util*100)
+		}
+	}
+	writeJSON(w, runResponse{Markdown: md.String()})
+}
+
 func toJSON(f *metrics.Figure) *figureJSON {
 	out := &figureJSON{ID: f.ID, Title: f.Title, XLabel: f.XLabel, YLabel: f.YLabel, Notes: f.Notes}
 	for _, s := range f.Series {
@@ -277,6 +406,17 @@ const indexHTML = `<!DOCTYPE html>
  <input id="sw-fw" value="vLLM" size="8" title="framework"><br>
  tp <input id="sw-tp" value="1" size="2"> len <input id="sw-len" value="1024" size="5">
  <button onclick="sweep()">run</button>
+</div>
+<div style="border:1px solid #ccc;border-radius:8px;padding:8px;margin-bottom:10px;font-size:13px">
+ <b>Serving simulator</b> (DES kernel)<br>
+ <input id="sv-model" value="Mistral-7B" size="12" title="model">
+ <input id="sv-device" value="A100" size="6" title="device">
+ <input id="sv-fw" value="vLLM" size="8" title="framework"><br>
+ replicas <input id="sv-replicas" value="4" size="2">
+ rate <input id="sv-rate" value="20" size="4">
+ reqs <input id="sv-reqs" value="200" size="4"><br>
+ <label><input type="checkbox" id="sv-auto"> autoscale 1..N</label>
+ <button onclick="serve()">simulate</button>
 </div>
 <button onclick="runAll()" style="margin-bottom:8px">regenerate all (pooled)</button>
 <div id="list">loading…</div></div>
@@ -395,6 +535,26 @@ async function sweep() {
   const holder = document.createElement("div");
   main.appendChild(holder);
   holder.innerHTML = svgChart(data.figure, false);
+  const pre = document.createElement("pre");
+  pre.textContent = data.markdown;
+  main.appendChild(pre);
+}
+async function serve() {
+  const main = document.getElementById("main");
+  const q = new URLSearchParams({
+    model: document.getElementById("sv-model").value,
+    device: document.getElementById("sv-device").value,
+    framework: document.getElementById("sv-fw").value,
+    replicas: document.getElementById("sv-replicas").value,
+    rate: document.getElementById("sv-rate").value,
+    requests: document.getElementById("sv-reqs").value,
+  });
+  if (document.getElementById("sv-auto").checked) q.set("autoscale", "1");
+  main.innerHTML = "<p>simulating serving…</p>";
+  const res = await fetch("/api/serve?" + q);
+  if (!res.ok) { main.innerHTML = "<pre>" + await res.text() + "</pre>"; return; }
+  const data = await res.json();
+  main.innerHTML = "<h2>Serving simulation</h2>";
   const pre = document.createElement("pre");
   pre.textContent = data.markdown;
   main.appendChild(pre);

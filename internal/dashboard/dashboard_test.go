@@ -113,6 +113,59 @@ func TestSweepEndpoint(t *testing.T) {
 	}
 }
 
+func TestServeEndpoint(t *testing.T) {
+	srv := httptest.NewServer(Handler(2))
+	defer srv.Close()
+	res, err := http.Get(srv.URL + "/api/serve?model=Mistral-7B&device=A100&framework=vLLM&replicas=3&rate=15&requests=60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+	var out runResponse
+	if err := json.NewDecoder(res.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"latency p50 / p95 / p99", "queue delay p50 / p95 / p99", "| replica |"} {
+		if !strings.Contains(out.Markdown, want) {
+			t.Errorf("serving table missing %q:\n%s", want, out.Markdown)
+		}
+	}
+
+	// Autoscaled variant reports the scaling trajectory.
+	res2, err := http.Get(srv.URL + "/api/serve?model=Mistral-7B&device=A100&framework=vLLM&replicas=4&rate=15&requests=60&autoscale=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res2.Body.Close()
+	if res2.StatusCode != http.StatusOK {
+		t.Fatalf("autoscale status %d", res2.StatusCode)
+	}
+	var out2 runResponse
+	if err := json.NewDecoder(res2.Body).Decode(&out2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out2.Markdown, "peak") {
+		t.Errorf("autoscale output missing trajectory:\n%s", out2.Markdown)
+	}
+
+	// Errors: unknown model, replica/rate bounds.
+	for _, q := range []string{
+		"?model=GPT-5", "?replicas=100000", "?rate=-2", "?requests=zero",
+	} {
+		r2, err := http.Get(srv.URL + "/api/serve" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2.Body.Close()
+		if r2.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", q, r2.StatusCode)
+		}
+	}
+}
+
 func TestRunEndpointTableAndErrors(t *testing.T) {
 	srv := httptest.NewServer(Handler(2))
 	defer srv.Close()

@@ -1,0 +1,354 @@
+// Package des is the discrete-event serving kernel shared by every
+// serving simulator in the repository: the single-replica continuous
+// scheduler (internal/sched), the multi-replica cluster router, and
+// the autoscaler (internal/cluster) are all thin policy layers over
+// the one event loop defined here.
+//
+// # Event model
+//
+// The kernel advances a set of stations (replica simulators, each
+// owning an engine and a private KV allocator) over a shared trace of
+// request arrivals. Four event kinds exist:
+//
+//   - arrival: a request enters the system and is routed to a station
+//     by the Route callback (admission/routing policy).
+//   - scale-tick: fired immediately before each arrival when a
+//     ScaleTick handler is registered; the autoscaler uses it to add
+//     or retire stations.
+//   - window-exhausted: a station's next scheduler iteration is due —
+//     either a single stepped iteration (Config.Stepped) or a
+//     coalesced fast-forward over every identical decode iteration up
+//     to the next state change (CoalesceWindow). Coalescing is the
+//     kernel's only stepping primitive; Stepped is a kernel mode that
+//     caps every window at one iteration.
+//   - completion: requests finishing inside a window; recorded in the
+//     completion ledger at the window's end time and merged into
+//     Result.Finished.
+//
+// # Determinism contract
+//
+// Ties at equal timestamps break deterministically: arrivals at one
+// instant are processed in trace order (the sort is stable), a
+// scale-tick always precedes the arrival that triggered it, and a
+// station's window-exhausted event at time t runs after every arrival
+// at t (so admission sees the newly routed request, exactly as a
+// time-ordered queue with arrival-first tie-breaking would order
+// them). The completion ledger is sorted by (finish time, request ID)
+// before aggregation, so Stats never depend on which station's events
+// happened to be appended first.
+//
+// # Parallelism
+//
+// Stations interact only at arrival instants (routing and scale
+// decisions read queue lengths across stations); between two
+// consecutive arrival times every station evolves independently. The
+// kernel exploits this with a conservative time-window barrier: all
+// station events strictly before the next arrival run concurrently on
+// per-station goroutines (Config.Parallelism ≥ 2), then the kernel
+// joins and processes the arrival serially. Because each station's
+// trajectory is a pure function of its own state and the barrier
+// time, Stats are byte-identical at any Parallelism — the property
+// tests assert serial == parallel == Stepped to the last bit.
+package des
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"llmbench/internal/engine"
+	"llmbench/internal/kvcache"
+	"llmbench/internal/pool"
+	"llmbench/internal/workload"
+)
+
+// Config parameterises a kernel run. The scheduling knobs apply to
+// every station; routing and scaling policy live in the callbacks.
+type Config struct {
+	// MaxBatch caps each station's concurrent running set.
+	MaxBatch int
+
+	// ChunkedPrefill enables Dynamic-SplitFuse-style admission:
+	// prompts prefill in PrefillChunk-token slices fused into decode
+	// iterations instead of one batched admission prefill.
+	ChunkedPrefill bool
+	// PrefillChunk is the slice size in tokens (default 512).
+	PrefillChunk int
+
+	// Preemptive selects the single-replica scheduler's bookkeeping:
+	// every decode step extends its sequence's KV reservation —
+	// including the completing step — and an out-of-memory extension
+	// evicts the sequence and requeues it (recompute-on-resume)
+	// instead of failing the run. Non-preemptive stations treat a
+	// completing sequence as not growing its reservation and surface
+	// ErrOutOfMemory as a hard error.
+	Preemptive bool
+
+	// Stepped disables iteration coalescing, advancing one decode
+	// iteration per window-exhausted event — the O(output tokens)
+	// reference path the coalesced fast-forward is tested against.
+	// Output is byte-identical either way; Stepped only costs time.
+	Stepped bool
+
+	// Parallelism ≥ 2 advances stations on that many goroutines
+	// between arrival barriers; values ≤ 1 advance them serially.
+	// Stats are byte-identical at any setting.
+	Parallelism int
+}
+
+// Kernel drives stations over a trace. Build one with New, add
+// stations with NewStation (also legal mid-run, from a ScaleTick
+// handler), set the policy callbacks, then Run.
+type Kernel struct {
+	// Route picks the station for an arriving request. nil routes
+	// everything to station 0 (the single-replica scheduler).
+	Route func(now float64) *Station
+	// ScaleTick, when non-nil, fires immediately before each arrival
+	// is routed — the autoscaler's hook for adding and retiring
+	// stations. An error aborts the run.
+	ScaleTick func(now float64) error
+
+	cfg      Config
+	stations []*Station
+	arrivals []float64 // sorted arrival times (window bounds)
+	due      []int     // reused per-barrier due-station index buffer
+}
+
+// New creates an empty kernel.
+func New(cfg Config) *Kernel { return &Kernel{cfg: cfg} }
+
+// NewStation adds a station owning the given engine and allocator.
+// The allocator must be private to the station; the engine may be
+// shared (engines are immutable and concurrency-safe).
+func (k *Kernel) NewStation(eng *engine.Engine, alloc kvcache.Allocator) *Station {
+	s := &Station{ID: len(k.stations), Engine: eng, Alloc: alloc, cfg: k.cfg, nextAt: -1}
+	k.stations = append(k.stations, s)
+	return s
+}
+
+// Stations returns the live station list (including retired ones), in
+// creation order.
+func (k *Kernel) Stations() []*Station { return k.stations }
+
+// StationResult summarises one station after Run.
+type StationResult struct {
+	Completed int
+	BusyS     float64 // time spent executing iterations
+	Retired   bool
+}
+
+// Result is a completed kernel run.
+type Result struct {
+	// Finished holds every completed request, sorted by (finish time,
+	// request ID) — the representation-independent order both the
+	// stepped and coalesced paths agree on byte-for-byte.
+	Finished []RequestStats
+	// MakespanS is the end of the last completed work. The event
+	// clock cannot serve here: a window-exhausted event starts before
+	// the work it prices ends, and a coalesced event starts a whole
+	// window earlier than a stepped one — completion times are what
+	// both paths share.
+	MakespanS   float64
+	Preemptions int
+	// MaxIterationS is the longest single scheduler iteration across
+	// all stations — the worst token-level stall any running request
+	// experienced.
+	MaxIterationS float64
+	// PerStation reports each station's share, in creation order.
+	PerStation []StationResult
+}
+
+// Run delivers the trace through the policy callbacks and drains
+// every station. It may be called once per kernel.
+func (k *Kernel) Run(reqs []workload.Request) (Result, error) {
+	if len(k.stations) == 0 {
+		return Result{}, errors.New("des: no stations")
+	}
+	if k.cfg.MaxBatch < 1 {
+		return Result{}, errors.New("des: MaxBatch must be ≥ 1")
+	}
+	if len(reqs) == 0 {
+		return Result{}, errors.New("des: empty trace")
+	}
+	for _, s := range k.stations {
+		if s.Engine == nil || s.Alloc == nil {
+			return Result{}, fmt.Errorf("des: station %d incomplete", s.ID)
+		}
+	}
+	route := k.Route
+	if route == nil {
+		route = func(float64) *Station { return k.stations[0] }
+	}
+
+	// Arrivals at equal timestamps keep trace order: stable sort, and
+	// the delivery loop below drains every arrival at one instant
+	// before any station event at that instant runs.
+	ordered := make([]workload.Request, len(reqs))
+	copy(ordered, reqs)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Arrival < ordered[j].Arrival })
+	k.arrivals = make([]float64, len(ordered))
+	for i, r := range ordered {
+		if math.IsNaN(r.Arrival) || math.IsInf(r.Arrival, 0) {
+			// A NaN arrival would never compare equal to the barrier
+			// time and the delivery loop would spin forever.
+			return Result{}, fmt.Errorf("des: request %d has non-finite arrival %v", r.ID, r.Arrival)
+		}
+		k.arrivals[i] = r.Arrival
+	}
+
+	for i := 0; i < len(ordered); {
+		t := ordered[i].Arrival
+		// Conservative time-window barrier: every station event
+		// strictly before the next arrival is independent of it.
+		if err := k.advanceAll(t); err != nil {
+			return Result{}, err
+		}
+		for i < len(ordered) && ordered[i].Arrival == t {
+			if k.ScaleTick != nil {
+				if err := k.ScaleTick(t); err != nil {
+					return Result{}, err
+				}
+			}
+			s := route(t)
+			if s == nil {
+				return Result{}, errors.New("des: router returned no station")
+			}
+			s.enqueue(queued{req: ordered[i]})
+			if s.nextAt < 0 {
+				s.nextAt = t // wake an idle station at the arrival instant
+			}
+			i++
+		}
+	}
+	if err := k.advanceAll(math.Inf(1)); err != nil {
+		return Result{}, err
+	}
+
+	return k.collect(), nil
+}
+
+// advanceAll runs every station's due events up to (strictly before)
+// the barrier, serially or on per-station goroutines. Stations touch
+// only their own state plus the immutable arrival times and the
+// engine's concurrency-safe memo tables, so the two modes are
+// byte-identical; error selection is by earliest (event time, station
+// ID), which is deterministic in both.
+func (k *Kernel) advanceAll(barrier float64) error {
+	stations := k.stations
+	// Fan out only the stations with due work: under dense arrivals
+	// most barriers wake one or two stations (a coalesced window ends
+	// at or after the arrival that cut it), and spawning workers for
+	// idle stations would cost more than it buys. The post-trace
+	// drain (barrier = +Inf) is where every station is due at once —
+	// and where the big windows make goroutines pay.
+	k.due = k.due[:0]
+	for i, s := range stations {
+		if s.nextAt >= 0 && s.nextAt < barrier {
+			k.due = append(k.due, i)
+		}
+	}
+	if k.cfg.Parallelism >= 2 && len(k.due) >= 2 {
+		workers := k.cfg.Parallelism
+		if workers > len(k.due) {
+			workers = len(k.due)
+		}
+		// The callback never returns an error, so the pool cannot
+		// abort early: every due station reaches the barrier in
+		// every mode, keeping even failure states deterministic.
+		_ = pool.ForEach(len(k.due), workers, func(i int) error {
+			stations[k.due[i]].advance(barrier, k.arrivals)
+			return nil
+		})
+	} else {
+		for _, i := range k.due {
+			stations[i].advance(barrier, k.arrivals)
+		}
+	}
+	var firstErr error
+	at := math.Inf(1)
+	for _, s := range stations {
+		if s.err != nil && (firstErr == nil || s.errAt < at) {
+			firstErr, at = s.err, s.errAt
+		}
+	}
+	return firstErr
+}
+
+// collect merges the per-station ledgers into a Result.
+func (k *Kernel) collect() Result {
+	total := 0
+	for _, s := range k.stations {
+		total += len(s.finished)
+	}
+	finished := make([]RequestStats, 0, total)
+	for _, s := range k.stations {
+		finished = append(finished, s.finished...)
+	}
+	SortByCompletion(finished)
+	res := Result{Finished: finished}
+	for _, s := range k.stations {
+		if s.lastDone > res.MakespanS {
+			res.MakespanS = s.lastDone
+		}
+		if s.maxIter > res.MaxIterationS {
+			res.MaxIterationS = s.maxIter
+		}
+		res.Preemptions += s.preempts
+		res.PerStation = append(res.PerStation, StationResult{
+			Completed: s.done, BusyS: s.busy, Retired: s.Retired,
+		})
+	}
+	return res
+}
+
+// nextArrivalAfter returns the earliest arrival strictly after now,
+// or -1 when none remain — the bound that keeps coalesced windows
+// from crossing a routing decision. Pure over the sorted trace, so
+// concurrent stations may query it at unrelated times.
+func nextArrivalAfter(arrivals []float64, now float64) float64 {
+	i := sort.SearchFloat64s(arrivals, now)
+	for i < len(arrivals) && arrivals[i] <= now {
+		i++
+	}
+	if i == len(arrivals) {
+		return -1
+	}
+	return arrivals[i]
+}
+
+// SortByCompletion puts finished requests in completion order with a
+// request-ID tie-break. Stations append completions in event order,
+// which depends on how many iterations each event carries — a
+// coalesced window surfaces its completions when the window ends, a
+// stepped run interleaves them with other stations' events — so the
+// raw append order is representation-dependent. Completion times are
+// not: sorting on them makes Stats (including the float summation
+// order inside sched.Summarize) identical for every kernel mode.
+func SortByCompletion(done []RequestStats) {
+	sort.Slice(done, func(i, j int) bool {
+		if done[i].Finished != done[j].Finished {
+			return done[i].Finished < done[j].Finished
+		}
+		return done[i].ID < done[j].ID
+	})
+}
+
+// RequestStats records one request's lifecycle. (internal/sched
+// aliases this type; it predates the kernel.)
+type RequestStats struct {
+	ID        int
+	Input     int
+	Output    int
+	Arrival   float64
+	Started   float64 // when prefill began
+	FirstTok  float64 // when the first output token appeared
+	Finished  float64
+	Preempted int // times this request was evicted and restarted
+}
+
+// Latency is the request's end-to-end time.
+func (r RequestStats) Latency() float64 { return r.Finished - r.Arrival }
+
+// QueueDelay is the time spent waiting before prefill.
+func (r RequestStats) QueueDelay() float64 { return r.Started - r.Arrival }

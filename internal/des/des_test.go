@@ -1,0 +1,234 @@
+package des_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"llmbench/internal/des"
+	"llmbench/internal/dtype"
+	"llmbench/internal/engine"
+	"llmbench/internal/framework"
+	"llmbench/internal/hw"
+	"llmbench/internal/kvcache"
+	"llmbench/internal/model"
+	"llmbench/internal/workload"
+)
+
+func testEngine(t *testing.T) *engine.Engine {
+	t.Helper()
+	e, err := engine.New(engine.Config{
+		Model:     model.MustGet("LLaMA-3-8B"),
+		Device:    hw.MustGet("A100"),
+		Framework: framework.MustGet("vLLM"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func testAlloc(t *testing.T, capGiB float64) kvcache.Allocator {
+	t.Helper()
+	m := model.MustGet("LLaMA-3-8B")
+	a, err := kvcache.NewPaged(16, m.KVBytesPerToken(dtype.FP16), capGiB*(1<<30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// runKernel builds a fresh kernel with n stations behind a
+// round-robin router and runs the trace.
+func runKernel(t *testing.T, cfg des.Config, n int, capGiB float64, reqs []workload.Request) des.Result {
+	t.Helper()
+	eng := testEngine(t)
+	k := des.New(cfg)
+	stations := make([]*des.Station, n)
+	for i := range stations {
+		stations[i] = k.NewStation(eng, testAlloc(t, capGiB))
+	}
+	rr := 0
+	k.Route = func(now float64) *des.Station {
+		s := stations[rr%n]
+		rr++
+		return s
+	}
+	res, err := k.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// modes returns the four kernel modes whose Results must be
+// byte-identical: serial and parallel, each coalesced and stepped.
+func modes(cfg des.Config) map[string]des.Config {
+	serial, parallel := cfg, cfg
+	serial.Parallelism = 1
+	parallel.Parallelism = 4
+	serialStepped, parallelStepped := serial, parallel
+	serialStepped.Stepped = true
+	parallelStepped.Stepped = true
+	return map[string]des.Config{
+		"serial":           serial,
+		"parallel":         parallel,
+		"serial-stepped":   serialStepped,
+		"parallel-stepped": parallelStepped,
+	}
+}
+
+func assertModesIdentical(t *testing.T, name string, cfg des.Config, n int, capGiB float64, reqs []workload.Request) des.Result {
+	t.Helper()
+	ref := runKernel(t, modes(cfg)["serial"], n, capGiB, reqs)
+	for mode, mcfg := range modes(cfg) {
+		got := runKernel(t, mcfg, n, capGiB, reqs)
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("%s: %s Result differs from serial coalesced reference", name, mode)
+		}
+	}
+	return ref
+}
+
+// TestKernelModesIdenticalRandomized is the kernel's headline
+// property: over seeded random workloads at several load levels,
+// parallel == serial == stepped to the last bit — every timestamp,
+// every aggregate, every per-station share.
+func TestKernelModesIdenticalRandomized(t *testing.T) {
+	cases := []struct {
+		seed uint64
+		rate float64
+		out  int
+	}{
+		{seed: 1, rate: 0.8, out: 384},
+		{seed: 2, rate: 3, out: 256},
+		{seed: 3, rate: 12, out: 96},
+	}
+	for _, c := range cases {
+		reqs, err := workload.PoissonTrace(workload.TraceConfig{
+			Seed: c.seed, Requests: 48, RatePerSec: c.rate,
+			InputMean: 256, OutputMean: c.out, LengthJitter: 0.4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := assertModesIdentical(t, "randomized", des.Config{MaxBatch: 8}, 3, 16, reqs)
+		if len(res.Finished) != 48 {
+			t.Errorf("seed %d: completed %d/48", c.seed, len(res.Finished))
+		}
+	}
+}
+
+// TestKernelEqualTimestampTies pins the tie-breaking contract:
+// arrivals at one instant are routed in trace order before any
+// station event at that instant runs, in every mode.
+func TestKernelEqualTimestampTies(t *testing.T) {
+	var reqs []workload.Request
+	id := 0
+	for wave := 0; wave < 6; wave++ {
+		at := float64(wave) * 2 // waves of 5 simultaneous arrivals
+		for i := 0; i < 5; i++ {
+			reqs = append(reqs, workload.Request{
+				ID: id, Input: 128 + 32*i, Output: 64 + 16*(id%3), Arrival: at,
+			})
+			id++
+		}
+	}
+	res := assertModesIdentical(t, "equal-timestamps", des.Config{MaxBatch: 4}, 4, 16, reqs)
+	if len(res.Finished) != len(reqs) {
+		t.Fatalf("completed %d/%d", len(res.Finished), len(reqs))
+	}
+	// Same-instant waves must route deterministically: request IDs
+	// 0..4 land on stations 0..4 round-robin, so each station's
+	// completion count is identical across runs (already asserted by
+	// DeepEqual) and every request finished after it arrived.
+	for _, r := range res.Finished {
+		if r.Started < r.Arrival || r.Finished <= r.Arrival {
+			t.Errorf("request %d timeline inconsistent: %+v", r.ID, r)
+		}
+	}
+}
+
+// TestKernelPreemptionMidWindow drives the preemptive policy into KV
+// exhaustion inside would-be coalesced windows on multiple stations
+// at once: evictions and requeues must reproduce identically in every
+// mode.
+func TestKernelPreemptionMidWindow(t *testing.T) {
+	reqs, err := workload.PoissonTrace(workload.TraceConfig{
+		Seed: 9, Requests: 24, RatePerSec: 3,
+		InputMean: 256, OutputMean: 512, LengthJitter: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := assertModesIdentical(t, "preemption",
+		des.Config{MaxBatch: 6, Preemptive: true}, 2, 0.3, reqs)
+	if res.Preemptions == 0 {
+		t.Fatal("a tiny KV pool must force preemptions inside windows")
+	}
+	if len(res.Finished) != 24 {
+		t.Errorf("completed %d/24 under preemption", len(res.Finished))
+	}
+	preempted := 0
+	for _, r := range res.Finished {
+		preempted += r.Preempted
+	}
+	if preempted != res.Preemptions {
+		t.Errorf("per-request Preempted sum %d != kernel count %d", preempted, res.Preemptions)
+	}
+}
+
+// TestKernelChunkedPrefillModes covers the fused prefill-slice path
+// (sched's Dynamic-SplitFuse policy) across every mode.
+func TestKernelChunkedPrefillModes(t *testing.T) {
+	reqs, err := workload.PoissonTrace(workload.TraceConfig{
+		Seed: 4, Requests: 30, RatePerSec: 4,
+		InputMean: 768, OutputMean: 96, LengthJitter: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := assertModesIdentical(t, "chunked-prefill",
+		des.Config{MaxBatch: 8, Preemptive: true, ChunkedPrefill: true, PrefillChunk: 256}, 2, 16, reqs)
+	if len(res.Finished) != 30 {
+		t.Errorf("completed %d/30", len(res.Finished))
+	}
+}
+
+// TestKernelValidation covers the kernel's own error paths.
+func TestKernelValidation(t *testing.T) {
+	reqs := []workload.Request{{ID: 0, Input: 64, Output: 8, Arrival: 0}}
+	if _, err := des.New(des.Config{MaxBatch: 4}).Run(reqs); err == nil {
+		t.Error("no stations must fail")
+	}
+	k := des.New(des.Config{})
+	k.NewStation(testEngine(t), testAlloc(t, 1))
+	if _, err := k.Run(reqs); err == nil {
+		t.Error("MaxBatch 0 must fail")
+	}
+	k = des.New(des.Config{MaxBatch: 4})
+	k.NewStation(testEngine(t), testAlloc(t, 1))
+	if _, err := k.Run(nil); err == nil {
+		t.Error("empty trace must fail")
+	}
+	k = des.New(des.Config{MaxBatch: 4})
+	k.NewStation(nil, nil)
+	if _, err := k.Run(reqs); err == nil {
+		t.Error("incomplete station must fail")
+	}
+	// An unadmittable request must fail fast, not hang the loop.
+	k = des.New(des.Config{MaxBatch: 4, Preemptive: true})
+	k.NewStation(testEngine(t), testAlloc(t, 0.01))
+	if _, err := k.Run([]workload.Request{{ID: 0, Input: 100000, Output: 8, Arrival: 0}}); err == nil {
+		t.Error("an unadmittable request must error, not hang")
+	}
+	// Non-finite arrivals would never match the delivery barrier and
+	// spin the loop forever; they must be rejected up front.
+	for _, bad := range []float64{math.NaN(), math.Inf(1)} {
+		k = des.New(des.Config{MaxBatch: 4})
+		k.NewStation(testEngine(t), testAlloc(t, 1))
+		if _, err := k.Run([]workload.Request{{ID: 0, Input: 64, Output: 8, Arrival: bad}}); err == nil {
+			t.Errorf("arrival %v must error, not hang", bad)
+		}
+	}
+}

@@ -1,0 +1,432 @@
+package des
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"llmbench/internal/engine"
+	"llmbench/internal/kvcache"
+	"llmbench/internal/workload"
+)
+
+// Station is one replica simulator: an engine, a private KV
+// allocator, a FIFO admission queue, and a running set. The kernel
+// owns its event timing; the policy layers only route requests to it
+// and read its load.
+type Station struct {
+	ID     int
+	Engine *engine.Engine
+	Alloc  kvcache.Allocator
+
+	// Retired marks a station drained by the autoscaler. The kernel
+	// itself ignores the flag — a retired station is empty and the
+	// router stops picking it, so it simply never wakes again.
+	Retired bool
+
+	cfg   Config
+	queue []queued
+	run   []*runReq
+
+	nextAt   float64 // next window-exhausted event; < 0 when idle
+	busy     float64 // time spent executing iterations
+	maxIter  float64 // longest single iteration
+	lastDone float64 // end of this station's last completed work
+	done     int
+	preempts int
+	finished []RequestStats
+
+	err   error
+	errAt float64
+
+	window   []float64 // reused fast-forward cost buffer
+	ids      []int     // reused sequence-id buffer
+	decoding []*runReq // reused chunked-mode partition buffer
+}
+
+// queued is a waiting request; preempted counts prior evictions so
+// the lifecycle stats survive a requeue.
+type queued struct {
+	req       workload.Request
+	preempted int
+}
+
+// runReq is an admitted request in flight.
+type runReq struct {
+	req            workload.Request
+	generated      int
+	pendingPrefill int // prompt tokens not yet prefilled (chunked mode)
+	preempted      int
+	stats          *RequestStats
+}
+
+// Outstanding is the station's queued plus running request count —
+// the load signal the routing and scaling policies read at arrival
+// barriers.
+func (s *Station) Outstanding() int { return len(s.queue) + len(s.run) }
+
+// enqueue inserts a request keeping the queue sorted by effective
+// arrival time (FIFO among equals). The router delivers arrivals in
+// time order, so this is almost always an append — except when a
+// preempted request was requeued with an eviction time that lands
+// beyond a not-yet-routed arrival: admission order must follow
+// effective arrival, not delivery order.
+func (s *Station) enqueue(q queued) {
+	i := sort.Search(len(s.queue), func(i int) bool { return s.queue[i].req.Arrival > q.req.Arrival })
+	s.queue = append(s.queue, queued{})
+	copy(s.queue[i+1:], s.queue[i:])
+	s.queue[i] = q
+}
+
+// advance runs the station's due events up to (strictly before) the
+// barrier. Everything it touches is station-local or immutable, so
+// concurrent advances of different stations are race-free.
+func (s *Station) advance(barrier float64, arrivals []float64) {
+	for s.err == nil && s.nextAt >= 0 && s.nextAt < barrier {
+		now := s.nextAt
+		end, err := s.step(now, nextArrivalAfter(arrivals, now))
+		if err != nil {
+			s.err, s.errAt = err, now
+			return
+		}
+		if len(s.run) == 0 && len(s.queue) == 0 {
+			s.nextAt = -1 // idle; an arrival wakes the station
+			return
+		}
+		if end <= now {
+			// Work remains but the clock did not move: the event loop
+			// would spin. Cannot happen with positive step costs;
+			// guard it instead of hanging.
+			s.err, s.errAt = fmt.Errorf("des: station %d stalled at t=%g", s.ID, now), now
+			return
+		}
+		s.nextAt = end
+	}
+}
+
+// step runs one window-exhausted event at time now: admission from
+// the queue head, then either a coalesced fast-forward over every
+// identical decode iteration up to the next state change or a single
+// reference iteration. It returns the event's end time (== now when
+// the station stays idle).
+func (s *Station) step(now, nextArrival float64) (float64, error) {
+	// Admit from the head of the queue while batch slots and KV
+	// capacity remain. Admission is FIFO: a blocked head blocks
+	// everything behind it.
+	var admitted []*runReq
+	for len(s.queue) > 0 && len(s.run)+len(admitted) < s.cfg.MaxBatch {
+		q := s.queue[0]
+		if !s.Alloc.CanAlloc(q.req.Input) {
+			break
+		}
+		if err := s.Alloc.Alloc(q.req.ID, q.req.Input); err != nil {
+			break
+		}
+		s.queue = s.queue[1:]
+		admitted = append(admitted, &runReq{
+			req:       q.req,
+			preempted: q.preempted,
+			stats: &RequestStats{
+				ID: q.req.ID, Input: q.req.Input, Output: q.req.Output,
+				Arrival: q.req.Arrival, Started: now, Preempted: q.preempted,
+			},
+		})
+	}
+	var step float64
+	if len(admitted) > 0 {
+		if s.cfg.ChunkedPrefill {
+			// Prompts enter the prefill queue; their tokens are
+			// processed in slices fused with decode iterations.
+			for _, a := range admitted {
+				a.pendingPrefill = a.req.Input
+			}
+		} else {
+			// Charge one batched prefill for the admitted prompts,
+			// stalling the running set (the non-SplitFuse cost).
+			in := 0
+			for _, a := range admitted {
+				in += a.req.Input
+			}
+			pf, err := s.Engine.PrefillSeconds(len(admitted), in/len(admitted))
+			if err != nil {
+				return 0, err
+			}
+			if len(s.run) > 0 && pf > s.maxIter {
+				s.maxIter = pf // running requests stalled this long
+			}
+			step += pf
+			for _, a := range admitted {
+				a.stats.FirstTok = now + step
+				a.generated = 1 // prefill emits the first token
+			}
+		}
+		s.run = append(s.run, admitted...)
+	}
+	if len(s.run) == 0 {
+		if len(s.queue) > 0 {
+			// Nothing is running and the head cannot be admitted: no
+			// future completion can free capacity, so it never fits.
+			return 0, fmt.Errorf("des: station %d cannot admit request %d (input %d): KV cache too small",
+				s.ID, s.queue[0].req.ID, s.queue[0].req.Input)
+		}
+		return now, nil
+	}
+	// One iteration: a decode step for the generating set, fused with
+	// at most one prefill slice in chunked mode. Without chunked
+	// prefill the whole running set decodes — no partition needed.
+	decoding := s.run
+	var prefilling *runReq
+	if s.cfg.ChunkedPrefill {
+		s.decoding = s.decoding[:0]
+		for _, r := range s.run {
+			if r.pendingPrefill > 0 {
+				if prefilling == nil {
+					prefilling = r
+				}
+			} else {
+				s.decoding = append(s.decoding, r)
+			}
+		}
+		decoding = s.decoding
+	}
+	// Coalescing fast path: a pure-decode state whose next iterations
+	// are identical except for context growth. Every member must be
+	// established — generated ≥ 2, so its reservation already equals
+	// Input+generated and each step extends it by exactly one token,
+	// the trajectory MaxExtendSteps prices. A fresh request runs its
+	// first iteration stepped. Admission cannot unblock mid-window
+	// (free blocks only shrink and the running set only shrinks at
+	// completions, which bound the window), so an already-arrived but
+	// blocked queue head does not cut the window — only a future
+	// arrival does, because it may change a routing decision.
+	if !s.cfg.Stepped && prefilling == nil && len(admitted) == 0 {
+		kMax := s.run[0].req.Output - s.run[0].generated
+		ctxSum := 0
+		s.ids = s.ids[:0]
+		for _, r := range s.run {
+			if r.generated < 2 {
+				kMax = 0
+				break
+			}
+			if rem := r.req.Output - r.generated; rem < kMax {
+				kMax = rem
+			}
+			ctxSum += r.req.Input + r.generated
+			s.ids = append(s.ids, r.req.ID)
+		}
+		if kMax > 0 {
+			var err error
+			s.window, err = CoalesceWindow(s.Engine, s.Alloc, s.ids,
+				len(s.run), ctxSum/len(s.run), kMax, now, nextArrival, s.window)
+			if err != nil {
+				return 0, err
+			}
+			if k := len(s.window); k > 0 {
+				end := now
+				for _, c := range s.window {
+					if c > s.maxIter {
+						s.maxIter = c
+					}
+					end += c
+					s.busy += c
+				}
+				// One batched Extend to each final context: headroom
+				// was verified for the whole window, so none of these
+				// can OOM, and the allocator lands in the same state
+				// as k single-token extends.
+				next := s.run[:0]
+				for _, r := range s.run {
+					r.generated += k
+					if s.cfg.Preemptive {
+						// Preemptive bookkeeping extends before the
+						// completion check, exactly as its stepped
+						// path does: the completing step still grows
+						// the reservation.
+						if err := s.Alloc.Extend(r.req.ID, r.req.Input+r.generated); err != nil {
+							return 0, err
+						}
+						if r.generated >= r.req.Output {
+							s.finish(r, end)
+							continue
+						}
+					} else {
+						if r.generated >= r.req.Output {
+							s.finish(r, end)
+							continue
+						}
+						if err := s.Alloc.Extend(r.req.ID, r.req.Input+r.generated); err != nil {
+							return 0, err
+						}
+					}
+					next = append(next, r)
+				}
+				s.run = next
+				return end, nil
+			}
+		}
+	}
+	// One reference iteration.
+	if len(decoding) > 0 {
+		ctxSum := 0
+		for _, r := range decoding {
+			ctxSum += r.req.Input + r.generated
+		}
+		t, err := s.Engine.DecodeStepSeconds(len(decoding), ctxSum/len(decoding))
+		if err != nil {
+			return 0, err
+		}
+		step += t
+	}
+	if prefilling != nil {
+		chunk := s.cfg.PrefillChunk
+		if chunk <= 0 {
+			chunk = 512
+		}
+		if chunk > prefilling.pendingPrefill {
+			chunk = prefilling.pendingPrefill
+		}
+		t, err := s.Engine.PrefillSeconds(1, chunk)
+		if err != nil {
+			return 0, err
+		}
+		step += t
+		prefilling.pendingPrefill -= chunk
+		if prefilling.pendingPrefill == 0 {
+			prefilling.stats.FirstTok = now + step
+			prefilling.generated = 1
+		}
+	}
+	if len(decoding) > 0 && step > s.maxIter {
+		s.maxIter = step
+	}
+	end := now + step
+	s.busy += step
+	next := s.run[:0]
+	for _, r := range s.run {
+		if r.pendingPrefill > 0 || (r == prefilling && r.generated == 1) {
+			// Still prefilling, or just emitted its first token this
+			// iteration — no decode advance yet.
+			next = append(next, r)
+			continue
+		}
+		r.generated++
+		if s.cfg.Preemptive {
+			if err := s.Alloc.Extend(r.req.ID, r.req.Input+r.generated); err != nil {
+				if errors.Is(err, kvcache.ErrOutOfMemory) {
+					// Preempt: evict and requeue at the tail of this
+					// station's queue (recompute later). The requeued
+					// request re-arrives at the eviction instant.
+					s.Alloc.Free(r.req.ID)
+					s.preempts++
+					requeued := r.req
+					requeued.Arrival = end
+					s.queue = append(s.queue, queued{req: requeued, preempted: r.preempted + 1})
+					continue
+				}
+				return 0, err
+			}
+			if r.generated >= r.req.Output {
+				s.finish(r, end)
+				continue
+			}
+		} else {
+			// Completion is checked before Extend — a sequence
+			// emitting its final token does not grow its reservation —
+			// and the coalesced path above mirrors that order.
+			if r.generated >= r.req.Output {
+				s.finish(r, end)
+				continue
+			}
+			if err := s.Alloc.Extend(r.req.ID, r.req.Input+r.generated); err != nil {
+				return 0, err
+			}
+		}
+		next = append(next, r)
+	}
+	s.run = next
+	return end, nil
+}
+
+// finish records a completion at time end.
+func (s *Station) finish(r *runReq, end float64) {
+	s.Alloc.Free(r.req.ID)
+	r.stats.Finished = end
+	s.finished = append(s.finished, *r.stats)
+	s.done++
+	if end > s.lastDone {
+		s.lastDone = end
+	}
+}
+
+// CoalesceWindow bounds and prices one coalesced run of identical
+// decode iterations: batch sequences whose mean context starts at
+// ctx0, each growing one token per step. kMax must already be bounded
+// by the earliest completion in the batch; the allocator bound
+// (kvcache.MaxExtendSteps over seqIDs) and the next-arrival cut are
+// applied here. nextArrival < 0 means no future arrival is pending.
+//
+// The per-step costs are appended to buf (pass the previous return
+// value to reuse its storage) and returned; an empty result means the
+// state does not admit a fast-forward of at least one full iteration
+// beyond the current one, and the caller must fall back to its
+// one-step reference path (which also handles preemption). The caller
+// advances its clock by adding the returned costs one at a time, in
+// order — that keeps coalesced time byte-identical to stepped time.
+//
+// Pricing reads one memoised per-step cost vector
+// (engine.DecodeStepCosts) instead of taking the engine's memo lock
+// once per step, so a window repeated across runs costs one lookup.
+func CoalesceWindow(eng *engine.Engine, alloc kvcache.Allocator, seqIDs []int,
+	batch, ctx0, kMax int, now, nextArrival float64, buf []float64) ([]float64, error) {
+	buf = buf[:0]
+	if kMax > 1 {
+		if k := alloc.MaxExtendSteps(seqIDs, kMax); k < kMax {
+			// The KV pool runs dry inside the window: fast-forward to
+			// the last iteration that fits, then let the reference
+			// path take the preemption (or OOM) at the boundary.
+			kMax = k
+		}
+	}
+	if kMax < 2 {
+		return buf, nil
+	}
+	end := now
+	for taken := 0; taken < kMax; {
+		n := kMax - taken
+		if nextArrival >= 0 {
+			// An arrival will cut the window; pricing all kMax steps
+			// up front would waste memo walks on steps never reached
+			// (quadratic under dense arrivals). Estimate the cut from
+			// the next step's cost — plus slack for cost drift — and
+			// let the outer loop continue if the estimate fell short.
+			c0, err := eng.DecodeStepCost(batch, ctx0+taken)
+			if err != nil {
+				return buf, err
+			}
+			if c0.Seconds > 0 {
+				if est := int((nextArrival-end)/c0.Seconds) + 2; est < n {
+					n = est
+				}
+			}
+			if n < 1 {
+				n = 1
+			}
+		}
+		costs, err := eng.DecodeStepCosts(batch, ctx0+taken, n)
+		if err != nil {
+			return buf, err
+		}
+		for _, c := range costs {
+			buf = append(buf, c)
+			end += c
+			if nextArrival >= 0 && end >= nextArrival {
+				// A request lands inside the window: it is admitted
+				// at the first iteration boundary at or after its
+				// arrival, so this step is the window's last.
+				return buf, nil
+			}
+		}
+		taken += n
+	}
+	return buf, nil
+}

@@ -87,9 +87,10 @@ type Engine struct {
 	peak   float64 // FLOP/s at the compute precision
 	blkEff float64
 
-	mu     sync.RWMutex
-	steps  map[stepKey]memoStep
-	ranges map[rangeKey]RangeStats
+	mu       sync.RWMutex
+	steps    map[stepKey]memoStep
+	ranges   map[rangeKey]RangeStats
+	stepVecs map[vecKey][]float64
 }
 
 // New validates and builds an engine.
@@ -151,12 +152,13 @@ func New(cfg Config) (*Engine, error) {
 			Latency: cfg.Device.InterconnectLatencyUS * 1e-6,
 			Eff:     cfg.Framework.TPCommEff,
 		},
-		effC:   effC,
-		effM:   effM,
-		peak:   peak,
-		blkEff: blk,
-		steps:  make(map[stepKey]memoStep),
-		ranges: make(map[rangeKey]RangeStats),
+		effC:     effC,
+		effM:     effM,
+		peak:     peak,
+		blkEff:   blk,
+		steps:    make(map[stepKey]memoStep),
+		ranges:   make(map[rangeKey]RangeStats),
+		stepVecs: make(map[vecKey][]float64),
 	}, nil
 }
 

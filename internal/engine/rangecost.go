@@ -140,6 +140,63 @@ func (e *Engine) DecodeRangeSeconds(batch, ctxStart, steps int) (RangeStats, err
 	return rs, nil
 }
 
+// vecKey identifies one memoised step-cost vector by its start; the
+// vector grows to the longest request seen, so the map's cardinality
+// is bounded by distinct (batch, ctxStart) pairs — the same class as
+// the per-step memo — rather than by every (start, length) pair a
+// serving simulation happens to ask for.
+type vecKey struct{ batch, ctxStart int }
+
+// DecodeStepCosts returns the per-step seconds of steps consecutive
+// decode iterations of a batch whose context starts at ctxStart: entry
+// i is the cost of the step at context ctxStart+i, exactly the value
+// DecodeStepCost(batch, ctxStart+i) returns. Slices are memoised per
+// (batch, ctxStart), grown in place when a longer run is requested,
+// and shared between callers — the result must be treated as
+// immutable.
+//
+// This is the pricing primitive of the serving kernel (internal/des):
+// a coalesced window walks one cached slice instead of taking the memo
+// lock once per step, which is what keeps window pricing O(1) lookups
+// in steady state.
+func (e *Engine) DecodeStepCosts(batch, ctxStart, steps int) ([]float64, error) {
+	if batch < 1 || ctxStart < 1 {
+		return nil, errors.New("engine: non-positive batch or context")
+	}
+	if steps < 0 {
+		return nil, fmt.Errorf("engine: negative step count %d", steps)
+	}
+	if steps == 0 {
+		return nil, nil
+	}
+	k := vecKey{batch, ctxStart}
+	e.mu.RLock()
+	vec := e.stepVecs[k]
+	e.mu.RUnlock()
+	if len(vec) >= steps {
+		return vec[:steps], nil
+	}
+	// Extend: step costs are pure, so racing extenders build
+	// identical prefixes and the longest stored vector wins.
+	nv := make([]float64, steps)
+	copy(nv, vec)
+	for i := len(vec); i < steps; i++ {
+		c, err := e.stepCost(batch, ctxStart+i)
+		if err != nil {
+			return nil, err
+		}
+		nv[i] = c.seconds
+	}
+	e.mu.Lock()
+	if cur := e.stepVecs[k]; len(cur) >= steps {
+		nv = cur // a racer stored an equal-or-longer vector
+	} else {
+		e.stepVecs[k] = nv
+	}
+	e.mu.Unlock()
+	return nv[:steps], nil
+}
+
 // --- process-wide engine cache -------------------------------------------
 
 // cache is the one engine cache in the process: the root llmbench

@@ -178,3 +178,91 @@ func TestDecodeRangeValidation(t *testing.T) {
 		t.Errorf("empty range must be zero: %+v, %v", empty, err)
 	}
 }
+
+// TestDecodeStepCostsVector verifies the serving kernel's pricing
+// primitive: the memoised vector holds exactly the per-step costs
+// DecodeStepCost returns, the cached slice is shared across calls,
+// and invalid arguments are rejected.
+func TestDecodeStepCostsVector(t *testing.T) {
+	e := rangeTestEngine(t, "vLLM")
+	vec, err := e.DecodeStepCosts(8, 300, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vec) != 50 {
+		t.Fatalf("vector length %d, want 50", len(vec))
+	}
+	for i, c := range vec {
+		want, err := e.DecodeStepCost(8, 300+i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c != want.Seconds {
+			t.Fatalf("step %d cost %v, want %v", i, c, want.Seconds)
+		}
+	}
+	again, err := e.DecodeStepCosts(8, 300, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &again[0] != &vec[0] {
+		t.Error("repeated request must return the memoised slice")
+	}
+	// A longer run grows the entry in place; shorter runs then share
+	// the grown vector's storage — the map stays bounded by distinct
+	// (batch, ctxStart) pairs, not by every requested length.
+	longer, err := e.DecodeStepCosts(8, 300, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(longer) != 80 || longer[10] != vec[10] {
+		t.Fatalf("grown vector inconsistent with original at step 10")
+	}
+	short, err := e.DecodeStepCosts(8, 300, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &short[0] != &longer[0] {
+		t.Error("shorter request must slice the grown memoised vector")
+	}
+	if empty, err := e.DecodeStepCosts(8, 300, 0); err != nil || len(empty) != 0 {
+		t.Errorf("zero steps = (%v, %v), want empty", empty, err)
+	}
+	for _, bad := range [][3]int{{0, 300, 5}, {8, 0, 5}, {8, 300, -1}} {
+		if _, err := e.DecodeStepCosts(bad[0], bad[1], bad[2]); err == nil {
+			t.Errorf("DecodeStepCosts%v must error", bad)
+		}
+	}
+}
+
+// TestDecodeStepCostsConcurrent hammers the vector memo from many
+// goroutines (the parallel kernel's access pattern); run with -race.
+func TestDecodeStepCostsConcurrent(t *testing.T) {
+	e := rangeTestEngine(t, "vLLM")
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				vec, err := e.DecodeStepCosts(4+w%2, 200+i, 10)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if len(vec) != 10 {
+					errs[w] = fmt.Errorf("worker %d: bad length %d", w, len(vec))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -8,6 +8,15 @@
 // real KV-cache blocks from internal/kvcache, advance token by token
 // at per-iteration costs priced by the engine, and are preempted when
 // the cache runs out.
+//
+// The continuous scheduler is a policy layer over the shared
+// discrete-event kernel (internal/des): sched contributes the
+// admission/preemption policy (FIFO admission, chunked prefill,
+// evict-and-requeue on KV pressure) while the kernel owns the event
+// loop, the coalesced-window advance, and the determinism contract —
+// coalesced, stepped, serial, and parallel runs produce byte-identical
+// Stats. See the internal/des package documentation for the event
+// model.
 package sched
 
 import (
@@ -15,25 +24,11 @@ import (
 	"fmt"
 	"sort"
 
+	"llmbench/internal/des"
 	"llmbench/internal/engine"
 	"llmbench/internal/kvcache"
 	"llmbench/internal/workload"
 )
-
-// Iteration coalescing: between two scheduler state changes —
-// an arrival, a prefill slice, a completion, or a KV-pressure
-// boundary — every decode iteration is identical except that each
-// running context is one token longer, so the continuous scheduler
-// fast-forwards whole runs of them in a single event instead of one
-// event per output token. The fast-forward is exact, not an
-// approximation: step costs come from the engine's memoised
-// step-cost table (engine.DecodeStepCost), the clock advances by
-// adding each step's cost in order (floating-point summation order is
-// part of the contract), and the window never crosses a state change
-// (bounded by the earliest completion, the next arrival, and
-// kvcache.MaxExtendSteps headroom), so coalesced Stats are
-// byte-identical to the one-event-per-token reference path
-// (Config.Stepped), which the equivalence tests assert.
 
 // Policy selects the batching strategy.
 type Policy int
@@ -78,23 +73,9 @@ type Config struct {
 	Stepped bool
 }
 
-// RequestStats records one request's lifecycle.
-type RequestStats struct {
-	ID        int
-	Input     int
-	Output    int
-	Arrival   float64
-	Started   float64 // when prefill began
-	FirstTok  float64 // when the first output token appeared
-	Finished  float64
-	Preempted int // times this request was evicted and restarted
-}
-
-// Latency is the request's end-to-end time.
-func (r RequestStats) Latency() float64 { return r.Finished - r.Arrival }
-
-// QueueDelay is the time spent waiting before prefill.
-func (r RequestStats) QueueDelay() float64 { return r.Started - r.Arrival }
+// RequestStats records one request's lifecycle. It is the kernel's
+// ledger entry type (internal/des), re-exported for API stability.
+type RequestStats = des.RequestStats
 
 // Stats summarises a serving run.
 type Stats struct {
@@ -102,21 +83,22 @@ type Stats struct {
 	MakespanS   float64
 	Throughput  float64 // total (in+out) tokens per second, Eq. (2) spirit
 	MeanLatency float64
+	P50Latency  float64
+	P95Latency  float64
 	P99Latency  float64
 	MeanTTFT    float64
-	Preemptions int
+	// Queue-delay percentiles: time spent waiting before prefill —
+	// the admission pressure the latency percentiles alone hide.
+	MeanQueueDelay float64
+	P50QueueDelay  float64
+	P95QueueDelay  float64
+	P99QueueDelay  float64
+	Preemptions    int
 	// MaxIterationS is the longest single scheduler iteration — the
 	// worst token-level stall a running request experienced. Chunked
 	// prefill exists to bound it (§V-3).
 	MaxIterationS float64
 	Requests      []RequestStats
-}
-
-type running struct {
-	req            workload.Request
-	generated      int
-	pendingPrefill int // prompt tokens not yet prefilled (chunked mode)
-	stats          *RequestStats
 }
 
 // Serve runs the trace to completion and returns statistics.
@@ -130,246 +112,38 @@ func Serve(cfg Config, reqs []workload.Request) (Stats, error) {
 	if len(reqs) == 0 {
 		return Stats{}, errors.New("sched: empty trace")
 	}
-	queue := make([]workload.Request, len(reqs))
-	copy(queue, reqs)
-	sort.Slice(queue, func(i, j int) bool { return queue[i].Arrival < queue[j].Arrival })
-
 	switch cfg.Policy {
 	case Continuous:
-		return serveContinuous(cfg, queue)
+		return serveContinuous(cfg, reqs)
 	case Static:
+		queue := make([]workload.Request, len(reqs))
+		copy(queue, reqs)
+		sort.SliceStable(queue, func(i, j int) bool { return queue[i].Arrival < queue[j].Arrival })
 		return serveStatic(cfg, queue)
 	}
 	return Stats{}, fmt.Errorf("sched: unknown policy %d", cfg.Policy)
 }
 
-func serveContinuous(cfg Config, queue []workload.Request) (Stats, error) {
-	now := 0.0
-	var run []*running
-	done := make([]RequestStats, 0, len(queue))
-	preemptions := 0
-	maxIter := 0.0
-	var window []float64 // reused per-step cost buffer for fast-forwards
-	var ids []int        // reused sequence-id buffer
-
-	for len(queue) > 0 || len(run) > 0 {
-		// Idle: jump to the next arrival.
-		if len(run) == 0 && len(queue) > 0 && queue[0].Arrival > now {
-			now = queue[0].Arrival
-		}
-		// Admit arrived requests while capacity remains.
-		var admitted []*running
-		for len(queue) > 0 && queue[0].Arrival <= now && len(run)+len(admitted) < cfg.MaxBatch {
-			req := queue[0]
-			if !cfg.Alloc.CanAlloc(req.Input) {
-				break
-			}
-			if err := cfg.Alloc.Alloc(req.ID, req.Input); err != nil {
-				break
-			}
-			queue = queue[1:]
-			admitted = append(admitted, &running{
-				req: req,
-				stats: &RequestStats{
-					ID: req.ID, Input: req.Input, Output: req.Output,
-					Arrival: req.Arrival, Started: now,
-				},
-			})
-		}
-		if len(admitted) > 0 {
-			if cfg.ChunkedPrefill {
-				// Prompts enter the prefill queue; their tokens are
-				// processed in slices fused with decode iterations.
-				for _, a := range admitted {
-					a.pendingPrefill = a.req.Input
-				}
-			} else {
-				// Charge one batched prefill for the admitted prompts,
-				// stalling the running set (the non-SplitFuse cost).
-				in := 0
-				for _, a := range admitted {
-					in += a.req.Input
-				}
-				pf, err := cfg.Engine.PrefillSeconds(len(admitted), in/len(admitted))
-				if err != nil {
-					return Stats{}, err
-				}
-				if len(run) > 0 && pf > maxIter {
-					maxIter = pf // running requests stalled this long
-				}
-				now += pf
-				for _, a := range admitted {
-					a.stats.FirstTok = now
-					a.generated = 1 // prefill emits the first token
-				}
-			}
-			run = append(run, admitted...)
-		}
-		if len(run) == 0 {
-			if len(queue) > 0 && queue[0].Arrival <= now {
-				// Nothing is running, nothing was admitted, and the head
-				// has arrived: no future completion can free capacity, so
-				// it will never fit. Erroring matches the cluster
-				// scheduler; before this the loop spun forever.
-				return Stats{}, fmt.Errorf(
-					"sched: request %d (input %d) can never be admitted (KV cache too small)",
-					queue[0].ID, queue[0].Input)
-			}
-			continue
-		}
-		// One iteration: a decode step for the generating set, fused
-		// with at most one prefill slice in chunked mode.
-		var decoding []*running
-		var prefilling *running
-		for _, r := range run {
-			if r.pendingPrefill > 0 {
-				if prefilling == nil {
-					prefilling = r
-				}
-			} else {
-				decoding = append(decoding, r)
-			}
-		}
-		// Coalescing fast path: a pure-decode state (no chunked prefill
-		// in flight) whose next iterations are identical except for
-		// context growth. Fast-forward up to the next state change in
-		// one pass; admission cannot unblock mid-window (free blocks
-		// only shrink and the running set only shrinks at completions,
-		// which bound the window), so an already-arrived but blocked
-		// queue head does not cut it — only a future arrival does.
-		if !cfg.Stepped && prefilling == nil && len(decoding) == len(run) && len(run) > 0 {
-			// Every member must be established — generated ≥ 2, so its
-			// allocator reservation already equals Input+generated and
-			// each further step extends it by exactly one token, the
-			// trajectory MaxExtendSteps prices. A fresh request (one
-			// decode step after prefill) jumps two tokens on its first
-			// extend; its first iteration runs stepped.
-			kMax := run[0].req.Output - run[0].generated
-			ctxSum := 0
-			ids = ids[:0]
-			for _, r := range run {
-				if r.generated < 2 {
-					kMax = 0
-					break
-				}
-				if rem := r.req.Output - r.generated; rem < kMax {
-					kMax = rem
-				}
-				ctxSum += r.req.Input + r.generated
-				ids = append(ids, r.req.ID)
-			}
-			nextArrival := -1.0
-			if len(queue) > 0 && queue[0].Arrival > now {
-				nextArrival = queue[0].Arrival
-			}
-			var err error
-			window, err = CoalesceWindow(cfg.Engine, cfg.Alloc, ids,
-				len(run), ctxSum/len(run), kMax, now, nextArrival, window)
-			if err != nil {
-				return Stats{}, err
-			}
-			if k := len(window); k > 0 {
-				for _, c := range window {
-					if c > maxIter {
-						maxIter = c
-					}
-					now += c
-				}
-				// One batched Extend to each final context: headroom was
-				// verified for the whole window, so none of these can OOM,
-				// and the allocator lands in the same state as k
-				// single-token extends. Requests extend before the
-				// completion check, exactly as the stepped path does.
-				next := run[:0]
-				for _, r := range run {
-					r.generated += k
-					if err := cfg.Alloc.Extend(r.req.ID, r.req.Input+r.generated); err != nil {
-						return Stats{}, err
-					}
-					if r.generated >= r.req.Output {
-						cfg.Alloc.Free(r.req.ID)
-						r.stats.Finished = now
-						done = append(done, *r.stats)
-						continue
-					}
-					next = append(next, r)
-				}
-				run = next
-				continue
-			}
-		}
-		var step float64
-		if len(decoding) > 0 {
-			ctxSum := 0
-			for _, r := range decoding {
-				ctxSum += r.req.Input + r.generated
-			}
-			t, err := cfg.Engine.DecodeStepSeconds(len(decoding), ctxSum/len(decoding))
-			if err != nil {
-				return Stats{}, err
-			}
-			step += t
-		}
-		if prefilling != nil {
-			chunkTokens := cfg.PrefillChunk
-			if chunkTokens <= 0 {
-				chunkTokens = 512
-			}
-			if chunkTokens > prefilling.pendingPrefill {
-				chunkTokens = prefilling.pendingPrefill
-			}
-			t, err := cfg.Engine.PrefillSeconds(1, chunkTokens)
-			if err != nil {
-				return Stats{}, err
-			}
-			step += t
-			prefilling.pendingPrefill -= chunkTokens
-			if prefilling.pendingPrefill == 0 {
-				prefilling.stats.FirstTok = now + step
-				prefilling.generated = 1
-			}
-		}
-		if len(decoding) > 0 && step > maxIter {
-			maxIter = step
-		}
-		now += step
-		next := run[:0]
-		for _, r := range run {
-			if r.pendingPrefill > 0 || (r == prefilling && r.generated == 1) {
-				// Still prefilling, or just emitted its first token
-				// this iteration — no decode advance yet.
-				next = append(next, r)
-				continue
-			}
-			r.generated++
-			if err := cfg.Alloc.Extend(r.req.ID, r.req.Input+r.generated); err != nil {
-				if errors.Is(err, kvcache.ErrOutOfMemory) {
-					// Preempt: evict and requeue (recompute later).
-					cfg.Alloc.Free(r.req.ID)
-					preemptions++
-					r.stats.Preempted++
-					requeued := r.req
-					requeued.Arrival = now
-					queue = insertByArrival(queue, requeued)
-					continue
-				}
-				return Stats{}, err
-			}
-			if r.generated >= r.req.Output {
-				cfg.Alloc.Free(r.req.ID)
-				r.stats.Finished = now
-				done = append(done, *r.stats)
-				continue
-			}
-			next = append(next, r)
-		}
-		run = next
+// serveContinuous drives the des kernel with a single station and the
+// preemptive admission policy.
+func serveContinuous(cfg Config, reqs []workload.Request) (Stats, error) {
+	k := des.New(des.Config{
+		MaxBatch:       cfg.MaxBatch,
+		ChunkedPrefill: cfg.ChunkedPrefill,
+		PrefillChunk:   cfg.PrefillChunk,
+		Preemptive:     true,
+		Stepped:        cfg.Stepped,
+	})
+	k.NewStation(cfg.Engine, cfg.Alloc)
+	res, err := k.Run(reqs)
+	if err != nil {
+		return Stats{}, fmt.Errorf("sched: %w", err)
 	}
-	stats, err := Summarize(done, now, preemptions)
+	stats, err := Summarize(res.Finished, res.MakespanS, res.Preemptions)
 	if err != nil {
 		return Stats{}, err
 	}
-	stats.MaxIterationS = maxIter
+	stats.MaxIterationS = res.MaxIterationS
 	return stats, nil
 }
 
@@ -426,60 +200,12 @@ func serveStatic(cfg Config, queue []workload.Request) (Stats, error) {
 	return Summarize(done, now, 0)
 }
 
-// CoalesceWindow bounds and prices one coalesced run of identical
-// decode iterations: batch sequences whose mean context starts at
-// ctx0, each growing one token per step. kMax must already be bounded
-// by the earliest completion in the batch; the allocator bound
-// (kvcache.MaxExtendSteps over seqIDs) and the next-arrival cut are
-// applied here. nextArrival < 0 means no future arrival is pending.
-//
-// The per-step costs are appended to buf (pass the previous return
-// value to reuse its storage) and returned; an empty result means the
-// state does not admit a fast-forward of at least one full iteration
-// beyond the current one, and the caller must fall back to its
-// one-step reference path (which also handles preemption). The caller
-// advances its clock by adding the returned costs one at a time, in
-// order — that keeps coalesced time byte-identical to stepped time.
-//
-// Shared by serveContinuous, cluster.Serve, and cluster.ServeAutoscale.
+// CoalesceWindow re-exports the kernel's window-sizing primitive
+// (internal/des); see des.CoalesceWindow for the contract. Retained
+// here because the coalescing machinery grew up in this package.
 func CoalesceWindow(eng *engine.Engine, alloc kvcache.Allocator, seqIDs []int,
 	batch, ctx0, kMax int, now, nextArrival float64, buf []float64) ([]float64, error) {
-	buf = buf[:0]
-	if kMax > 1 {
-		if k := alloc.MaxExtendSteps(seqIDs, kMax); k < kMax {
-			// The KV pool runs dry inside the window: fast-forward to the
-			// last iteration that fits, then let the reference path take
-			// the preemption (or OOM) at the boundary.
-			kMax = k
-		}
-	}
-	if kMax < 2 {
-		return buf, nil
-	}
-	end := now
-	for j := 0; j < kMax; j++ {
-		c, err := eng.DecodeStepCost(batch, ctx0+j)
-		if err != nil {
-			return buf, err
-		}
-		buf = append(buf, c.Seconds)
-		end += c.Seconds
-		if nextArrival >= 0 && end >= nextArrival {
-			// A request lands inside the window: it is admitted at the
-			// first iteration boundary at or after its arrival, so this
-			// step is the window's last.
-			break
-		}
-	}
-	return buf, nil
-}
-
-func insertByArrival(queue []workload.Request, r workload.Request) []workload.Request {
-	i := sort.Search(len(queue), func(i int) bool { return queue[i].Arrival > r.Arrival })
-	queue = append(queue, workload.Request{})
-	copy(queue[i+1:], queue[i:])
-	queue[i] = r
-	return queue
+	return des.CoalesceWindow(eng, alloc, seqIDs, batch, ctx0, kMax, now, nextArrival, buf)
 }
 
 // Summarize aggregates completed request lifecycles into Stats. It is
@@ -489,26 +215,43 @@ func Summarize(done []RequestStats, makespan float64, preemptions int) (Stats, e
 	if len(done) == 0 {
 		return Stats{}, errors.New("sched: no requests completed")
 	}
-	var tokens, latSum, ttftSum float64
+	var tokens, latSum, ttftSum, qdSum float64
 	lats := make([]float64, len(done))
+	qds := make([]float64, len(done))
 	for i, r := range done {
 		lats[i] = r.Latency()
 		latSum += lats[i]
+		qds[i] = r.QueueDelay()
+		qdSum += qds[i]
 		ttftSum += r.FirstTok - r.Arrival
 		tokens += float64(r.Input + r.Output)
 	}
 	sort.Float64s(lats)
+	sort.Float64s(qds)
 	if makespan <= 0 {
 		return Stats{}, errors.New("sched: zero makespan")
 	}
 	return Stats{
-		Completed:   len(done),
-		MakespanS:   makespan,
-		Throughput:  tokens / makespan,
-		MeanLatency: latSum / float64(len(done)),
-		P99Latency:  lats[int(float64(len(lats)-1)*0.99)],
-		MeanTTFT:    ttftSum / float64(len(done)),
-		Preemptions: preemptions,
-		Requests:    done,
+		Completed:      len(done),
+		MakespanS:      makespan,
+		Throughput:     tokens / makespan,
+		MeanLatency:    latSum / float64(len(done)),
+		P50Latency:     percentile(lats, 0.50),
+		P95Latency:     percentile(lats, 0.95),
+		P99Latency:     percentile(lats, 0.99),
+		MeanTTFT:       ttftSum / float64(len(done)),
+		MeanQueueDelay: qdSum / float64(len(done)),
+		P50QueueDelay:  percentile(qds, 0.50),
+		P95QueueDelay:  percentile(qds, 0.95),
+		P99QueueDelay:  percentile(qds, 0.99),
+		Preemptions:    preemptions,
+		Requests:       done,
 	}, nil
+}
+
+// percentile reads the p-quantile of a sorted sample with the
+// lower-index convention the original P99 used, so existing numbers
+// are unchanged.
+func percentile(sorted []float64, p float64) float64 {
+	return sorted[int(float64(len(sorted)-1)*p)]
 }

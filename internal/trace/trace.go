@@ -1,7 +1,12 @@
-// Package trace provides the discrete-event simulation core used by
-// the serving scheduler: a monotonic simulated clock, a time-ordered
-// event queue, and a small deterministic RNG so simulations are
-// reproducible across runs and platforms.
+// Package trace provides a general discrete-event simulation utility
+// (a monotonic simulated clock with a time-ordered event queue) and
+// the small deterministic RNG behind every workload generator, so
+// simulations are reproducible across runs and platforms.
+//
+// The serving simulators no longer drive Sim directly: they run on
+// the specialised kernel in internal/des, whose arrival-barrier
+// design admits parallel replica advancement. Sim remains for ad-hoc
+// event-driven modelling.
 package trace
 
 import (

@@ -311,29 +311,48 @@ type ServeConfig struct {
 // ServeStats re-exports the scheduler's summary.
 type ServeStats = sched.Stats
 
+// servingKVBudget resolves the paged-KV pool size for one replica:
+// the explicit budget when given, otherwise the device's free memory
+// after fp16 weights.
+func servingKVBudget(sys System, budgetGiB float64) (float64, error) {
+	if budget := budgetGiB * (1 << 30); budget > 0 {
+		return budget, nil
+	}
+	m, err := model.Get(sys.Model)
+	if err != nil {
+		return 0, err
+	}
+	d, err := hw.Get(sys.Device)
+	if err != nil {
+		return 0, err
+	}
+	free := d.MemBytes()*0.88 - m.WeightBytes(dtype.FP16)
+	if free <= 0 {
+		return 0, fmt.Errorf("llmbench: %s does not fit on %s for serving", sys.Model, sys.Device)
+	}
+	return free, nil
+}
+
+// servingAlloc builds one replica's private paged-KV allocator.
+func servingAlloc(sys System, budget float64) (kvcache.Allocator, error) {
+	m, err := model.Get(sys.Model)
+	if err != nil {
+		return nil, err
+	}
+	return kvcache.NewPaged(16, m.KVBytesPerToken(dtype.FP16), budget)
+}
+
 // Serve runs an online-serving simulation with Poisson arrivals.
 func Serve(cfg ServeConfig) (ServeStats, error) {
-	eng, err := NewEngine(cfg.System)
+	eng, err := CachedEngine(cfg.System)
 	if err != nil {
 		return ServeStats{}, err
 	}
-	m, err := model.Get(cfg.System.Model)
+	budget, err := servingKVBudget(cfg.System, cfg.KVBudgetGiB)
 	if err != nil {
 		return ServeStats{}, err
 	}
-	budget := cfg.KVBudgetGiB * (1 << 30)
-	if budget <= 0 {
-		d, err := hw.Get(cfg.System.Device)
-		if err != nil {
-			return ServeStats{}, err
-		}
-		free := d.MemBytes()*0.88 - m.WeightBytes(dtype.FP16)
-		if free <= 0 {
-			return ServeStats{}, fmt.Errorf("llmbench: %s does not fit on %s for serving", cfg.System.Model, cfg.System.Device)
-		}
-		budget = free
-	}
-	alloc, err := kvcache.NewPaged(16, m.KVBytesPerToken(dtype.FP16), budget)
+	alloc, err := servingAlloc(cfg.System, budget)
 	if err != nil {
 		return ServeStats{}, err
 	}
@@ -362,6 +381,11 @@ type ClusterConfig struct {
 	MaxBatch    int  // per replica
 	KVBudgetGiB float64
 
+	// Parallelism ≥ 2 advances replicas on that many goroutines
+	// between arrival barriers (see internal/des); Stats are
+	// byte-identical at any setting. Values ≤ 1 run serially.
+	Parallelism int
+
 	Seed       uint64
 	Requests   int
 	RatePerSec float64
@@ -373,35 +397,24 @@ type ClusterConfig struct {
 type ClusterStats = cluster.Stats
 
 // ServeCluster simulates a deployment of identical replicas behind a
-// router (see internal/cluster).
+// router (see internal/cluster). All replicas share one cached engine
+// (engines are immutable and concurrency-safe) while each owns a
+// private KV allocator.
 func ServeCluster(cfg ClusterConfig) (ClusterStats, error) {
 	if cfg.Replicas < 1 {
 		return ClusterStats{}, fmt.Errorf("llmbench: need at least one replica")
 	}
-	m, err := model.Get(cfg.System.Model)
+	eng, err := CachedEngine(cfg.System)
 	if err != nil {
 		return ClusterStats{}, err
 	}
-	budget := cfg.KVBudgetGiB * (1 << 30)
-	if budget <= 0 {
-		d, err := hw.Get(cfg.System.Device)
-		if err != nil {
-			return ClusterStats{}, err
-		}
-		free := d.MemBytes()*0.88 - m.WeightBytes(dtype.FP16)
-		if free <= 0 {
-			return ClusterStats{}, fmt.Errorf("llmbench: %s does not fit on %s for serving",
-				cfg.System.Model, cfg.System.Device)
-		}
-		budget = free
+	budget, err := servingKVBudget(cfg.System, cfg.KVBudgetGiB)
+	if err != nil {
+		return ClusterStats{}, err
 	}
 	replicas := make([]cluster.Replica, cfg.Replicas)
 	for i := range replicas {
-		eng, err := NewEngine(cfg.System)
-		if err != nil {
-			return ClusterStats{}, err
-		}
-		alloc, err := kvcache.NewPaged(16, m.KVBytesPerToken(dtype.FP16), budget)
+		alloc, err := servingAlloc(cfg.System, budget)
 		if err != nil {
 			return ClusterStats{}, err
 		}
@@ -420,5 +433,91 @@ func ServeCluster(cfg ClusterConfig) (ClusterStats, error) {
 	}
 	return cluster.Serve(cluster.Config{
 		Replicas: replicas, Policy: policy, MaxBatch: cfg.MaxBatch,
+		Parallelism: cfg.Parallelism,
 	}, trace)
+}
+
+// AutoscaleConfig parameterises a dynamic-capacity serving
+// simulation: replicas of a System are added under queue pressure and
+// retired when idle, between MinReplicas and MaxReplicas.
+type AutoscaleConfig struct {
+	System      System
+	MaxBatch    int // per replica
+	KVBudgetGiB float64
+
+	// MinReplicas..MaxReplicas bound the capacity; UpOutstanding,
+	// DownIdleS, and CooldownS tune the policy (see
+	// cluster.Autoscale).
+	MinReplicas   int
+	MaxReplicas   int
+	UpOutstanding int
+	DownIdleS     float64
+	CooldownS     float64
+
+	// Parallelism ≥ 2 advances replicas on goroutines between
+	// arrival barriers; Stats are byte-identical at any setting.
+	Parallelism int
+
+	// Trace parameters. BurstFactor > 0 uses a bursty chat trace
+	// (workload.ChatTrace) — the load shape autoscaling exists for —
+	// otherwise arrivals are Poisson.
+	Seed        uint64
+	Requests    int
+	RatePerSec  float64
+	InputMean   int
+	OutputMean  int
+	BurstFactor float64
+	BurstLenS   float64
+}
+
+// AutoscaleStats re-exports the autoscaler's summary (cluster stats
+// plus the scaling trajectory).
+type AutoscaleStats = cluster.AutoStats
+
+// ServeAutoscale simulates a deployment with dynamic replica capacity
+// (see internal/cluster): the fleet starts at MinReplicas and the
+// scale-tick policy grows or shrinks it as load changes.
+func ServeAutoscale(cfg AutoscaleConfig) (AutoscaleStats, error) {
+	eng, err := CachedEngine(cfg.System)
+	if err != nil {
+		return AutoscaleStats{}, err
+	}
+	budget, err := servingKVBudget(cfg.System, cfg.KVBudgetGiB)
+	if err != nil {
+		return AutoscaleStats{}, err
+	}
+	factory := func() (cluster.Replica, error) {
+		alloc, err := servingAlloc(cfg.System, budget)
+		if err != nil {
+			return cluster.Replica{}, err
+		}
+		return cluster.Replica{Engine: eng, Alloc: alloc}, nil
+	}
+	var trace []workload.Request
+	if cfg.BurstFactor > 0 {
+		trace, err = workload.ChatTrace(workload.ChatTraceConfig{
+			Seed: cfg.Seed, Requests: cfg.Requests, RatePerSec: cfg.RatePerSec,
+			BurstFactor: cfg.BurstFactor, BurstLenS: cfg.BurstLenS,
+			InputMedian: cfg.InputMean, OutputMedian: cfg.OutputMean,
+			Sigma: 0.7, MaxLen: 4096,
+		})
+	} else {
+		trace, err = workload.PoissonTrace(workload.TraceConfig{
+			Seed: cfg.Seed, Requests: cfg.Requests, RatePerSec: cfg.RatePerSec,
+			InputMean: cfg.InputMean, OutputMean: cfg.OutputMean, LengthJitter: 0.3,
+		})
+	}
+	if err != nil {
+		return AutoscaleStats{}, err
+	}
+	return cluster.ServeAutoscale(
+		cluster.Config{MaxBatch: cfg.MaxBatch, Parallelism: cfg.Parallelism},
+		cluster.Autoscale{
+			Factory:       factory,
+			Min:           cfg.MinReplicas,
+			Max:           cfg.MaxReplicas,
+			UpOutstanding: cfg.UpOutstanding,
+			DownIdleS:     cfg.DownIdleS,
+			CooldownS:     cfg.CooldownS,
+		}, trace)
 }

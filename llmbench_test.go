@@ -1,6 +1,7 @@
 package llmbench
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -131,6 +132,68 @@ func TestServeClusterFacade(t *testing.T) {
 		MaxBatch: 4, Requests: 4, RatePerSec: 1, InputMean: 64, OutputMean: 16,
 	}); err == nil {
 		t.Error("a 70B model on one A100 replica must fail")
+	}
+}
+
+// TestServeClusterParallelismIdentical pins the root-level promise:
+// the Parallelism knob changes wall-clock behaviour only — the
+// returned Stats (every percentile, every per-replica share) are
+// byte-identical to the serial run.
+func TestServeClusterParallelismIdentical(t *testing.T) {
+	cfg := ClusterConfig{
+		System:      System{Model: "Mistral-7B", Device: "A100", Framework: "vLLM"},
+		Replicas:    3,
+		LeastLoaded: true,
+		MaxBatch:    8,
+		Seed:        7, Requests: 36, RatePerSec: 8, InputMean: 256, OutputMean: 96,
+	}
+	serial, err := ServeCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallelism = 4
+	parallel, err := ServeCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Error("parallel ServeCluster Stats differ from serial")
+	}
+	if serial.P50Latency <= 0 || serial.P95Latency < serial.P50Latency ||
+		serial.P99Latency < serial.P95Latency {
+		t.Errorf("latency percentiles inconsistent: %+v", serial.Stats)
+	}
+	if serial.P99QueueDelay < serial.P50QueueDelay {
+		t.Errorf("queue-delay percentiles inconsistent: %+v", serial.Stats)
+	}
+}
+
+func TestServeAutoscaleFacade(t *testing.T) {
+	stats, err := ServeAutoscale(AutoscaleConfig{
+		System:      System{Model: "Mistral-7B", Device: "A100", Framework: "vLLM"},
+		MaxBatch:    16,
+		MinReplicas: 1, MaxReplicas: 4,
+		UpOutstanding: 8, DownIdleS: 3, CooldownS: 1,
+		Parallelism: 2,
+		Seed:        9, Requests: 120, RatePerSec: 12, InputMean: 384, OutputMean: 96,
+		BurstFactor: 5, BurstLenS: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed != 120 {
+		t.Errorf("completed %d/120", stats.Completed)
+	}
+	if stats.PeakReplicas < 2 || stats.PeakReplicas > 4 {
+		t.Errorf("burst load must scale past 1 replica within Max: peak %d", stats.PeakReplicas)
+	}
+	if len(stats.PerReplica) < stats.PeakReplicas {
+		t.Errorf("per-replica stats missing: %d < peak %d", len(stats.PerReplica), stats.PeakReplicas)
+	}
+	if _, err := ServeAutoscale(AutoscaleConfig{
+		System: System{Model: "Mistral-7B", Device: "A100", Framework: "vLLM"},
+	}); err == nil {
+		t.Error("zero bounds must fail validation")
 	}
 }
 

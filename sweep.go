@@ -8,12 +8,34 @@ import (
 	"llmbench/internal/workload"
 )
 
-// Grid enumerates the workload points of a sweep: every (batch,
-// length) combination, lengths outer and batches inner — the order
-// the paper's figures (and `llmbench-sweep`) print.
+// Scheme names a weight/KV precision pair for the Schemes sweep axis.
+// Empty strings mean fp16, matching System.
+type Scheme struct {
+	Weights string
+	KV      string
+}
+
+// Grid enumerates the points of a sweep. Batches and Lengths are
+// required; Devices, Frameworks, and Schemes are optional axes that
+// override the base System per point (an empty axis keeps the base
+// System's value). Axes nest in a fixed order — Devices outermost,
+// then Frameworks, Schemes, Lengths, and Batches innermost — so sweep
+// output is deterministic and the historical (batch, length) order
+// the paper's figures print is preserved within each combination.
 type Grid struct {
 	Batches []int
 	Lengths []int // input = output = length, the paper's convention
+
+	// Devices/Frameworks/Schemes sweep hardware, software stack, and
+	// precision in the same call (ROADMAP: hwcompare/quantsweep lose
+	// their outer loops). Each (device, framework, scheme)
+	// combination resolves one engine through the shared engine
+	// cache; a combination that fails to build (vendor mismatch,
+	// unsupported precision) marks its points' Err instead of
+	// aborting the sweep — those are the paper's gaps.
+	Devices    []string
+	Frameworks []string
+	Schemes    []Scheme
 
 	// Parallelism bounds the sweep's worker count; values below 1
 	// mean GOMAXPROCS. Results are ordered by grid position
@@ -21,50 +43,108 @@ type Grid struct {
 	Parallelism int
 }
 
-// points expands the grid in deterministic order.
-func (g Grid) points() []Workload {
-	pts := make([]Workload, 0, len(g.Batches)*len(g.Lengths))
-	for _, l := range g.Lengths {
-		for _, b := range g.Batches {
-			pts = append(pts, Workload{Batch: b, Input: l, Output: l})
+// combos expands the configuration axes in deterministic order,
+// returning the per-combo System variants.
+func (g Grid) combos(base System) []System {
+	devices := g.Devices
+	if len(devices) == 0 {
+		devices = []string{base.Device}
+	}
+	frameworks := g.Frameworks
+	if len(frameworks) == 0 {
+		frameworks = []string{base.Framework}
+	}
+	schemes := g.Schemes
+	if len(schemes) == 0 {
+		schemes = []Scheme{{Weights: base.Weights, KV: base.KV}}
+	}
+	out := make([]System, 0, len(devices)*len(frameworks)*len(schemes))
+	for _, d := range devices {
+		for _, f := range frameworks {
+			for _, s := range schemes {
+				sys := base
+				sys.Device = d
+				sys.Framework = f
+				sys.Weights = s.Weights
+				sys.KV = s.KV
+				out = append(out, sys)
+			}
 		}
 	}
-	return pts
+	return out
 }
 
-// SweepPoint is one grid point's outcome. Err records points that
-// fail individually (OOM, unsupported batch — the paper's gaps)
-// without aborting the rest of the sweep.
+// SweepPoint is one grid point's outcome. Device, Framework, and
+// Scheme record the effective configuration (identical to the base
+// System when the corresponding axis is unset). Err records points
+// that fail individually (OOM, unsupported batch or precision,
+// framework-device mismatch — the paper's gaps) without aborting the
+// rest of the sweep.
 type SweepPoint struct {
-	Batch  int
-	Length int
-	Result Result
-	Err    error
+	Batch     int
+	Length    int
+	Device    string
+	Framework string
+	Scheme    Scheme
+	Result    Result
+	Err       error
 }
 
-// Sweep evaluates every grid point of one System concurrently,
-// building the engine once (via the shared engine cache) instead of
-// once per point. The returned slice is ordered by grid position —
-// lengths outer, batches inner — never by completion, so sweep output
-// is reproducible at any parallelism.
+// Sweep evaluates every grid point concurrently. Engines are built
+// once per (device, framework, scheme) combination through the shared
+// engine cache and reused across that combination's whole
+// batch×length sub-grid. The returned slice is ordered by grid
+// position — Devices ▸ Frameworks ▸ Schemes ▸ Lengths ▸ Batches —
+// never by completion, so sweep output is reproducible at any
+// parallelism.
 //
-// An invalid system or empty grid fails the whole call; per-point
-// failures are aggregated in SweepPoint.Err.
+// An empty grid fails the whole call. A system that fails to resolve
+// fails the whole call only when every combination fails (e.g. a bad
+// model name, or the single implicit combination of an axis-less
+// sweep); otherwise the failing combination's points carry the build
+// error in SweepPoint.Err.
 func Sweep(sys System, grid Grid) ([]SweepPoint, error) {
 	if len(grid.Batches) == 0 || len(grid.Lengths) == 0 {
 		return nil, fmt.Errorf("llmbench: empty sweep grid (batches %v, lengths %v)",
 			grid.Batches, grid.Lengths)
 	}
-	eng, err := CachedEngine(sys)
-	if err != nil {
-		return nil, err
+	combos := grid.combos(sys)
+
+	// Resolve every combination's engine up front (serially — the
+	// builds go through the shared cache), so point workers only run
+	// workload points.
+	engines := make([]*engine.Engine, len(combos))
+	buildErrs := make([]error, len(combos))
+	failed := 0
+	for i, c := range combos {
+		engines[i], buildErrs[i] = CachedEngine(c)
+		if buildErrs[i] != nil {
+			failed++
+		}
 	}
-	pts := grid.points()
-	out := make([]SweepPoint, len(pts))
-	pool.ForEach(len(pts), grid.Parallelism, func(i int) error {
-		w := pts[i]
-		res, err := eng.Run(workload.Spec{Batch: w.Batch, Input: w.Input, Output: w.Output})
-		out[i] = SweepPoint{Batch: w.Batch, Length: w.Input, Result: res, Err: err}
+	if failed == len(combos) {
+		return nil, buildErrs[0]
+	}
+
+	perCombo := len(grid.Lengths) * len(grid.Batches)
+	out := make([]SweepPoint, len(combos)*perCombo)
+	pool.ForEach(len(out), grid.Parallelism, func(i int) error {
+		combo := i / perCombo
+		rest := i % perCombo
+		length := grid.Lengths[rest/len(grid.Batches)]
+		batch := grid.Batches[rest%len(grid.Batches)]
+		c := combos[combo]
+		p := SweepPoint{
+			Batch: batch, Length: length,
+			Device: c.Device, Framework: c.Framework,
+			Scheme: Scheme{Weights: c.Weights, KV: c.KV},
+		}
+		if buildErrs[combo] != nil {
+			p.Err = buildErrs[combo]
+		} else {
+			p.Result, p.Err = engines[combo].Run(workload.Spec{Batch: batch, Input: length, Output: length})
+		}
+		out[i] = p
 		return nil
 	})
 	return out, nil

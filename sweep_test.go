@@ -115,6 +115,113 @@ func TestSweepAggregatesPointErrors(t *testing.T) {
 	}
 }
 
+// TestSweepConfigAxesOrder pins the axis nesting (Devices ▸
+// Frameworks ▸ Schemes ▸ Lengths ▸ Batches) and that every point
+// matches a direct Run of the overridden system.
+func TestSweepConfigAxesOrder(t *testing.T) {
+	grid := Grid{
+		Batches: []int{1, 16},
+		Lengths: []int{128},
+		Devices: []string{"H100", "A100"},
+		Schemes: []Scheme{{"fp16", "fp16"}, {"int8", "int8"}},
+	}
+	pts, err := Sweep(sweepSys, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2*2*2 {
+		t.Fatalf("got %d points, want 8", len(pts))
+	}
+	i := 0
+	for _, dev := range grid.Devices {
+		for _, sc := range grid.Schemes {
+			for _, b := range grid.Batches {
+				p := pts[i]
+				if p.Device != dev || p.Scheme != sc || p.Batch != b || p.Length != 128 {
+					t.Errorf("point %d = %s/%v bs %d len %d, want %s/%v bs %d len 128",
+						i, p.Device, p.Scheme, p.Batch, p.Length, dev, sc, b)
+				}
+				if p.Framework != sweepSys.Framework {
+					t.Errorf("point %d framework %q, want base %q", i, p.Framework, sweepSys.Framework)
+				}
+				if p.Err != nil {
+					t.Errorf("point %d failed: %v", i, p.Err)
+					i++
+					continue
+				}
+				sys := sweepSys
+				sys.Device, sys.Weights, sys.KV = dev, sc.Weights, sc.KV
+				res, err := Run(sys, Workload{Batch: b, Input: 128, Output: 128})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if p.Result != res {
+					t.Errorf("point %d differs from direct Run of the overridden system", i)
+				}
+				i++
+			}
+		}
+	}
+}
+
+// TestSweepAxisComboFailureIsPerPoint: a combination that cannot
+// build (FP8 weights on A100, §IV-B3) fails its own points while the
+// rest of the sweep proceeds — unless every combination fails, which
+// fails the call.
+func TestSweepAxisComboFailureIsPerPoint(t *testing.T) {
+	pts, err := Sweep(sweepSys, Grid{
+		Batches: []int{1},
+		Lengths: []int{128},
+		Schemes: []Scheme{{"fp8", "fp8"}, {"fp16", "fp16"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if pts[0].Err == nil {
+		t.Error("fp8 weights on A100 must fail per point")
+	}
+	if pts[1].Err != nil {
+		t.Errorf("fp16 combo must survive: %v", pts[1].Err)
+	}
+
+	if _, err := Sweep(sweepSys, Grid{
+		Batches: []int{1},
+		Lengths: []int{128},
+		Schemes: []Scheme{{"fp8", "fp8"}},
+	}); err == nil {
+		t.Error("a sweep whose every combination fails must fail the call")
+	}
+}
+
+// TestSweepAxesDeterministicAcrossParallelism extends the
+// byte-identical guarantee to configuration axes.
+func TestSweepAxesDeterministicAcrossParallelism(t *testing.T) {
+	grid := Grid{
+		Batches:    []int{1, 16},
+		Lengths:    []int{128},
+		Devices:    []string{"A100", "H100"},
+		Frameworks: []string{"vLLM", "TRT-LLM"},
+	}
+	grid.Parallelism = 1
+	serial, err := Sweep(sweepSys, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid.Parallelism = 8
+	parallel, err := Sweep(sweepSys, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("point %d differs between parallelism 1 and 8", i)
+		}
+	}
+}
+
 func TestCachedEngineReuse(t *testing.T) {
 	a, err := CachedEngine(sweepSys)
 	if err != nil {
