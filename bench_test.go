@@ -379,6 +379,36 @@ func BenchmarkServeAutoscale(b *testing.B) {
 	}
 }
 
+// BenchmarkServeSweep tracks the serving-capacity grid end to end: a
+// rate × replicas × policy ServeSweep on one cached engine
+// (Parallelism 1 so numbers are comparable across hosts).
+func BenchmarkServeSweep(b *testing.B) {
+	cfg := ServeSweepConfig{
+		System:   System{Model: "Mistral-7B", Device: "A100", Framework: "vLLM"},
+		MaxBatch: 16,
+		Seed:     23, Requests: 60, InputMean: 256, OutputMean: 64,
+	}
+	grid := ServeGrid{
+		Rates:       []float64{2, 6},
+		Replicas:    []int{1, 2},
+		Policies:    []ServePolicy{{}, {LeastLoaded: true}},
+		Parallelism: 1,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := ServeSweep(cfg, grid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.Err != nil {
+				b.Fatal(p.Err)
+			}
+		}
+	}
+}
+
 // --- concurrency / caching benchmarks ------------------------------------
 //
 // BenchmarkReportSerial vs BenchmarkReportParallel tracks the anchor

@@ -4,6 +4,11 @@
 // schemes in one call, printing a Markdown table of throughput, TTFT,
 // ITL, and power.
 //
+// With -serve the sweep turns into a serving-capacity grid on the
+// discrete-event simulators: arrival rates × replica counts × batch
+// caps × scheduling policies, printing throughput, latency and
+// queue-delay percentiles, and preemptions per point.
+//
 // Points are evaluated concurrently (-j bounds the workers, 0 = all
 // cores) but always print in grid order, so output is identical at
 // any parallelism.
@@ -16,11 +21,15 @@
 //	    -frameworks vLLM,TRT-LLM -batches 16 -lengths 1024
 //	llmbench-sweep -model LLaMA-3-8B -device H100 -framework TRT-LLM \
 //	    -schemes fp16:fp16,fp8:fp8,int8:fp8 -batches 16 -lengths 1024
+//	llmbench-sweep -serve -model Mistral-7B -device A100 -framework vLLM \
+//	    -rates 5,10,20,40 -replicas 1,2,4 -maxbatches 32 \
+//	    -policies continuous:ll,autoscale -requests 200
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -44,30 +53,62 @@ func main() {
 		frameworks = flag.String("frameworks", "", "comma-separated framework axis (overrides -framework per point)")
 		schemes    = flag.String("schemes", "", "comma-separated weights:kv scheme axis, e.g. fp16:fp16,int8:fp8")
 		j          = flag.Int("j", 0, "sweep parallelism (0 = all cores)")
+
+		serve      = flag.Bool("serve", false, "serving-capacity sweep (rates × replicas × policies) instead of offline points")
+		rates      = flag.String("rates", "", "comma-separated arrival rates in req/s (required with -serve)")
+		replicas   = flag.String("replicas", "1", "comma-separated replica counts (-serve)")
+		maxbatches = flag.String("maxbatches", "32", "comma-separated per-replica batch caps (-serve)")
+		policies   = flag.String("policies", "continuous",
+			"comma-separated policy axis (-serve); each entry joins ':'-separated tokens from "+
+				"{continuous|static, rr|round-robin|ll|least-loaded, autoscale}")
+		requests = flag.Int("requests", 200, "requests per serving point (-serve)")
+		inMean   = flag.Int("inmean", 512, "mean prompt tokens (-serve)")
+		outMean  = flag.Int("outmean", 128, "mean generated tokens (-serve)")
+		seed     = flag.Uint64("seed", 42, "trace seed (-serve)")
+		kvBudget = flag.Float64("kvbudget", 0, "per-replica KV pool in GiB, 0 = auto (-serve)")
 	)
 	flag.Parse()
 
-	bs, err := parseInts(*batches)
-	if err != nil {
-		fatal(err)
-	}
-	ls, err := parseInts(*lengths)
-	if err != nil {
-		fatal(err)
-	}
-	grid := llmbench.Grid{Batches: bs, Lengths: ls, Parallelism: *j}
-	grid.Devices = parseList(*devices)
-	grid.Frameworks = parseList(*frameworks)
-	if *schemes != "" {
-		grid.Schemes, err = parseSchemes(*schemes)
-		if err != nil {
-			fatal(err)
-		}
-	}
 	sys := llmbench.System{
 		Model: *modelName, Device: *device, Framework: *fw,
 		TP: *tp, PP: *pp, EP: *ep, Weights: *weights, KV: *kv,
 	}
+	devAxis, err := parseList("devices", *devices)
+	if err != nil {
+		fatal(err)
+	}
+	fwAxis, err := parseList("frameworks", *frameworks)
+	if err != nil {
+		fatal(err)
+	}
+	var schemeAxis []llmbench.Scheme
+	if *schemes != "" {
+		schemeAxis, err = parseSchemes(*schemes)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *serve {
+		serveSweep(sys, serveFlags{
+			rates: *rates, replicas: *replicas, maxbatches: *maxbatches, policies: *policies,
+			devices: devAxis, frameworks: fwAxis, schemes: schemeAxis,
+			requests: *requests, inMean: *inMean, outMean: *outMean,
+			seed: *seed, kvBudget: *kvBudget, j: *j,
+		})
+		return
+	}
+
+	bs, err := parseInts("batches", *batches)
+	if err != nil {
+		fatal(err)
+	}
+	ls, err := parseInts("lengths", *lengths)
+	if err != nil {
+		fatal(err)
+	}
+	grid := llmbench.Grid{Batches: bs, Lengths: ls, Parallelism: *j}
+	grid.Devices, grid.Frameworks, grid.Schemes = devAxis, fwAxis, schemeAxis
 	pts, err := llmbench.Sweep(sys, grid)
 	if err != nil {
 		fatal(err)
@@ -99,6 +140,86 @@ func main() {
 	}
 }
 
+// serveFlags bundles the -serve mode's parsed-flag inputs.
+type serveFlags struct {
+	rates, replicas, maxbatches, policies string
+	devices, frameworks                   []string
+	schemes                               []llmbench.Scheme
+	requests, inMean, outMean             int
+	seed                                  uint64
+	kvBudget                              float64
+	j                                     int
+}
+
+// serveSweep runs the serving-capacity grid and prints its Markdown
+// table.
+func serveSweep(sys llmbench.System, f serveFlags) {
+	if f.rates == "" {
+		fatal(fmt.Errorf("-serve needs -rates (e.g. -rates 5,10,20)"))
+	}
+	rs, err := parseFloats("rates", f.rates)
+	if err != nil {
+		fatal(err)
+	}
+	reps, err := parseInts("replicas", f.replicas)
+	if err != nil {
+		fatal(err)
+	}
+	mbs, err := parseInts("maxbatches", f.maxbatches)
+	if err != nil {
+		fatal(err)
+	}
+	pols, err := parsePolicies(f.policies)
+	if err != nil {
+		fatal(err)
+	}
+	pts, err := llmbench.ServeSweep(llmbench.ServeSweepConfig{
+		System: sys, MaxBatch: mbs[0], KVBudgetGiB: f.kvBudget,
+		Seed: f.seed, Requests: f.requests, InputMean: f.inMean, OutputMean: f.outMean,
+	}, llmbench.ServeGrid{
+		Rates: rs, Replicas: reps, MaxBatches: mbs, Policies: pols,
+		Devices: f.devices, Frameworks: f.frameworks, Schemes: f.schemes,
+		Parallelism: f.j,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	axes := len(f.devices) > 0 || len(f.frameworks) > 0 || len(f.schemes) > 0
+	fmt.Printf("### %s serving sweep (%d reqs/point, in ~%d, out ~%d tokens)\n\n",
+		sys.Model, f.requests, f.inMean, f.outMean)
+	prefixHdr := ""
+	if axes {
+		prefixHdr = "| Device | Framework | W/KV "
+	}
+	fmt.Printf("%s| Policy | Replicas | MaxBatch | Rate (req/s) | Throughput (tok/s) | p50 (s) | p95 (s) | p99 (s) | Queue p50/p95/p99 (s) | Preempt |\n", prefixHdr)
+	cols := 10
+	if axes {
+		cols += 3
+	}
+	fmt.Println("|" + strings.Repeat("---|", cols))
+	for _, p := range pts {
+		prefix := ""
+		if axes {
+			prefix = fmt.Sprintf("| %s | %s | %s/%s ", p.Device, p.Framework,
+				orFP16(p.Scheme.Weights), orFP16(p.Scheme.KV))
+		}
+		policy := p.Policy.String()
+		if p.PeakReplicas > 0 {
+			policy = fmt.Sprintf("%s (peak %d)", policy, p.PeakReplicas)
+		}
+		if p.Err != nil {
+			fmt.Printf("%s| %s | %d | %d | %g | — (%v) | | | | | |\n",
+				prefix, policy, p.Replicas, p.MaxBatch, p.Rate, p.Err)
+			continue
+		}
+		s := p.Stats
+		fmt.Printf("%s| %s | %d | %d | %g | %.0f | %.2f | %.2f | %.2f | %.2f/%.2f/%.2f | %d |\n",
+			prefix, policy, p.Replicas, p.MaxBatch, p.Rate, s.Throughput,
+			s.P50Latency, s.P95Latency, s.P99Latency,
+			s.P50QueueDelay, s.P95QueueDelay, s.P99QueueDelay, s.Preemptions)
+	}
+}
+
 func orFP16(s string) string {
 	if s == "" {
 		return "fp16"
@@ -106,13 +227,45 @@ func orFP16(s string) string {
 	return s
 }
 
-func parseInts(s string) ([]int, error) {
+// parseInts parses a comma-separated list of positive integers,
+// rejecting empty elements and non-positive values at flag-parse time
+// so they cannot resurface later as confusing per-point errors.
+func parseInts(name, s string) ([]int, error) {
 	parts := strings.Split(s, ",")
 	out := make([]int, 0, len(parts))
 	for _, p := range parts {
-		v, err := strconv.Atoi(strings.TrimSpace(p))
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("bad -%s list %q: empty element", name, s)
+		}
+		v, err := strconv.Atoi(p)
 		if err != nil {
-			return nil, fmt.Errorf("bad integer list %q: %w", s, err)
+			return nil, fmt.Errorf("bad -%s list %q: %w", name, s, err)
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("bad -%s list %q: %d is not positive", name, s, v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseFloats parses a comma-separated list of positive, finite
+// numbers (the -rates axis).
+func parseFloats(name, s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("bad -%s list %q: empty element", name, s)
+		}
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -%s list %q: %w", name, s, err)
+		}
+		if !(v > 0) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("bad -%s list %q: %v is not a positive finite number", name, s, v)
 		}
 		out = append(out, v)
 	}
@@ -120,19 +273,22 @@ func parseInts(s string) ([]int, error) {
 }
 
 // parseList splits a comma-separated axis; empty input means the axis
-// is unset.
-func parseList(s string) []string {
+// is unset, but empty elements between commas ("A100,,H100") are
+// rejected instead of silently dropped.
+func parseList(name, s string) ([]string, error) {
 	if s == "" {
-		return nil
+		return nil, nil
 	}
 	parts := strings.Split(s, ",")
 	out := make([]string, 0, len(parts))
 	for _, p := range parts {
-		if v := strings.TrimSpace(p); v != "" {
-			out = append(out, v)
+		v := strings.TrimSpace(p)
+		if v == "" {
+			return nil, fmt.Errorf("bad -%s list %q: empty element", name, s)
 		}
+		out = append(out, v)
 	}
-	return out
+	return out, nil
 }
 
 // parseSchemes parses "weights:kv" pairs ("fp16:fp16,int8:fp8"); a
@@ -153,6 +309,41 @@ func parseSchemes(s string) ([]llmbench.Scheme, error) {
 			return nil, fmt.Errorf("bad scheme %q: want weights:kv", p)
 		}
 		out = append(out, llmbench.Scheme{Weights: w, KV: kv})
+	}
+	return out, nil
+}
+
+// parsePolicies parses the -policies axis: comma-separated entries of
+// ':'-joined tokens, e.g. "continuous:ll,static,autoscale".
+func parsePolicies(s string) ([]llmbench.ServePolicy, error) {
+	entries := strings.Split(s, ",")
+	out := make([]llmbench.ServePolicy, 0, len(entries))
+	for _, entry := range entries {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			return nil, fmt.Errorf("bad policy list %q: empty element", s)
+		}
+		var pol llmbench.ServePolicy
+		for _, tok := range strings.Split(entry, ":") {
+			switch strings.TrimSpace(tok) {
+			case "continuous":
+				pol.Static = false
+			case "static":
+				pol.Static = true
+			case "rr", "round-robin":
+				pol.LeastLoaded = false
+			case "ll", "least-loaded":
+				pol.LeastLoaded = true
+			case "autoscale", "auto":
+				pol.Autoscale = true
+			default:
+				return nil, fmt.Errorf("bad policy %q: unknown token %q (want continuous|static, rr|ll, autoscale)", entry, tok)
+			}
+		}
+		if pol.Static && pol.Autoscale {
+			return nil, fmt.Errorf("bad policy %q: static batching cannot autoscale", entry)
+		}
+		out = append(out, pol)
 	}
 	return out, nil
 }

@@ -1,9 +1,14 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+
+	"llmbench"
+)
 
 func TestParseInts(t *testing.T) {
-	got, err := parseInts("1, 16,32 ,64")
+	got, err := parseInts("batches", "1, 16,32 ,64")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -16,14 +21,17 @@ func TestParseInts(t *testing.T) {
 }
 
 func TestParseIntsSingle(t *testing.T) {
-	got, err := parseInts("1024")
+	got, err := parseInts("lengths", "1024")
 	if err != nil || len(got) != 1 || got[0] != 1024 {
 		t.Fatalf("parseInts(%q) = %v, %v", "1024", got, err)
 	}
 }
 
 func TestParseList(t *testing.T) {
-	got := parseList(" A100, H100 ,MI300X")
+	got, err := parseList("devices", " A100, H100 ,MI300X")
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := []string{"A100", "H100", "MI300X"}
 	if len(got) != len(want) {
 		t.Fatalf("parseList = %v", got)
@@ -33,8 +41,21 @@ func TestParseList(t *testing.T) {
 			t.Fatalf("parseList = %v", got)
 		}
 	}
-	if parseList("") != nil {
-		t.Error("empty list must leave the axis unset")
+	if got, err := parseList("devices", ""); got != nil || err != nil {
+		t.Error("empty list must leave the axis unset without error")
+	}
+}
+
+// TestParseListRejectsEmptyElements: "-devices A100,,H100" used to
+// silently drop the empty element; it must be a flag-parse error now.
+func TestParseListRejectsEmptyElements(t *testing.T) {
+	cases := []string{"A100,,H100", ",A100", "A100,", ",", " , "}
+	for _, in := range cases {
+		if got, err := parseList("devices", in); err == nil {
+			t.Errorf("parseList(%q) = %v, want error", in, got)
+		} else if !strings.Contains(err.Error(), "devices") {
+			t.Errorf("parseList(%q) error %v must name the flag", in, err)
+		}
 	}
 }
 
@@ -67,10 +88,62 @@ func TestParseIntsErrors(t *testing.T) {
 		"x",     // single non-numeric
 		",",     // only separators
 		"1,2,",  // trailing comma
+		"0",     // non-positive: batch/length/replica counts must be ≥ 1
+		"1,0,2", // non-positive mid-list
+		"-4",    // negative
 	}
 	for _, in := range cases {
-		if got, err := parseInts(in); err == nil {
+		if got, err := parseInts("batches", in); err == nil {
 			t.Errorf("parseInts(%q) = %v, want error", in, got)
+		}
+	}
+	// The error must name the flag so "-batches 0" reads as what it is.
+	if _, err := parseInts("batches", "0"); err == nil || !strings.Contains(err.Error(), "batches") {
+		t.Errorf("parseInts error %v must name the flag", err)
+	}
+}
+
+func TestParseFloats(t *testing.T) {
+	got, err := parseFloats("rates", "0.5, 10 ,40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.5, 10, 40}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseFloats = %v", got)
+		}
+	}
+	for _, bad := range []string{"", "x", "0", "-1", "1,,2", "NaN", "Inf", "1,"} {
+		if got, err := parseFloats("rates", bad); err == nil {
+			t.Errorf("parseFloats(%q) = %v, want error", bad, got)
+		}
+	}
+}
+
+func TestParsePolicies(t *testing.T) {
+	got, err := parsePolicies("continuous, continuous:ll ,static,autoscale,ll:auto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []llmbench.ServePolicy{
+		{},
+		{LeastLoaded: true},
+		{Static: true},
+		{Autoscale: true},
+		{LeastLoaded: true, Autoscale: true},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsePolicies = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("policy %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "bogus", "continuous:,ll", "static:autoscale", ","} {
+		if got, err := parsePolicies(bad); err == nil {
+			t.Errorf("parsePolicies(%q) = %v, want error", bad, got)
 		}
 	}
 }

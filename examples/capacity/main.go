@@ -1,9 +1,10 @@
-// capacity is a deployment-planning workflow built on the cluster
-// simulator: given a target arrival rate and latency SLO for a
-// chat-style workload, find the smallest replica count of each
-// accelerator that meets it — the decision the paper's benchmarking
-// data exists to inform (§VII: "the choice of framework should be
-// tailored to specific user scenarios and infrastructure
+// capacity is a deployment-planning workflow built on the serving
+// sweep: one ServeSweep call evaluates the whole accelerator ×
+// replica-count × arrival-rate grid for a chat-style workload, and
+// Knees folds it into each fleet's capacity knee — the highest swept
+// rate whose P99 latency meets the SLO — the decision the paper's
+// benchmarking data exists to inform (§VII: "the choice of framework
+// should be tailored to specific user scenarios and infrastructure
 // constraints").
 //
 //	go run ./examples/capacity
@@ -21,55 +22,83 @@ func main() {
 		targetRate = 30.0 // requests/s to sustain
 		sloP99     = 6.0  // seconds, end-to-end p99
 	)
-	fmt.Printf("Capacity planning: Mistral-7B chat, %g req/s, p99 ≤ %gs\n", targetRate, sloP99)
+	fmt.Printf("Capacity planning: Mistral-7B chat, target %g req/s, p99 ≤ %gs\n", targetRate, sloP99)
 	fmt.Println("(prompts ~512 tokens, replies ~128 tokens, least-loaded router)")
 	fmt.Println()
 
-	type option struct {
-		dev, fw string
+	// One call sweeps every fleet: device × replica count × arrival
+	// rate. TRT-LLM does not build on MI300X — that combination's
+	// points carry the error instead of aborting the grid, exactly
+	// like the gaps in the paper's tables.
+	pts, err := llmbench.ServeSweep(llmbench.ServeSweepConfig{
+		System:   llmbench.System{Model: "Mistral-7B", Framework: "TRT-LLM"},
+		MaxBatch: 32,
+		Seed:     99, Requests: 300, InputMean: 512, OutputMean: 128,
+	}, llmbench.ServeGrid{
+		Rates:      []float64{10, 20, 30, 40},
+		Replicas:   []int{1, 2, 4, 8, 16},
+		Policies:   []llmbench.ServePolicy{{LeastLoaded: true}},
+		Devices:    []string{"A100", "H100", "GH200", "MI300X"},
+		Frameworks: []string{"TRT-LLM", "vLLM"},
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
-	options := []option{
-		{"A100", "TRT-LLM"},
-		{"H100", "TRT-LLM"},
-		{"GH200", "TRT-LLM"},
-		{"MI300X", "vLLM"},
-	}
-	for _, opt := range options {
-		met := false
-		for replicas := 1; replicas <= 16; replicas *= 2 {
-			stats, err := llmbench.ServeCluster(llmbench.ClusterConfig{
-				System:      llmbench.System{Model: "Mistral-7B", Device: opt.dev, Framework: opt.fw},
-				Replicas:    replicas,
-				LeastLoaded: true,
-				MaxBatch:    32,
-				Parallelism: 4, // per-replica goroutines; Stats identical at any setting
-				Seed:        99,
-				Requests:    300,
-				RatePerSec:  targetRate,
-				InputMean:   512,
-				OutputMean:  128,
-			})
-			if err != nil {
-				log.Fatalf("%s: %v", opt.dev, err)
-			}
-			if stats.P99Latency <= sloP99 {
-				util := 0.0
-				for _, r := range stats.PerReplica {
-					util += r.Util
-				}
-				util /= float64(len(stats.PerReplica))
-				fmt.Printf("%-7s (%s): %2d replica(s) meet the SLO — p50/p95/p99 %.2f/%.2f/%.2fs, p99 queue %.2fs, cluster %.0f tok/s, avg util %.0f%%\n",
-					opt.dev, opt.fw, replicas, stats.P50Latency, stats.P95Latency, stats.P99Latency,
-					stats.P99QueueDelay, stats.Throughput, util*100)
-				met = true
-				break
-			}
+
+	// Distinguish fleets that don't build (TRT-LLM on MI300X) from
+	// fleets whose swept rates all miss the SLO: a fleet with no
+	// working point at all reports its build error instead of a
+	// capacity shortfall.
+	type fleet struct{ dev, fw string }
+	works := make(map[fleet]bool)
+	buildErr := make(map[fleet]error)
+	for _, p := range pts {
+		f := fleet{p.Device, p.Framework}
+		if p.Err == nil {
+			works[f] = true
+		} else if _, ok := buildErr[f]; !ok {
+			buildErr[f] = p.Err
 		}
-		if !met {
-			fmt.Printf("%-7s (%s): does not meet the SLO within 16 replicas\n", opt.dev, opt.fw)
+	}
+
+	knees := llmbench.Knees(pts, sloP99)
+	fmt.Println("Capacity knee per fleet (highest swept rate with p99 ≤ SLO):")
+	fmt.Println()
+	fmt.Println("| Device | Framework | Replicas | Knee (req/s) | p99 @ knee (s) | tok/s @ knee |")
+	fmt.Println("|---|---|---|---|---|---|")
+	smallest := make(map[fleet]int) // fewest replicas sustaining targetRate
+	seen := make(map[fleet]bool)
+	var fleets []fleet
+	for _, k := range knees {
+		f := fleet{k.Device, k.Framework}
+		if !seen[f] {
+			seen[f] = true
+			fleets = append(fleets, f)
+		}
+		if !k.Met {
+			continue
+		}
+		fmt.Printf("| %s | %s | %d | %g | %.2f | %.0f |\n",
+			k.Device, k.Framework, k.Replicas, k.Rate, k.Stats.P99Latency, k.Stats.Throughput)
+		if k.Rate >= targetRate {
+			if cur, ok := smallest[f]; !ok || k.Replicas < cur {
+				smallest[f] = k.Replicas
+			}
 		}
 	}
 	fmt.Println()
-	fmt.Println("Rerun with a different model, framework, or SLO to explore the")
-	fmt.Println("trade-offs the LLM-Inference-Bench dashboard is built to expose.")
+	fmt.Printf("Smallest fleet sustaining %g req/s under the SLO:\n", targetRate)
+	for _, f := range fleets {
+		switch n, ok := smallest[f]; {
+		case ok:
+			fmt.Printf("  %-7s (%s): %2d replica(s)\n", f.dev, f.fw, n)
+		case !works[f]:
+			fmt.Printf("  %-7s (%s): unavailable — %v\n", f.dev, f.fw, buildErr[f])
+		default:
+			fmt.Printf("  %-7s (%s): not within the swept grid\n", f.dev, f.fw)
+		}
+	}
+	fmt.Println()
+	fmt.Println("Rerun with a different model, policy axis, or SLO — the whole")
+	fmt.Println("grid is one ServeSweep call; see also `llmbench-sweep -serve`.")
 }

@@ -41,6 +41,7 @@ func Handler(parallelism int) http.Handler {
 	mux.HandleFunc("/api/run", s.run)
 	mux.HandleFunc("/api/sweep", s.sweep)
 	mux.HandleFunc("/api/serve", s.serve)
+	mux.HandleFunc("/api/servesweep", s.serveSweep)
 	return mux
 }
 
@@ -226,51 +227,197 @@ func (s *server) sweep(w http.ResponseWriter, r *http.Request) {
 // goroutines bounded by the -j pool; Stats are byte-identical at any
 // parallelism, so the table below is reproducible.
 func (s *server) serve(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	get := func(key, def string) string {
-		if v := q.Get(key); v != "" {
-			return v
-		}
-		return def
-	}
 	// Bounded knobs: serving simulations run on process-shared cached
 	// engines, so unbounded query parameters would let clients grow
 	// server memory and burn CPU without limit.
-	var firstErr error
-	atoiIn := func(key, def string, lo, hi int) int {
-		v, err := strconv.Atoi(get(key, def))
-		if err != nil || v < lo || v > hi {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("dashboard: %s must be an integer in [%d, %d]", key, lo, hi)
-			}
-			return lo
-		}
-		return v
-	}
+	q := query{values: r.URL.Query()}
 	p := serveParams{
 		sys: llmbench.System{
-			Model:     get("model", "LLaMA-3-8B"),
-			Device:    get("device", "A100"),
-			Framework: get("framework", "vLLM"),
+			Model:     q.get("model", "LLaMA-3-8B"),
+			Device:    q.get("device", "A100"),
+			Framework: q.get("framework", "vLLM"),
 		},
-		replicas:  atoiIn("replicas", "4", 1, 64),
-		requests:  atoiIn("requests", "200", 1, 2000),
-		maxBatch:  atoiIn("maxbatch", "32", 1, 256),
-		inMean:    atoiIn("inmean", "512", 1, 8192),
-		outMean:   atoiIn("outmean", "128", 1, 8192),
-		autoscale: get("autoscale", "") == "1",
+		replicas:  q.atoiIn("replicas", "4", 1, 64),
+		requests:  q.atoiIn("requests", "200", 1, 2000),
+		maxBatch:  q.atoiIn("maxbatch", "32", 1, 256),
+		inMean:    q.atoiIn("inmean", "512", 1, 8192),
+		outMean:   q.atoiIn("outmean", "128", 1, 8192),
+		autoscale: q.get("autoscale", "") == "1",
 	}
 	// Positive-form bounds so NaN (which ParseFloat accepts) fails.
-	rate, err := strconv.ParseFloat(get("rate", "10"), 64)
-	if (err != nil || !(rate > 0 && rate <= 1000)) && firstErr == nil {
-		firstErr = fmt.Errorf("dashboard: rate must be in (0, 1000]")
+	rate, err := strconv.ParseFloat(q.get("rate", "10"), 64)
+	if (err != nil || !(rate > 0 && rate <= 1000)) && q.err == nil {
+		q.err = fmt.Errorf("dashboard: rate must be in (0, 1000]")
 	}
 	p.rate = rate
-	if firstErr != nil {
-		http.Error(w, firstErr.Error(), http.StatusBadRequest)
+	if q.err != nil {
+		http.Error(w, q.err.Error(), http.StatusBadRequest)
 		return
 	}
 	s.serveSim(w, p)
+}
+
+// serveSweep runs a serving-capacity grid (llmbench.ServeSweep) —
+// arrival rates × replica counts — and renders the P99-latency-vs-
+// rate chart capacity planning reads, one series per replica count:
+// /api/servesweep?model=…&device=…&framework=…&rates=5,10,20&replicas=1,2,4
+// Optional: maxbatch, requests, inmean, outmean, policy
+// (continuous|ll|static|autoscale), slo (seconds; draws the knee per
+// replica count into the table).
+func (s *server) serveSweep(w http.ResponseWriter, r *http.Request) {
+	q := query{values: r.URL.Query()}
+	get := q.get
+	// Bounded axes: every point is a full DES run on process-shared
+	// engines, so the grid size, rates, and trace length are capped.
+	const maxAxis = 8
+	rates, err := parseFloatAxis(get("rates", "5,10,20"), maxAxis, 1000)
+	if err != nil {
+		http.Error(w, "dashboard: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	replicas, err := parseIntAxis(get("replicas", "1,2,4"), maxAxis, 64)
+	if err != nil {
+		http.Error(w, "dashboard: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	maxBatch := q.atoiIn("maxbatch", "32", 1, 256)
+	requests := q.atoiIn("requests", "150", 1, 1000)
+	inMean := q.atoiIn("inmean", "512", 1, 8192)
+	outMean := q.atoiIn("outmean", "128", 1, 8192)
+	if q.err != nil {
+		http.Error(w, q.err.Error(), http.StatusBadRequest)
+		return
+	}
+	var policy llmbench.ServePolicy
+	switch get("policy", "ll") {
+	case "continuous", "rr":
+		// zero value
+	case "ll", "least-loaded":
+		policy.LeastLoaded = true
+	case "static":
+		policy.Static = true
+	case "autoscale", "auto":
+		policy.Autoscale = true
+	default:
+		http.Error(w, "dashboard: policy must be one of continuous|ll|static|autoscale", http.StatusBadRequest)
+		return
+	}
+	pts, err := llmbench.ServeSweep(llmbench.ServeSweepConfig{
+		System: llmbench.System{
+			Model:     get("model", "Mistral-7B"),
+			Device:    get("device", "A100"),
+			Framework: get("framework", "vLLM"),
+		},
+		MaxBatch: maxBatch,
+		Seed:     42, Requests: requests, InputMean: inMean, OutputMean: outMean,
+	}, llmbench.ServeGrid{
+		Rates: rates, Replicas: replicas, Policies: []llmbench.ServePolicy{policy},
+		Parallelism: s.parallelism,
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	fig := &metrics.Figure{
+		ID: "servesweep",
+		Title: fmt.Sprintf("%s on %s via %s — %s, %d reqs/point",
+			get("model", "Mistral-7B"), get("device", "A100"), get("framework", "vLLM"),
+			policy, requests),
+		XLabel: "Arrival rate (req/s)", YLabel: "P99 latency (s)",
+	}
+	var md strings.Builder
+	fmt.Fprintf(&md, "### Serving capacity sweep (%s)\n\n", policy)
+	fmt.Fprintf(&md, "| Replicas | Rate (req/s) | Throughput (tok/s) | p50 (s) | p95 (s) | p99 (s) | Queue p99 (s) | Preempt |\n")
+	fmt.Fprintf(&md, "|---|---|---|---|---|---|---|---|\n")
+	for _, p := range pts {
+		label := fmt.Sprintf("%d replica(s)", p.Replicas)
+		if p.Err != nil {
+			fig.Note("%s @ %g req/s skipped: %v", label, p.Rate, p.Err)
+			fmt.Fprintf(&md, "| %d | %g | — (%v) | | | | | |\n", p.Replicas, p.Rate, p.Err)
+			continue
+		}
+		fig.Add(label, p.Rate, p.Stats.P99Latency)
+		fmt.Fprintf(&md, "| %d | %g | %.0f | %.2f | %.2f | %.2f | %.2f | %d |\n",
+			p.Replicas, p.Rate, p.Stats.Throughput,
+			p.Stats.P50Latency, p.Stats.P95Latency, p.Stats.P99Latency,
+			p.Stats.P99QueueDelay, p.Stats.Preemptions)
+	}
+	if slo, err := strconv.ParseFloat(get("slo", ""), 64); err == nil && slo > 0 {
+		fmt.Fprintf(&md, "\nKnee per replica count (highest swept rate with p99 ≤ %gs):\n\n", slo)
+		for _, k := range llmbench.Knees(pts, slo) {
+			if k.Met {
+				fmt.Fprintf(&md, "- %d replica(s): %g req/s (p99 %.2fs)\n", k.Replicas, k.Rate, k.Stats.P99Latency)
+			} else {
+				fmt.Fprintf(&md, "- %d replica(s): no swept rate meets the SLO\n", k.Replicas)
+			}
+		}
+	}
+	writeJSON(w, runResponse{Figure: toJSON(fig), Markdown: md.String()})
+}
+
+// query wraps a request's parameters with defaulting and bounded
+// integer parsing, recording the first violation — the shared input
+// plumbing of the serve and serveSweep handlers.
+type query struct {
+	values map[string][]string
+	err    error
+}
+
+// get returns the parameter or def when absent/empty.
+func (q *query) get(key, def string) string {
+	if vs := q.values[key]; len(vs) > 0 && vs[0] != "" {
+		return vs[0]
+	}
+	return def
+}
+
+// atoiIn parses an integer parameter bounded to [lo, hi], recording
+// the first out-of-range value in q.err.
+func (q *query) atoiIn(key, def string, lo, hi int) int {
+	v, err := strconv.Atoi(q.get(key, def))
+	if err != nil || v < lo || v > hi {
+		if q.err == nil {
+			q.err = fmt.Errorf("dashboard: %s must be an integer in [%d, %d]", key, lo, hi)
+		}
+		return lo
+	}
+	return v
+}
+
+// parseFloatAxis parses a bounded comma-separated axis of positive
+// numbers ≤ hi with at most maxN entries.
+func parseFloatAxis(s string, maxN int, hi float64) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) > maxN {
+		return nil, fmt.Errorf("at most %d axis values", maxN)
+	}
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || !(v > 0 && v <= hi) {
+			return nil, fmt.Errorf("axis values must be in (0, %g]", hi)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseIntAxis is parseFloatAxis for integer axes in [1, hi].
+func parseIntAxis(s string, maxN, hi int) ([]int, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) > maxN {
+		return nil, fmt.Errorf("at most %d axis values", maxN)
+	}
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 || v > hi {
+			return nil, fmt.Errorf("axis values must be integers in [1, %d]", hi)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 type serveParams struct {
@@ -418,6 +565,22 @@ const indexHTML = `<!DOCTYPE html>
  <label><input type="checkbox" id="sv-auto"> autoscale 1..N</label>
  <button onclick="serve()">simulate</button>
 </div>
+<div style="border:1px solid #ccc;border-radius:8px;padding:8px;margin-bottom:10px;font-size:13px">
+ <b>Capacity sweep</b> (rate × replicas)<br>
+ <input id="ss-model" value="Mistral-7B" size="12" title="model">
+ <input id="ss-device" value="A100" size="6" title="device">
+ <input id="ss-fw" value="vLLM" size="8" title="framework"><br>
+ rates <input id="ss-rates" value="5,10,20,40" size="10">
+ replicas <input id="ss-replicas" value="1,2,4" size="6"><br>
+ policy <select id="ss-policy">
+  <option value="ll">continuous/least-loaded</option>
+  <option value="rr">continuous/round-robin</option>
+  <option value="autoscale">autoscale</option>
+  <option value="static">static (1 replica)</option>
+ </select>
+ SLO p99 ≤ <input id="ss-slo" value="6" size="3">s
+ <button onclick="serveSweep()">sweep</button>
+</div>
 <button onclick="runAll()" style="margin-bottom:8px">regenerate all (pooled)</button>
 <div id="list">loading…</div></div>
 <div id="main"><p>Select a figure or table on the left. Every entry regenerates the
@@ -555,6 +718,33 @@ async function serve() {
   if (!res.ok) { main.innerHTML = "<pre>" + await res.text() + "</pre>"; return; }
   const data = await res.json();
   main.innerHTML = "<h2>Serving simulation</h2>";
+  const pre = document.createElement("pre");
+  pre.textContent = data.markdown;
+  main.appendChild(pre);
+}
+async function serveSweep() {
+  const main = document.getElementById("main");
+  const q = new URLSearchParams({
+    model: document.getElementById("ss-model").value,
+    device: document.getElementById("ss-device").value,
+    framework: document.getElementById("ss-fw").value,
+    rates: document.getElementById("ss-rates").value,
+    replicas: document.getElementById("ss-replicas").value,
+    policy: document.getElementById("ss-policy").value,
+    slo: document.getElementById("ss-slo").value,
+  });
+  main.innerHTML = "<p>sweeping serving capacity…</p>";
+  const res = await fetch("/api/servesweep?" + q);
+  if (!res.ok) { main.innerHTML = "<pre>" + await res.text() + "</pre>"; return; }
+  const data = await res.json();
+  main.innerHTML = "<h2>Serving capacity sweep</h2>";
+  const holder = document.createElement("div");
+  main.appendChild(holder);
+  holder.innerHTML = svgChart(data.figure, false);
+  for (const n of (data.figure.notes || [])) {
+    const p = document.createElement("div"); p.className = "note"; p.textContent = "⚠ " + n;
+    main.appendChild(p);
+  }
   const pre = document.createElement("pre");
   pre.textContent = data.markdown;
   main.appendChild(pre);

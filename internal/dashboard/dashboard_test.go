@@ -166,6 +166,52 @@ func TestServeEndpoint(t *testing.T) {
 	}
 }
 
+func TestServeSweepEndpoint(t *testing.T) {
+	srv := httptest.NewServer(Handler(2))
+	defer srv.Close()
+	res, err := http.Get(srv.URL + "/api/servesweep?model=Mistral-7B&device=A100&framework=vLLM&rates=5,15&replicas=1,2&requests=60&slo=6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+	var out runResponse
+	if err := json.NewDecoder(res.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	// One P99 series per replica count, two rate points each.
+	if out.Figure == nil || len(out.Figure.Series) != 2 {
+		t.Fatalf("capacity figure incomplete: %+v", out.Figure)
+	}
+	for _, s := range out.Figure.Series {
+		if len(s.Points) != 2 {
+			t.Errorf("series %q has %d points, want 2", s.Label, len(s.Points))
+		}
+	}
+	for _, want := range []string{"| Replicas |", "Knee per replica count"} {
+		if !strings.Contains(out.Markdown, want) {
+			t.Errorf("capacity table missing %q:\n%s", want, out.Markdown)
+		}
+	}
+
+	// Errors: unknown model, empty/oversized/out-of-range axes, bad policy.
+	for _, q := range []string{
+		"?model=GPT-5", "?rates=0", "?rates=1,2,3,4,5,6,7,8,9",
+		"?replicas=0", "?replicas=100000", "?policy=bogus", "?requests=999999",
+	} {
+		r2, err := http.Get(srv.URL + "/api/servesweep" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2.Body.Close()
+		if r2.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", q, r2.StatusCode)
+		}
+	}
+}
+
 func TestRunEndpointTableAndErrors(t *testing.T) {
 	srv := httptest.NewServer(Handler(2))
 	defer srv.Close()

@@ -23,11 +23,26 @@
 //	    Batches: []int{1, 16, 32, 64}, Lengths: []int{128, 1024},
 //	})
 //
-// All fan-out APIs (Sweep, RunExperiments, Report, VerifyAnchors) are
-// deterministic: results are ordered by submission, never by
-// completion, so parallel output is byte-identical to serial output.
-// Engines are immutable once built and shared through a cache keyed
-// by System.
+// Serving-capacity grids — arrival rate × replica count × scheduling
+// policy, the questions a deployment planner asks of the continuous-
+// batching and cluster simulators — go through ServeSweep, with Knees
+// folding the result into each configuration's highest SLO-compliant
+// rate:
+//
+//	pts, err := llmbench.ServeSweep(llmbench.ServeSweepConfig{
+//	    System: sys, MaxBatch: 32,
+//	    Requests: 200, InputMean: 512, OutputMean: 128,
+//	}, llmbench.ServeGrid{
+//	    Rates:    []float64{5, 10, 20, 40},
+//	    Replicas: []int{1, 2, 4},
+//	})
+//	knees := llmbench.Knees(pts, 6.0 /* p99 SLO seconds */)
+//
+// All fan-out APIs (Sweep, ServeSweep, RunExperiments, Report,
+// VerifyAnchors) are deterministic: results are ordered by
+// submission, never by completion, so parallel output is
+// byte-identical to serial output. Engines are immutable once built
+// and shared through a cache keyed by System.
 //
 // Deeper control — quantization schemes, parallelism plans, paged-KV
 // block sizes, serving traces — is available through the same System
@@ -36,6 +51,7 @@ package llmbench
 
 import (
 	"fmt"
+	"math"
 
 	"llmbench/internal/cluster"
 	"llmbench/internal/engine"
@@ -311,10 +327,19 @@ type ServeConfig struct {
 // ServeStats re-exports the scheduler's summary.
 type ServeStats = sched.Stats
 
+// RequestStats re-exports one request's lifecycle entry
+// (ServeStats.Requests).
+type RequestStats = sched.RequestStats
+
 // servingKVBudget resolves the paged-KV pool size for one replica:
 // the explicit budget when given, otherwise the device's free memory
-// after fp16 weights.
+// after fp16 weights. Negative, NaN, and infinite budgets are
+// rejected rather than silently falling through to auto-sizing (or,
+// for +Inf, overflowing the allocator's block count).
 func servingKVBudget(sys System, budgetGiB float64) (float64, error) {
+	if budgetGiB < 0 || math.IsNaN(budgetGiB) || math.IsInf(budgetGiB, 0) {
+		return 0, fmt.Errorf("llmbench: invalid KV budget %v GiB (want a finite value ≥ 0)", budgetGiB)
+	}
 	if budget := budgetGiB * (1 << 30); budget > 0 {
 		return budget, nil
 	}

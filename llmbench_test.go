@@ -1,6 +1,7 @@
 package llmbench
 
 import (
+	"math"
 	"reflect"
 	"strings"
 	"testing"
@@ -107,6 +108,42 @@ func TestServeFacade(t *testing.T) {
 		MaxBatch: 4, Requests: 4, RatePerSec: 1, InputMean: 128, OutputMean: 64,
 	}); err == nil {
 		t.Error("serving a 70B on one A100 must fail")
+	}
+}
+
+// TestInvalidKVBudgetRejected: a negative KVBudgetGiB used to fall
+// through the `budget > 0` guard and silently auto-size from device
+// memory (and +Inf overflowed the allocator's block count); every
+// serving entry point must reject non-finite and negative budgets.
+func TestInvalidKVBudgetRejected(t *testing.T) {
+	sys := System{Model: "Mistral-7B", Device: "A100", Framework: "vLLM"}
+	for _, budget := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if _, err := Serve(ServeConfig{
+			System: sys, Continuous: true, MaxBatch: 8, KVBudgetGiB: budget,
+			Requests: 4, RatePerSec: 1, InputMean: 128, OutputMean: 32,
+		}); err == nil || !strings.Contains(err.Error(), "invalid KV budget") {
+			t.Errorf("Serve(budget %v): want invalid-budget error, got %v", budget, err)
+		}
+	}
+	if _, err := ServeCluster(ClusterConfig{
+		System: sys, Replicas: 2, MaxBatch: 8, KVBudgetGiB: -0.5,
+		Requests: 4, RatePerSec: 1, InputMean: 128, OutputMean: 32,
+	}); err == nil || !strings.Contains(err.Error(), "invalid KV budget") {
+		t.Errorf("ServeCluster: want invalid-budget error, got %v", err)
+	}
+	if _, err := ServeAutoscale(AutoscaleConfig{
+		System: sys, MaxBatch: 8, KVBudgetGiB: -2,
+		MinReplicas: 1, MaxReplicas: 2, UpOutstanding: 8, DownIdleS: 3, CooldownS: 1,
+		Requests: 4, RatePerSec: 1, InputMean: 128, OutputMean: 32,
+	}); err == nil || !strings.Contains(err.Error(), "invalid KV budget") {
+		t.Errorf("ServeAutoscale: want invalid-budget error, got %v", err)
+	}
+	// Positive budgets still pass through unchanged.
+	if _, err := Serve(ServeConfig{
+		System: sys, Continuous: true, MaxBatch: 8, KVBudgetGiB: 4,
+		Requests: 4, RatePerSec: 1, InputMean: 128, OutputMean: 32,
+	}); err != nil {
+		t.Errorf("explicit positive budget must work: %v", err)
 	}
 }
 

@@ -1,0 +1,443 @@
+package llmbench
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"llmbench/internal/cluster"
+	"llmbench/internal/engine"
+	"llmbench/internal/pool"
+	"llmbench/internal/sched"
+	"llmbench/internal/workload"
+)
+
+// ServePolicy selects the batching, routing, and capacity strategy of
+// one serving-sweep point. The zero value is the common production
+// baseline: continuous batching, round-robin routing, fixed fleet.
+type ServePolicy struct {
+	// Static runs pre-Orca static batching instead of continuous
+	// batching (§IV-A1). Static batching is single-device: points
+	// pairing it with a replica count above 1 fail individually.
+	Static bool
+	// LeastLoaded routes to the replica with the fewest outstanding
+	// requests instead of cycling round-robin.
+	LeastLoaded bool
+	// Autoscale grows the fleet from 1 replica up to the point's
+	// replica count under queue pressure instead of holding it fixed
+	// (see ServeAutoscale); the point's Replicas value becomes the
+	// capacity ceiling. The autoscaler always routes least-loaded, so
+	// LeastLoaded is ignored when Autoscale is set.
+	Autoscale bool
+}
+
+func (p ServePolicy) String() string {
+	switch {
+	case p.Static:
+		return "static"
+	case p.Autoscale:
+		// The autoscaler's router is least-loaded regardless of the
+		// LeastLoaded flag.
+		return "continuous/auto"
+	case p.LeastLoaded:
+		return "continuous/ll"
+	}
+	return "continuous/rr"
+}
+
+func (p ServePolicy) validate() error {
+	if p.Static && p.Autoscale {
+		return fmt.Errorf("llmbench: policy %+v combines static batching with autoscaling", p)
+	}
+	return nil
+}
+
+// ServeGrid enumerates the points of a serving-capacity sweep. Rates
+// is required; Replicas, MaxBatches, and Policies default to the base
+// configuration's single value. Devices, Frameworks, and Schemes are
+// the same configuration axes Grid has, resolving one cached engine
+// per combination.
+//
+// Axes nest in a fixed order — Devices outermost, then Frameworks,
+// Schemes, Policies, Replicas, MaxBatches, and Rates innermost — so
+// output is deterministic, and scanning one configuration's rate
+// ladder (the capacity question) reads contiguously.
+type ServeGrid struct {
+	// Rates is the arrival-rate axis in requests/s. Required; every
+	// value must be positive and finite.
+	Rates []float64
+	// Replicas is the fleet-size axis (capacity ceiling for Autoscale
+	// policies). Empty means the base config's Replicas (minimum 1).
+	Replicas []int
+	// MaxBatches is the per-replica concurrency-cap axis. Empty means
+	// the base config's MaxBatch.
+	MaxBatches []int
+	// Policies is the batching/routing/autoscale axis. Empty means the
+	// zero ServePolicy (continuous batching, round-robin, fixed fleet).
+	Policies []ServePolicy
+
+	// Configuration axes, identical to Grid: each (device, framework,
+	// scheme) combination resolves one engine through the shared
+	// engine cache; a combination that fails to build marks its
+	// points' Err instead of aborting the sweep.
+	Devices    []string
+	Frameworks []string
+	Schemes    []Scheme
+
+	// Parallelism bounds the sweep's worker count; values below 1
+	// mean GOMAXPROCS. Results are ordered by grid position
+	// regardless, so output is byte-identical at any setting.
+	Parallelism int
+}
+
+// ServeSweepConfig is the base serving configuration a ServeGrid
+// varies: the system under test, the trace shape, and the defaults
+// for every axis the grid leaves unset.
+type ServeSweepConfig struct {
+	System System
+
+	// Replicas and MaxBatch are the per-point defaults when the
+	// grid's Replicas/MaxBatches axes are empty. Replicas below 1
+	// means 1; MaxBatch must be ≥ 1 if the MaxBatches axis is unset.
+	Replicas int
+	MaxBatch int
+
+	// KVBudgetGiB is the per-replica paged-KV pool size; 0 sizes it
+	// from the device's free memory after weights. Negative budgets
+	// are rejected.
+	KVBudgetGiB float64
+
+	// Trace parameters. Every point generates a private Poisson trace
+	// whose seed is derived from Seed and the point's position on the
+	// Rates axis — points at the same rate share one arrival process,
+	// so the replica, batch, and policy axes compare like for like.
+	Seed       uint64
+	Requests   int
+	InputMean  int
+	OutputMean int
+
+	// Autoscale tuning for Policies with Autoscale set. Zero values
+	// mean UpOutstanding = 2×MaxBatch, DownIdleS = 3s, CooldownS = 1s
+	// (the dashboard's defaults).
+	UpOutstanding int
+	DownIdleS     float64
+	CooldownS     float64
+}
+
+// ReplicaStats re-exports the cluster's per-replica summary.
+type ReplicaStats = cluster.ReplicaStats
+
+// ServeSweepPoint is one serving-grid point's outcome. The
+// configuration fields record the effective values (identical to the
+// base config where the corresponding axis is unset). Err records
+// points that fail individually — a combination that cannot build, a
+// fleet the workload overruns — without aborting the rest of the
+// sweep.
+type ServeSweepPoint struct {
+	Device    string
+	Framework string
+	Scheme    Scheme
+	Policy    ServePolicy
+	Replicas  int
+	MaxBatch  int
+	Rate      float64
+
+	Stats ServeStats
+	// PerReplica carries each replica's share for cluster-backed
+	// points (nil for static-batching points).
+	PerReplica []ReplicaStats
+	// PeakReplicas is the autoscaler's high-water mark (0 for
+	// fixed-fleet points).
+	PeakReplicas int
+	Err          error
+}
+
+// serveAxes is the resolved, validated axis set of one ServeSweep.
+type serveAxes struct {
+	policies   []ServePolicy
+	replicas   []int
+	maxBatches []int
+	rates      []float64
+}
+
+func (a serveAxes) perCombo() int {
+	return len(a.policies) * len(a.replicas) * len(a.maxBatches) * len(a.rates)
+}
+
+func resolveServeAxes(cfg ServeSweepConfig, grid ServeGrid) (serveAxes, error) {
+	a := serveAxes{
+		policies:   grid.Policies,
+		replicas:   grid.Replicas,
+		maxBatches: grid.MaxBatches,
+		rates:      grid.Rates,
+	}
+	if len(a.rates) == 0 {
+		return a, errors.New("llmbench: empty serve grid (no rates)")
+	}
+	for _, r := range a.rates {
+		if !(r > 0) || math.IsInf(r, 0) {
+			return a, fmt.Errorf("llmbench: arrival rate %v must be positive and finite", r)
+		}
+	}
+	if len(a.replicas) == 0 {
+		a.replicas = []int{max1(cfg.Replicas)}
+	}
+	for _, n := range a.replicas {
+		if n < 1 {
+			return a, fmt.Errorf("llmbench: replica count %d must be ≥ 1", n)
+		}
+	}
+	if len(a.maxBatches) == 0 {
+		if cfg.MaxBatch < 1 {
+			return a, errors.New("llmbench: MaxBatch must be ≥ 1 when the MaxBatches axis is unset")
+		}
+		a.maxBatches = []int{cfg.MaxBatch}
+	}
+	for _, b := range a.maxBatches {
+		if b < 1 {
+			return a, fmt.Errorf("llmbench: max batch %d must be ≥ 1", b)
+		}
+	}
+	if len(a.policies) == 0 {
+		a.policies = []ServePolicy{{}}
+	}
+	for _, p := range a.policies {
+		if err := p.validate(); err != nil {
+			return a, err
+		}
+	}
+	if cfg.KVBudgetGiB < 0 || math.IsNaN(cfg.KVBudgetGiB) || math.IsInf(cfg.KVBudgetGiB, 0) {
+		return a, fmt.Errorf("llmbench: invalid KV budget %v GiB (want a finite value ≥ 0)", cfg.KVBudgetGiB)
+	}
+	if cfg.Requests < 1 || cfg.InputMean < 1 || cfg.OutputMean < 1 {
+		return a, fmt.Errorf("llmbench: bad serve trace shape (requests %d, input %d, output %d)",
+			cfg.Requests, cfg.InputMean, cfg.OutputMean)
+	}
+	return a, nil
+}
+
+// ServeSweep evaluates a serving-capacity grid — arrival rate ×
+// replicas × max batch × policy, across the same device/framework/
+// scheme configuration axes Sweep has — concurrently. It is the
+// serving analogue of Sweep: engines are built once per configuration
+// combination through the shared engine cache, every point runs an
+// independent simulation on a private trace and private KV
+// allocators, and the returned slice is ordered by grid position
+// (Devices ▸ Frameworks ▸ Schemes ▸ Policies ▸ Replicas ▸ MaxBatches
+// ▸ Rates) — never by completion — so output is byte-identical at any
+// Parallelism.
+//
+// An invalid grid or trace shape fails the whole call. A combination
+// that fails to build fails only its own points through
+// ServeSweepPoint.Err, unless every combination fails, which fails
+// the call with all distinct build errors joined.
+func ServeSweep(cfg ServeSweepConfig, grid ServeGrid) ([]ServeSweepPoint, error) {
+	axes, err := resolveServeAxes(cfg, grid)
+	if err != nil {
+		return nil, err
+	}
+	combos := comboSystems(cfg.System, grid.Devices, grid.Frameworks, grid.Schemes)
+
+	// Resolve every combination's engine and KV budget up front
+	// (serially — the builds go through the shared cache), so point
+	// workers only run simulations.
+	type comboEnv struct {
+		eng    *engine.Engine
+		budget float64
+	}
+	engines := make([]comboEnv, len(combos))
+	buildErrs := make([]error, len(combos))
+	failed := 0
+	for i, c := range combos {
+		eng, err := CachedEngine(c)
+		if err == nil {
+			var budget float64
+			budget, err = servingKVBudget(c, cfg.KVBudgetGiB)
+			engines[i] = comboEnv{eng: eng, budget: budget}
+		}
+		if buildErrs[i] = err; err != nil {
+			failed++
+		}
+	}
+	if failed == len(combos) {
+		return nil, joinBuildErrors(buildErrs)
+	}
+
+	perCombo := axes.perCombo()
+	nRep := len(axes.replicas)
+	nMB := len(axes.maxBatches)
+	nRate := len(axes.rates)
+	out := make([]ServeSweepPoint, len(combos)*perCombo)
+	_ = pool.ForEach(len(out), grid.Parallelism, func(i int) error {
+		combo := i / perCombo
+		rest := i % perCombo
+		pol := axes.policies[rest/(nRep*nMB*nRate)]
+		rest %= nRep * nMB * nRate
+		reps := axes.replicas[rest/(nMB*nRate)]
+		rest %= nMB * nRate
+		maxBatch := axes.maxBatches[rest/nRate]
+		rateIdx := rest % nRate
+		rate := axes.rates[rateIdx]
+		c := combos[combo]
+		p := ServeSweepPoint{
+			Device: c.Device, Framework: c.Framework,
+			Scheme:   Scheme{Weights: c.Weights, KV: c.KV},
+			Policy:   pol,
+			Replicas: reps, MaxBatch: maxBatch, Rate: rate,
+		}
+		if buildErrs[combo] != nil {
+			p.Err = buildErrs[combo]
+		} else {
+			runServePoint(&p, c, engines[combo].eng, engines[combo].budget, cfg, rateIdx)
+		}
+		out[i] = p
+		return nil
+	})
+	return out, nil
+}
+
+// runServePoint runs one grid point's simulation, recording failures
+// in p.Err. Each point owns its trace and allocators; the engine is
+// shared (engines are immutable and concurrency-safe).
+func runServePoint(p *ServeSweepPoint, sys System, eng *engine.Engine, budget float64,
+	cfg ServeSweepConfig, rateIdx int) {
+	// Same-rate points share one arrival process (seed derived from
+	// the Rates-axis position), so the other axes compare like for
+	// like on identical traffic.
+	trace, err := workload.PoissonTrace(workload.TraceConfig{
+		Seed: cfg.Seed + uint64(rateIdx), Requests: cfg.Requests, RatePerSec: p.Rate,
+		InputMean: cfg.InputMean, OutputMean: cfg.OutputMean, LengthJitter: 0.3,
+	})
+	if err != nil {
+		p.Err = err
+		return
+	}
+	switch {
+	case p.Policy.Autoscale:
+		upOut := cfg.UpOutstanding
+		if upOut == 0 {
+			upOut = 2 * p.MaxBatch
+		}
+		downIdle, cooldown := cfg.DownIdleS, cfg.CooldownS
+		if downIdle == 0 {
+			downIdle = 3
+		}
+		if cooldown == 0 {
+			cooldown = 1
+		}
+		factory := func() (cluster.Replica, error) {
+			alloc, err := servingAlloc(sys, budget)
+			if err != nil {
+				return cluster.Replica{}, err
+			}
+			return cluster.Replica{Engine: eng, Alloc: alloc}, nil
+		}
+		auto, err := cluster.ServeAutoscale(
+			cluster.Config{MaxBatch: p.MaxBatch},
+			cluster.Autoscale{
+				Factory: factory, Min: 1, Max: p.Replicas,
+				UpOutstanding: upOut, DownIdleS: downIdle, CooldownS: cooldown,
+			}, trace)
+		if err != nil {
+			p.Err = err
+			return
+		}
+		p.Stats = auto.Stats.Stats
+		p.PerReplica = auto.PerReplica
+		p.PeakReplicas = auto.PeakReplicas
+	case p.Policy.Static:
+		if p.Replicas != 1 {
+			p.Err = fmt.Errorf("llmbench: static batching is single-device (got %d replicas)", p.Replicas)
+			return
+		}
+		alloc, err := servingAlloc(sys, budget)
+		if err != nil {
+			p.Err = err
+			return
+		}
+		p.Stats, p.Err = sched.Serve(sched.Config{
+			Engine: eng, Policy: sched.Static, MaxBatch: p.MaxBatch, Alloc: alloc,
+		}, trace)
+	default:
+		replicas := make([]cluster.Replica, p.Replicas)
+		for i := range replicas {
+			alloc, err := servingAlloc(sys, budget)
+			if err != nil {
+				p.Err = err
+				return
+			}
+			replicas[i] = cluster.Replica{Engine: eng, Alloc: alloc}
+		}
+		st, err := cluster.Serve(cluster.Config{
+			Replicas: replicas, Policy: routePolicy(p.Policy), MaxBatch: p.MaxBatch,
+		}, trace)
+		if err != nil {
+			p.Err = err
+			return
+		}
+		p.Stats = st.Stats
+		p.PerReplica = st.PerReplica
+	}
+}
+
+func routePolicy(p ServePolicy) cluster.Policy {
+	if p.LeastLoaded {
+		return cluster.LeastLoaded
+	}
+	return cluster.RoundRobin
+}
+
+// KneePoint reports one serving configuration's knee: the highest
+// swept arrival rate whose P99 latency met the SLO.
+type KneePoint struct {
+	Device    string
+	Framework string
+	Scheme    Scheme
+	Policy    ServePolicy
+	Replicas  int
+	MaxBatch  int
+
+	// Met reports whether any swept rate satisfied the SLO; Rate and
+	// Stats then describe the highest such rate.
+	Met   bool
+	Rate  float64
+	Stats ServeStats
+}
+
+// Knees folds a ServeSweep result into per-configuration capacity
+// knees: for every distinct (device, framework, scheme, policy,
+// replicas, max batch) configuration, the highest swept rate whose
+// P99 latency is at most sloP99. Configurations appear in grid order;
+// points with Err never qualify but their configuration still appears
+// (with Met false) so capacity gaps stay visible.
+func Knees(pts []ServeSweepPoint, sloP99 float64) []KneePoint {
+	type key struct {
+		dev, fw  string
+		scheme   Scheme
+		policy   ServePolicy
+		reps, mb int
+	}
+	index := make(map[key]int)
+	var out []KneePoint
+	for _, p := range pts {
+		k := key{p.Device, p.Framework, p.Scheme, p.Policy, p.Replicas, p.MaxBatch}
+		i, ok := index[k]
+		if !ok {
+			i = len(out)
+			index[k] = i
+			out = append(out, KneePoint{
+				Device: p.Device, Framework: p.Framework, Scheme: p.Scheme,
+				Policy: p.Policy, Replicas: p.Replicas, MaxBatch: p.MaxBatch,
+			})
+		}
+		if p.Err != nil || p.Stats.P99Latency > sloP99 {
+			continue
+		}
+		if !out[i].Met || p.Rate > out[i].Rate {
+			out[i].Met = true
+			out[i].Rate = p.Rate
+			out[i].Stats = p.Stats
+		}
+	}
+	return out
+}

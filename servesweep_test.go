@@ -1,0 +1,298 @@
+package llmbench
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var serveSweepCfg = ServeSweepConfig{
+	System:   System{Model: "Mistral-7B", Device: "A100", Framework: "vLLM"},
+	MaxBatch: 8,
+	Seed:     7, Requests: 24, InputMean: 256, OutputMean: 64,
+}
+
+// TestServeSweepGridOrderAndValues pins the axis nesting (Policies ▸
+// Replicas ▸ MaxBatches ▸ Rates) and that a continuous fixed-fleet
+// point is byte-identical to a direct ServeCluster run of the same
+// configuration and trace.
+func TestServeSweepGridOrderAndValues(t *testing.T) {
+	grid := ServeGrid{
+		Rates:    []float64{4, 8},
+		Replicas: []int{1, 2},
+		Policies: []ServePolicy{{}, {LeastLoaded: true}},
+	}
+	pts, err := ServeSweep(serveSweepCfg, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2*2*2 {
+		t.Fatalf("got %d points, want 8", len(pts))
+	}
+	i := 0
+	for _, pol := range grid.Policies {
+		for _, reps := range grid.Replicas {
+			for _, rate := range grid.Rates {
+				p := pts[i]
+				if p.Policy != pol || p.Replicas != reps || p.Rate != rate || p.MaxBatch != 8 {
+					t.Errorf("point %d = %v/%d×%d@%g, want %v/%d×8@%g",
+						i, p.Policy, p.Replicas, p.MaxBatch, p.Rate, pol, reps, rate)
+				}
+				if p.Err != nil {
+					t.Errorf("point %d failed: %v", i, p.Err)
+				}
+				if p.Stats.Completed != serveSweepCfg.Requests {
+					t.Errorf("point %d completed %d/%d", i, p.Stats.Completed, serveSweepCfg.Requests)
+				}
+				if len(p.PerReplica) != reps {
+					t.Errorf("point %d has %d per-replica entries, want %d", i, len(p.PerReplica), reps)
+				}
+				i++
+			}
+		}
+	}
+
+	// The first rate's trace seed equals the base seed, so the
+	// least-loaded 2-replica point must match ServeCluster exactly.
+	direct, err := ServeCluster(ClusterConfig{
+		System: serveSweepCfg.System, Replicas: 2, LeastLoaded: true, MaxBatch: 8,
+		Seed: serveSweepCfg.Seed, Requests: serveSweepCfg.Requests, RatePerSec: grid.Rates[0],
+		InputMean: serveSweepCfg.InputMean, OutputMean: serveSweepCfg.OutputMean,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pts[6] // policy {LeastLoaded}, replicas 2, rate 4
+	if !reflect.DeepEqual(p.Stats, direct.Stats) || !reflect.DeepEqual(p.PerReplica, direct.PerReplica) {
+		t.Error("sweep point differs from direct ServeCluster of the same configuration")
+	}
+}
+
+// TestServeSweepDeterministicAcrossParallelism is the serving
+// analogue of the Sweep determinism property: the full result slice —
+// every percentile, per-replica share, and autoscale trajectory — is
+// byte-identical at Parallelism 1 and 8 (run under -race in CI).
+func TestServeSweepDeterministicAcrossParallelism(t *testing.T) {
+	grid := ServeGrid{
+		Rates:      []float64{3, 6},
+		Replicas:   []int{1, 2},
+		MaxBatches: []int{4, 8},
+		Policies:   []ServePolicy{{}, {LeastLoaded: true}, {Autoscale: true}},
+	}
+	grid.Parallelism = 1
+	serial, err := ServeSweep(serveSweepCfg, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid.Parallelism = 8
+	parallel, err := ServeSweep(serveSweepCfg, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("length mismatch: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Errorf("point %d differs between parallelism 1 and 8", i)
+		}
+	}
+}
+
+// TestServeSweepSameRateSharesTrace: points at one rate see one
+// arrival process, so the policy axis compares like for like — the
+// request count and arrival-dependent queue stats line up across
+// replica counts without the trace changing under them.
+func TestServeSweepSameRateSharesTrace(t *testing.T) {
+	pts, err := ServeSweep(serveSweepCfg, ServeGrid{
+		Rates: []float64{5}, Replicas: []int{1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := pts[0].Stats.Requests, pts[1].Stats.Requests
+	if len(a) != len(b) {
+		t.Fatalf("request ledgers differ in length: %d vs %d", len(a), len(b))
+	}
+	arrivals := func(rs []RequestStats) map[int]float64 {
+		m := make(map[int]float64, len(rs))
+		for _, r := range rs {
+			m[r.ID] = r.Arrival
+		}
+		return m
+	}
+	if !reflect.DeepEqual(arrivals(a), arrivals(b)) {
+		t.Error("same-rate points must share one arrival trace")
+	}
+}
+
+// TestServeSweepPerPointErrors: a static-batching point with more
+// than one replica and a combination that cannot build both fail
+// individually while the rest of the sweep proceeds.
+func TestServeSweepPerPointErrors(t *testing.T) {
+	pts, err := ServeSweep(serveSweepCfg, ServeGrid{
+		Rates:    []float64{4},
+		Replicas: []int{1, 2},
+		Policies: []ServePolicy{{Static: true}, {}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if pts[0].Err != nil {
+		t.Errorf("static @ 1 replica must work: %v", pts[0].Err)
+	}
+	if pts[1].Err == nil || !strings.Contains(pts[1].Err.Error(), "single-device") {
+		t.Errorf("static @ 2 replicas must fail per point, got %v", pts[1].Err)
+	}
+	for i := 2; i < 4; i++ {
+		if pts[i].Err != nil {
+			t.Errorf("continuous point %d failed: %v", i, pts[i].Err)
+		}
+	}
+
+	// FP8 weights cannot build on A100: that combination's points
+	// carry the build error, the fp16 combination survives.
+	pts, err = ServeSweep(serveSweepCfg, ServeGrid{
+		Rates:   []float64{4},
+		Schemes: []Scheme{{"fp8", "fp8"}, {"fp16", "fp16"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Err == nil {
+		t.Error("fp8 combination on A100 must fail per point")
+	}
+	if pts[1].Err != nil {
+		t.Errorf("fp16 combination must survive: %v", pts[1].Err)
+	}
+}
+
+// TestServeSweepAutoscalePoint: autoscale points report the scaling
+// high-water mark and stay within the point's replica ceiling.
+func TestServeSweepAutoscalePoint(t *testing.T) {
+	cfg := serveSweepCfg
+	cfg.Requests = 60
+	pts, err := ServeSweep(cfg, ServeGrid{
+		Rates:    []float64{12},
+		Replicas: []int{3},
+		Policies: []ServePolicy{{Autoscale: true}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pts[0]
+	if p.Err != nil {
+		t.Fatal(p.Err)
+	}
+	if p.PeakReplicas < 1 || p.PeakReplicas > 3 {
+		t.Errorf("peak replicas %d outside [1, 3]", p.PeakReplicas)
+	}
+	if p.Stats.Completed != cfg.Requests {
+		t.Errorf("completed %d/%d", p.Stats.Completed, cfg.Requests)
+	}
+}
+
+func TestServeSweepValidation(t *testing.T) {
+	base := serveSweepCfg
+	cases := []struct {
+		name string
+		cfg  ServeSweepConfig
+		grid ServeGrid
+		want string
+	}{
+		{"no rates", base, ServeGrid{}, "no rates"},
+		{"zero rate", base, ServeGrid{Rates: []float64{0}}, "positive"},
+		{"negative rate", base, ServeGrid{Rates: []float64{-2}}, "positive"},
+		{"NaN rate", base, ServeGrid{Rates: []float64{math.NaN()}}, "positive"},
+		{"Inf rate", base, ServeGrid{Rates: []float64{math.Inf(1)}}, "positive"},
+		{"zero replicas", base, ServeGrid{Rates: []float64{1}, Replicas: []int{0}}, "≥ 1"},
+		{"zero max batch", base, ServeGrid{Rates: []float64{1}, MaxBatches: []int{0}}, "≥ 1"},
+		{"static autoscale", base, ServeGrid{
+			Rates: []float64{1}, Policies: []ServePolicy{{Static: true, Autoscale: true}},
+		}, "static"},
+	}
+	for _, c := range cases {
+		if _, err := ServeSweep(c.cfg, c.grid); err == nil {
+			t.Errorf("%s: want error", c.name)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %v does not mention %q", c.name, err, c.want)
+		}
+	}
+
+	noBatch := base
+	noBatch.MaxBatch = 0
+	if _, err := ServeSweep(noBatch, ServeGrid{Rates: []float64{1}}); err == nil {
+		t.Error("unset MaxBatch with no MaxBatches axis must fail")
+	}
+	for _, budget := range []float64{-4, math.NaN(), math.Inf(1)} {
+		badBudget := base
+		badBudget.KVBudgetGiB = budget
+		if _, err := ServeSweep(badBudget, ServeGrid{Rates: []float64{1}}); err == nil ||
+			!strings.Contains(err.Error(), "invalid KV budget") {
+			t.Errorf("KV budget %v must be rejected, got %v", budget, err)
+		}
+	}
+	badTrace := base
+	badTrace.Requests = 0
+	if _, err := ServeSweep(badTrace, ServeGrid{Rates: []float64{1}}); err == nil {
+		t.Error("zero-request trace shape must fail up front")
+	}
+}
+
+// TestServeSweepAllCombosFailJoined: when every configuration
+// combination fails to build, the call fails with all distinct causes
+// joined — not just the first.
+func TestServeSweepAllCombosFailJoined(t *testing.T) {
+	_, err := ServeSweep(serveSweepCfg, ServeGrid{
+		Rates:   []float64{4},
+		Devices: []string{"A100", "NoSuchDevice"},
+		Schemes: []Scheme{{"fp8", "fp8"}},
+	})
+	if err == nil {
+		t.Fatal("all-failing combinations must fail the call")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "fp8") || !strings.Contains(msg, "NoSuchDevice") {
+		t.Errorf("joined error must name every distinct cause, got: %v", msg)
+	}
+}
+
+func TestKnees(t *testing.T) {
+	mk := func(reps int, rate, p99 float64, err error) ServeSweepPoint {
+		return ServeSweepPoint{
+			Device: "A100", Framework: "vLLM", Replicas: reps, MaxBatch: 8, Rate: rate,
+			Stats: ServeStats{P99Latency: p99}, Err: err,
+		}
+	}
+	pts := []ServeSweepPoint{
+		mk(1, 5, 1.0, nil), mk(1, 10, 4.0, nil), mk(1, 20, 9.0, nil),
+		mk(2, 5, 0.5, nil), mk(2, 10, 1.5, nil), mk(2, 20, 2.5, nil),
+		mk(4, 5, 0, errBoom), mk(4, 10, 0, errBoom),
+	}
+	knees := Knees(pts, 6.0)
+	if len(knees) != 3 {
+		t.Fatalf("got %d knees, want 3", len(knees))
+	}
+	if !knees[0].Met || knees[0].Rate != 10 {
+		t.Errorf("1 replica: knee %+v, want rate 10", knees[0])
+	}
+	if !knees[1].Met || knees[1].Rate != 20 {
+		t.Errorf("2 replicas: knee %+v, want rate 20", knees[1])
+	}
+	if knees[2].Met {
+		t.Errorf("4 replicas (all errored): knee %+v, want unmet", knees[2])
+	}
+	if knees[0].Replicas != 1 || knees[1].Replicas != 2 || knees[2].Replicas != 4 {
+		t.Error("knees must preserve grid order of configurations")
+	}
+}
+
+var errBoom = errString("boom")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }

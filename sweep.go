@@ -1,6 +1,7 @@
 package llmbench
 
 import (
+	"errors"
 	"fmt"
 
 	"llmbench/internal/engine"
@@ -43,18 +44,17 @@ type Grid struct {
 	Parallelism int
 }
 
-// combos expands the configuration axes in deterministic order,
-// returning the per-combo System variants.
-func (g Grid) combos(base System) []System {
-	devices := g.Devices
+// comboSystems expands the configuration axes in deterministic order
+// (Devices ▸ Frameworks ▸ Schemes), returning the per-combination
+// System variants. An empty axis keeps the base System's value. It is
+// shared by Sweep and ServeSweep.
+func comboSystems(base System, devices, frameworks []string, schemes []Scheme) []System {
 	if len(devices) == 0 {
 		devices = []string{base.Device}
 	}
-	frameworks := g.Frameworks
 	if len(frameworks) == 0 {
 		frameworks = []string{base.Framework}
 	}
-	schemes := g.Schemes
 	if len(schemes) == 0 {
 		schemes = []Scheme{{Weights: base.Weights, KV: base.KV}}
 	}
@@ -72,6 +72,29 @@ func (g Grid) combos(base System) []System {
 		}
 	}
 	return out
+}
+
+// joinBuildErrors is the whole-call failure of a sweep whose every
+// combination failed to build: all distinct causes joined, so a
+// three-device sweep that fully fails names all three errors instead
+// of hiding two behind the first.
+func joinBuildErrors(buildErrs []error) error {
+	if len(buildErrs) == 1 {
+		return buildErrs[0]
+	}
+	deduped := make([]error, 0, len(buildErrs))
+	seen := make(map[string]bool, len(buildErrs))
+	for _, err := range buildErrs {
+		if err == nil || seen[err.Error()] {
+			continue
+		}
+		seen[err.Error()] = true
+		deduped = append(deduped, err)
+	}
+	if len(deduped) == 1 {
+		return deduped[0]
+	}
+	return fmt.Errorf("llmbench: every sweep combination failed to build: %w", errors.Join(deduped...))
 }
 
 // SweepPoint is one grid point's outcome. Device, Framework, and
@@ -108,7 +131,7 @@ func Sweep(sys System, grid Grid) ([]SweepPoint, error) {
 		return nil, fmt.Errorf("llmbench: empty sweep grid (batches %v, lengths %v)",
 			grid.Batches, grid.Lengths)
 	}
-	combos := grid.combos(sys)
+	combos := comboSystems(sys, grid.Devices, grid.Frameworks, grid.Schemes)
 
 	// Resolve every combination's engine up front (serially — the
 	// builds go through the shared cache), so point workers only run
@@ -123,7 +146,7 @@ func Sweep(sys System, grid Grid) ([]SweepPoint, error) {
 		}
 	}
 	if failed == len(combos) {
-		return nil, buildErrs[0]
+		return nil, joinBuildErrors(buildErrs)
 	}
 
 	perCombo := len(grid.Lengths) * len(grid.Batches)

@@ -196,6 +196,32 @@ func TestSweepAxisComboFailureIsPerPoint(t *testing.T) {
 	}
 }
 
+// TestSweepAllCombosFailJoined: a sweep whose every combination
+// fails to build must name every distinct cause, not just the first —
+// a three-device sweep that fully fails should read as three errors.
+func TestSweepAllCombosFailJoined(t *testing.T) {
+	_, err := Sweep(sweepSys, Grid{
+		Batches: []int{1},
+		Lengths: []int{128},
+		Devices: []string{"A100", "NoSuchDevice"},
+		Schemes: []Scheme{{"fp8", "fp8"}},
+	})
+	if err == nil {
+		t.Fatal("all-failing combinations must fail the call")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "fp8") || !strings.Contains(msg, "NoSuchDevice") {
+		t.Errorf("joined error must name every distinct cause, got: %v", msg)
+	}
+
+	// A single failing combination keeps the plain, unjoined error.
+	_, err = Sweep(System{Model: "no-such-model", Device: "A100", Framework: "vLLM"},
+		Grid{Batches: []int{1}, Lengths: []int{128}})
+	if err == nil || strings.Contains(err.Error(), "every sweep combination") {
+		t.Errorf("single-combination failure must stay unwrapped, got: %v", err)
+	}
+}
+
 // TestSweepAxesDeterministicAcrossParallelism extends the
 // byte-identical guarantee to configuration axes.
 func TestSweepAxesDeterministicAcrossParallelism(t *testing.T) {
