@@ -346,6 +346,15 @@ func BenchmarkServeCluster32Parallel(b *testing.B) {
 		cluster.Config{Policy: cluster.LeastLoaded, MaxBatch: 16, Parallelism: 8})
 }
 
+// BenchmarkServeClusterStatic tracks multi-replica static batching on
+// the cluster kernel — the policy × replicas grid point the static
+// station port unlocked. One batch run is one DES event, so the cost
+// is dominated by engine.Run pricing per collected batch.
+func BenchmarkServeClusterStatic(b *testing.B) {
+	benchServeClusterN(b, 8, benchClusterTrace(b, 128, 2),
+		cluster.Config{Policy: cluster.LeastLoaded, MaxBatch: 16, Static: true})
+}
+
 // BenchmarkServeAutoscale is the bench-smoke guard for the dynamic
 // capacity path (bursty chat load, replicas 1..8).
 func BenchmarkServeAutoscale(b *testing.B) {
@@ -393,6 +402,39 @@ func BenchmarkServeSweep(b *testing.B) {
 		Replicas:    []int{1, 2},
 		Policies:    []ServePolicy{{}, {LeastLoaded: true}},
 		Parallelism: 1,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := ServeSweep(cfg, grid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.Err != nil {
+				b.Fatal(p.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkServeSweepStatic is the static-policy serving grid on
+// bursty chat traffic: static and static/least-loaded fleets across
+// replica counts and burst factors — the cube the station port and
+// the trace axes completed (LeanStats, as a big grid would run).
+func BenchmarkServeSweepStatic(b *testing.B) {
+	cfg := ServeSweepConfig{
+		System:   System{Model: "Mistral-7B", Device: "A100", Framework: "vLLM"},
+		MaxBatch: 16,
+		Seed:     23, Requests: 60, InputMean: 256, OutputMean: 64,
+		LeanStats: true,
+	}
+	grid := ServeGrid{
+		Rates:        []float64{2, 6},
+		Replicas:     []int{1, 2},
+		Policies:     []ServePolicy{{Static: true}, {Static: true, LeastLoaded: true}},
+		BurstFactors: []float64{1, 4},
+		Parallelism:  1,
 	}
 	b.ReportAllocs()
 	b.ResetTimer()

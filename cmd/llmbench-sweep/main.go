@@ -6,8 +6,11 @@
 //
 // With -serve the sweep turns into a serving-capacity grid on the
 // discrete-event simulators: arrival rates × replica counts × batch
-// caps × scheduling policies, printing throughput, latency and
-// queue-delay percentiles, and preemptions per point.
+// caps × scheduling policies — optionally × trace shape (-bursts
+// burst factors and -mixes input:output length medians switch the
+// traffic from plain Poisson to bursty heavy-tailed chat arrivals) —
+// printing throughput, latency and queue-delay percentiles, and
+// preemptions per point.
 //
 // Points are evaluated concurrently (-j bounds the workers, 0 = all
 // cores) but always print in grid order, so output is identical at
@@ -24,6 +27,9 @@
 //	llmbench-sweep -serve -model Mistral-7B -device A100 -framework vLLM \
 //	    -rates 5,10,20,40 -replicas 1,2,4 -maxbatches 32 \
 //	    -policies continuous:ll,autoscale -requests 200
+//	llmbench-sweep -serve -model Mistral-7B -device A100 -framework vLLM \
+//	    -rates 10,20 -replicas 2,8 -policies static,continuous \
+//	    -bursts 1,4 -mixes 512:128,2048:256
 package main
 
 import (
@@ -60,7 +66,14 @@ func main() {
 		maxbatches = flag.String("maxbatches", "32", "comma-separated per-replica batch caps (-serve)")
 		policies   = flag.String("policies", "continuous",
 			"comma-separated policy axis (-serve); each entry joins ':'-separated tokens from "+
-				"{continuous|static, rr|round-robin|ll|least-loaded, autoscale}")
+				"{continuous|static, rr|round-robin|ll|least-loaded, autoscale} — "+
+				"static composes with every router and with autoscale (e.g. static:ll, static:autoscale)")
+		bursts = flag.String("bursts", "",
+			"comma-separated burst-factor axis ≥ 1 (-serve); setting it (or -mixes) switches traces "+
+				"from plain Poisson to bursty heavy-tailed chat arrivals (workload.ChatTrace); 1 = no bursts")
+		mixes = flag.String("mixes", "",
+			"comma-separated input:output length-median axis (-serve), e.g. 512:128,2048:256; "+
+				"setting it (or -bursts) switches traces to heavy-tailed chat arrivals")
 		requests = flag.Int("requests", 200, "requests per serving point (-serve)")
 		inMean   = flag.Int("inmean", 512, "mean prompt tokens (-serve)")
 		outMean  = flag.Int("outmean", 128, "mean generated tokens (-serve)")
@@ -92,6 +105,7 @@ func main() {
 	if *serve {
 		serveSweep(sys, serveFlags{
 			rates: *rates, replicas: *replicas, maxbatches: *maxbatches, policies: *policies,
+			bursts: *bursts, mixes: *mixes,
 			devices: devAxis, frameworks: fwAxis, schemes: schemeAxis,
 			requests: *requests, inMean: *inMean, outMean: *outMean,
 			seed: *seed, kvBudget: *kvBudget, j: *j,
@@ -143,6 +157,7 @@ func main() {
 // serveFlags bundles the -serve mode's parsed-flag inputs.
 type serveFlags struct {
 	rates, replicas, maxbatches, policies string
+	bursts, mixes                         string
 	devices, frameworks                   []string
 	schemes                               []llmbench.Scheme
 	requests, inMean, outMean             int
@@ -173,11 +188,29 @@ func serveSweep(sys llmbench.System, f serveFlags) {
 	if err != nil {
 		fatal(err)
 	}
+	var bfs []float64
+	if f.bursts != "" {
+		if bfs, err = parseFloats("bursts", f.bursts); err != nil {
+			fatal(err)
+		}
+		for _, b := range bfs {
+			if b < 1 {
+				fatal(fmt.Errorf("bad -bursts list %q: burst factor %g must be ≥ 1", f.bursts, b))
+			}
+		}
+	}
+	var lms []llmbench.LengthMix
+	if f.mixes != "" {
+		if lms, err = parseMixes(f.mixes); err != nil {
+			fatal(err)
+		}
+	}
 	pts, err := llmbench.ServeSweep(llmbench.ServeSweepConfig{
 		System: sys, MaxBatch: mbs[0], KVBudgetGiB: f.kvBudget,
 		Seed: f.seed, Requests: f.requests, InputMean: f.inMean, OutputMean: f.outMean,
 	}, llmbench.ServeGrid{
 		Rates: rs, Replicas: reps, MaxBatches: mbs, Policies: pols,
+		BurstFactors: bfs, LengthMixes: lms,
 		Devices: f.devices, Frameworks: f.frameworks, Schemes: f.schemes,
 		Parallelism: f.j,
 	})
@@ -185,16 +218,29 @@ func serveSweep(sys llmbench.System, f serveFlags) {
 		fatal(err)
 	}
 	axes := len(f.devices) > 0 || len(f.frameworks) > 0 || len(f.schemes) > 0
-	fmt.Printf("### %s serving sweep (%d reqs/point, in ~%d, out ~%d tokens)\n\n",
-		sys.Model, f.requests, f.inMean, f.outMean)
+	shaped := len(bfs) > 0 || len(lms) > 0
+	if shaped {
+		fmt.Printf("### %s serving sweep (%d reqs/point, bursty chat traffic)\n\n", sys.Model, f.requests)
+	} else {
+		fmt.Printf("### %s serving sweep (%d reqs/point, in ~%d, out ~%d tokens)\n\n",
+			sys.Model, f.requests, f.inMean, f.outMean)
+	}
 	prefixHdr := ""
 	if axes {
 		prefixHdr = "| Device | Framework | W/KV "
 	}
-	fmt.Printf("%s| Policy | Replicas | MaxBatch | Rate (req/s) | Throughput (tok/s) | p50 (s) | p95 (s) | p99 (s) | Queue p50/p95/p99 (s) | Preempt |\n", prefixHdr)
+	shapeHdr := ""
+	if shaped {
+		shapeHdr = " Burst | In:Out |"
+	}
+	fmt.Printf("%s| Policy | Replicas | MaxBatch |%s Rate (req/s) | Throughput (tok/s) | p50 (s) | p95 (s) | p99 (s) | Queue p50/p95/p99 (s) | Preempt |\n",
+		prefixHdr, shapeHdr)
 	cols := 10
 	if axes {
 		cols += 3
+	}
+	if shaped {
+		cols += 2
 	}
 	fmt.Println("|" + strings.Repeat("---|", cols))
 	for _, p := range pts {
@@ -203,18 +249,22 @@ func serveSweep(sys llmbench.System, f serveFlags) {
 			prefix = fmt.Sprintf("| %s | %s | %s/%s ", p.Device, p.Framework,
 				orFP16(p.Scheme.Weights), orFP16(p.Scheme.KV))
 		}
+		shape := ""
+		if shaped {
+			shape = fmt.Sprintf(" ×%g | %d:%d |", p.BurstFactor, p.Mix.Input, p.Mix.Output)
+		}
 		policy := p.Policy.String()
 		if p.PeakReplicas > 0 {
 			policy = fmt.Sprintf("%s (peak %d)", policy, p.PeakReplicas)
 		}
 		if p.Err != nil {
-			fmt.Printf("%s| %s | %d | %d | %g | — (%v) | | | | | |\n",
-				prefix, policy, p.Replicas, p.MaxBatch, p.Rate, p.Err)
+			fmt.Printf("%s| %s | %d | %d |%s %g | — (%v) | | | | | |\n",
+				prefix, policy, p.Replicas, p.MaxBatch, shape, p.Rate, p.Err)
 			continue
 		}
 		s := p.Stats
-		fmt.Printf("%s| %s | %d | %d | %g | %.0f | %.2f | %.2f | %.2f | %.2f/%.2f/%.2f | %d |\n",
-			prefix, policy, p.Replicas, p.MaxBatch, p.Rate, s.Throughput,
+		fmt.Printf("%s| %s | %d | %d |%s %g | %.0f | %.2f | %.2f | %.2f | %.2f/%.2f/%.2f | %d |\n",
+			prefix, policy, p.Replicas, p.MaxBatch, shape, p.Rate, s.Throughput,
 			s.P50Latency, s.P95Latency, s.P99Latency,
 			s.P50QueueDelay, s.P95QueueDelay, s.P99QueueDelay, s.Preemptions)
 	}
@@ -314,7 +364,10 @@ func parseSchemes(s string) ([]llmbench.Scheme, error) {
 }
 
 // parsePolicies parses the -policies axis: comma-separated entries of
-// ':'-joined tokens, e.g. "continuous:ll,static,autoscale".
+// ':'-joined tokens, e.g. "continuous:ll,static,static:autoscale".
+// Every combination is legal — static batching is a station policy on
+// the cluster kernel, so it composes with both routers and with
+// autoscaling.
 func parsePolicies(s string) ([]llmbench.ServePolicy, error) {
 	entries := strings.Split(s, ",")
 	out := make([]llmbench.ServePolicy, 0, len(entries))
@@ -340,10 +393,32 @@ func parsePolicies(s string) ([]llmbench.ServePolicy, error) {
 				return nil, fmt.Errorf("bad policy %q: unknown token %q (want continuous|static, rr|ll, autoscale)", entry, tok)
 			}
 		}
-		if pol.Static && pol.Autoscale {
-			return nil, fmt.Errorf("bad policy %q: static batching cannot autoscale", entry)
-		}
 		out = append(out, pol)
+	}
+	return out, nil
+}
+
+// parseMixes parses the -mixes axis: comma-separated "input:output"
+// length-median pairs ("512:128,2048:256"). Medians must be positive;
+// the trace generator's deeper floor (≥ 16) surfaces per point.
+func parseMixes(s string) ([]llmbench.LengthMix, error) {
+	parts := strings.Split(s, ",")
+	out := make([]llmbench.LengthMix, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("bad -mixes list %q: empty element", s)
+		}
+		in, outS, found := strings.Cut(p, ":")
+		if !found {
+			return nil, fmt.Errorf("bad -mixes entry %q: want input:output", p)
+		}
+		i, err1 := strconv.Atoi(strings.TrimSpace(in))
+		o, err2 := strconv.Atoi(strings.TrimSpace(outS))
+		if err1 != nil || err2 != nil || i < 1 || o < 1 {
+			return nil, fmt.Errorf("bad -mixes entry %q: want positive input:output medians", p)
+		}
+		out = append(out, llmbench.LengthMix{Input: i, Output: o})
 	}
 	return out, nil
 }

@@ -122,7 +122,7 @@ func TestParseFloats(t *testing.T) {
 }
 
 func TestParsePolicies(t *testing.T) {
-	got, err := parsePolicies("continuous, continuous:ll ,static,autoscale,ll:auto")
+	got, err := parsePolicies("continuous, continuous:ll ,static,autoscale,ll:auto,static:ll,static:autoscale")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,6 +132,8 @@ func TestParsePolicies(t *testing.T) {
 		{Static: true},
 		{Autoscale: true},
 		{LeastLoaded: true, Autoscale: true},
+		{Static: true, LeastLoaded: true},
+		{Static: true, Autoscale: true},
 	}
 	if len(got) != len(want) {
 		t.Fatalf("parsePolicies = %v", got)
@@ -141,9 +143,30 @@ func TestParsePolicies(t *testing.T) {
 			t.Errorf("policy %d = %+v, want %+v", i, got[i], want[i])
 		}
 	}
-	for _, bad := range []string{"", "bogus", "continuous:,ll", "static:autoscale", ","} {
+	for _, bad := range []string{"", "bogus", "continuous:,ll", ","} {
 		if got, err := parsePolicies(bad); err == nil {
 			t.Errorf("parsePolicies(%q) = %v, want error", bad, got)
+		}
+	}
+}
+
+func TestParseMixes(t *testing.T) {
+	got, err := parseMixes("512:128, 2048:256 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []llmbench.LengthMix{{Input: 512, Output: 128}, {Input: 2048, Output: 256}}
+	if len(got) != len(want) {
+		t.Fatalf("parseMixes = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("mix %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "512", "512:", ":128", "0:128", "512:-1", "a:b", "512:128,,256:64"} {
+		if got, err := parseMixes(bad); err == nil {
+			t.Errorf("parseMixes(%q) = %v, want error", bad, got)
 		}
 	}
 }

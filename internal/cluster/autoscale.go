@@ -77,6 +77,7 @@ func ServeAutoscale(cfg Config, as Autoscale, reqs []workload.Request) (AutoStat
 
 	k := des.New(des.Config{
 		MaxBatch:    cfg.MaxBatch,
+		Static:      cfg.Static,
 		Stepped:     cfg.Stepped,
 		Parallelism: cfg.Parallelism,
 	})

@@ -58,6 +58,13 @@ type Config struct {
 	Policy   Policy
 	MaxBatch int // per replica
 
+	// Static runs every replica with pre-Orca static batching
+	// (des.Config.Static): collect a batch, run it to completion,
+	// repeat. The router and autoscaler drive static replicas exactly
+	// like continuous ones — only the per-station admission policy
+	// changes.
+	Static bool
+
 	// Parallelism ≥ 2 advances replicas on that many goroutines
 	// between arrival barriers (see internal/des); values ≤ 1 run
 	// serially. Stats are byte-identical at any setting.
@@ -103,6 +110,7 @@ func Serve(cfg Config, reqs []workload.Request) (Stats, error) {
 
 	k := des.New(des.Config{
 		MaxBatch:    cfg.MaxBatch,
+		Static:      cfg.Static,
 		Stepped:     cfg.Stepped,
 		Parallelism: cfg.Parallelism,
 	})

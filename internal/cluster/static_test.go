@@ -1,0 +1,158 @@
+package cluster
+
+// Property tests for static batching as a cluster station policy: the
+// router and autoscaler drive static replicas exactly like continuous
+// ones, and the kernel's determinism contract (serial == parallel ==
+// Stepped, byte for byte, at any Parallelism) holds for them too.
+
+import (
+	"reflect"
+	"testing"
+
+	"llmbench/internal/workload"
+)
+
+// TestClusterStaticParallelMatchesSerial: multi-replica static
+// batching — the grid hole this policy port closes — produces
+// byte-identical Stats on the serial, parallel, and Stepped kernels,
+// for both routers, with every request completed and zero
+// preemptions.
+func TestClusterStaticParallelMatchesSerial(t *testing.T) {
+	reqs := clusterTrace(t, 96, 6)
+	for _, policy := range []Policy{RoundRobin, LeastLoaded} {
+		serial, err := Serve(Config{Replicas: makeReplicas(t, 4), Policy: policy, MaxBatch: 8, Static: true}, reqs)
+		if err != nil {
+			t.Fatalf("%v serial: %v", policy, err)
+		}
+		if serial.Completed != len(reqs) {
+			t.Fatalf("%v: completed %d/%d", policy, serial.Completed, len(reqs))
+		}
+		if serial.Preemptions != 0 {
+			t.Errorf("%v: static cluster preempted %d times", policy, serial.Preemptions)
+		}
+		if len(serial.PerReplica) != 4 {
+			t.Errorf("%v: %d per-replica entries, want 4", policy, len(serial.PerReplica))
+		}
+		for _, par := range []int{2, 4, 8} {
+			got, err := Serve(Config{
+				Replicas: makeReplicas(t, 4), Policy: policy, MaxBatch: 8, Static: true, Parallelism: par,
+			}, reqs)
+			if err != nil {
+				t.Fatalf("%v parallelism %d: %v", policy, par, err)
+			}
+			if !reflect.DeepEqual(got, serial) {
+				t.Errorf("%v: parallelism %d static Stats differ from serial", policy, par)
+			}
+		}
+		stepped, err := Serve(Config{
+			Replicas: makeReplicas(t, 4), Policy: policy, MaxBatch: 8, Static: true, Parallelism: 4, Stepped: true,
+		}, reqs)
+		if err != nil {
+			t.Fatalf("%v parallel stepped: %v", policy, err)
+		}
+		if !reflect.DeepEqual(stepped, serial) {
+			t.Errorf("%v: parallel stepped static Stats differ from serial", policy)
+		}
+	}
+}
+
+// tiedTrace interleaves bursts of equal-timestamp arrivals — the
+// tie-breaking edge the determinism contract pins (arrivals at one
+// instant keep trace order; a station event at t runs after every
+// arrival at t, so a batch collected at t admits all of them).
+func tiedTrace(n int) []workload.Request {
+	reqs := make([]workload.Request, n)
+	for i := range reqs {
+		reqs[i] = workload.Request{
+			ID:      i,
+			Arrival: float64(i/4) * 0.8, // groups of 4 share one instant
+			Input:   128 + 64*(i%3),
+			Output:  48 + 16*(i%5),
+		}
+	}
+	return reqs
+}
+
+// TestClusterStaticArrivalTies: equal-timestamp arrivals route and
+// batch deterministically — serial, parallel, and Stepped static
+// clusters agree byte for byte on a trace made of simultaneous
+// arrival groups.
+func TestClusterStaticArrivalTies(t *testing.T) {
+	reqs := tiedTrace(64)
+	for _, policy := range []Policy{RoundRobin, LeastLoaded} {
+		serial, err := Serve(Config{Replicas: makeReplicas(t, 3), Policy: policy, MaxBatch: 4, Static: true}, reqs)
+		if err != nil {
+			t.Fatalf("%v serial: %v", policy, err)
+		}
+		if serial.Completed != len(reqs) {
+			t.Fatalf("%v: completed %d/%d", policy, serial.Completed, len(reqs))
+		}
+		for _, par := range []int{2, 8} {
+			got, err := Serve(Config{
+				Replicas: makeReplicas(t, 3), Policy: policy, MaxBatch: 4, Static: true, Parallelism: par,
+			}, reqs)
+			if err != nil {
+				t.Fatalf("%v parallelism %d: %v", policy, par, err)
+			}
+			if !reflect.DeepEqual(got, serial) {
+				t.Errorf("%v: parallelism %d differs from serial on tied arrivals", policy, par)
+			}
+		}
+		stepped, err := Serve(Config{
+			Replicas: makeReplicas(t, 3), Policy: policy, MaxBatch: 4, Static: true, Stepped: true,
+		}, reqs)
+		if err != nil {
+			t.Fatalf("%v stepped: %v", policy, err)
+		}
+		if !reflect.DeepEqual(stepped, serial) {
+			t.Errorf("%v: stepped differs from serial on tied arrivals", policy)
+		}
+	}
+}
+
+// TestAutoscaleStaticParallelMatchesSerial: the autoscaler drives
+// static replicas like continuous ones — scale-ups under queue
+// pressure, retirement of drained replicas, and a byte-identical
+// trajectory across kernel modes. The run must actually scale (a
+// static replica holds its queue through a whole batch run, so
+// pressure builds fast).
+func TestAutoscaleStaticParallelMatchesSerial(t *testing.T) {
+	as := Autoscale{
+		Factory:       factory(t),
+		Min:           1,
+		Max:           4,
+		UpOutstanding: 6,
+		DownIdleS:     3,
+		CooldownS:     1,
+	}
+	reqs := burstyTrace(t)
+	serial, err := ServeAutoscale(Config{MaxBatch: 8, Static: true}, as, reqs)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	if serial.Completed != len(reqs) {
+		t.Fatalf("completed %d/%d", serial.Completed, len(reqs))
+	}
+	if serial.PeakReplicas < 2 {
+		t.Errorf("peak replicas %d: the bursty trace must force a scale-up", serial.PeakReplicas)
+	}
+	if serial.Preemptions != 0 {
+		t.Errorf("static autoscale preempted %d times", serial.Preemptions)
+	}
+	for _, par := range []int{2, 4} {
+		got, err := ServeAutoscale(Config{MaxBatch: 8, Static: true, Parallelism: par}, as, reqs)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if !reflect.DeepEqual(got, serial) {
+			t.Errorf("parallelism %d static AutoStats differ from serial", par)
+		}
+	}
+	stepped, err := ServeAutoscale(Config{MaxBatch: 8, Static: true, Parallelism: 4, Stepped: true}, as, reqs)
+	if err != nil {
+		t.Fatalf("parallel stepped: %v", err)
+	}
+	if !reflect.DeepEqual(stepped, serial) {
+		t.Error("parallel stepped static AutoStats differ from serial")
+	}
+}

@@ -258,12 +258,16 @@ func (s *server) serve(w http.ResponseWriter, r *http.Request) {
 }
 
 // serveSweep runs a serving-capacity grid (llmbench.ServeSweep) —
-// arrival rates × replica counts — and renders the P99-latency-vs-
-// rate chart capacity planning reads, one series per replica count:
+// arrival rates × replica counts, optionally × trace shape — and
+// renders the P99-latency-vs-rate chart capacity planning reads, one
+// series per replica count (per replica count × trace shape when the
+// shape axes are set):
 // /api/servesweep?model=…&device=…&framework=…&rates=5,10,20&replicas=1,2,4
 // Optional: maxbatch, requests, inmean, outmean, policy
-// (continuous|ll|static|autoscale), slo (seconds; draws the knee per
-// replica count into the table).
+// (continuous|ll|static|static-ll|static-auto|autoscale), bursts
+// (ChatTrace burst-factor axis, values ≥ 1), mixes ("in:out"
+// length-median axis, e.g. 512:128,2048:256), slo (seconds; draws the
+// knee per configuration into the table).
 func (s *server) serveSweep(w http.ResponseWriter, r *http.Request) {
 	q := query{values: r.URL.Query()}
 	get := q.get
@@ -280,6 +284,38 @@ func (s *server) serveSweep(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "dashboard: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	var bursts []float64
+	if b := get("bursts", ""); b != "" {
+		bursts, err = parseFloatAxis(b, maxAxis, 64)
+		if err == nil {
+			for _, v := range bursts {
+				if v < 1 {
+					err = fmt.Errorf("burst factors must be ≥ 1")
+					break
+				}
+			}
+		}
+		if err != nil {
+			http.Error(w, "dashboard: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	var mixes []llmbench.LengthMix
+	if m := get("mixes", ""); m != "" {
+		mixes, err = parseMixAxis(m, maxAxis)
+		if err != nil {
+			http.Error(w, "dashboard: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	// With four multiplying axes the per-axis caps alone no longer
+	// bound one request's synchronous work: keep the whole grid at the
+	// pre-shape-axes worst case (maxAxis² points).
+	if n := len(rates) * len(replicas) * max(1, len(bursts)) * max(1, len(mixes)); n > maxAxis*maxAxis {
+		http.Error(w, fmt.Sprintf("dashboard: grid too large (%d points, max %d)", n, maxAxis*maxAxis),
+			http.StatusBadRequest)
+		return
+	}
 	maxBatch := q.atoiIn("maxbatch", "32", 1, 256)
 	requests := q.atoiIn("requests", "150", 1, 1000)
 	inMean := q.atoiIn("inmean", "512", 1, 8192)
@@ -287,6 +323,17 @@ func (s *server) serveSweep(w http.ResponseWriter, r *http.Request) {
 	if q.err != nil {
 		http.Error(w, q.err.Error(), http.StatusBadRequest)
 		return
+	}
+	// slo is optional, but a present-and-invalid value is a 400 like
+	// every other parameter, not a silently missing knee section.
+	slo := 0.0
+	if sloStr := get("slo", ""); sloStr != "" {
+		v, err := strconv.ParseFloat(sloStr, 64)
+		if err != nil || !(v > 0) {
+			http.Error(w, "dashboard: slo must be a positive number of seconds", http.StatusBadRequest)
+			return
+		}
+		slo = v
 	}
 	var policy llmbench.ServePolicy
 	switch get("policy", "ll") {
@@ -296,10 +343,14 @@ func (s *server) serveSweep(w http.ResponseWriter, r *http.Request) {
 		policy.LeastLoaded = true
 	case "static":
 		policy.Static = true
+	case "static-ll":
+		policy.Static, policy.LeastLoaded = true, true
+	case "static-auto":
+		policy.Static, policy.Autoscale = true, true
 	case "autoscale", "auto":
 		policy.Autoscale = true
 	default:
-		http.Error(w, "dashboard: policy must be one of continuous|ll|static|autoscale", http.StatusBadRequest)
+		http.Error(w, "dashboard: policy must be one of continuous|ll|static|static-ll|static-auto|autoscale", http.StatusBadRequest)
 		return
 	}
 	pts, err := llmbench.ServeSweep(llmbench.ServeSweepConfig{
@@ -312,6 +363,7 @@ func (s *server) serveSweep(w http.ResponseWriter, r *http.Request) {
 		Seed:     42, Requests: requests, InputMean: inMean, OutputMean: outMean,
 	}, llmbench.ServeGrid{
 		Rates: rates, Replicas: replicas, Policies: []llmbench.ServePolicy{policy},
+		BurstFactors: bursts, LengthMixes: mixes,
 		Parallelism: s.parallelism,
 	})
 	if err != nil {
@@ -319,6 +371,13 @@ func (s *server) serveSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Shaped grids label every series and row with the trace shape so
+	// one chart can contrast burst factors and length mixes; plain
+	// grids keep the replica-count-only rendering.
+	shaped := len(bursts) > 0 || len(mixes) > 0
+	shapeOf := func(burst float64, mix llmbench.LengthMix) string {
+		return fmt.Sprintf("burst ×%g, %d:%d", burst, mix.Input, mix.Output)
+	}
 	fig := &metrics.Figure{
 		ID: "servesweep",
 		Title: fmt.Sprintf("%s on %s via %s — %s, %d reqs/point",
@@ -328,28 +387,45 @@ func (s *server) serveSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	var md strings.Builder
 	fmt.Fprintf(&md, "### Serving capacity sweep (%s)\n\n", policy)
-	fmt.Fprintf(&md, "| Replicas | Rate (req/s) | Throughput (tok/s) | p50 (s) | p95 (s) | p99 (s) | Queue p99 (s) | Preempt |\n")
-	fmt.Fprintf(&md, "|---|---|---|---|---|---|---|---|\n")
+	shapeHdr := ""
+	if shaped {
+		shapeHdr = " Burst | In:Out |"
+	}
+	fmt.Fprintf(&md, "| Replicas |%s Rate (req/s) | Throughput (tok/s) | p50 (s) | p95 (s) | p99 (s) | Queue p99 (s) | Preempt |\n", shapeHdr)
+	fmt.Fprintf(&md, "|---|%s---|---|---|---|---|---|---|\n", strings.Repeat("---|", strings.Count(shapeHdr, "|")))
 	for _, p := range pts {
 		label := fmt.Sprintf("%d replica(s)", p.Replicas)
+		shapeCols := ""
+		if shaped {
+			label = fmt.Sprintf("%s, %s", label, shapeOf(p.BurstFactor, p.Mix))
+			shapeCols = fmt.Sprintf(" ×%g | %d:%d |", p.BurstFactor, p.Mix.Input, p.Mix.Output)
+		}
 		if p.Err != nil {
 			fig.Note("%s @ %g req/s skipped: %v", label, p.Rate, p.Err)
-			fmt.Fprintf(&md, "| %d | %g | — (%v) | | | | | |\n", p.Replicas, p.Rate, p.Err)
+			fmt.Fprintf(&md, "| %d |%s %g | — (%v) | | | | | |\n", p.Replicas, shapeCols, p.Rate, p.Err)
 			continue
 		}
 		fig.Add(label, p.Rate, p.Stats.P99Latency)
-		fmt.Fprintf(&md, "| %d | %g | %.0f | %.2f | %.2f | %.2f | %.2f | %d |\n",
-			p.Replicas, p.Rate, p.Stats.Throughput,
+		fmt.Fprintf(&md, "| %d |%s %g | %.0f | %.2f | %.2f | %.2f | %.2f | %d |\n",
+			p.Replicas, shapeCols, p.Rate, p.Stats.Throughput,
 			p.Stats.P50Latency, p.Stats.P95Latency, p.Stats.P99Latency,
 			p.Stats.P99QueueDelay, p.Stats.Preemptions)
 	}
-	if slo, err := strconv.ParseFloat(get("slo", ""), 64); err == nil && slo > 0 {
-		fmt.Fprintf(&md, "\nKnee per replica count (highest swept rate with p99 ≤ %gs):\n\n", slo)
+	if slo > 0 {
+		kneeUnit := "replica count"
+		if shaped {
+			kneeUnit = "replica count × trace shape"
+		}
+		fmt.Fprintf(&md, "\nKnee per %s (highest swept rate with p99 ≤ %gs):\n\n", kneeUnit, slo)
 		for _, k := range llmbench.Knees(pts, slo) {
+			cfgName := fmt.Sprintf("%d replica(s)", k.Replicas)
+			if shaped {
+				cfgName = fmt.Sprintf("%s, %s", cfgName, shapeOf(k.BurstFactor, k.Mix))
+			}
 			if k.Met {
-				fmt.Fprintf(&md, "- %d replica(s): %g req/s (p99 %.2fs)\n", k.Replicas, k.Rate, k.Stats.P99Latency)
+				fmt.Fprintf(&md, "- %s: %g req/s (p99 %.2fs)\n", cfgName, k.Rate, k.Stats.P99Latency)
 			} else {
-				fmt.Fprintf(&md, "- %d replica(s): no swept rate meets the SLO\n", k.Replicas)
+				fmt.Fprintf(&md, "- %s: no swept rate meets the SLO\n", cfgName)
 			}
 		}
 	}
@@ -399,6 +475,30 @@ func parseFloatAxis(s string, maxN int, hi float64) ([]float64, error) {
 			return nil, fmt.Errorf("axis values must be in (0, %g]", hi)
 		}
 		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseMixAxis parses a bounded "in:out" length-mix axis
+// ("512:128,2048:256") with at most maxN entries; medians must be in
+// [16, 8192] (ChatTrace's floor and the trace-length cap).
+func parseMixAxis(s string, maxN int) ([]llmbench.LengthMix, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) > maxN {
+		return nil, fmt.Errorf("at most %d axis values", maxN)
+	}
+	out := make([]llmbench.LengthMix, 0, len(parts))
+	for _, p := range parts {
+		in, outS, found := strings.Cut(strings.TrimSpace(p), ":")
+		if !found {
+			return nil, fmt.Errorf("mix %q must be in:out", p)
+		}
+		i, err1 := strconv.Atoi(strings.TrimSpace(in))
+		o, err2 := strconv.Atoi(strings.TrimSpace(outS))
+		if err1 != nil || err2 != nil || i < 16 || i > 8192 || o < 16 || o > 8192 {
+			return nil, fmt.Errorf("mix medians must be integers in [16, 8192]")
+		}
+		out = append(out, llmbench.LengthMix{Input: i, Output: o})
 	}
 	return out, nil
 }
@@ -572,11 +672,15 @@ const indexHTML = `<!DOCTYPE html>
  <input id="ss-fw" value="vLLM" size="8" title="framework"><br>
  rates <input id="ss-rates" value="5,10,20,40" size="10">
  replicas <input id="ss-replicas" value="1,2,4" size="6"><br>
+ bursts <input id="ss-bursts" value="" size="5" title="ChatTrace burst-factor axis, e.g. 1,4 (empty = Poisson)">
+ mixes <input id="ss-mixes" value="" size="10" title="in:out length-median axis, e.g. 512:128,2048:256"><br>
  policy <select id="ss-policy">
   <option value="ll">continuous/least-loaded</option>
   <option value="rr">continuous/round-robin</option>
   <option value="autoscale">autoscale</option>
-  <option value="static">static (1 replica)</option>
+  <option value="static">static/round-robin</option>
+  <option value="static-ll">static/least-loaded</option>
+  <option value="static-auto">static autoscale</option>
  </select>
  SLO p99 ≤ <input id="ss-slo" value="6" size="3">s
  <button onclick="serveSweep()">sweep</button>
@@ -733,6 +837,10 @@ async function serveSweep() {
     policy: document.getElementById("ss-policy").value,
     slo: document.getElementById("ss-slo").value,
   });
+  const bursts = document.getElementById("ss-bursts").value.trim();
+  if (bursts) q.set("bursts", bursts);
+  const mixes = document.getElementById("ss-mixes").value.trim();
+  if (mixes) q.set("mixes", mixes);
   main.innerHTML = "<p>sweeping serving capacity…</p>";
   const res = await fetch("/api/servesweep?" + q);
   if (!res.ok) { main.innerHTML = "<pre>" + await res.text() + "</pre>"; return; }

@@ -196,10 +196,14 @@ func TestServeSweepEndpoint(t *testing.T) {
 		}
 	}
 
-	// Errors: unknown model, empty/oversized/out-of-range axes, bad policy.
+	// Errors: unknown model, empty/oversized/out-of-range axes, bad
+	// policy, bad trace-shape axes.
 	for _, q := range []string{
 		"?model=GPT-5", "?rates=0", "?rates=1,2,3,4,5,6,7,8,9",
 		"?replicas=0", "?replicas=100000", "?policy=bogus", "?requests=999999",
+		"?bursts=0.5", "?bursts=x", "?mixes=512", "?mixes=8:128", "?mixes=512:128:1",
+		"?rates=1,2,3,4,5,6,7,8&replicas=1,2,3,4,5,6,7,8&bursts=1,4", // 128 points > 64 cap
+		"?slo=6s", "?slo=-1",
 	} {
 		r2, err := http.Get(srv.URL + "/api/servesweep" + q)
 		if err != nil {
@@ -208,6 +212,39 @@ func TestServeSweepEndpoint(t *testing.T) {
 		r2.Body.Close()
 		if r2.StatusCode != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400", q, r2.StatusCode)
+		}
+	}
+}
+
+// TestServeSweepEndpointShaped: the trace-shape axes (bursts, mixes)
+// and the cluster-capable static policy reach the endpoint — one
+// series per replica count × trace shape, shape columns in the table,
+// and zero skipped points even at multi-replica static.
+func TestServeSweepEndpointShaped(t *testing.T) {
+	srv := httptest.NewServer(Handler(2))
+	defer srv.Close()
+	res, err := http.Get(srv.URL + "/api/servesweep?model=Mistral-7B&device=A100&framework=vLLM" +
+		"&rates=5,15&replicas=2&bursts=1,4&mixes=256:64&policy=static&requests=40&slo=6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+	var out runResponse
+	if err := json.NewDecoder(res.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Figure == nil || len(out.Figure.Series) != 2 {
+		t.Fatalf("want one series per burst factor, got %+v", out.Figure)
+	}
+	if len(out.Figure.Notes) != 0 {
+		t.Errorf("static @ 2 replicas must not skip points: %v", out.Figure.Notes)
+	}
+	for _, want := range []string{"| Burst |", "×4", "256:64", "static/rr", "Knee"} {
+		if !strings.Contains(out.Markdown, want) {
+			t.Errorf("shaped capacity table missing %q:\n%s", want, out.Markdown)
 		}
 	}
 }

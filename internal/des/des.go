@@ -20,7 +20,10 @@
 //     coalesced fast-forward over every identical decode iteration up
 //     to the next state change (CoalesceWindow). Coalescing is the
 //     kernel's only stepping primitive; Stepped is a kernel mode that
-//     caps every window at one iteration.
+//     caps every window at one iteration. Static stations
+//     (Config.Static) degenerate to one window per batch: admission
+//     happens only at batch boundaries, so the whole run-to-completion
+//     is one event that no arrival can cut.
 //   - completion: requests finishing inside a window; recorded in the
 //     completion ledger at the window's end time and merged into
 //     Result.Finished.
@@ -75,6 +78,19 @@ type Config struct {
 	ChunkedPrefill bool
 	// PrefillChunk is the slice size in tokens (default 512).
 	PrefillChunk int
+
+	// Static selects pre-Orca static batching: a station collects up
+	// to MaxBatch arrived requests (skipping any whose full
+	// input+output reservation does not fit — admission scans past
+	// blocked requests instead of head-blocking), runs the batch to
+	// completion padded to its longest prompt and generation, then
+	// repeats. Admission happens only at batch boundaries, so the
+	// whole batch run is a single window-exhausted event that no
+	// arrival can cut, and the policy never preempts or extends a
+	// reservation. ChunkedPrefill and Preemptive do not apply to
+	// static stations; Stepped is a no-op for them (the batch run has
+	// no intermediate state to step through).
+	Static bool
 
 	// Preemptive selects the single-replica scheduler's bookkeeping:
 	// every decode step extends its sequence's KV reservation —

@@ -110,6 +110,9 @@ func (s *Station) advance(barrier float64, arrivals []float64) {
 // reference iteration. It returns the event's end time (== now when
 // the station stays idle).
 func (s *Station) step(now, nextArrival float64) (float64, error) {
+	if s.cfg.Static {
+		return s.stepStatic(now)
+	}
 	// Admit from the head of the queue while batch slots and KV
 	// capacity remain. Admission is FIFO: a blocked head blocks
 	// everything behind it.
@@ -345,6 +348,77 @@ func (s *Station) step(now, nextArrival float64) (float64, error) {
 	}
 	s.run = next
 	return end, nil
+}
+
+// stepStatic runs one static-batching event. When a batch is in
+// flight its run-to-completion window ends exactly now: every member
+// completes and frees its reservation. Then the next batch is
+// collected from the arrived queue — up to MaxBatch requests, each
+// reserving its full input+output context up front; one that does not
+// fit stays queued for a later batch without blocking those behind it
+// (pre-Orca admission is a scan, not FIFO head-blocking) — and its
+// whole padded run is priced as a single event. Completion times,
+// first-token times, and the batch-collection instants are
+// byte-identical to the hand-rolled loop this replaced (see
+// sched.TestStaticKernelMatchesLegacy). Static stations never extend
+// a reservation, so they can never preempt, and they record no
+// per-iteration stall (a batch run has no iteration granularity).
+func (s *Station) stepStatic(now float64) (float64, error) {
+	if len(s.run) > 0 {
+		for _, r := range s.run {
+			s.finish(r, now)
+		}
+		s.run = s.run[:0]
+	}
+	var batch []*runReq
+	rest := s.queue[:0]
+	for _, q := range s.queue {
+		if len(batch) < s.cfg.MaxBatch && s.Alloc.CanAlloc(q.req.Input+q.req.Output) {
+			if err := s.Alloc.Alloc(q.req.ID, q.req.Input+q.req.Output); err == nil {
+				batch = append(batch, &runReq{
+					req:       q.req,
+					preempted: q.preempted,
+					stats: &RequestStats{
+						ID: q.req.ID, Input: q.req.Input, Output: q.req.Output,
+						Arrival: q.req.Arrival, Started: now, Preempted: q.preempted,
+					},
+				})
+				continue
+			}
+		}
+		rest = append(rest, q)
+	}
+	s.queue = rest
+	if len(batch) == 0 {
+		if len(s.queue) > 0 {
+			// The allocator is drained between batches, so a request
+			// that does not fit an empty pool never will.
+			return 0, fmt.Errorf("des: station %d cannot batch request %d (input %d, output %d): KV cache too small",
+				s.ID, s.queue[0].req.ID, s.queue[0].req.Input, s.queue[0].req.Output)
+		}
+		return now, nil
+	}
+	// The static batch runs until its longest member finishes: one
+	// graph, one shape, padded to the longest prompt and generation.
+	maxIn, maxOut := 0, 0
+	for _, r := range batch {
+		if r.req.Input > maxIn {
+			maxIn = r.req.Input
+		}
+		if r.req.Output > maxOut {
+			maxOut = r.req.Output
+		}
+	}
+	res, err := s.Engine.Run(workload.Spec{Batch: len(batch), Input: maxIn, Output: maxOut})
+	if err != nil {
+		return 0, err
+	}
+	for _, r := range batch {
+		r.stats.FirstTok = now + res.TTFTSeconds
+	}
+	s.run = append(s.run, batch...)
+	s.busy += res.E2ESeconds
+	return now + res.E2ESeconds, nil
 }
 
 // finish records a completion at time end.

@@ -9,13 +9,17 @@
 // at per-iteration costs priced by the engine, and are preempted when
 // the cache runs out.
 //
-// The continuous scheduler is a policy layer over the shared
-// discrete-event kernel (internal/des): sched contributes the
-// admission/preemption policy (FIFO admission, chunked prefill,
-// evict-and-requeue on KV pressure) while the kernel owns the event
-// loop, the coalesced-window advance, and the determinism contract —
-// coalesced, stepped, serial, and parallel runs produce byte-identical
-// Stats. See the internal/des package documentation for the event
+// Both schedulers are policy layers over the shared discrete-event
+// kernel (internal/des): sched contributes the admission policy —
+// iteration-level FIFO admission with chunked prefill and
+// evict-and-requeue on KV pressure for Continuous, batch-boundary
+// collect-and-run-to-completion for Static (des.Config.Static) —
+// while the kernel owns the event loop, the coalesced-window advance,
+// and the determinism contract — coalesced, stepped, serial, and
+// parallel runs produce byte-identical Stats. Static sharing the
+// kernel is what lets the cluster router and autoscaler
+// (internal/cluster) drive static replicas exactly like continuous
+// ones. See the internal/des package documentation for the event
 // model.
 package sched
 
@@ -112,26 +116,19 @@ func Serve(cfg Config, reqs []workload.Request) (Stats, error) {
 	if len(reqs) == 0 {
 		return Stats{}, errors.New("sched: empty trace")
 	}
-	switch cfg.Policy {
-	case Continuous:
-		return serveContinuous(cfg, reqs)
-	case Static:
-		queue := make([]workload.Request, len(reqs))
-		copy(queue, reqs)
-		sort.SliceStable(queue, func(i, j int) bool { return queue[i].Arrival < queue[j].Arrival })
-		return serveStatic(cfg, queue)
+	if cfg.Policy != Continuous && cfg.Policy != Static {
+		return Stats{}, fmt.Errorf("sched: unknown policy %d", cfg.Policy)
 	}
-	return Stats{}, fmt.Errorf("sched: unknown policy %d", cfg.Policy)
-}
-
-// serveContinuous drives the des kernel with a single station and the
-// preemptive admission policy.
-func serveContinuous(cfg Config, reqs []workload.Request) (Stats, error) {
+	// Both policies are station policies on the shared kernel: the
+	// continuous scheduler contributes preemptive iteration-level
+	// admission, the static one batch-boundary admission with
+	// run-to-completion windows (des.Config.Static).
 	k := des.New(des.Config{
 		MaxBatch:       cfg.MaxBatch,
 		ChunkedPrefill: cfg.ChunkedPrefill,
 		PrefillChunk:   cfg.PrefillChunk,
-		Preemptive:     true,
+		Static:         cfg.Policy == Static,
+		Preemptive:     cfg.Policy == Continuous,
 		Stepped:        cfg.Stepped,
 	})
 	k.NewStation(cfg.Engine, cfg.Alloc)
@@ -145,59 +142,6 @@ func serveContinuous(cfg Config, reqs []workload.Request) (Stats, error) {
 	}
 	stats.MaxIterationS = res.MaxIterationS
 	return stats, nil
-}
-
-func serveStatic(cfg Config, queue []workload.Request) (Stats, error) {
-	now := 0.0
-	done := make([]RequestStats, 0, len(queue))
-	for len(queue) > 0 {
-		if queue[0].Arrival > now {
-			now = queue[0].Arrival
-		}
-		// Collect up to MaxBatch arrived requests.
-		batch := make([]workload.Request, 0, cfg.MaxBatch)
-		rest := queue[:0]
-		for _, r := range queue {
-			if r.Arrival <= now && len(batch) < cfg.MaxBatch && cfg.Alloc.CanAlloc(r.Input+r.Output) {
-				if err := cfg.Alloc.Alloc(r.ID, r.Input+r.Output); err == nil {
-					batch = append(batch, r)
-					continue
-				}
-			}
-			rest = append(rest, r)
-		}
-		queue = rest
-		if len(batch) == 0 {
-			// Allocator full with nothing running cannot happen (we
-			// free below); this means the next request hasn't arrived.
-			continue
-		}
-		// The static batch runs until its longest member finishes.
-		maxIn, maxOut := 0, 0
-		for _, r := range batch {
-			if r.Input > maxIn {
-				maxIn = r.Input
-			}
-			if r.Output > maxOut {
-				maxOut = r.Output
-			}
-		}
-		res, err := cfg.Engine.Run(workload.Spec{Batch: len(batch), Input: maxIn, Output: maxOut})
-		if err != nil {
-			return Stats{}, err
-		}
-		for _, r := range batch {
-			cfg.Alloc.Free(r.ID)
-			done = append(done, RequestStats{
-				ID: r.ID, Input: r.Input, Output: r.Output,
-				Arrival: r.Arrival, Started: now,
-				FirstTok: now + res.TTFTSeconds,
-				Finished: now + res.E2ESeconds,
-			})
-		}
-		now += res.E2ESeconds
-	}
-	return Summarize(done, now, 0)
 }
 
 // CoalesceWindow re-exports the kernel's window-sizing primitive

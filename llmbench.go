@@ -331,14 +331,23 @@ type ServeStats = sched.Stats
 // (ServeStats.Requests).
 type RequestStats = sched.RequestStats
 
+// validateKVBudget rejects negative, NaN, and infinite KV budgets
+// rather than silently falling through to auto-sizing (or, for +Inf,
+// overflowing the allocator's block count). Shared by the per-replica
+// budget resolution and ServeSweep's up-front grid validation.
+func validateKVBudget(budgetGiB float64) error {
+	if budgetGiB < 0 || math.IsNaN(budgetGiB) || math.IsInf(budgetGiB, 0) {
+		return fmt.Errorf("llmbench: invalid KV budget %v GiB (want a finite value ≥ 0)", budgetGiB)
+	}
+	return nil
+}
+
 // servingKVBudget resolves the paged-KV pool size for one replica:
 // the explicit budget when given, otherwise the device's free memory
-// after fp16 weights. Negative, NaN, and infinite budgets are
-// rejected rather than silently falling through to auto-sizing (or,
-// for +Inf, overflowing the allocator's block count).
+// after fp16 weights.
 func servingKVBudget(sys System, budgetGiB float64) (float64, error) {
-	if budgetGiB < 0 || math.IsNaN(budgetGiB) || math.IsInf(budgetGiB, 0) {
-		return 0, fmt.Errorf("llmbench: invalid KV budget %v GiB (want a finite value ≥ 0)", budgetGiB)
+	if err := validateKVBudget(budgetGiB); err != nil {
+		return 0, err
 	}
 	if budget := budgetGiB * (1 << 30); budget > 0 {
 		return budget, nil
@@ -403,7 +412,11 @@ type ClusterConfig struct {
 	System      System
 	Replicas    int
 	LeastLoaded bool // join-the-shortest-queue routing (default round-robin)
-	MaxBatch    int  // per replica
+	// Static runs every replica with pre-Orca static batching
+	// (collect a batch, run it to completion, repeat) instead of
+	// continuous batching; the router is unchanged.
+	Static      bool
+	MaxBatch    int // per replica
 	KVBudgetGiB float64
 
 	// Parallelism ≥ 2 advances replicas on that many goroutines
@@ -458,7 +471,7 @@ func ServeCluster(cfg ClusterConfig) (ClusterStats, error) {
 	}
 	return cluster.Serve(cluster.Config{
 		Replicas: replicas, Policy: policy, MaxBatch: cfg.MaxBatch,
-		Parallelism: cfg.Parallelism,
+		Static: cfg.Static, Parallelism: cfg.Parallelism,
 	}, trace)
 }
 
@@ -469,6 +482,10 @@ type AutoscaleConfig struct {
 	System      System
 	MaxBatch    int // per replica
 	KVBudgetGiB float64
+
+	// Static runs every replica with pre-Orca static batching; the
+	// scale-tick policy is unchanged.
+	Static bool
 
 	// MinReplicas..MaxReplicas bound the capacity; UpOutstanding,
 	// DownIdleS, and CooldownS tune the policy (see
@@ -536,7 +553,7 @@ func ServeAutoscale(cfg AutoscaleConfig) (AutoscaleStats, error) {
 		return AutoscaleStats{}, err
 	}
 	return cluster.ServeAutoscale(
-		cluster.Config{MaxBatch: cfg.MaxBatch, Parallelism: cfg.Parallelism},
+		cluster.Config{MaxBatch: cfg.MaxBatch, Static: cfg.Static, Parallelism: cfg.Parallelism},
 		cluster.Autoscale{
 			Factory:       factory,
 			Min:           cfg.MinReplicas,

@@ -8,7 +8,6 @@ import (
 	"llmbench/internal/cluster"
 	"llmbench/internal/engine"
 	"llmbench/internal/pool"
-	"llmbench/internal/sched"
 	"llmbench/internal/workload"
 )
 
@@ -17,8 +16,12 @@ import (
 // baseline: continuous batching, round-robin routing, fixed fleet.
 type ServePolicy struct {
 	// Static runs pre-Orca static batching instead of continuous
-	// batching (§IV-A1). Static batching is single-device: points
-	// pairing it with a replica count above 1 fail individually.
+	// batching (§IV-A1): each replica collects a batch, runs it to
+	// completion, and repeats. Static batching is a station policy on
+	// the shared DES kernel, so it composes with every routing and
+	// capacity option — multi-replica fleets, least-loaded routing,
+	// and autoscaling drive static replicas exactly like continuous
+	// ones.
 	Static bool
 	// LeastLoaded routes to the replica with the fewest outstanding
 	// requests instead of cycling round-robin.
@@ -32,24 +35,27 @@ type ServePolicy struct {
 }
 
 func (p ServePolicy) String() string {
+	batching := "continuous"
+	if p.Static {
+		batching = "static"
+	}
 	switch {
-	case p.Static:
-		return "static"
 	case p.Autoscale:
 		// The autoscaler's router is least-loaded regardless of the
 		// LeastLoaded flag.
-		return "continuous/auto"
+		return batching + "/auto"
 	case p.LeastLoaded:
-		return "continuous/ll"
+		return batching + "/ll"
 	}
-	return "continuous/rr"
+	return batching + "/rr"
 }
 
-func (p ServePolicy) validate() error {
-	if p.Static && p.Autoscale {
-		return fmt.Errorf("llmbench: policy %+v combines static batching with autoscaling", p)
-	}
-	return nil
+// LengthMix is one entry of the trace-shape axis: the input/output
+// length medians of a ChatTrace-backed point (lognormal with heavy
+// tails; see workload.ChatTraceConfig).
+type LengthMix struct {
+	Input  int // median prompt tokens
+	Output int // median generated tokens
 }
 
 // ServeGrid enumerates the points of a serving-capacity sweep. Rates
@@ -59,9 +65,10 @@ func (p ServePolicy) validate() error {
 // per combination.
 //
 // Axes nest in a fixed order — Devices outermost, then Frameworks,
-// Schemes, Policies, Replicas, MaxBatches, and Rates innermost — so
-// output is deterministic, and scanning one configuration's rate
-// ladder (the capacity question) reads contiguously.
+// Schemes, Policies, Replicas, MaxBatches, BurstFactors, LengthMixes,
+// and Rates innermost — so output is deterministic, and scanning one
+// configuration's rate ladder (the capacity question) reads
+// contiguously.
 type ServeGrid struct {
 	// Rates is the arrival-rate axis in requests/s. Required; every
 	// value must be positive and finite.
@@ -75,6 +82,25 @@ type ServeGrid struct {
 	// Policies is the batching/routing/autoscale axis. Empty means the
 	// zero ServePolicy (continuous batching, round-robin, fixed fleet).
 	Policies []ServePolicy
+
+	// BurstFactors and LengthMixes are the trace-shape axes. Setting
+	// either switches every point's trace from the base config's plain
+	// Poisson process to workload.ChatTrace: a rate-preserving
+	// two-state MMPP (bursts at rate×factor, calm at rate/factor) with
+	// heavy-tailed lognormal lengths — the traffic the autoscale
+	// policy exists for. Points at one (burst, mix, rate) position
+	// share a single arrival process, and distinct positions draw from
+	// isolated seed streams, so every other axis compares like for
+	// like on identical traffic.
+	//
+	// BurstFactors values must be ≥ 1 and finite (1 = no bursts);
+	// empty means {1} when LengthMixes is set. LengthMixes entries are
+	// the lognormal length medians; empty means one entry at the base
+	// config's InputMean/OutputMean. Generated lengths clamp to
+	// [16, 8192]; a mix ChatTrace rejects (medians below 16) fails
+	// its points individually, not the sweep.
+	BurstFactors []float64
+	LengthMixes  []LengthMix
 
 	// Configuration axes, identical to Grid: each (device, framework,
 	// scheme) combination resolves one engine through the shared
@@ -107,14 +133,29 @@ type ServeSweepConfig struct {
 	// are rejected.
 	KVBudgetGiB float64
 
-	// Trace parameters. Every point generates a private Poisson trace
-	// whose seed is derived from Seed and the point's position on the
-	// Rates axis — points at the same rate share one arrival process,
-	// so the replica, batch, and policy axes compare like for like.
+	// Trace parameters. Every point generates a private trace whose
+	// seed is derived from Seed and the point's position on the
+	// trace-shape axes (burst factor, length mix, rate) — points with
+	// one trace shape share one arrival process, so the replica,
+	// batch, and policy axes compare like for like. InputMean and
+	// OutputMean are the Poisson means, and double as the default
+	// length-mix medians when the grid's trace axes are set.
 	Seed       uint64
 	Requests   int
 	InputMean  int
 	OutputMean int
+
+	// BurstLenS is the mean burst dwell time for trace-axis
+	// (ChatTrace) points; 0 means the generator default (5 s).
+	// Ignored on plain Poisson grids.
+	BurstLenS float64
+
+	// LeanStats drops the per-request ledger (Stats.Requests) from
+	// every returned point, shrinking a big grid's memory footprint by
+	// ~100× when only the aggregates matter. Every aggregate —
+	// percentiles, means, throughput, per-replica shares — is
+	// unchanged.
+	LeanStats bool
 
 	// Autoscale tuning for Policies with Autoscale set. Zero values
 	// mean UpOutstanding = 2×MaxBatch, DownIdleS = 3s, CooldownS = 1s
@@ -140,11 +181,17 @@ type ServeSweepPoint struct {
 	Policy    ServePolicy
 	Replicas  int
 	MaxBatch  int
-	Rate      float64
+	// BurstFactor and Mix record the point's trace shape: on plain
+	// Poisson grids BurstFactor is 0 and Mix echoes the base config's
+	// means; on grids with trace axes they are the ChatTrace burst
+	// factor and lognormal length medians.
+	BurstFactor float64
+	Mix         LengthMix
+	Rate        float64
 
 	Stats ServeStats
-	// PerReplica carries each replica's share for cluster-backed
-	// points (nil for static-batching points).
+	// PerReplica carries each replica's share (static points
+	// included — static batching runs on the same cluster kernel).
 	PerReplica []ReplicaStats
 	// PeakReplicas is the autoscaler's high-water mark (0 for
 	// fixed-fleet points).
@@ -157,11 +204,17 @@ type serveAxes struct {
 	policies   []ServePolicy
 	replicas   []int
 	maxBatches []int
+	bursts     []float64
+	mixes      []LengthMix
 	rates      []float64
+	// chat records that the grid set a trace-shape axis, switching
+	// every point's trace generator from PoissonTrace to ChatTrace.
+	chat bool
 }
 
 func (a serveAxes) perCombo() int {
-	return len(a.policies) * len(a.replicas) * len(a.maxBatches) * len(a.rates)
+	return len(a.policies) * len(a.replicas) * len(a.maxBatches) *
+		len(a.bursts) * len(a.mixes) * len(a.rates)
 }
 
 func resolveServeAxes(cfg ServeSweepConfig, grid ServeGrid) (serveAxes, error) {
@@ -169,7 +222,10 @@ func resolveServeAxes(cfg ServeSweepConfig, grid ServeGrid) (serveAxes, error) {
 		policies:   grid.Policies,
 		replicas:   grid.Replicas,
 		maxBatches: grid.MaxBatches,
+		bursts:     grid.BurstFactors,
+		mixes:      grid.LengthMixes,
 		rates:      grid.Rates,
+		chat:       len(grid.BurstFactors) > 0 || len(grid.LengthMixes) > 0,
 	}
 	if len(a.rates) == 0 {
 		return a, errors.New("llmbench: empty serve grid (no rates)")
@@ -201,31 +257,53 @@ func resolveServeAxes(cfg ServeSweepConfig, grid ServeGrid) (serveAxes, error) {
 	if len(a.policies) == 0 {
 		a.policies = []ServePolicy{{}}
 	}
-	for _, p := range a.policies {
-		if err := p.validate(); err != nil {
-			return a, err
+	if len(a.bursts) == 0 {
+		a.bursts = []float64{1}
+	}
+	for _, b := range a.bursts {
+		if !(b >= 1) || math.IsInf(b, 0) {
+			return a, fmt.Errorf("llmbench: burst factor %v must be ≥ 1 and finite", b)
 		}
 	}
-	if cfg.KVBudgetGiB < 0 || math.IsNaN(cfg.KVBudgetGiB) || math.IsInf(cfg.KVBudgetGiB, 0) {
-		return a, fmt.Errorf("llmbench: invalid KV budget %v GiB (want a finite value ≥ 0)", cfg.KVBudgetGiB)
+	if len(a.mixes) == 0 {
+		a.mixes = []LengthMix{{Input: cfg.InputMean, Output: cfg.OutputMean}}
+	}
+	for _, m := range a.mixes {
+		// Positive medians are a grid error; ChatTrace's stricter
+		// floor (≥ 16) surfaces per point so one bad mix cannot abort
+		// the rest of the sweep.
+		if m.Input < 1 || m.Output < 1 {
+			return a, fmt.Errorf("llmbench: length mix %+v must have positive medians", m)
+		}
+	}
+	if err := validateKVBudget(cfg.KVBudgetGiB); err != nil {
+		return a, err
 	}
 	if cfg.Requests < 1 || cfg.InputMean < 1 || cfg.OutputMean < 1 {
 		return a, fmt.Errorf("llmbench: bad serve trace shape (requests %d, input %d, output %d)",
 			cfg.Requests, cfg.InputMean, cfg.OutputMean)
 	}
+	// Negative tuning values would otherwise fail every autoscale
+	// point individually (via cluster.Autoscale.validate) or be
+	// silently replaced by the trace generator's default (BurstLenS):
+	// fail the whole call up front like every other base-config field.
+	if cfg.UpOutstanding < 0 || cfg.DownIdleS < 0 || cfg.CooldownS < 0 || cfg.BurstLenS < 0 {
+		return a, fmt.Errorf("llmbench: negative serve tuning (UpOutstanding %d, DownIdleS %v, CooldownS %v, BurstLenS %v)",
+			cfg.UpOutstanding, cfg.DownIdleS, cfg.CooldownS, cfg.BurstLenS)
+	}
 	return a, nil
 }
 
 // ServeSweep evaluates a serving-capacity grid — arrival rate ×
-// replicas × max batch × policy, across the same device/framework/
-// scheme configuration axes Sweep has — concurrently. It is the
-// serving analogue of Sweep: engines are built once per configuration
-// combination through the shared engine cache, every point runs an
-// independent simulation on a private trace and private KV
-// allocators, and the returned slice is ordered by grid position
-// (Devices ▸ Frameworks ▸ Schemes ▸ Policies ▸ Replicas ▸ MaxBatches
-// ▸ Rates) — never by completion — so output is byte-identical at any
-// Parallelism.
+// replicas × max batch × policy × trace shape, across the same
+// device/framework/scheme configuration axes Sweep has —
+// concurrently. It is the serving analogue of Sweep: engines are
+// built once per configuration combination through the shared engine
+// cache, every point runs an independent simulation on a private
+// trace and private KV allocators, and the returned slice is ordered
+// by grid position (Devices ▸ Frameworks ▸ Schemes ▸ Policies ▸
+// Replicas ▸ MaxBatches ▸ BurstFactors ▸ LengthMixes ▸ Rates) — never
+// by completion — so output is byte-identical at any Parallelism.
 //
 // An invalid grid or trace shape fails the whole call. A combination
 // that fails to build fails only its own points through
@@ -266,29 +344,48 @@ func ServeSweep(cfg ServeSweepConfig, grid ServeGrid) ([]ServeSweepPoint, error)
 	perCombo := axes.perCombo()
 	nRep := len(axes.replicas)
 	nMB := len(axes.maxBatches)
+	nBurst := len(axes.bursts)
+	nMix := len(axes.mixes)
 	nRate := len(axes.rates)
 	out := make([]ServeSweepPoint, len(combos)*perCombo)
 	_ = pool.ForEach(len(out), grid.Parallelism, func(i int) error {
 		combo := i / perCombo
 		rest := i % perCombo
-		pol := axes.policies[rest/(nRep*nMB*nRate)]
-		rest %= nRep * nMB * nRate
-		reps := axes.replicas[rest/(nMB*nRate)]
-		rest %= nMB * nRate
-		maxBatch := axes.maxBatches[rest/nRate]
+		pol := axes.policies[rest/(nRep*nMB*nBurst*nMix*nRate)]
+		rest %= nRep * nMB * nBurst * nMix * nRate
+		reps := axes.replicas[rest/(nMB*nBurst*nMix*nRate)]
+		rest %= nMB * nBurst * nMix * nRate
+		maxBatch := axes.maxBatches[rest/(nBurst*nMix*nRate)]
+		rest %= nBurst * nMix * nRate
+		burstIdx := rest / (nMix * nRate)
+		rest %= nMix * nRate
+		mixIdx := rest / nRate
 		rateIdx := rest % nRate
-		rate := axes.rates[rateIdx]
 		c := combos[combo]
 		p := ServeSweepPoint{
 			Device: c.Device, Framework: c.Framework,
 			Scheme:   Scheme{Weights: c.Weights, KV: c.KV},
 			Policy:   pol,
-			Replicas: reps, MaxBatch: maxBatch, Rate: rate,
+			Replicas: reps, MaxBatch: maxBatch,
+			Mix:  axes.mixes[mixIdx],
+			Rate: axes.rates[rateIdx],
+		}
+		if axes.chat {
+			p.BurstFactor = axes.bursts[burstIdx]
 		}
 		if buildErrs[combo] != nil {
 			p.Err = buildErrs[combo]
 		} else {
-			runServePoint(&p, c, engines[combo].eng, engines[combo].budget, cfg, rateIdx)
+			// Points sharing a trace-shape position share one arrival
+			// process; distinct positions draw from isolated seed
+			// streams. On plain Poisson grids this degenerates to the
+			// original per-rate seeding, keeping existing sweeps
+			// byte-identical.
+			traceIdx := (burstIdx*nMix+mixIdx)*nRate + rateIdx
+			runServePoint(&p, c, engines[combo].eng, engines[combo].budget, cfg, axes, traceIdx)
+		}
+		if cfg.LeanStats {
+			p.Stats.Requests = nil
 		}
 		out[i] = p
 		return nil
@@ -296,24 +393,41 @@ func ServeSweep(cfg ServeSweepConfig, grid ServeGrid) ([]ServeSweepPoint, error)
 	return out, nil
 }
 
+// pointTrace generates one grid point's private arrival trace from
+// its resolved shape (p.BurstFactor, p.Mix, p.Rate): the base
+// config's plain Poisson process on shape-less grids, ChatTrace's
+// bursty heavy-tailed traffic when a trace axis is set. A shape
+// ChatTrace rejects (medians below its floor) is the caller's
+// per-point error.
+func (a serveAxes) pointTrace(cfg ServeSweepConfig, p *ServeSweepPoint, traceIdx int) ([]workload.Request, error) {
+	seed := cfg.Seed + uint64(traceIdx)
+	if !a.chat {
+		return workload.PoissonTrace(workload.TraceConfig{
+			Seed: seed, Requests: cfg.Requests, RatePerSec: p.Rate,
+			InputMean: p.Mix.Input, OutputMean: p.Mix.Output, LengthJitter: 0.3,
+		})
+	}
+	return workload.ChatTrace(workload.ChatTraceConfig{
+		Seed: seed, Requests: cfg.Requests, RatePerSec: p.Rate,
+		BurstFactor: p.BurstFactor, BurstLenS: cfg.BurstLenS,
+		InputMedian: p.Mix.Input, OutputMedian: p.Mix.Output,
+		Sigma: 0.7, MaxLen: 8192,
+	})
+}
+
 // runServePoint runs one grid point's simulation, recording failures
 // in p.Err. Each point owns its trace and allocators; the engine is
-// shared (engines are immutable and concurrency-safe).
+// shared (engines are immutable and concurrency-safe). Every fixed
+// fleet — continuous or static — runs on the cluster kernel, so the
+// full Policies × Replicas grid is served without per-point gaps.
 func runServePoint(p *ServeSweepPoint, sys System, eng *engine.Engine, budget float64,
-	cfg ServeSweepConfig, rateIdx int) {
-	// Same-rate points share one arrival process (seed derived from
-	// the Rates-axis position), so the other axes compare like for
-	// like on identical traffic.
-	trace, err := workload.PoissonTrace(workload.TraceConfig{
-		Seed: cfg.Seed + uint64(rateIdx), Requests: cfg.Requests, RatePerSec: p.Rate,
-		InputMean: cfg.InputMean, OutputMean: cfg.OutputMean, LengthJitter: 0.3,
-	})
+	cfg ServeSweepConfig, axes serveAxes, traceIdx int) {
+	trace, err := axes.pointTrace(cfg, p, traceIdx)
 	if err != nil {
 		p.Err = err
 		return
 	}
-	switch {
-	case p.Policy.Autoscale:
+	if p.Policy.Autoscale {
 		upOut := cfg.UpOutstanding
 		if upOut == 0 {
 			upOut = 2 * p.MaxBatch
@@ -333,7 +447,7 @@ func runServePoint(p *ServeSweepPoint, sys System, eng *engine.Engine, budget fl
 			return cluster.Replica{Engine: eng, Alloc: alloc}, nil
 		}
 		auto, err := cluster.ServeAutoscale(
-			cluster.Config{MaxBatch: p.MaxBatch},
+			cluster.Config{MaxBatch: p.MaxBatch, Static: p.Policy.Static},
 			cluster.Autoscale{
 				Factory: factory, Min: 1, Max: p.Replicas,
 				UpOutstanding: upOut, DownIdleS: downIdle, CooldownS: cooldown,
@@ -345,39 +459,27 @@ func runServePoint(p *ServeSweepPoint, sys System, eng *engine.Engine, budget fl
 		p.Stats = auto.Stats.Stats
 		p.PerReplica = auto.PerReplica
 		p.PeakReplicas = auto.PeakReplicas
-	case p.Policy.Static:
-		if p.Replicas != 1 {
-			p.Err = fmt.Errorf("llmbench: static batching is single-device (got %d replicas)", p.Replicas)
-			return
-		}
+		return
+	}
+	replicas := make([]cluster.Replica, p.Replicas)
+	for i := range replicas {
 		alloc, err := servingAlloc(sys, budget)
 		if err != nil {
 			p.Err = err
 			return
 		}
-		p.Stats, p.Err = sched.Serve(sched.Config{
-			Engine: eng, Policy: sched.Static, MaxBatch: p.MaxBatch, Alloc: alloc,
-		}, trace)
-	default:
-		replicas := make([]cluster.Replica, p.Replicas)
-		for i := range replicas {
-			alloc, err := servingAlloc(sys, budget)
-			if err != nil {
-				p.Err = err
-				return
-			}
-			replicas[i] = cluster.Replica{Engine: eng, Alloc: alloc}
-		}
-		st, err := cluster.Serve(cluster.Config{
-			Replicas: replicas, Policy: routePolicy(p.Policy), MaxBatch: p.MaxBatch,
-		}, trace)
-		if err != nil {
-			p.Err = err
-			return
-		}
-		p.Stats = st.Stats
-		p.PerReplica = st.PerReplica
+		replicas[i] = cluster.Replica{Engine: eng, Alloc: alloc}
 	}
+	st, err := cluster.Serve(cluster.Config{
+		Replicas: replicas, Policy: routePolicy(p.Policy), MaxBatch: p.MaxBatch,
+		Static: p.Policy.Static,
+	}, trace)
+	if err != nil {
+		p.Err = err
+		return
+	}
+	p.Stats = st.Stats
+	p.PerReplica = st.PerReplica
 }
 
 func routePolicy(p ServePolicy) cluster.Policy {
@@ -396,6 +498,10 @@ type KneePoint struct {
 	Policy    ServePolicy
 	Replicas  int
 	MaxBatch  int
+	// BurstFactor and Mix identify the trace shape the knee was
+	// measured under (see ServeSweepPoint).
+	BurstFactor float64
+	Mix         LengthMix
 
 	// Met reports whether any swept rate satisfied the SLO; Rate and
 	// Stats then describe the highest such rate.
@@ -406,21 +512,23 @@ type KneePoint struct {
 
 // Knees folds a ServeSweep result into per-configuration capacity
 // knees: for every distinct (device, framework, scheme, policy,
-// replicas, max batch) configuration, the highest swept rate whose
-// P99 latency is at most sloP99. Configurations appear in grid order;
-// points with Err never qualify but their configuration still appears
-// (with Met false) so capacity gaps stay visible.
+// replicas, max batch, trace shape) configuration, the highest swept
+// rate whose P99 latency is at most sloP99. Configurations appear in
+// grid order; points with Err never qualify but their configuration
+// still appears (with Met false) so capacity gaps stay visible.
 func Knees(pts []ServeSweepPoint, sloP99 float64) []KneePoint {
 	type key struct {
 		dev, fw  string
 		scheme   Scheme
 		policy   ServePolicy
 		reps, mb int
+		burst    float64
+		mix      LengthMix
 	}
 	index := make(map[key]int)
 	var out []KneePoint
 	for _, p := range pts {
-		k := key{p.Device, p.Framework, p.Scheme, p.Policy, p.Replicas, p.MaxBatch}
+		k := key{p.Device, p.Framework, p.Scheme, p.Policy, p.Replicas, p.MaxBatch, p.BurstFactor, p.Mix}
 		i, ok := index[k]
 		if !ok {
 			i = len(out)
@@ -428,6 +536,7 @@ func Knees(pts []ServeSweepPoint, sloP99 float64) []KneePoint {
 			out = append(out, KneePoint{
 				Device: p.Device, Framework: p.Framework, Scheme: p.Scheme,
 				Policy: p.Policy, Replicas: p.Replicas, MaxBatch: p.MaxBatch,
+				BurstFactor: p.BurstFactor, Mix: p.Mix,
 			})
 		}
 		if p.Err != nil || p.Stats.P99Latency > sloP99 {

@@ -78,7 +78,7 @@ func TestServeSweepDeterministicAcrossParallelism(t *testing.T) {
 		Rates:      []float64{3, 6},
 		Replicas:   []int{1, 2},
 		MaxBatches: []int{4, 8},
-		Policies:   []ServePolicy{{}, {LeastLoaded: true}, {Autoscale: true}},
+		Policies:   []ServePolicy{{}, {LeastLoaded: true}, {Autoscale: true}, {Static: true}},
 	}
 	grid.Parallelism = 1
 	serial, err := ServeSweep(serveSweepCfg, grid)
@@ -127,36 +127,15 @@ func TestServeSweepSameRateSharesTrace(t *testing.T) {
 	}
 }
 
-// TestServeSweepPerPointErrors: a static-batching point with more
-// than one replica and a combination that cannot build both fail
-// individually while the rest of the sweep proceeds.
+// TestServeSweepPerPointErrors: a combination that cannot build and a
+// length mix ChatTrace rejects both fail individually while the rest
+// of the sweep proceeds. (Static points no longer fail at Replicas >
+// 1 — static batching rides the cluster kernel; see
+// TestServeSweepStaticCluster.)
 func TestServeSweepPerPointErrors(t *testing.T) {
-	pts, err := ServeSweep(serveSweepCfg, ServeGrid{
-		Rates:    []float64{4},
-		Replicas: []int{1, 2},
-		Policies: []ServePolicy{{Static: true}, {}},
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(pts) != 4 {
-		t.Fatalf("got %d points", len(pts))
-	}
-	if pts[0].Err != nil {
-		t.Errorf("static @ 1 replica must work: %v", pts[0].Err)
-	}
-	if pts[1].Err == nil || !strings.Contains(pts[1].Err.Error(), "single-device") {
-		t.Errorf("static @ 2 replicas must fail per point, got %v", pts[1].Err)
-	}
-	for i := 2; i < 4; i++ {
-		if pts[i].Err != nil {
-			t.Errorf("continuous point %d failed: %v", i, pts[i].Err)
-		}
-	}
-
 	// FP8 weights cannot build on A100: that combination's points
 	// carry the build error, the fp16 combination survives.
-	pts, err = ServeSweep(serveSweepCfg, ServeGrid{
+	pts, err := ServeSweep(serveSweepCfg, ServeGrid{
 		Rates:   []float64{4},
 		Schemes: []Scheme{{"fp8", "fp8"}, {"fp16", "fp16"}},
 	})
@@ -168,6 +147,96 @@ func TestServeSweepPerPointErrors(t *testing.T) {
 	}
 	if pts[1].Err != nil {
 		t.Errorf("fp16 combination must survive: %v", pts[1].Err)
+	}
+
+	// A length mix under ChatTrace's median floor (16) passes grid
+	// validation but fails its own points with the generator's error;
+	// the valid mix's points survive.
+	pts, err = ServeSweep(serveSweepCfg, ServeGrid{
+		Rates:       []float64{4},
+		LengthMixes: []LengthMix{{Input: 8, Output: 64}, {Input: 256, Output: 64}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	if pts[0].Err == nil || !strings.Contains(pts[0].Err.Error(), "medians") {
+		t.Errorf("sub-floor mix must fail per point with ChatTrace's error, got %v", pts[0].Err)
+	}
+	if pts[1].Err != nil {
+		t.Errorf("valid mix must survive: %v", pts[1].Err)
+	}
+}
+
+// TestServeSweepStaticCluster: the Policies × Replicas grid has no
+// static hole left — multi-replica static points succeed, match a
+// direct static ServeCluster run byte for byte, and never preempt.
+func TestServeSweepStaticCluster(t *testing.T) {
+	grid := ServeGrid{
+		Rates:    []float64{6},
+		Replicas: []int{1, 2, 4},
+		Policies: []ServePolicy{{Static: true}, {Static: true, LeastLoaded: true}},
+	}
+	pts, err := ServeSweep(serveSweepCfg, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		if p.Err != nil {
+			t.Errorf("static point %d (%d replicas) failed: %v", i, p.Replicas, p.Err)
+			continue
+		}
+		if p.Stats.Completed != serveSweepCfg.Requests {
+			t.Errorf("static point %d completed %d/%d", i, p.Stats.Completed, serveSweepCfg.Requests)
+		}
+		if p.Stats.Preemptions != 0 {
+			t.Errorf("static point %d preempted %d times", i, p.Stats.Preemptions)
+		}
+		if len(p.PerReplica) != p.Replicas {
+			t.Errorf("static point %d has %d per-replica entries, want %d", i, len(p.PerReplica), p.Replicas)
+		}
+	}
+	direct, err := ServeCluster(ClusterConfig{
+		System: serveSweepCfg.System, Replicas: 2, Static: true, MaxBatch: 8,
+		Seed: serveSweepCfg.Seed, Requests: serveSweepCfg.Requests, RatePerSec: 6,
+		InputMean: serveSweepCfg.InputMean, OutputMean: serveSweepCfg.OutputMean,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pts[1] // policy {Static}, replicas 2
+	if !reflect.DeepEqual(p.Stats, direct.Stats) || !reflect.DeepEqual(p.PerReplica, direct.PerReplica) {
+		t.Error("static sweep point differs from direct static ServeCluster of the same configuration")
+	}
+}
+
+// TestServeSweepPolicyReplicasBurstCube is the acceptance grid of the
+// static-on-DES port: {Static, Continuous} × Replicas{1,2,8} ×
+// BurstFactors{1,4} returns zero per-point errors.
+func TestServeSweepPolicyReplicasBurstCube(t *testing.T) {
+	grid := ServeGrid{
+		Rates:        []float64{8},
+		Replicas:     []int{1, 2, 8},
+		Policies:     []ServePolicy{{Static: true}, {}},
+		BurstFactors: []float64{1, 4},
+	}
+	pts, err := ServeSweep(serveSweepCfg, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2*3*2 {
+		t.Fatalf("got %d points, want 12", len(pts))
+	}
+	for i, p := range pts {
+		if p.Err != nil {
+			t.Errorf("point %d (%v, %d replicas, burst %g) failed: %v",
+				i, p.Policy, p.Replicas, p.BurstFactor, p.Err)
+		}
+		if p.Stats.Completed != serveSweepCfg.Requests {
+			t.Errorf("point %d completed %d/%d", i, p.Stats.Completed, serveSweepCfg.Requests)
+		}
 	}
 }
 
@@ -211,9 +280,12 @@ func TestServeSweepValidation(t *testing.T) {
 		{"Inf rate", base, ServeGrid{Rates: []float64{math.Inf(1)}}, "positive"},
 		{"zero replicas", base, ServeGrid{Rates: []float64{1}, Replicas: []int{0}}, "≥ 1"},
 		{"zero max batch", base, ServeGrid{Rates: []float64{1}, MaxBatches: []int{0}}, "≥ 1"},
-		{"static autoscale", base, ServeGrid{
-			Rates: []float64{1}, Policies: []ServePolicy{{Static: true, Autoscale: true}},
-		}, "static"},
+		{"sub-one burst", base, ServeGrid{Rates: []float64{1}, BurstFactors: []float64{0.5}}, "burst factor"},
+		{"NaN burst", base, ServeGrid{Rates: []float64{1}, BurstFactors: []float64{math.NaN()}}, "burst factor"},
+		{"Inf burst", base, ServeGrid{Rates: []float64{1}, BurstFactors: []float64{math.Inf(1)}}, "burst factor"},
+		{"zero-median mix", base, ServeGrid{
+			Rates: []float64{1}, LengthMixes: []LengthMix{{Input: 0, Output: 64}},
+		}, "positive medians"},
 	}
 	for _, c := range cases {
 		if _, err := ServeSweep(c.cfg, c.grid); err == nil {
@@ -241,6 +313,19 @@ func TestServeSweepValidation(t *testing.T) {
 	if _, err := ServeSweep(badTrace, ServeGrid{Rates: []float64{1}}); err == nil {
 		t.Error("zero-request trace shape must fail up front")
 	}
+	for name, mut := range map[string]func(*ServeSweepConfig){
+		"UpOutstanding": func(c *ServeSweepConfig) { c.UpOutstanding = -1 },
+		"DownIdleS":     func(c *ServeSweepConfig) { c.DownIdleS = -0.5 },
+		"CooldownS":     func(c *ServeSweepConfig) { c.CooldownS = -1 },
+		"BurstLenS":     func(c *ServeSweepConfig) { c.BurstLenS = -2 },
+	} {
+		bad := base
+		mut(&bad)
+		if _, err := ServeSweep(bad, ServeGrid{Rates: []float64{1}}); err == nil ||
+			!strings.Contains(err.Error(), "negative serve tuning") {
+			t.Errorf("negative %s must fail the whole call up front, got %v", name, err)
+		}
+	}
 }
 
 // TestServeSweepAllCombosFailJoined: when every configuration
@@ -258,6 +343,150 @@ func TestServeSweepAllCombosFailJoined(t *testing.T) {
 	msg := err.Error()
 	if !strings.Contains(msg, "fp8") || !strings.Contains(msg, "NoSuchDevice") {
 		t.Errorf("joined error must name every distinct cause, got: %v", msg)
+	}
+}
+
+// TestServeSweepTraceAxisOrderAndDeterminism pins the trace axes'
+// position in the nesting (… ▸ MaxBatches ▸ BurstFactors ▸
+// LengthMixes ▸ Rates) and the determinism property over them: the
+// full result slice is byte-identical at Parallelism 1 and 8, static
+// and autoscale policies included (run under -race in CI).
+func TestServeSweepTraceAxisOrderAndDeterminism(t *testing.T) {
+	grid := ServeGrid{
+		Rates:        []float64{4, 8},
+		Replicas:     []int{2},
+		BurstFactors: []float64{1, 4},
+		LengthMixes:  []LengthMix{{Input: 128, Output: 48}, {Input: 512, Output: 96}},
+		Policies:     []ServePolicy{{}, {Static: true}, {Static: true, Autoscale: true}},
+	}
+	grid.Parallelism = 1
+	serial, err := ServeSweep(serveSweepCfg, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != 3*2*2*2 {
+		t.Fatalf("got %d points, want 24", len(serial))
+	}
+	i := 0
+	for _, pol := range grid.Policies {
+		for _, burst := range grid.BurstFactors {
+			for _, mix := range grid.LengthMixes {
+				for _, rate := range grid.Rates {
+					p := serial[i]
+					if p.Policy != pol || p.BurstFactor != burst || p.Mix != mix || p.Rate != rate {
+						t.Errorf("point %d = %v burst %g mix %+v @%g, want %v burst %g mix %+v @%g",
+							i, p.Policy, p.BurstFactor, p.Mix, p.Rate, pol, burst, mix, rate)
+					}
+					if p.Err != nil {
+						t.Errorf("point %d failed: %v", i, p.Err)
+					}
+					i++
+				}
+			}
+		}
+	}
+	grid.Parallelism = 8
+	parallel, err := ServeSweep(serveSweepCfg, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Errorf("point %d differs between parallelism 1 and 8", i)
+		}
+	}
+}
+
+// TestServeSweepTraceSeedIsolation: points at one (burst, mix, rate)
+// axis position share a single arrival process across the policy and
+// replica axes, while every distinct position draws from an isolated
+// seed stream — changing one shape never changes another's traffic.
+func TestServeSweepTraceSeedIsolation(t *testing.T) {
+	grid := ServeGrid{
+		Rates:        []float64{5, 9},
+		Replicas:     []int{1, 2},
+		BurstFactors: []float64{1, 6},
+	}
+	pts, err := ServeSweep(serveSweepCfg, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals := func(p ServeSweepPoint) map[int]float64 {
+		t.Helper()
+		if p.Err != nil {
+			t.Fatalf("point failed: %v", p.Err)
+		}
+		m := make(map[int]float64, len(p.Stats.Requests))
+		for _, r := range p.Stats.Requests {
+			m[r.ID] = r.Arrival
+		}
+		return m
+	}
+	// Nesting is Replicas ▸ BurstFactors ▸ Rates: index = (reps*2 +
+	// burst)*2 + rate.
+	at := func(reps, burst, rate int) ServeSweepPoint { return pts[(reps*2+burst)*2+rate] }
+	// Same position, different replica counts: one arrival process.
+	if !reflect.DeepEqual(arrivals(at(0, 1, 0)), arrivals(at(1, 1, 0))) {
+		t.Error("points at one trace-shape position must share one arrival process")
+	}
+	// Distinct positions (burst, or rate, or both): isolated streams.
+	base := arrivals(at(0, 0, 0))
+	for name, other := range map[string]ServeSweepPoint{
+		"burst factor": at(0, 1, 0),
+		"rate":         at(0, 0, 1),
+	} {
+		if reflect.DeepEqual(base, arrivals(other)) {
+			t.Errorf("distinct %s positions must not share an arrival process", name)
+		}
+	}
+
+	// The isolation also holds between mix positions: different
+	// medians at one rate draw different arrival gaps (the stream is
+	// private per position, not sliced from one sequence).
+	mixes, err := ServeSweep(serveSweepCfg, ServeGrid{
+		Rates:       []float64{5},
+		LengthMixes: []LengthMix{{Input: 128, Output: 48}, {Input: 512, Output: 96}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(arrivals(mixes[0]), arrivals(mixes[1])) {
+		t.Error("distinct mix positions must not share an arrival process")
+	}
+}
+
+// TestServeSweepLeanStats: LeanStats drops only the per-request
+// ledger — every aggregate (percentiles, means, throughput,
+// per-replica shares, peaks) is byte-identical to the full run.
+func TestServeSweepLeanStats(t *testing.T) {
+	grid := ServeGrid{
+		Rates:        []float64{6},
+		Replicas:     []int{2},
+		Policies:     []ServePolicy{{}, {Static: true}, {Autoscale: true}},
+		BurstFactors: []float64{3},
+	}
+	full, err := ServeSweep(serveSweepCfg, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lean := serveSweepCfg
+	lean.LeanStats = true
+	slim, err := ServeSweep(lean, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range full {
+		if len(full[i].Stats.Requests) != serveSweepCfg.Requests {
+			t.Errorf("point %d: full run must keep the ledger (%d entries)", i, len(full[i].Stats.Requests))
+		}
+		if slim[i].Stats.Requests != nil {
+			t.Errorf("point %d: LeanStats must drop the ledger, got %d entries", i, len(slim[i].Stats.Requests))
+		}
+		want := full[i]
+		want.Stats.Requests = nil
+		if !reflect.DeepEqual(slim[i], want) {
+			t.Errorf("point %d: LeanStats changed aggregates", i)
+		}
 	}
 }
 
