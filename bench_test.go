@@ -355,6 +355,54 @@ func BenchmarkServeClusterStatic(b *testing.B) {
 		cluster.Config{Policy: cluster.LeastLoaded, MaxBatch: 16, Static: true})
 }
 
+// BenchmarkServeClusterMillion is the streaming-stats smoke row: a
+// million-request day replayed through an 8-replica fleet with
+// incremental aggregation (cluster.Config.Streaming), so stats memory
+// stays O(1) in trace length — allocs/op here are the kernel's own,
+// not a million-entry ledger plus sort. BenchmarkServeClusterMillionExact
+// is the ledgered reference the memory delta is measured against.
+func benchServeClusterMillion(b *testing.B, streaming bool) {
+	b.Helper()
+	// Short chat turns at a rate the fleet sustains (~50 req/s against
+	// ~200 req/s of capacity), so the day is queueing, not meltdown.
+	reqs, err := workload.PoissonTrace(workload.TraceConfig{
+		Seed: 17, Requests: 1_000_000, RatePerSec: 50,
+		InputMean: 256, OutputMean: 64, LengthJitter: 0.3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := NewEngine(System{Model: "LLaMA-3-8B", Device: "A100", Framework: "vLLM"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := model.MustGet("LLaMA-3-8B")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reps := make([]cluster.Replica, 8)
+		for j := range reps {
+			alloc, err := kvcache.NewPaged(16, m.KVBytesPerToken(dtype.FP16), 30*(1<<30))
+			if err != nil {
+				b.Fatal(err)
+			}
+			reps[j] = cluster.Replica{Engine: eng, Alloc: alloc}
+		}
+		st, err := cluster.Serve(cluster.Config{
+			Replicas: reps, Policy: cluster.LeastLoaded, MaxBatch: 32, Streaming: streaming,
+		}, reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Completed != len(reqs) {
+			b.Fatalf("completed %d/%d", st.Completed, len(reqs))
+		}
+	}
+}
+
+func BenchmarkServeClusterMillion(b *testing.B)      { benchServeClusterMillion(b, true) }
+func BenchmarkServeClusterMillionExact(b *testing.B) { benchServeClusterMillion(b, false) }
+
 // BenchmarkServeAutoscale is the bench-smoke guard for the dynamic
 // capacity path (bursty chat load, replicas 1..8).
 func BenchmarkServeAutoscale(b *testing.B) {

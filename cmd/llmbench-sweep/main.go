@@ -30,6 +30,17 @@
 //	llmbench-sweep -serve -model Mistral-7B -device A100 -framework vLLM \
 //	    -rates 10,20 -replicas 2,8 -policies static,continuous \
 //	    -bursts 1,4 -mixes 512:128,2048:256
+//	llmbench-sweep -serve -model Mistral-7B -rates 20 -requests 100000 \
+//	    -record day.trace -stream
+//	llmbench-sweep -serve -model Mistral-7B -trace day.trace \
+//	    -replicas 2,4,8 -policies continuous:ll,static -slo 6 -stream
+//
+// -record captures the sweep's synthesized trace to a versioned file
+// (see TRACES.md); -trace replays a recorded file at every point —
+// at its native rate when -rates is absent, rescaled to each rate
+// otherwise. -slo prints each configuration's capacity knee, and
+// -stream aggregates completions incrementally (P² percentile
+// sketches, O(1) memory) for million-request replays.
 package main
 
 import (
@@ -74,13 +85,23 @@ func main() {
 		mixes = flag.String("mixes", "",
 			"comma-separated input:output length-median axis (-serve), e.g. 512:128,2048:256; "+
 				"setting it (or -bursts) switches traces to heavy-tailed chat arrivals")
-		requests = flag.Int("requests", 200, "requests per serving point (-serve)")
-		inMean   = flag.Int("inmean", 512, "mean prompt tokens (-serve)")
-		outMean  = flag.Int("outmean", 128, "mean generated tokens (-serve)")
-		seed     = flag.Uint64("seed", 42, "trace seed (-serve)")
-		kvBudget = flag.Float64("kvbudget", 0, "per-replica KV pool in GiB, 0 = auto (-serve)")
+		requests  = flag.Int("requests", 200, "requests per serving point (-serve)")
+		inMean    = flag.Int("inmean", 512, "mean prompt tokens (-serve)")
+		outMean   = flag.Int("outmean", 128, "mean generated tokens (-serve)")
+		seed      = flag.Uint64("seed", 42, "trace seed (-serve)")
+		kvBudget  = flag.Float64("kvbudget", 0, "per-replica KV pool in GiB, 0 = auto (-serve)")
+		slo       = flag.Float64("slo", 0, "P99 latency SLO in seconds (-serve); prints each configuration's capacity knee")
+		tracePath = flag.String("trace", "", "replay a recorded trace file at every point (-serve); -rates then rescales it, absent -rates replays at native rate")
+		record    = flag.String("record", "", "record the sweep's synthesized trace to this file (-serve); the grid must pin one rate/shape position")
+		stream    = flag.Bool("stream", false, "streaming stats (-serve): O(1) memory percentile sketches for million-request points")
 	)
 	flag.Parse()
+	// -slo is validated here, at parse time, like every list flag: a
+	// NaN or infinite SLO would otherwise make every (or no) point
+	// "compliant" deep inside the knee fold.
+	if err := validateSLO(*slo); err != nil {
+		fatal(err)
+	}
 
 	sys := llmbench.System{
 		Model: *modelName, Device: *device, Framework: *fw,
@@ -109,6 +130,7 @@ func main() {
 			devices: devAxis, frameworks: fwAxis, schemes: schemeAxis,
 			requests: *requests, inMean: *inMean, outMean: *outMean,
 			seed: *seed, kvBudget: *kvBudget, j: *j,
+			slo: *slo, tracePath: *tracePath, record: *record, stream: *stream,
 		})
 		return
 	}
@@ -164,17 +186,24 @@ type serveFlags struct {
 	seed                                  uint64
 	kvBudget                              float64
 	j                                     int
+	slo                                   float64
+	tracePath, record                     string
+	stream                                bool
 }
 
 // serveSweep runs the serving-capacity grid and prints its Markdown
 // table.
 func serveSweep(sys llmbench.System, f serveFlags) {
-	if f.rates == "" {
-		fatal(fmt.Errorf("-serve needs -rates (e.g. -rates 5,10,20)"))
+	if f.rates == "" && f.tracePath == "" {
+		fatal(fmt.Errorf("-serve needs -rates (e.g. -rates 5,10,20) or -trace"))
 	}
-	rs, err := parseFloats("rates", f.rates)
-	if err != nil {
-		fatal(err)
+	var rs []float64
+	var err error
+	if f.rates != "" {
+		// With -trace an absent -rates replays at the native rate.
+		if rs, err = parseFloats("rates", f.rates); err != nil {
+			fatal(err)
+		}
 	}
 	reps, err := parseInts("replicas", f.replicas)
 	if err != nil {
@@ -205,23 +234,43 @@ func serveSweep(sys llmbench.System, f serveFlags) {
 			fatal(err)
 		}
 	}
-	pts, err := llmbench.ServeSweep(llmbench.ServeSweepConfig{
+	var traceReqs []llmbench.TraceRequest
+	if f.tracePath != "" {
+		if f.bursts != "" || f.mixes != "" {
+			fatal(fmt.Errorf("-trace is incompatible with -bursts/-mixes: the recorded trace is the traffic shape"))
+		}
+		if f.record != "" {
+			fatal(fmt.Errorf("-record conflicts with -trace: the grid would replay, not synthesize"))
+		}
+		traceReqs = readTrace(f.tracePath)
+	}
+	cfg := llmbench.ServeSweepConfig{
 		System: sys, MaxBatch: mbs[0], KVBudgetGiB: f.kvBudget,
 		Seed: f.seed, Requests: f.requests, InputMean: f.inMean, OutputMean: f.outMean,
-	}, llmbench.ServeGrid{
+		StreamStats: f.stream,
+	}
+	grid := llmbench.ServeGrid{
 		Rates: rs, Replicas: reps, MaxBatches: mbs, Policies: pols,
-		BurstFactors: bfs, LengthMixes: lms,
+		BurstFactors: bfs, LengthMixes: lms, Trace: traceReqs,
 		Devices: f.devices, Frameworks: f.frameworks, Schemes: f.schemes,
 		Parallelism: f.j,
-	})
+	}
+	if f.record != "" {
+		recordTrace(f.record, cfg, grid)
+	}
+	pts, err := llmbench.ServeSweep(cfg, grid)
 	if err != nil {
 		fatal(err)
 	}
 	axes := len(f.devices) > 0 || len(f.frameworks) > 0 || len(f.schemes) > 0
 	shaped := len(bfs) > 0 || len(lms) > 0
-	if shaped {
+	switch {
+	case f.tracePath != "":
+		fmt.Printf("### %s serving sweep (replaying %d recorded requests from %s)\n\n",
+			sys.Model, len(traceReqs), f.tracePath)
+	case shaped:
 		fmt.Printf("### %s serving sweep (%d reqs/point, bursty chat traffic)\n\n", sys.Model, f.requests)
-	} else {
+	default:
 		fmt.Printf("### %s serving sweep (%d reqs/point, in ~%d, out ~%d tokens)\n\n",
 			sys.Model, f.requests, f.inMean, f.outMean)
 	}
@@ -268,6 +317,64 @@ func serveSweep(sys llmbench.System, f serveFlags) {
 			s.P50Latency, s.P95Latency, s.P99Latency,
 			s.P50QueueDelay, s.P95QueueDelay, s.P99QueueDelay, s.Preemptions)
 	}
+	if f.slo > 0 {
+		knees, err := llmbench.Knees(pts, f.slo)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nKnee per configuration (highest swept rate with p99 ≤ %gs):\n\n", f.slo)
+		for _, k := range knees {
+			name := fmt.Sprintf("%s, %d replica(s), mb %d", k.Policy, k.Replicas, k.MaxBatch)
+			if axes {
+				name = fmt.Sprintf("%s/%s %s", k.Device, k.Framework, name)
+			}
+			if shaped {
+				name = fmt.Sprintf("%s, ×%g %d:%d", name, k.BurstFactor, k.Mix.Input, k.Mix.Output)
+			}
+			if k.Met {
+				fmt.Printf("- %s: %g req/s (p99 %.2fs, %.0f tok/s)\n", name, k.Rate, k.Stats.P99Latency, k.Stats.Throughput)
+			} else {
+				fmt.Printf("- %s: no swept rate meets the SLO\n", name)
+			}
+		}
+	}
+}
+
+// readTrace replays a recorded trace file (see TRACES.md).
+func readTrace(path string) []llmbench.TraceRequest {
+	file, err := os.Open(path)
+	if err != nil {
+		fatal(fmt.Errorf("-trace: %w", err))
+	}
+	defer file.Close()
+	reqs, _, err := llmbench.ReadTrace(file)
+	if err != nil {
+		fatal(fmt.Errorf("-trace %s: %w", path, err))
+	}
+	return reqs
+}
+
+// recordTrace captures the one-position grid's synthesized trace to a
+// versioned trace file; the sweep then runs on exactly the recorded
+// arrivals, so a later -trace replay reproduces it bit for bit.
+func recordTrace(path string, cfg llmbench.ServeSweepConfig, grid llmbench.ServeGrid) {
+	reqs, err := llmbench.ServePointTrace(cfg, grid)
+	if err != nil {
+		fatal(fmt.Errorf("-record: %w", err))
+	}
+	file, err := os.Create(path)
+	if err != nil {
+		fatal(fmt.Errorf("-record: %w", err))
+	}
+	meta := llmbench.TraceMeta{Source: fmt.Sprintf("llmbench-sweep seed=%d requests=%d", cfg.Seed, cfg.Requests)}
+	if err := llmbench.WriteTrace(file, reqs, meta); err != nil {
+		file.Close()
+		fatal(fmt.Errorf("-record: %w", err))
+	}
+	if err := file.Close(); err != nil {
+		fatal(fmt.Errorf("-record: %w", err))
+	}
+	fmt.Fprintf(os.Stderr, "llmbench-sweep: recorded %d requests to %s\n", len(reqs), path)
 }
 
 func orFP16(s string) string {
@@ -421,6 +528,15 @@ func parseMixes(s string) ([]llmbench.LengthMix, error) {
 		out = append(out, llmbench.LengthMix{Input: i, Output: o})
 	}
 	return out, nil
+}
+
+// validateSLO rejects negative, NaN, and infinite -slo values at flag
+// parse time; 0 means no SLO was requested.
+func validateSLO(v float64) error {
+	if v != 0 && (!(v > 0) || math.IsInf(v, 0)) {
+		return fmt.Errorf("bad -slo value %v: want a positive, finite number of seconds", v)
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -146,6 +147,24 @@ func TestParsePolicies(t *testing.T) {
 	for _, bad := range []string{"", "bogus", "continuous:,ll", ","} {
 		if got, err := parsePolicies(bad); err == nil {
 			t.Errorf("parsePolicies(%q) = %v, want error", bad, got)
+		}
+	}
+}
+
+// TestValidateSLO: -slo must be rejected at parse time — a NaN SLO
+// would otherwise qualify nothing while `NaN > slo` comparisons stay
+// silently false — and the error must name the flag.
+func TestValidateSLO(t *testing.T) {
+	for _, ok := range []float64{0, 0.5, 6, 1e6} {
+		if err := validateSLO(ok); err != nil {
+			t.Errorf("validateSLO(%v) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []float64{-1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := validateSLO(bad); err == nil {
+			t.Errorf("validateSLO(%v) must fail", bad)
+		} else if !strings.Contains(err.Error(), "-slo") {
+			t.Errorf("validateSLO(%v) error %v must name the -slo flag", bad, err)
 		}
 	}
 }

@@ -69,7 +69,10 @@ func main() {
 		}
 	}
 
-	knees := llmbench.Knees(pts, sloP99)
+	knees, err := llmbench.Knees(pts, sloP99)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("Capacity knee per fleet and traffic shape (highest swept rate with p99 ≤ SLO):")
 	fmt.Println()
 	fmt.Println("| Device | Framework | Replicas | Burst | Knee (req/s) | p99 @ knee (s) | tok/s @ knee |")

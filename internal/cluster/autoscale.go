@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"llmbench/internal/des"
+	"llmbench/internal/sched"
 	"llmbench/internal/workload"
 )
 
@@ -81,6 +82,12 @@ func ServeAutoscale(cfg Config, as Autoscale, reqs []workload.Request) (AutoStat
 		Stepped:     cfg.Stepped,
 		Parallelism: cfg.Parallelism,
 	})
+	var agg sched.Aggregator
+	if cfg.Streaming {
+		stream := sched.NewStreamAggregator()
+		agg = stream
+		k.Sink = stream.Observe
+	}
 	var events []ScaleEvent
 	peak := 0
 	lastScaleUp := -1e18
@@ -169,10 +176,10 @@ func ServeAutoscale(cfg Config, as Autoscale, reqs []workload.Request) (AutoStat
 	if err != nil {
 		return AutoStats{}, fmt.Errorf("cluster: %w", err)
 	}
-	if len(res.Finished) != len(reqs) {
-		return AutoStats{}, fmt.Errorf("cluster: only %d of %d requests completed", len(res.Finished), len(reqs))
+	if res.Completed != len(reqs) {
+		return AutoStats{}, fmt.Errorf("cluster: only %d of %d requests completed", res.Completed, len(reqs))
 	}
-	stats, err := assemble(res)
+	stats, err := assemble(res, agg)
 	if err != nil {
 		return AutoStats{}, err
 	}

@@ -76,6 +76,14 @@ type Config struct {
 	// byte-identical either way; the flag exists as the reference path
 	// for the equivalence tests.
 	Stepped bool
+
+	// Streaming aggregates completions incrementally (des.Kernel.Sink
+	// into a sched.StreamAggregator) instead of retaining the
+	// per-request ledger: O(1) stats memory for million-request traces.
+	// Non-percentile aggregates are byte-identical to the exact path;
+	// percentiles are P² sketch estimates (see the accuracy contract in
+	// internal/sched/stream.go) and Stats.Requests is nil.
+	Streaming bool
 }
 
 // Stats aggregates the run; PerReplica reports each replica's share.
@@ -134,24 +142,38 @@ func Serve(cfg Config, reqs []workload.Request) (Stats, error) {
 		return best
 	}
 
+	var agg sched.Aggregator
+	if cfg.Streaming {
+		stream := sched.NewStreamAggregator()
+		agg = stream
+		k.Sink = stream.Observe
+	}
 	res, err := k.Run(reqs)
 	if err != nil {
 		return Stats{}, fmt.Errorf("cluster: %w", err)
 	}
-	if len(res.Finished) != len(reqs) {
-		return Stats{}, fmt.Errorf("cluster: only %d of %d requests completed", len(res.Finished), len(reqs))
+	if res.Completed != len(reqs) {
+		return Stats{}, fmt.Errorf("cluster: only %d of %d requests completed", res.Completed, len(reqs))
 	}
-	return assemble(res)
+	return assemble(res, agg)
 }
 
-// assemble turns a kernel result into cluster Stats.
-func assemble(res des.Result) (Stats, error) {
-	agg, err := sched.Summarize(res.Finished, res.MakespanS, res.Preemptions)
+// assemble turns a kernel result into cluster Stats; agg, when
+// non-nil, is the streaming aggregator that consumed the completions
+// the ledger no longer holds.
+func assemble(res des.Result, agg sched.Aggregator) (Stats, error) {
+	var stats sched.Stats
+	var err error
+	if agg != nil {
+		stats, err = agg.Stats(res.MakespanS, res.Preemptions)
+	} else {
+		stats, err = sched.Summarize(res.Finished, res.MakespanS, res.Preemptions)
+	}
 	if err != nil {
 		return Stats{}, err
 	}
-	agg.MaxIterationS = res.MaxIterationS
-	out := Stats{Stats: agg}
+	stats.MaxIterationS = res.MaxIterationS
+	out := Stats{Stats: stats}
 	for _, ps := range res.PerStation {
 		out.PerReplica = append(out.PerReplica, ReplicaStats{
 			Completed: ps.Completed,

@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// zeroPercentiles blanks the sketch-estimated fields so the remainder
+// of a Stats value can be compared byte for byte against the exact
+// path.
+func zeroPercentiles(s *Stats) {
+	s.P50Latency, s.P95Latency, s.P99Latency = 0, 0, 0
+	s.P50QueueDelay, s.P95QueueDelay, s.P99QueueDelay = 0, 0, 0
+}
+
+// TestClusterStreamingMatchesExact pins the streaming accuracy
+// contract at the cluster layer: with Streaming set, every
+// non-percentile aggregate and per-replica share is byte-identical to
+// the exact ledgered run (the kernel's Sink delivers completions in
+// the same global order Summarize iterates), the per-request ledger is
+// dropped, and the sketch percentiles stay close to the exact ones —
+// for continuous and static batching alike.
+func TestClusterStreamingMatchesExact(t *testing.T) {
+	reqs := longClusterTrace(t, 400, 8, 96)
+	for _, static := range []bool{false, true} {
+		exact, err := Serve(Config{
+			Replicas: makeReplicas(t, 3), Policy: RoundRobin, MaxBatch: 8, Static: static,
+		}, reqs)
+		if err != nil {
+			t.Fatalf("static=%v exact: %v", static, err)
+		}
+		stream, err := Serve(Config{
+			Replicas: makeReplicas(t, 3), Policy: RoundRobin, MaxBatch: 8, Static: static,
+			Streaming: true,
+		}, reqs)
+		if err != nil {
+			t.Fatalf("static=%v streaming: %v", static, err)
+		}
+		if stream.Requests != nil {
+			t.Errorf("static=%v: streaming run must not ledger requests", static)
+		}
+		wantPcts := [6]float64{
+			exact.P50Latency, exact.P95Latency, exact.P99Latency,
+			exact.P50QueueDelay, exact.P95QueueDelay, exact.P99QueueDelay,
+		}
+		gotPcts := [6]float64{
+			stream.P50Latency, stream.P95Latency, stream.P99Latency,
+			stream.P50QueueDelay, stream.P95QueueDelay, stream.P99QueueDelay,
+		}
+		for i, name := range [6]string{"P50Lat", "P95Lat", "P99Lat", "P50QD", "P95QD", "P99QD"} {
+			if rel := math.Abs(gotPcts[i]-wantPcts[i]) / wantPcts[i]; rel > 0.05 {
+				t.Errorf("static=%v %s: sketch %v vs exact %v (relative error %.2f%%)",
+					static, name, gotPcts[i], wantPcts[i], 100*rel)
+			}
+		}
+		exact.Requests = nil
+		zeroPercentiles(&exact)
+		zeroPercentiles(&stream)
+		if !reflect.DeepEqual(stream, exact) {
+			t.Errorf("static=%v: streaming non-percentile aggregates differ from exact:\n got %+v\nwant %+v",
+				static, stream, exact)
+		}
+	}
+}
+
+// TestClusterStreamingDeterministicAcrossModes extends the kernel's
+// headline property to streaming aggregation: the Sink observes the
+// identical completion sequence in every mode, so streaming Stats —
+// sketch percentiles included — are byte-identical on the serial,
+// parallel, and stepped kernels, for fixed fleets and autoscaling.
+func TestClusterStreamingDeterministicAcrossModes(t *testing.T) {
+	reqs := longClusterTrace(t, 128, 6, 192)
+	for _, static := range []bool{false, true} {
+		serial, err := Serve(Config{
+			Replicas: makeReplicas(t, 4), Policy: LeastLoaded, MaxBatch: 8, Static: static,
+			Streaming: true,
+		}, reqs)
+		if err != nil {
+			t.Fatalf("static=%v serial: %v", static, err)
+		}
+		for name, cfg := range map[string]Config{
+			"parallel": {Replicas: makeReplicas(t, 4), Policy: LeastLoaded, MaxBatch: 8, Static: static,
+				Streaming: true, Parallelism: 4},
+			"parallel-stepped": {Replicas: makeReplicas(t, 4), Policy: LeastLoaded, MaxBatch: 8, Static: static,
+				Streaming: true, Parallelism: 4, Stepped: true},
+		} {
+			got, err := Serve(cfg, reqs)
+			if err != nil {
+				t.Fatalf("static=%v %s: %v", static, name, err)
+			}
+			if !reflect.DeepEqual(got, serial) {
+				t.Errorf("static=%v: %s streaming Stats differ from serial", static, name)
+			}
+		}
+	}
+
+	as := Autoscale{
+		Factory: autoscaleFactory(t), Min: 1, Max: 4,
+		UpOutstanding: 6, DownIdleS: 4, CooldownS: 1,
+	}
+	bursty := burstyTrace(t)
+	serial, err := ServeAutoscale(Config{MaxBatch: 8, Streaming: true}, as, bursty)
+	if err != nil {
+		t.Fatalf("autoscale serial: %v", err)
+	}
+	if serial.Requests != nil {
+		t.Error("streaming autoscale run must not ledger requests")
+	}
+	stepped, err := ServeAutoscale(Config{MaxBatch: 8, Streaming: true, Parallelism: 4, Stepped: true}, as, bursty)
+	if err != nil {
+		t.Fatalf("autoscale parallel stepped: %v", err)
+	}
+	if !reflect.DeepEqual(stepped, serial) {
+		t.Error("autoscale streaming AutoStats differ between serial and parallel stepped")
+	}
+}

@@ -8,7 +8,9 @@ package dashboard
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
+	"os"
 	"runtime"
 	"strconv"
 	"strings"
@@ -267,17 +269,43 @@ func (s *server) serve(w http.ResponseWriter, r *http.Request) {
 // (continuous|ll|static|static-ll|static-auto|autoscale), bursts
 // (ChatTrace burst-factor axis, values ≥ 1), mixes ("in:out"
 // length-median axis, e.g. 512:128,2048:256), slo (seconds; draws the
-// knee per configuration into the table).
+// knee per configuration into the table), trace (path of a recorded
+// llmbench-trace file on the server's filesystem — no upload needed;
+// replays it at every point, at its native rate when rates is absent
+// or rescaled to each rate otherwise; incompatible with bursts and
+// mixes), stream (=1 aggregates incrementally with P² percentile
+// sketches — required for traces over 100k requests).
 func (s *server) serveSweep(w http.ResponseWriter, r *http.Request) {
 	q := query{values: r.URL.Query()}
 	get := q.get
 	// Bounded axes: every point is a full DES run on process-shared
 	// engines, so the grid size, rates, and trace length are capped.
 	const maxAxis = 8
-	rates, err := parseFloatAxis(get("rates", "5,10,20"), maxAxis, 1000)
-	if err != nil {
-		http.Error(w, "dashboard: "+err.Error(), http.StatusBadRequest)
-		return
+	stream := get("stream", "") == "1"
+	tracePath := get("trace", "")
+	var traceReqs []llmbench.TraceRequest
+	if tracePath != "" {
+		var err error
+		traceReqs, err = readTraceFile(tracePath, stream)
+		if err != nil {
+			http.Error(w, "dashboard: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	// On trace replays an absent rates axis means one native-rate
+	// point; everywhere else it defaults like before.
+	ratesStr := get("rates", "")
+	if ratesStr == "" && tracePath == "" {
+		ratesStr = "5,10,20"
+	}
+	var rates []float64
+	if ratesStr != "" {
+		var err error
+		rates, err = parseFloatAxis(ratesStr, maxAxis, 1000)
+		if err != nil {
+			http.Error(w, "dashboard: "+err.Error(), http.StatusBadRequest)
+			return
+		}
 	}
 	replicas, err := parseIntAxis(get("replicas", "1,2,4"), maxAxis, 64)
 	if err != nil {
@@ -308,16 +336,25 @@ func (s *server) serveSweep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if tracePath != "" && (len(bursts) > 0 || len(mixes) > 0) {
+		http.Error(w, "dashboard: trace replay is incompatible with bursts/mixes (the recorded trace is the shape)",
+			http.StatusBadRequest)
+		return
+	}
 	// With four multiplying axes the per-axis caps alone no longer
 	// bound one request's synchronous work: keep the whole grid at the
 	// pre-shape-axes worst case (maxAxis² points).
-	if n := len(rates) * len(replicas) * max(1, len(bursts)) * max(1, len(mixes)); n > maxAxis*maxAxis {
+	if n := max(1, len(rates)) * len(replicas) * max(1, len(bursts)) * max(1, len(mixes)); n > maxAxis*maxAxis {
 		http.Error(w, fmt.Sprintf("dashboard: grid too large (%d points, max %d)", n, maxAxis*maxAxis),
 			http.StatusBadRequest)
 		return
 	}
 	maxBatch := q.atoiIn("maxbatch", "32", 1, 256)
 	requests := q.atoiIn("requests", "150", 1, 1000)
+	if tracePath != "" {
+		// Replay points run the recorded trace; report its true size.
+		requests = len(traceReqs)
+	}
 	inMean := q.atoiIn("inmean", "512", 1, 8192)
 	outMean := q.atoiIn("outmean", "128", 1, 8192)
 	if q.err != nil {
@@ -328,9 +365,11 @@ func (s *server) serveSweep(w http.ResponseWriter, r *http.Request) {
 	// every other parameter, not a silently missing knee section.
 	slo := 0.0
 	if sloStr := get("slo", ""); sloStr != "" {
+		// The positive-form bound rejects NaN; +Inf satisfies v > 0
+		// and needs its own check, or every point would "meet" the SLO.
 		v, err := strconv.ParseFloat(sloStr, 64)
-		if err != nil || !(v > 0) {
-			http.Error(w, "dashboard: slo must be a positive number of seconds", http.StatusBadRequest)
+		if err != nil || !(v > 0) || math.IsInf(v, 0) {
+			http.Error(w, "dashboard: slo must be a positive, finite number of seconds", http.StatusBadRequest)
 			return
 		}
 		slo = v
@@ -361,9 +400,10 @@ func (s *server) serveSweep(w http.ResponseWriter, r *http.Request) {
 		},
 		MaxBatch: maxBatch,
 		Seed:     42, Requests: requests, InputMean: inMean, OutputMean: outMean,
+		StreamStats: stream,
 	}, llmbench.ServeGrid{
 		Rates: rates, Replicas: replicas, Policies: []llmbench.ServePolicy{policy},
-		BurstFactors: bursts, LengthMixes: mixes,
+		BurstFactors: bursts, LengthMixes: mixes, Trace: traceReqs,
 		Parallelism: s.parallelism,
 	})
 	if err != nil {
@@ -416,8 +456,13 @@ func (s *server) serveSweep(w http.ResponseWriter, r *http.Request) {
 		if shaped {
 			kneeUnit = "replica count × trace shape"
 		}
+		knees, err := llmbench.Knees(pts, slo)
+		if err != nil {
+			http.Error(w, "dashboard: "+err.Error(), http.StatusBadRequest)
+			return
+		}
 		fmt.Fprintf(&md, "\nKnee per %s (highest swept rate with p99 ≤ %gs):\n\n", kneeUnit, slo)
-		for _, k := range llmbench.Knees(pts, slo) {
+		for _, k := range knees {
 			cfgName := fmt.Sprintf("%d replica(s)", k.Replicas)
 			if shaped {
 				cfgName = fmt.Sprintf("%s, %s", cfgName, shapeOf(k.BurstFactor, k.Mix))
@@ -459,6 +504,35 @@ func (q *query) atoiIn(key, def string, lo, hi int) int {
 		return lo
 	}
 	return v
+}
+
+// readTraceFile loads a recorded llmbench-trace file from the
+// server's filesystem — the upload-less replay path. The file is
+// capped at 64 MiB, and traces beyond 100k requests must opt into
+// streaming aggregation (stream=1): the exact path would ledger and
+// sort every completion inside one HTTP request.
+func readTraceFile(path string, stream bool) ([]llmbench.TraceRequest, error) {
+	const maxTraceBytes = 64 << 20
+	const maxExactRequests = 100_000
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %v", err)
+	}
+	defer f.Close()
+	if st, err := f.Stat(); err != nil {
+		return nil, fmt.Errorf("trace: %v", err)
+	} else if st.Size() > maxTraceBytes {
+		return nil, fmt.Errorf("trace file is %d bytes (max %d)", st.Size(), int64(maxTraceBytes))
+	}
+	reqs, _, err := llmbench.ReadTrace(f)
+	if err != nil {
+		return nil, err
+	}
+	if len(reqs) > maxExactRequests && !stream {
+		return nil, fmt.Errorf("trace has %d requests; pass stream=1 to replay more than %d",
+			len(reqs), maxExactRequests)
+	}
+	return reqs, nil
 }
 
 // parseFloatAxis parses a bounded comma-separated axis of positive

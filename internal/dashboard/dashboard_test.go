@@ -2,10 +2,16 @@ package dashboard
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"llmbench"
 )
 
 func TestIndex(t *testing.T) {
@@ -206,6 +212,71 @@ func TestServeSweepEndpoint(t *testing.T) {
 		"?slo=6s", "?slo=-1",
 	} {
 		r2, err := http.Get(srv.URL + "/api/servesweep" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2.Body.Close()
+		if r2.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", q, r2.StatusCode)
+		}
+	}
+}
+
+// TestServeSweepEndpointTraceReplay: the upload-less replay path — a
+// recorded trace file on the server's filesystem drives the sweep,
+// with and without streaming aggregation; conflicting or unreadable
+// trace parameters are 400s, as is a non-finite SLO.
+func TestServeSweepEndpointTraceReplay(t *testing.T) {
+	srv := httptest.NewServer(Handler(2))
+	defer srv.Close()
+
+	reqs, err := llmbench.ServePointTrace(llmbench.ServeSweepConfig{
+		System:   llmbench.System{Model: "Mistral-7B", Device: "A100", Framework: "vLLM"},
+		MaxBatch: 8, Seed: 11, Requests: 40, InputMean: 256, OutputMean: 64,
+	}, llmbench.ServeGrid{Rates: []float64{8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "day.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := llmbench.WriteTrace(f, reqs, llmbench.TraceMeta{Source: "dashboard test"}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	for _, extra := range []string{"", "&stream=1", "&rates=5,15"} {
+		res, err := http.Get(srv.URL + "/api/servesweep?model=Mistral-7B&device=A100&framework=vLLM" +
+			"&replicas=1,2&slo=6&trace=" + url.QueryEscape(path) + extra)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(res.Body)
+		res.Body.Close()
+		if res.StatusCode != http.StatusOK {
+			t.Fatalf("%q: status %d: %s", extra, res.StatusCode, body)
+		}
+		var out runResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Figure == nil || len(out.Figure.Series) != 2 {
+			t.Fatalf("%q: want one series per replica count, got %+v", extra, out.Figure)
+		}
+		if !strings.Contains(out.Markdown, "Knee") {
+			t.Errorf("%q: replay output missing knee table:\n%s", extra, out.Markdown)
+		}
+	}
+
+	for _, q := range []string{
+		"&trace=" + url.QueryEscape(path) + "&bursts=1,4",
+		"&trace=" + url.QueryEscape(path) + "&mixes=256:64",
+		"&trace=" + url.QueryEscape(filepath.Join(t.TempDir(), "missing.trace")),
+		"&slo=%2BInf", "&slo=NaN",
+	} {
+		r2, err := http.Get(srv.URL + "/api/servesweep?model=Mistral-7B&device=A100&framework=vLLM&rates=5" + q)
 		if err != nil {
 			t.Fatal(err)
 		}

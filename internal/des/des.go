@@ -124,11 +124,24 @@ type Kernel struct {
 	// is routed — the autoscaler's hook for adding and retiring
 	// stations. An error aborts the run.
 	ScaleTick func(now float64) error
+	// Sink, when non-nil, receives each completed request's lifecycle
+	// incrementally instead of the kernel retaining a ledger:
+	// Result.Finished stays empty and per-station completion buffers
+	// are drained at every arrival barrier, so memory is bounded by
+	// in-flight work rather than trace length. Completions are
+	// delivered in the same global (finish time, request ID) order
+	// Result.Finished would have — the concatenation of the per-barrier
+	// flushes is exactly the sorted ledger, because once every station
+	// has advanced to barrier t any future completion finishes at or
+	// after t, and completions tied at one instant always flush
+	// together. Called on the kernel's goroutine, never concurrently.
+	Sink func(RequestStats)
 
 	cfg      Config
 	stations []*Station
-	arrivals []float64 // sorted arrival times (window bounds)
-	due      []int     // reused per-barrier due-station index buffer
+	arrivals []float64      // sorted arrival times (window bounds)
+	due      []int          // reused per-barrier due-station index buffer
+	flushBuf []RequestStats // reused Sink merge buffer
 }
 
 // New creates an empty kernel.
@@ -158,8 +171,12 @@ type StationResult struct {
 type Result struct {
 	// Finished holds every completed request, sorted by (finish time,
 	// request ID) — the representation-independent order both the
-	// stepped and coalesced paths agree on byte-for-byte.
+	// stepped and coalesced paths agree on byte-for-byte. Empty when a
+	// Sink streamed the completions out instead.
 	Finished []RequestStats
+	// Completed counts completed requests — the completeness signal
+	// that remains valid when a Sink leaves Finished empty.
+	Completed int
 	// MakespanS is the end of the last completed work. The event
 	// clock cannot serve here: a window-exhausted event starts before
 	// the work it prices ends, and a coalesced event starts a whole
@@ -199,10 +216,16 @@ func (k *Kernel) Run(reqs []workload.Request) (Result, error) {
 
 	// Arrivals at equal timestamps keep trace order: stable sort, and
 	// the delivery loop below drains every arrival at one instant
-	// before any station event at that instant runs.
-	ordered := make([]workload.Request, len(reqs))
-	copy(ordered, reqs)
-	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Arrival < ordered[j].Arrival })
+	// before any station event at that instant runs. Already-ordered
+	// traces (recorded replays, generator output) are aliased rather
+	// than copied — the kernel never mutates the slice — so day-scale
+	// replays do not pay an O(n) copy per point.
+	ordered := reqs
+	if !sort.SliceIsSorted(reqs, func(i, j int) bool { return reqs[i].Arrival < reqs[j].Arrival }) {
+		ordered = make([]workload.Request, len(reqs))
+		copy(ordered, reqs)
+		sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Arrival < ordered[j].Arrival })
+	}
 	k.arrivals = make([]float64, len(ordered))
 	for i, r := range ordered {
 		if math.IsNaN(r.Arrival) || math.IsInf(r.Arrival, 0) {
@@ -219,6 +242,9 @@ func (k *Kernel) Run(reqs []workload.Request) (Result, error) {
 		// strictly before the next arrival is independent of it.
 		if err := k.advanceAll(t); err != nil {
 			return Result{}, err
+		}
+		if k.Sink != nil {
+			k.flush(t)
 		}
 		for i < len(ordered) && ordered[i].Arrival == t {
 			if k.ScaleTick != nil {
@@ -240,8 +266,49 @@ func (k *Kernel) Run(reqs []workload.Request) (Result, error) {
 	if err := k.advanceAll(math.Inf(1)); err != nil {
 		return Result{}, err
 	}
+	if k.Sink != nil {
+		k.flush(math.Inf(1))
+	}
 
 	return k.collect(), nil
+}
+
+// flush streams every completion that can no longer be reordered out
+// to the Sink: after all stations have advanced to the barrier, any
+// future completion finishes at or after it, so completions strictly
+// before the barrier are final. Each station's buffer is appended in
+// non-decreasing finish order (finish records at monotone event end
+// times), so the final prefix is a simple scan; the merged batch is
+// sorted by (finish time, request ID) before delivery, making the
+// concatenated flushes exactly the order Result.Finished would have.
+// Runs on the kernel's goroutine between barriers, when stations are
+// quiescent — correct at any Parallelism.
+func (k *Kernel) flush(barrier float64) {
+	buf := k.flushBuf[:0]
+	for _, s := range k.stations {
+		n := 0
+		for n < len(s.finished) && s.finished[n].Finished < barrier {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		buf = append(buf, s.finished[:n]...)
+		rest := copy(s.finished, s.finished[n:])
+		s.finished = s.finished[:rest]
+	}
+	k.flushBuf = buf
+	if len(buf) == 0 {
+		return
+	}
+	// Most barriers flush a single completion; sort.Slice's closure
+	// allocation is worth skipping a million times a day.
+	if len(buf) > 1 {
+		SortByCompletion(buf)
+	}
+	for _, r := range buf {
+		k.Sink(r)
+	}
 }
 
 // advanceAll runs every station's due events up to (strictly before)
@@ -304,6 +371,7 @@ func (k *Kernel) collect() Result {
 	SortByCompletion(finished)
 	res := Result{Finished: finished}
 	for _, s := range k.stations {
+		res.Completed += s.done
 		if s.lastDone > res.MakespanS {
 			res.MakespanS = s.lastDone
 		}

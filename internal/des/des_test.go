@@ -195,6 +195,56 @@ func TestKernelChunkedPrefillModes(t *testing.T) {
 	}
 }
 
+// TestKernelSinkOrderAndModes pins the streaming completion hand-off:
+// with a Sink installed, completions are delivered incrementally in
+// exactly the global (finish time, request ID) order of the ledger a
+// sink-less run returns — in every kernel mode, so a streaming
+// aggregator's float summation order is byte-identical to the exact
+// path's — the ledger stays empty, and Completed still counts.
+func TestKernelSinkOrderAndModes(t *testing.T) {
+	reqs, err := workload.PoissonTrace(workload.TraceConfig{
+		Seed: 21, Requests: 40, RatePerSec: 6,
+		InputMean: 256, OutputMean: 128, LengthJitter: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := des.Config{MaxBatch: 6, Preemptive: true}
+	ref := runKernel(t, modes(base)["serial"], 3, 16, reqs)
+	if len(ref.Finished) != len(reqs) {
+		t.Fatalf("reference completed %d/%d", len(ref.Finished), len(reqs))
+	}
+	for mode, mcfg := range modes(base) {
+		eng := testEngine(t)
+		k := des.New(mcfg)
+		stations := make([]*des.Station, 3)
+		for i := range stations {
+			stations[i] = k.NewStation(eng, testAlloc(t, 16))
+		}
+		rr := 0
+		k.Route = func(now float64) *des.Station {
+			s := stations[rr%len(stations)]
+			rr++
+			return s
+		}
+		var streamed []des.RequestStats
+		k.Sink = func(r des.RequestStats) { streamed = append(streamed, r) }
+		res, err := k.Run(reqs)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if len(res.Finished) != 0 {
+			t.Errorf("%s: Sink runs must not also build the ledger (%d entries)", mode, len(res.Finished))
+		}
+		if res.Completed != len(reqs) {
+			t.Errorf("%s: Completed %d/%d", mode, res.Completed, len(reqs))
+		}
+		if !reflect.DeepEqual(streamed, ref.Finished) {
+			t.Errorf("%s: Sink sequence differs from the sorted ledger", mode)
+		}
+	}
+}
+
 // TestKernelValidation covers the kernel's own error paths.
 func TestKernelValidation(t *testing.T) {
 	reqs := []workload.Request{{ID: 0, Input: 64, Output: 8, Arrival: 0}}

@@ -75,13 +75,25 @@ type Config struct {
 	// reference path the coalesced fast-forward is tested against.
 	// Output is byte-identical either way; Stepped only costs time.
 	Stepped bool
+
+	// Streaming aggregates completions incrementally through a
+	// StreamAggregator instead of retaining the per-request ledger:
+	// O(1) stats memory for million-request traces. Non-percentile
+	// aggregates are byte-identical to the exact path; percentiles are
+	// P² sketch estimates (see the accuracy contract in stream.go) and
+	// Stats.Requests is nil.
+	Streaming bool
 }
 
 // RequestStats records one request's lifecycle. It is the kernel's
 // ledger entry type (internal/des), re-exported for API stability.
 type RequestStats = des.RequestStats
 
-// Stats summarises a serving run.
+// Stats summarises a serving run. All percentile fields use the
+// lower-index convention: the p-quantile of n sorted samples is the
+// value at index int((n-1)*p), with no interpolation between ranks.
+// The streaming aggregator (stream.go) estimates the same quantiles
+// with P² sketches and is tested against this convention.
 type Stats struct {
 	Completed   int
 	MakespanS   float64
@@ -132,11 +144,22 @@ func Serve(cfg Config, reqs []workload.Request) (Stats, error) {
 		Stepped:        cfg.Stepped,
 	})
 	k.NewStation(cfg.Engine, cfg.Alloc)
+	var agg Aggregator
+	if cfg.Streaming {
+		stream := NewStreamAggregator()
+		agg = stream
+		k.Sink = stream.Observe
+	}
 	res, err := k.Run(reqs)
 	if err != nil {
 		return Stats{}, fmt.Errorf("sched: %w", err)
 	}
-	stats, err := Summarize(res.Finished, res.MakespanS, res.Preemptions)
+	var stats Stats
+	if cfg.Streaming {
+		stats, err = agg.Stats(res.MakespanS, res.Preemptions)
+	} else {
+		stats, err = Summarize(res.Finished, res.MakespanS, res.Preemptions)
+	}
 	if err != nil {
 		return Stats{}, err
 	}
@@ -156,8 +179,15 @@ func CoalesceWindow(eng *engine.Engine, alloc kvcache.Allocator, seqIDs []int,
 // the single summary implementation behind both the single-replica
 // scheduler and the cluster simulators (internal/cluster).
 func Summarize(done []RequestStats, makespan float64, preemptions int) (Stats, error) {
+	// Validate before allocating or sorting: a bad makespan used to be
+	// caught only after two O(n log n) sorts of day-scale slices. The
+	// negated comparison also rejects NaN, which `makespan <= 0` let
+	// through.
 	if len(done) == 0 {
 		return Stats{}, errors.New("sched: no requests completed")
+	}
+	if !(makespan > 0) {
+		return Stats{}, errors.New("sched: zero makespan")
 	}
 	var tokens, latSum, ttftSum, qdSum float64
 	lats := make([]float64, len(done))
@@ -172,9 +202,6 @@ func Summarize(done []RequestStats, makespan float64, preemptions int) (Stats, e
 	}
 	sort.Float64s(lats)
 	sort.Float64s(qds)
-	if makespan <= 0 {
-		return Stats{}, errors.New("sched: zero makespan")
-	}
 	return Stats{
 		Completed:      len(done),
 		MakespanS:      makespan,

@@ -1,0 +1,194 @@
+package sched
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"llmbench/internal/trace"
+)
+
+// exactQuantile is the reference the sketch is tested against:
+// Summarize's lower-index convention over the full sorted sample.
+func exactQuantile(samples []float64, p float64) float64 {
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	return sorted[int(float64(len(sorted)-1)*p)]
+}
+
+// The property-test distributions of the accuracy contract: the
+// arrival and length shapes the workload generators produce, plus a
+// uniform control. All fixed-seed, so the bound is a regression test,
+// not a statistical coin flip.
+func accuracySamples(name string, n int) []float64 {
+	rng := trace.NewRNG(0xbeef)
+	out := make([]float64, n)
+	for i := range out {
+		switch name {
+		case "exponential":
+			out[i] = rng.Exp(2.5)
+		case "lognormal":
+			// Box-Muller, matching workload.ChatTrace's length draw
+			// (sigma 0.7).
+			u1 := rng.Float64()
+			for u1 == 0 {
+				u1 = rng.Float64()
+			}
+			u2 := rng.Float64()
+			z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+			out[i] = 80 * math.Exp(0.7*z)
+		case "uniform":
+			out[i] = 1 + 9*rng.Float64()
+		}
+	}
+	return out
+}
+
+// TestP2QuantileAccuracy pins the documented contract: the sketch is
+// within 1% relative error of the exact lower-index percentile on the
+// property-test distributions at day-scale sample sizes (≥ 20k — the
+// regime streaming mode exists for; a 2k lognormal P99 has too few
+// tail samples for the bound to hold).
+func TestP2QuantileAccuracy(t *testing.T) {
+	for _, dist := range []string{"exponential", "lognormal", "uniform"} {
+		for _, n := range []int{20_000, 50_000} {
+			samples := accuracySamples(dist, n)
+			for _, p := range []float64{0.50, 0.95, 0.99} {
+				var sk P2Quantile
+				sk.Init(p)
+				for _, x := range samples {
+					sk.Observe(x)
+				}
+				want := exactQuantile(samples, p)
+				got := sk.Value()
+				if rel := math.Abs(got-want) / want; rel > 0.01 {
+					t.Errorf("%s n=%d p%g: sketch %v vs exact %v (relative error %.3f%% > 1%%)",
+						dist, n, 100*p, got, want, 100*rel)
+				}
+			}
+		}
+	}
+}
+
+// Below six observations the sketch stores the samples and must match
+// the exact lower-index percentile bit for bit.
+func TestP2QuantileExactWhenSmall(t *testing.T) {
+	samples := []float64{4.5, 1.25, 9.75, 0.5, 3.125}
+	for _, p := range []float64{0.50, 0.95, 0.99} {
+		for n := 1; n <= len(samples); n++ {
+			var sk P2Quantile
+			sk.Init(p)
+			for _, x := range samples[:n] {
+				sk.Observe(x)
+			}
+			if got, want := sk.Value(), exactQuantile(samples[:n], p); got != want {
+				t.Errorf("p%g n=%d: got %v, want exact %v", 100*p, n, got, want)
+			}
+			if sk.Count() != n {
+				t.Errorf("Count = %d, want %d", sk.Count(), n)
+			}
+		}
+	}
+	var sk P2Quantile
+	sk.Init(0.99)
+	if !math.IsNaN(sk.Value()) {
+		t.Error("empty sketch must report NaN")
+	}
+}
+
+// syntheticLedger builds a completion-ordered ledger with the shapes
+// Summarize sees: queueing delays, TTFTs, and latencies all positive
+// and heavy-tailed.
+func syntheticLedger(n int) []RequestStats {
+	rng := trace.NewRNG(99)
+	done := make([]RequestStats, n)
+	now := 0.0
+	for i := range done {
+		now += rng.Exp(0.05)
+		qd := rng.Exp(0.4)
+		ttft := qd + 0.02 + rng.Exp(0.1)
+		lat := ttft + rng.Exp(1.5)
+		done[i] = RequestStats{
+			ID: i, Input: 100 + rng.Intn(400), Output: 20 + rng.Intn(200),
+			Arrival: now, Started: now + qd, FirstTok: now + ttft, Finished: now + lat,
+		}
+	}
+	// Deliver in (finish, ID) order, as the kernel's Sink does.
+	sort.Slice(done, func(i, j int) bool {
+		if done[i].Finished != done[j].Finished {
+			return done[i].Finished < done[j].Finished
+		}
+		return done[i].ID < done[j].ID
+	})
+	return done
+}
+
+// TestStreamAggregatorMatchesSummarize pins both halves of the
+// accuracy contract: every non-percentile aggregate byte-identical to
+// Summarize (same additions in the same order), percentiles within 1%.
+func TestStreamAggregatorMatchesSummarize(t *testing.T) {
+	done := syntheticLedger(30_000)
+	const makespan = 1234.5
+
+	exact, err := Summarize(done, makespan, 17)
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	agg := NewStreamAggregator()
+	for _, r := range done {
+		agg.Observe(r)
+	}
+	got, err := agg.Stats(makespan, 17)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+
+	if got.Completed != exact.Completed || got.MakespanS != exact.MakespanS ||
+		got.Throughput != exact.Throughput || got.MeanLatency != exact.MeanLatency ||
+		got.MeanTTFT != exact.MeanTTFT || got.MeanQueueDelay != exact.MeanQueueDelay ||
+		got.Preemptions != exact.Preemptions {
+		t.Errorf("non-percentile aggregates must be byte-identical:\n got %+v\nwant %+v", got, exact)
+	}
+	if got.Requests != nil {
+		t.Error("streaming Stats must not carry a ledger")
+	}
+	check := func(name string, got, want float64) {
+		if rel := math.Abs(got-want) / want; rel > 0.01 {
+			t.Errorf("%s: sketch %v vs exact %v (relative error %.3f%% > 1%%)", name, got, want, 100*rel)
+		}
+	}
+	check("P50Latency", got.P50Latency, exact.P50Latency)
+	check("P95Latency", got.P95Latency, exact.P95Latency)
+	check("P99Latency", got.P99Latency, exact.P99Latency)
+	check("P50QueueDelay", got.P50QueueDelay, exact.P50QueueDelay)
+	check("P95QueueDelay", got.P95QueueDelay, exact.P95QueueDelay)
+	check("P99QueueDelay", got.P99QueueDelay, exact.P99QueueDelay)
+}
+
+// The streaming validation mirrors Summarize's.
+func TestStreamAggregatorValidation(t *testing.T) {
+	if _, err := NewStreamAggregator().Stats(10, 0); err == nil {
+		t.Error("empty aggregator must error like Summarize")
+	}
+	agg := NewStreamAggregator()
+	agg.Observe(RequestStats{Input: 8, Output: 8, Finished: 1})
+	for _, bad := range []float64{0, -1, math.NaN()} {
+		if _, err := agg.Stats(bad, 0); err == nil {
+			t.Errorf("makespan %v must be rejected", bad)
+		}
+	}
+}
+
+// Summarize must reject bad inputs before doing any work, and with
+// the same negated-comparison that catches NaN makespans.
+func TestSummarizeValidatesFirst(t *testing.T) {
+	done := []RequestStats{{Input: 8, Output: 8, Finished: 1}}
+	for _, bad := range []float64{0, -1, math.NaN()} {
+		if _, err := Summarize(done, bad, 0); err == nil {
+			t.Errorf("makespan %v must be rejected", bad)
+		}
+	}
+	if _, err := Summarize(nil, 10, 0); err == nil {
+		t.Error("empty ledger must be rejected")
+	}
+}

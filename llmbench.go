@@ -51,6 +51,7 @@ package llmbench
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"llmbench/internal/cluster"
@@ -316,7 +317,17 @@ type ServeConfig struct {
 	// device's free memory after weights.
 	KVBudgetGiB float64
 
-	// Trace parameters.
+	// Trace, when non-empty, replays a recorded trace (see ReadTrace)
+	// instead of synthesizing Poisson arrivals; the synthesis
+	// parameters below are ignored.
+	Trace []TraceRequest
+
+	// Streaming aggregates completions incrementally: O(1) stats
+	// memory at any trace length, P² sketch percentiles (≤ 1% relative
+	// error; see internal/sched/stream.go), Stats.Requests nil.
+	Streaming bool
+
+	// Trace-synthesis parameters (ignored when Trace is set).
 	Seed       uint64
 	Requests   int
 	RatePerSec float64
@@ -330,6 +341,28 @@ type ServeStats = sched.Stats
 // RequestStats re-exports one request's lifecycle entry
 // (ServeStats.Requests).
 type RequestStats = sched.RequestStats
+
+// TraceRequest re-exports one arrival of a serving trace: an offset
+// in seconds since trace start plus prompt and generation lengths.
+type TraceRequest = workload.Request
+
+// TraceMeta re-exports the descriptive header of a trace file.
+type TraceMeta = workload.TraceMeta
+
+// WriteTrace records a serving trace in the versioned llmbench-trace
+// file format (see TRACES.md): replaying a recorded trace through any
+// policy, replica count, and batching configuration is deterministic
+// to the bit. The trace is validated before anything is written.
+func WriteTrace(w io.Writer, reqs []TraceRequest, meta TraceMeta) error {
+	return workload.Record(w, reqs, meta)
+}
+
+// ReadTrace replays a trace file written by WriteTrace (or any
+// producer of the documented format) back into request order, with
+// IDs assigned by row.
+func ReadTrace(r io.Reader) ([]TraceRequest, TraceMeta, error) {
+	return workload.Replay(r)
+}
 
 // validateKVBudget rejects negative, NaN, and infinite KV budgets
 // rather than silently falling through to auto-sizing (or, for +Inf,
@@ -390,12 +423,17 @@ func Serve(cfg ServeConfig) (ServeStats, error) {
 	if err != nil {
 		return ServeStats{}, err
 	}
-	trace, err := workload.PoissonTrace(workload.TraceConfig{
-		Seed: cfg.Seed, Requests: cfg.Requests, RatePerSec: cfg.RatePerSec,
-		InputMean: cfg.InputMean, OutputMean: cfg.OutputMean, LengthJitter: 0.3,
-	})
-	if err != nil {
-		return ServeStats{}, err
+	trace := cfg.Trace
+	if len(trace) == 0 {
+		trace, err = workload.PoissonTrace(workload.TraceConfig{
+			Seed: cfg.Seed, Requests: cfg.Requests, RatePerSec: cfg.RatePerSec,
+			InputMean: cfg.InputMean, OutputMean: cfg.OutputMean, LengthJitter: 0.3,
+		})
+		if err != nil {
+			return ServeStats{}, err
+		}
+	} else if err := workload.ValidateTrace(trace); err != nil {
+		return ServeStats{}, fmt.Errorf("llmbench: %w", err)
 	}
 	policy := sched.Static
 	if cfg.Continuous {
@@ -403,6 +441,7 @@ func Serve(cfg ServeConfig) (ServeStats, error) {
 	}
 	return sched.Serve(sched.Config{
 		Engine: eng, Policy: policy, MaxBatch: cfg.MaxBatch, Alloc: alloc,
+		Streaming: cfg.Streaming,
 	}, trace)
 }
 
@@ -423,6 +462,16 @@ type ClusterConfig struct {
 	// between arrival barriers (see internal/des); Stats are
 	// byte-identical at any setting. Values ≤ 1 run serially.
 	Parallelism int
+
+	// Trace, when non-empty, replays a recorded trace (see ReadTrace)
+	// instead of synthesizing Poisson arrivals; the synthesis
+	// parameters below are ignored.
+	Trace []TraceRequest
+
+	// Streaming aggregates completions incrementally: O(1) stats
+	// memory at any trace length, P² sketch percentiles (≤ 1% relative
+	// error; see internal/sched/stream.go), Stats.Requests nil.
+	Streaming bool
 
 	Seed       uint64
 	Requests   int
@@ -458,12 +507,17 @@ func ServeCluster(cfg ClusterConfig) (ClusterStats, error) {
 		}
 		replicas[i] = cluster.Replica{Engine: eng, Alloc: alloc}
 	}
-	trace, err := workload.PoissonTrace(workload.TraceConfig{
-		Seed: cfg.Seed, Requests: cfg.Requests, RatePerSec: cfg.RatePerSec,
-		InputMean: cfg.InputMean, OutputMean: cfg.OutputMean, LengthJitter: 0.3,
-	})
-	if err != nil {
-		return ClusterStats{}, err
+	trace := cfg.Trace
+	if len(trace) == 0 {
+		trace, err = workload.PoissonTrace(workload.TraceConfig{
+			Seed: cfg.Seed, Requests: cfg.Requests, RatePerSec: cfg.RatePerSec,
+			InputMean: cfg.InputMean, OutputMean: cfg.OutputMean, LengthJitter: 0.3,
+		})
+		if err != nil {
+			return ClusterStats{}, err
+		}
+	} else if err := workload.ValidateTrace(trace); err != nil {
+		return ClusterStats{}, fmt.Errorf("llmbench: %w", err)
 	}
 	policy := cluster.RoundRobin
 	if cfg.LeastLoaded {
@@ -471,7 +525,7 @@ func ServeCluster(cfg ClusterConfig) (ClusterStats, error) {
 	}
 	return cluster.Serve(cluster.Config{
 		Replicas: replicas, Policy: policy, MaxBatch: cfg.MaxBatch,
-		Static: cfg.Static, Parallelism: cfg.Parallelism,
+		Static: cfg.Static, Parallelism: cfg.Parallelism, Streaming: cfg.Streaming,
 	}, trace)
 }
 
@@ -500,9 +554,20 @@ type AutoscaleConfig struct {
 	// arrival barriers; Stats are byte-identical at any setting.
 	Parallelism int
 
-	// Trace parameters. BurstFactor > 0 uses a bursty chat trace
-	// (workload.ChatTrace) — the load shape autoscaling exists for —
-	// otherwise arrivals are Poisson.
+	// Trace, when non-empty, replays a recorded trace (see ReadTrace)
+	// instead of synthesizing arrivals; the synthesis parameters below
+	// are ignored.
+	Trace []TraceRequest
+
+	// Streaming aggregates completions incrementally: O(1) stats
+	// memory at any trace length, P² sketch percentiles (≤ 1% relative
+	// error; see internal/sched/stream.go), Stats.Requests nil.
+	Streaming bool
+
+	// Trace-synthesis parameters (ignored when Trace is set).
+	// BurstFactor > 0 uses a bursty chat trace (workload.ChatTrace) —
+	// the load shape autoscaling exists for — otherwise arrivals are
+	// Poisson.
 	Seed        uint64
 	Requests    int
 	RatePerSec  float64
@@ -535,25 +600,30 @@ func ServeAutoscale(cfg AutoscaleConfig) (AutoscaleStats, error) {
 		}
 		return cluster.Replica{Engine: eng, Alloc: alloc}, nil
 	}
-	var trace []workload.Request
-	if cfg.BurstFactor > 0 {
-		trace, err = workload.ChatTrace(workload.ChatTraceConfig{
-			Seed: cfg.Seed, Requests: cfg.Requests, RatePerSec: cfg.RatePerSec,
-			BurstFactor: cfg.BurstFactor, BurstLenS: cfg.BurstLenS,
-			InputMedian: cfg.InputMean, OutputMedian: cfg.OutputMean,
-			Sigma: 0.7, MaxLen: 4096,
-		})
-	} else {
-		trace, err = workload.PoissonTrace(workload.TraceConfig{
-			Seed: cfg.Seed, Requests: cfg.Requests, RatePerSec: cfg.RatePerSec,
-			InputMean: cfg.InputMean, OutputMean: cfg.OutputMean, LengthJitter: 0.3,
-		})
-	}
-	if err != nil {
-		return AutoscaleStats{}, err
+	trace := cfg.Trace
+	if len(trace) == 0 {
+		if cfg.BurstFactor > 0 {
+			trace, err = workload.ChatTrace(workload.ChatTraceConfig{
+				Seed: cfg.Seed, Requests: cfg.Requests, RatePerSec: cfg.RatePerSec,
+				BurstFactor: cfg.BurstFactor, BurstLenS: cfg.BurstLenS,
+				InputMedian: cfg.InputMean, OutputMedian: cfg.OutputMean,
+				Sigma: 0.7, MaxLen: 4096,
+			})
+		} else {
+			trace, err = workload.PoissonTrace(workload.TraceConfig{
+				Seed: cfg.Seed, Requests: cfg.Requests, RatePerSec: cfg.RatePerSec,
+				InputMean: cfg.InputMean, OutputMean: cfg.OutputMean, LengthJitter: 0.3,
+			})
+		}
+		if err != nil {
+			return AutoscaleStats{}, err
+		}
+	} else if err := workload.ValidateTrace(trace); err != nil {
+		return AutoscaleStats{}, fmt.Errorf("llmbench: %w", err)
 	}
 	return cluster.ServeAutoscale(
-		cluster.Config{MaxBatch: cfg.MaxBatch, Static: cfg.Static, Parallelism: cfg.Parallelism},
+		cluster.Config{MaxBatch: cfg.MaxBatch, Static: cfg.Static,
+			Parallelism: cfg.Parallelism, Streaming: cfg.Streaming},
 		cluster.Autoscale{
 			Factory:       factory,
 			Min:           cfg.MinReplicas,

@@ -70,9 +70,24 @@ type LengthMix struct {
 // configuration's rate ladder (the capacity question) reads
 // contiguously.
 type ServeGrid struct {
-	// Rates is the arrival-rate axis in requests/s. Required; every
-	// value must be positive and finite.
+	// Rates is the arrival-rate axis in requests/s. Required on
+	// synthesized grids; every value must be positive and finite. On
+	// trace-replay grids (Trace set) an empty Rates axis replays the
+	// trace once at its native rate, and a non-empty one rescales the
+	// recorded arrival offsets to each value (workload.ScaleToRate) —
+	// order, lengths, and burst shape preserved — turning the axis
+	// into a what-if intensity ladder over recorded traffic.
 	Rates []float64
+
+	// Trace, when non-empty, replays a recorded trace (see ReadTrace)
+	// at every point instead of synthesizing traffic: all points share
+	// the identical arrival process, so the policy/replica/batch axes
+	// compare on exactly the traffic that was recorded. Incompatible
+	// with the trace-shape axes (BurstFactors, LengthMixes) — the
+	// recorded trace *is* the shape — and the base config's
+	// Requests/InputMean/OutputMean are ignored. Replay points report
+	// BurstFactor 0 and a zero Mix.
+	Trace []TraceRequest
 	// Replicas is the fleet-size axis (capacity ceiling for Autoscale
 	// policies). Empty means the base config's Replicas (minimum 1).
 	Replicas []int
@@ -157,6 +172,15 @@ type ServeSweepConfig struct {
 	// unchanged.
 	LeanStats bool
 
+	// StreamStats goes further than LeanStats: completions are
+	// aggregated incrementally (P² percentile sketches; see
+	// internal/sched/stream.go) instead of ledgered and sorted, so a
+	// point's stats memory is O(1) in trace length — the mode for
+	// million-request replays. Non-percentile aggregates are
+	// byte-identical to the exact path; percentiles carry the sketch's
+	// documented ≤ 1% relative error. Implies LeanStats.
+	StreamStats bool
+
 	// Autoscale tuning for Policies with Autoscale set. Zero values
 	// mean UpOutstanding = 2×MaxBatch, DownIdleS = 3s, CooldownS = 1s
 	// (the dashboard's defaults).
@@ -210,6 +234,10 @@ type serveAxes struct {
 	// chat records that the grid set a trace-shape axis, switching
 	// every point's trace generator from PoissonTrace to ChatTrace.
 	chat bool
+	// replay holds the recorded trace on trace-replay grids (nil
+	// otherwise): points rescale it to their rate instead of
+	// synthesizing arrivals.
+	replay []workload.Request
 }
 
 func (a serveAxes) perCombo() int {
@@ -226,6 +254,25 @@ func resolveServeAxes(cfg ServeSweepConfig, grid ServeGrid) (serveAxes, error) {
 		mixes:      grid.LengthMixes,
 		rates:      grid.Rates,
 		chat:       len(grid.BurstFactors) > 0 || len(grid.LengthMixes) > 0,
+		replay:     grid.Trace,
+	}
+	if len(a.replay) > 0 {
+		if a.chat {
+			return a, errors.New("llmbench: Trace replay is incompatible with the trace-shape axes (BurstFactors, LengthMixes) — the recorded trace is the shape")
+		}
+		if err := workload.ValidateTrace(a.replay); err != nil {
+			return a, fmt.Errorf("llmbench: %w", err)
+		}
+		if len(a.rates) == 0 {
+			// Replay once at the trace's own intensity; instantaneous
+			// single-burst traces have no native rate, so they need an
+			// explicit Rates axis.
+			native, err := workload.NativeRate(a.replay)
+			if err != nil {
+				return a, fmt.Errorf("llmbench: %w (set Rates to replay it at explicit intensities)", err)
+			}
+			a.rates = []float64{native}
+		}
 	}
 	if len(a.rates) == 0 {
 		return a, errors.New("llmbench: empty serve grid (no rates)")
@@ -266,20 +313,31 @@ func resolveServeAxes(cfg ServeSweepConfig, grid ServeGrid) (serveAxes, error) {
 		}
 	}
 	if len(a.mixes) == 0 {
-		a.mixes = []LengthMix{{Input: cfg.InputMean, Output: cfg.OutputMean}}
+		if len(a.replay) > 0 {
+			// Replay points carry no synthesized length mix; the single
+			// zero entry keeps the axis arithmetic uniform and reports
+			// as a zero Mix on every point.
+			a.mixes = []LengthMix{{}}
+		} else {
+			a.mixes = []LengthMix{{Input: cfg.InputMean, Output: cfg.OutputMean}}
+		}
 	}
-	for _, m := range a.mixes {
-		// Positive medians are a grid error; ChatTrace's stricter
-		// floor (≥ 16) surfaces per point so one bad mix cannot abort
-		// the rest of the sweep.
-		if m.Input < 1 || m.Output < 1 {
-			return a, fmt.Errorf("llmbench: length mix %+v must have positive medians", m)
+	if len(a.replay) == 0 {
+		for _, m := range a.mixes {
+			// Positive medians are a grid error; ChatTrace's stricter
+			// floor (≥ 16) surfaces per point so one bad mix cannot abort
+			// the rest of the sweep.
+			if m.Input < 1 || m.Output < 1 {
+				return a, fmt.Errorf("llmbench: length mix %+v must have positive medians", m)
+			}
 		}
 	}
 	if err := validateKVBudget(cfg.KVBudgetGiB); err != nil {
 		return a, err
 	}
-	if cfg.Requests < 1 || cfg.InputMean < 1 || cfg.OutputMean < 1 {
+	// Replay grids take their request count and lengths from the
+	// recorded trace; the synthesis parameters are ignored.
+	if len(a.replay) == 0 && (cfg.Requests < 1 || cfg.InputMean < 1 || cfg.OutputMean < 1) {
 		return a, fmt.Errorf("llmbench: bad serve trace shape (requests %d, input %d, output %d)",
 			cfg.Requests, cfg.InputMean, cfg.OutputMean)
 	}
@@ -384,7 +442,7 @@ func ServeSweep(cfg ServeSweepConfig, grid ServeGrid) ([]ServeSweepPoint, error)
 			traceIdx := (burstIdx*nMix+mixIdx)*nRate + rateIdx
 			runServePoint(&p, c, engines[combo].eng, engines[combo].budget, cfg, axes, traceIdx)
 		}
-		if cfg.LeanStats {
+		if cfg.LeanStats || cfg.StreamStats {
 			p.Stats.Requests = nil
 		}
 		out[i] = p
@@ -400,6 +458,13 @@ func ServeSweep(cfg ServeSweepConfig, grid ServeGrid) ([]ServeSweepPoint, error)
 // ChatTrace rejects (medians below its floor) is the caller's
 // per-point error.
 func (a serveAxes) pointTrace(cfg ServeSweepConfig, p *ServeSweepPoint, traceIdx int) ([]workload.Request, error) {
+	if len(a.replay) > 0 {
+		// Replay grids rescale the one recorded trace to the point's
+		// rate; scaling to the native rate aliases the shared slice
+		// (the kernel never mutates a sorted trace), so concurrent
+		// points are safe.
+		return workload.ScaleToRate(a.replay, p.Rate)
+	}
 	seed := cfg.Seed + uint64(traceIdx)
 	if !a.chat {
 		return workload.PoissonTrace(workload.TraceConfig{
@@ -447,7 +512,7 @@ func runServePoint(p *ServeSweepPoint, sys System, eng *engine.Engine, budget fl
 			return cluster.Replica{Engine: eng, Alloc: alloc}, nil
 		}
 		auto, err := cluster.ServeAutoscale(
-			cluster.Config{MaxBatch: p.MaxBatch, Static: p.Policy.Static},
+			cluster.Config{MaxBatch: p.MaxBatch, Static: p.Policy.Static, Streaming: cfg.StreamStats},
 			cluster.Autoscale{
 				Factory: factory, Min: 1, Max: p.Replicas,
 				UpOutstanding: upOut, DownIdleS: downIdle, CooldownS: cooldown,
@@ -472,7 +537,7 @@ func runServePoint(p *ServeSweepPoint, sys System, eng *engine.Engine, budget fl
 	}
 	st, err := cluster.Serve(cluster.Config{
 		Replicas: replicas, Policy: routePolicy(p.Policy), MaxBatch: p.MaxBatch,
-		Static: p.Policy.Static,
+		Static: p.Policy.Static, Streaming: cfg.StreamStats,
 	}, trace)
 	if err != nil {
 		p.Err = err
@@ -514,9 +579,15 @@ type KneePoint struct {
 // knees: for every distinct (device, framework, scheme, policy,
 // replicas, max batch, trace shape) configuration, the highest swept
 // rate whose P99 latency is at most sloP99. Configurations appear in
-// grid order; points with Err never qualify but their configuration
-// still appears (with Met false) so capacity gaps stay visible.
-func Knees(pts []ServeSweepPoint, sloP99 float64) []KneePoint {
+// grid order; points with Err or non-finite stats never qualify —
+// `NaN > slo` is false, so an unchecked degenerate point would count
+// as SLO-compliant — but their configuration still appears (with Met
+// false) so capacity gaps stay visible. A NaN, infinite, or
+// non-positive SLO is rejected.
+func Knees(pts []ServeSweepPoint, sloP99 float64) ([]KneePoint, error) {
+	if !(sloP99 > 0) || math.IsInf(sloP99, 0) {
+		return nil, fmt.Errorf("llmbench: P99 SLO %v must be positive and finite", sloP99)
+	}
 	type key struct {
 		dev, fw  string
 		scheme   Scheme
@@ -539,7 +610,7 @@ func Knees(pts []ServeSweepPoint, sloP99 float64) []KneePoint {
 				BurstFactor: p.BurstFactor, Mix: p.Mix,
 			})
 		}
-		if p.Err != nil || p.Stats.P99Latency > sloP99 {
+		if p.Err != nil || !finiteKneeStats(p.Stats) || p.Stats.P99Latency > sloP99 {
 			continue
 		}
 		if !out[i].Met || p.Rate > out[i].Rate {
@@ -548,5 +619,38 @@ func Knees(pts []ServeSweepPoint, sloP99 float64) []KneePoint {
 			out[i].Stats = p.Stats
 		}
 	}
-	return out
+	return out, nil
+}
+
+// finiteKneeStats reports whether a point's SLO-relevant aggregates
+// are finite — the guard that keeps degenerate points (never summed
+// into stats, or overflowed) from qualifying as capacity knees.
+func finiteKneeStats(s ServeStats) bool {
+	return !math.IsNaN(s.P99Latency) && !math.IsInf(s.P99Latency, 0) &&
+		!math.IsNaN(s.Throughput) && !math.IsInf(s.Throughput, 0)
+}
+
+// ServePointTrace synthesizes the arrival trace of a one-position
+// serving grid — the trace every point of that sweep would run — so
+// it can be recorded (WriteTrace) and later replayed byte-identically
+// through any policy, replica, and batching configuration
+// (ServeGrid.Trace). The grid must pin a single trace-shape position:
+// exactly one rate and at most one burst factor and length mix;
+// grids spanning several shapes have no single trace to record.
+func ServePointTrace(cfg ServeSweepConfig, grid ServeGrid) ([]TraceRequest, error) {
+	if len(grid.Trace) > 0 {
+		return nil, errors.New("llmbench: grid already replays a trace; nothing to record")
+	}
+	axes, err := resolveServeAxes(cfg, grid)
+	if err != nil {
+		return nil, err
+	}
+	if n := len(axes.rates) * len(axes.bursts) * len(axes.mixes); n != 1 {
+		return nil, fmt.Errorf("llmbench: grid spans %d trace-shape positions (rates × bursts × mixes); recording needs exactly 1", n)
+	}
+	p := ServeSweepPoint{Rate: axes.rates[0], Mix: axes.mixes[0]}
+	if axes.chat {
+		p.BurstFactor = axes.bursts[0]
+	}
+	return axes.pointTrace(cfg, &p, 0)
 }

@@ -1,6 +1,7 @@
 package llmbench
 
 import (
+	"bytes"
 	"math"
 	"reflect"
 	"strings"
@@ -502,7 +503,10 @@ func TestKnees(t *testing.T) {
 		mk(2, 5, 0.5, nil), mk(2, 10, 1.5, nil), mk(2, 20, 2.5, nil),
 		mk(4, 5, 0, errBoom), mk(4, 10, 0, errBoom),
 	}
-	knees := Knees(pts, 6.0)
+	knees, err := Knees(pts, 6.0)
+	if err != nil {
+		t.Fatalf("Knees: %v", err)
+	}
 	if len(knees) != 3 {
 		t.Fatalf("got %d knees, want 3", len(knees))
 	}
@@ -517,6 +521,252 @@ func TestKnees(t *testing.T) {
 	}
 	if knees[0].Replicas != 1 || knees[1].Replicas != 2 || knees[2].Replicas != 4 {
 		t.Error("knees must preserve grid order of configurations")
+	}
+}
+
+// TestKneesSkipsNonFiniteStats is the regression test for the NaN-SLO
+// bug: `NaN > slo` is false, so an unguarded degenerate point used to
+// count as SLO-compliant and could become the knee. Non-finite points
+// must be skipped, and an all-degenerate configuration must still
+// appear with Met false.
+func TestKneesSkipsNonFiniteStats(t *testing.T) {
+	mk := func(reps int, rate, p99, tput float64) ServeSweepPoint {
+		return ServeSweepPoint{
+			Device: "A100", Framework: "vLLM", Replicas: reps, MaxBatch: 8, Rate: rate,
+			Stats: ServeStats{P99Latency: p99, Throughput: tput},
+		}
+	}
+	pts := []ServeSweepPoint{
+		// Config 1: a NaN P99 at the highest rate must not win.
+		mk(1, 5, 1.0, 100), mk(1, 10, math.NaN(), 100),
+		// Config 2: finite P99 but overflowed throughput at the top rate.
+		mk(2, 5, 1.0, 100), mk(2, 10, 1.0, math.Inf(1)),
+		// Config 3: every point degenerate — present but unmet.
+		mk(4, 5, math.NaN(), 100), mk(4, 10, math.Inf(1), 100),
+	}
+	knees, err := Knees(pts, 6.0)
+	if err != nil {
+		t.Fatalf("Knees: %v", err)
+	}
+	if len(knees) != 3 {
+		t.Fatalf("got %d knees, want 3", len(knees))
+	}
+	if !knees[0].Met || knees[0].Rate != 5 {
+		t.Errorf("NaN-P99 point must not be the knee: %+v", knees[0])
+	}
+	if !knees[1].Met || knees[1].Rate != 5 {
+		t.Errorf("Inf-throughput point must not be the knee: %+v", knees[1])
+	}
+	if knees[2].Met {
+		t.Errorf("all-degenerate configuration must be unmet: %+v", knees[2])
+	}
+}
+
+// TestKneesRejectsBadSLO: a NaN, infinite, zero, or negative SLO would
+// silently qualify nothing (or everything); it is a caller error.
+func TestKneesRejectsBadSLO(t *testing.T) {
+	pts := []ServeSweepPoint{{Rate: 5, Stats: ServeStats{P99Latency: 1}}}
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := Knees(pts, bad); err == nil {
+			t.Errorf("SLO %v must be rejected", bad)
+		} else if !strings.Contains(err.Error(), "SLO") {
+			t.Errorf("SLO %v error %v must name the SLO", bad, err)
+		}
+	}
+}
+
+// TestServeSweepTraceReplayByteIdentity is the tentpole's round-trip
+// property: the trace a sweep point would synthesize, recorded to the
+// file format and read back, replays through continuous and static
+// policies with Stats byte-identical to the synthesized run — and the
+// replay sweep itself is byte-identical at Parallelism 1 and 8 (run
+// under -race in CI).
+func TestServeSweepTraceReplayByteIdentity(t *testing.T) {
+	recorded, err := ServePointTrace(serveSweepCfg, ServeGrid{Rates: []float64{6}})
+	if err != nil {
+		t.Fatalf("ServePointTrace: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, recorded, TraceMeta{Source: "test"}); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	replayed, _, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	for i := range replayed {
+		if replayed[i] != recorded[i] {
+			t.Fatalf("request %d survived the file format changed: %+v vs %+v", i, replayed[i], recorded[i])
+		}
+	}
+
+	synth := ServeGrid{
+		Rates:    []float64{6},
+		Replicas: []int{1, 2},
+		Policies: []ServePolicy{{}, {Static: true}},
+	}
+	want, err := ServeSweep(serveSweepCfg, synth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := synth
+	replay.Rates = nil // native-rate replay
+	replay.Trace = replayed
+	got, err := ServeSweep(serveSweepCfg, replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replay sweep has %d points, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Err != nil {
+			t.Fatalf("replay point %d failed: %v", i, got[i].Err)
+		}
+		// The point's Rate reports the trace's native intensity and Mix
+		// is zero on replay grids; the simulation outcome must match
+		// bit for bit.
+		if !reflect.DeepEqual(got[i].Stats, want[i].Stats) ||
+			!reflect.DeepEqual(got[i].PerReplica, want[i].PerReplica) {
+			t.Errorf("replay point %d (%v, %d replicas) differs from the synthesized run",
+				i, got[i].Policy, got[i].Replicas)
+		}
+	}
+
+	replay.Parallelism = 8
+	parallel, err := ServeSweep(serveSweepCfg, replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], parallel[i]) {
+			t.Errorf("replay point %d differs between parallelism 1 and 8", i)
+		}
+	}
+}
+
+// TestServeSweepTraceReplayValidation: replay grids reject the
+// trace-shape axes and invalid traces up front, and an instantaneous
+// burst trace (no native rate) demands an explicit Rates axis.
+func TestServeSweepTraceReplayValidation(t *testing.T) {
+	trace := []TraceRequest{
+		{ID: 0, Arrival: 0, Input: 64, Output: 16},
+		{ID: 1, Arrival: 0.5, Input: 64, Output: 16},
+	}
+	cases := []struct {
+		name string
+		grid ServeGrid
+		want string
+	}{
+		{"burst axis", ServeGrid{Trace: trace, BurstFactors: []float64{2}}, "trace-shape axes"},
+		{"mix axis", ServeGrid{Trace: trace, LengthMixes: []LengthMix{{Input: 128, Output: 32}}}, "trace-shape axes"},
+		{"out-of-order trace", ServeGrid{Trace: []TraceRequest{
+			{ID: 0, Arrival: 1, Input: 64, Output: 16}, {ID: 1, Arrival: 0.5, Input: 64, Output: 16},
+		}}, "time-ordered"},
+		{"instantaneous burst", ServeGrid{Trace: []TraceRequest{
+			{ID: 0, Arrival: 0, Input: 64, Output: 16}, {ID: 1, Arrival: 0, Input: 64, Output: 16},
+		}}, "set Rates"},
+	}
+	for _, c := range cases {
+		if _, err := ServeSweep(serveSweepCfg, c.grid); err == nil {
+			t.Errorf("%s: want error", c.name)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %v does not mention %q", c.name, err, c.want)
+		}
+	}
+	// The same trace with an explicit rate ladder is fine.
+	pts, err := ServeSweep(serveSweepCfg, ServeGrid{Trace: trace, Rates: []float64{4, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		if p.Err != nil {
+			t.Errorf("rescaled replay point %d failed: %v", i, p.Err)
+		}
+		if p.Stats.Completed != len(trace) {
+			t.Errorf("rescaled replay point %d completed %d/%d", i, p.Stats.Completed, len(trace))
+		}
+	}
+}
+
+// TestServePointTraceErrors: recording needs exactly one trace-shape
+// position and a grid that is not itself a replay.
+func TestServePointTraceErrors(t *testing.T) {
+	if _, err := ServePointTrace(serveSweepCfg, ServeGrid{
+		Trace: []TraceRequest{{Arrival: 0, Input: 8, Output: 8}},
+	}); err == nil || !strings.Contains(err.Error(), "nothing to record") {
+		t.Errorf("replay grid must have nothing to record, got %v", err)
+	}
+	for name, grid := range map[string]ServeGrid{
+		"two rates":  {Rates: []float64{4, 8}},
+		"two bursts": {Rates: []float64{4}, BurstFactors: []float64{1, 4}},
+		"two mixes":  {Rates: []float64{4}, LengthMixes: []LengthMix{{Input: 128, Output: 32}, {Input: 512, Output: 64}}},
+	} {
+		if _, err := ServePointTrace(serveSweepCfg, grid); err == nil ||
+			!strings.Contains(err.Error(), "trace-shape positions") {
+			t.Errorf("%s: want a multi-position error, got %v", name, err)
+		}
+	}
+	// A bursty one-position grid records its ChatTrace.
+	reqs, err := ServePointTrace(serveSweepCfg, ServeGrid{
+		Rates: []float64{6}, BurstFactors: []float64{4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != serveSweepCfg.Requests {
+		t.Errorf("recorded %d requests, want %d", len(reqs), serveSweepCfg.Requests)
+	}
+}
+
+// TestServeSweepStreamStats: StreamStats drops the ledger like
+// LeanStats and keeps every non-percentile aggregate byte-identical to
+// the exact path, while the P² percentiles track the exact ones.
+func TestServeSweepStreamStats(t *testing.T) {
+	cfg := serveSweepCfg
+	cfg.Requests = 2000
+	grid := ServeGrid{
+		Rates:    []float64{10},
+		Replicas: []int{2},
+		Policies: []ServePolicy{{}, {Static: true}, {Autoscale: true}},
+	}
+	lean := cfg
+	lean.LeanStats = true
+	exact, err := ServeSweep(lean, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := cfg
+	stream.StreamStats = true
+	got, err := ServeSweep(stream, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := func(s *ServeStats) {
+		s.P50Latency, s.P95Latency, s.P99Latency = 0, 0, 0
+		s.P50QueueDelay, s.P95QueueDelay, s.P99QueueDelay = 0, 0, 0
+	}
+	for i := range got {
+		if got[i].Err != nil {
+			t.Fatalf("streaming point %d failed: %v", i, got[i].Err)
+		}
+		if got[i].Stats.Requests != nil {
+			t.Errorf("point %d: StreamStats must drop the ledger", i)
+		}
+		check := func(name string, g, w float64) {
+			if rel := math.Abs(g-w) / w; rel > 0.05 {
+				t.Errorf("point %d %s: sketch %v vs exact %v (relative error %.2f%%)", i, name, g, w, 100*rel)
+			}
+		}
+		check("P50Latency", got[i].Stats.P50Latency, exact[i].Stats.P50Latency)
+		check("P95Latency", got[i].Stats.P95Latency, exact[i].Stats.P95Latency)
+		check("P99Latency", got[i].Stats.P99Latency, exact[i].Stats.P99Latency)
+		g, w := got[i], exact[i]
+		zero(&g.Stats)
+		zero(&w.Stats)
+		if !reflect.DeepEqual(g, w) {
+			t.Errorf("point %d: streaming non-percentile aggregates differ from exact", i)
+		}
 	}
 }
 
