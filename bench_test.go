@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"llmbench/internal/cluster"
+	"llmbench/internal/des"
 	"llmbench/internal/dtype"
 	"llmbench/internal/experiments"
 	"llmbench/internal/kvcache"
@@ -363,6 +364,11 @@ func BenchmarkServeClusterStatic(b *testing.B) {
 // is the ledgered reference the memory delta is measured against.
 func benchServeClusterMillion(b *testing.B, streaming bool) {
 	b.Helper()
+	if testing.Short() {
+		// The general bench smoke runs -short; the million-request rows
+		// get their own dedicated CI invocation.
+		b.Skip("million-request benchmark skipped in -short mode")
+	}
 	// Short chat turns at a rate the fleet sustains (~50 req/s against
 	// ~200 req/s of capacity), so the day is queueing, not meltdown.
 	reqs, err := workload.PoissonTrace(workload.TraceConfig{
@@ -377,6 +383,10 @@ func benchServeClusterMillion(b *testing.B, streaming bool) {
 		b.Fatal(err)
 	}
 	m := model.MustGet("LLaMA-3-8B")
+	// One arena across iterations, as a sweep worker would hold it:
+	// after the first run the kernel's station shells, free lists, and
+	// event buffers are recycled instead of reallocated.
+	var scratch des.Scratch
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -390,6 +400,7 @@ func benchServeClusterMillion(b *testing.B, streaming bool) {
 		}
 		st, err := cluster.Serve(cluster.Config{
 			Replicas: reps, Policy: cluster.LeastLoaded, MaxBatch: 32, Streaming: streaming,
+			Scratch: &scratch,
 		}, reqs)
 		if err != nil {
 			b.Fatal(err)

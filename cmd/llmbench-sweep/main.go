@@ -41,6 +41,15 @@
 // otherwise. -slo prints each configuration's capacity knee, and
 // -stream aggregates completions incrementally (P² percentile
 // sketches, O(1) memory) for million-request replays.
+//
+// -cpuprofile and -memprofile write pprof profiles of the sweep (CPU
+// samples over the whole run; a heap snapshot after it), so a kernel
+// or allocator regression can be diagnosed straight from the
+// production command instead of a throwaway harness:
+//
+//	llmbench-sweep -serve -model Mistral-7B -rates 20,40 -replicas 4 \
+//	    -requests 100000 -stream -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof -top cpu.out
 package main
 
 import (
@@ -48,6 +57,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -85,15 +96,17 @@ func main() {
 		mixes = flag.String("mixes", "",
 			"comma-separated input:output length-median axis (-serve), e.g. 512:128,2048:256; "+
 				"setting it (or -bursts) switches traces to heavy-tailed chat arrivals")
-		requests  = flag.Int("requests", 200, "requests per serving point (-serve)")
-		inMean    = flag.Int("inmean", 512, "mean prompt tokens (-serve)")
-		outMean   = flag.Int("outmean", 128, "mean generated tokens (-serve)")
-		seed      = flag.Uint64("seed", 42, "trace seed (-serve)")
-		kvBudget  = flag.Float64("kvbudget", 0, "per-replica KV pool in GiB, 0 = auto (-serve)")
-		slo       = flag.Float64("slo", 0, "P99 latency SLO in seconds (-serve); prints each configuration's capacity knee")
-		tracePath = flag.String("trace", "", "replay a recorded trace file at every point (-serve); -rates then rescales it, absent -rates replays at native rate")
-		record    = flag.String("record", "", "record the sweep's synthesized trace to this file (-serve); the grid must pin one rate/shape position")
-		stream    = flag.Bool("stream", false, "streaming stats (-serve): O(1) memory percentile sketches for million-request points")
+		requests   = flag.Int("requests", 200, "requests per serving point (-serve)")
+		inMean     = flag.Int("inmean", 512, "mean prompt tokens (-serve)")
+		outMean    = flag.Int("outmean", 128, "mean generated tokens (-serve)")
+		seed       = flag.Uint64("seed", 42, "trace seed (-serve)")
+		kvBudget   = flag.Float64("kvbudget", 0, "per-replica KV pool in GiB, 0 = auto (-serve)")
+		slo        = flag.Float64("slo", 0, "P99 latency SLO in seconds (-serve); prints each configuration's capacity knee")
+		tracePath  = flag.String("trace", "", "replay a recorded trace file at every point (-serve); -rates then rescales it, absent -rates replays at native rate")
+		record     = flag.String("record", "", "record the sweep's synthesized trace to this file (-serve); the grid must pin one rate/shape position")
+		stream     = flag.Bool("stream", false, "streaming stats (-serve): O(1) memory percentile sketches for million-request points")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file (inspect with 'go tool pprof')")
+		memprofile = flag.String("memprofile", "", "write an end-of-sweep heap profile to this file (inspect with 'go tool pprof')")
 	)
 	flag.Parse()
 	// -slo is validated here, at parse time, like every list flag: a
@@ -102,6 +115,11 @@ func main() {
 	if err := validateSLO(*slo); err != nil {
 		fatal(err)
 	}
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 
 	sys := llmbench.System{
 		Model: *modelName, Device: *device, Framework: *fw,
@@ -542,4 +560,46 @@ func validateSLO(v float64) error {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "llmbench-sweep:", err)
 	os.Exit(1)
+}
+
+// startProfiles starts CPU profiling and arranges the end-of-run heap
+// snapshot per the -cpuprofile/-memprofile flags; the returned stop
+// function must run before a successful exit (fatal exits skip it —
+// a failed sweep has no profile worth keeping). Empty paths are
+// no-ops.
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "llmbench-sweep: -cpuprofile:", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "llmbench-sweep: -memprofile:", err)
+				return
+			}
+			runtime.GC() // snapshot live heap, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "llmbench-sweep: -memprofile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "llmbench-sweep: -memprofile:", err)
+			}
+		}
+	}, nil
 }

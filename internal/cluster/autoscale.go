@@ -82,6 +82,8 @@ func ServeAutoscale(cfg Config, as Autoscale, reqs []workload.Request) (AutoStat
 		Stepped:     cfg.Stepped,
 		Parallelism: cfg.Parallelism,
 	})
+	k.Reuse(cfg.Scratch)
+	defer k.Release()
 	var agg sched.Aggregator
 	if cfg.Streaming {
 		stream := sched.NewStreamAggregator()

@@ -84,6 +84,12 @@ type Config struct {
 	// percentiles are P² sketch estimates (see the accuracy contract in
 	// internal/sched/stream.go) and Stats.Requests is nil.
 	Streaming bool
+
+	// Scratch, when non-nil, recycles kernel slices and station shells
+	// (request free lists included) across runs — see des.Scratch.
+	// Results are byte-identical with or without it; sweeps pass one
+	// per worker so per-point setup stops allocating.
+	Scratch *des.Scratch
 }
 
 // Stats aggregates the run; PerReplica reports each replica's share.
@@ -122,6 +128,8 @@ func Serve(cfg Config, reqs []workload.Request) (Stats, error) {
 		Stepped:     cfg.Stepped,
 		Parallelism: cfg.Parallelism,
 	})
+	k.Reuse(cfg.Scratch)
+	defer k.Release()
 	stations := make([]*des.Station, len(cfg.Replicas))
 	for i, r := range cfg.Replicas {
 		stations[i] = k.NewStation(r.Engine, r.Alloc)

@@ -47,22 +47,57 @@
 // consecutive arrival times every station evolves independently. The
 // kernel exploits this with a conservative time-window barrier: all
 // station events strictly before the next arrival run concurrently on
-// per-station goroutines (Config.Parallelism ≥ 2), then the kernel
-// joins and processes the arrival serially. Because each station's
-// trajectory is a pure function of its own state and the barrier
-// time, Stats are byte-identical at any Parallelism — the property
-// tests assert serial == parallel == Stepped to the last bit.
+// persistent worker goroutines (Config.Parallelism ≥ 2), then the
+// kernel joins and processes the arrival serially. Because each
+// station's trajectory is a pure function of its own state and the
+// barrier time, Stats are byte-identical at any Parallelism — the
+// property tests assert serial == parallel == Stepped to the last
+// bit.
+//
+// # Performance notes
+//
+// The kernel's steady state allocates (near) nothing per event; a
+// policy layer built on top must not break the invariants that make
+// that true:
+//
+//   - Request records are free-listed per station: a runReq (with its
+//     RequestStats embedded by value) is recycled at completion and at
+//     preemption. A pointer into a station's running set is therefore
+//     only valid until the request finishes — nothing outside the
+//     station may retain one. RequestStats cross the API boundary by
+//     value (ledger, Sink), never by pointer.
+//   - Each station keeps a monotone cursor into the sorted arrival
+//     array (Station.nextArrival). The cursor relies on station event
+//     times never decreasing: events only move the clock forward and
+//     an idle station is woken at the current barrier, never earlier.
+//     Anything that rewinds a station's clock must re-anchor or reset
+//     arrCur (Station.reset does).
+//   - The kernel tracks awake stations (nextAt ≥ 0, plus — on
+//     streaming runs — stations with unflushed completions)
+//     incrementally, so barriers cost O(awake), not O(stations), and
+//     long-retired autoscaler stations stop being scanned entirely.
+//     Stations are woken only via the kernel (routing an arrival);
+//     writing Station.nextAt from outside would desynchronise the
+//     awake set.
+//   - Completion buffers drain through a cursor (finHead), not by
+//     re-copying the tail; flush order stays (finish time, request
+//     ID) because per-station appends are already in non-decreasing
+//     finish order.
+//   - A Kernel can recycle its slices and station shells (free lists
+//     included) across runs via Reuse/Release (see Scratch) — sweeps
+//     use this so per-point setup stops allocating once the first
+//     point has warmed the arena.
 package des
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"llmbench/internal/engine"
 	"llmbench/internal/kvcache"
-	"llmbench/internal/pool"
 	"llmbench/internal/workload"
 )
 
@@ -107,11 +142,17 @@ type Config struct {
 	// Output is byte-identical either way; Stepped only costs time.
 	Stepped bool
 
-	// Parallelism ≥ 2 advances stations on that many goroutines
-	// between arrival barriers; values ≤ 1 advance them serially.
-	// Stats are byte-identical at any setting.
+	// Parallelism ≥ 2 advances stations on that many persistent
+	// worker goroutines between arrival barriers; values ≤ 1 advance
+	// them serially. Stats are byte-identical at any setting.
 	Parallelism int
 }
+
+// ErrKernelReused is returned by Run when the kernel has already run:
+// a second Run would silently reuse dirty station state. Build a
+// fresh kernel per run (recycling the old one's arena via
+// Release/Reuse if setup cost matters).
+var ErrKernelReused = errors.New("des: Kernel.Run called twice (kernels are single-use)")
 
 // Kernel drives stations over a trace. Build one with New, add
 // stations with NewStation (also legal mid-run, from a ScaleTick
@@ -138,10 +179,14 @@ type Kernel struct {
 	Sink func(RequestStats)
 
 	cfg      Config
+	ran      bool
 	stations []*Station
 	arrivals []float64      // sorted arrival times (window bounds)
 	due      []int          // reused per-barrier due-station index buffer
+	awake    []int          // stations with pending work (see advanceAll)
 	flushBuf []RequestStats // reused Sink merge buffer
+	scratch  *Scratch       // arena to Release into, when recycling
+	workers  *stationWorkers
 }
 
 // New creates an empty kernel.
@@ -151,7 +196,18 @@ func New(cfg Config) *Kernel { return &Kernel{cfg: cfg} }
 // The allocator must be private to the station; the engine may be
 // shared (engines are immutable and concurrency-safe).
 func (k *Kernel) NewStation(eng *engine.Engine, alloc kvcache.Allocator) *Station {
-	s := &Station{ID: len(k.stations), Engine: eng, Alloc: alloc, cfg: k.cfg, nextAt: -1}
+	var s *Station
+	if sc := k.scratch; sc != nil && len(sc.stations) > 0 {
+		s = sc.stations[len(sc.stations)-1]
+		sc.stations = sc.stations[:len(sc.stations)-1]
+		s.reset()
+	} else {
+		s = &Station{}
+	}
+	s.ID = len(k.stations)
+	s.Engine, s.Alloc = eng, alloc
+	s.cfg = k.cfg
+	s.nextAt = -1
 	k.stations = append(k.stations, s)
 	return s
 }
@@ -192,9 +248,28 @@ type Result struct {
 	PerStation []StationResult
 }
 
+// wake puts an idle station's next event at the current instant and
+// registers it in the awake set (once — a streaming station can
+// already be lingering there with unflushed completions).
+func (k *Kernel) wake(s *Station, t float64) {
+	if s.nextAt >= 0 {
+		return
+	}
+	s.nextAt = t
+	if !s.awake {
+		s.awake = true
+		k.awake = append(k.awake, s.ID)
+	}
+}
+
 // Run delivers the trace through the policy callbacks and drains
-// every station. It may be called once per kernel.
+// every station. It returns ErrKernelReused when called a second
+// time: stations carry run state, so a kernel is single-use.
 func (k *Kernel) Run(reqs []workload.Request) (Result, error) {
+	if k.ran {
+		return Result{}, ErrKernelReused
+	}
+	k.ran = true
 	if len(k.stations) == 0 {
 		return Result{}, errors.New("des: no stations")
 	}
@@ -213,6 +288,10 @@ func (k *Kernel) Run(reqs []workload.Request) (Result, error) {
 	if route == nil {
 		route = func(float64) *Station { return k.stations[0] }
 	}
+	if k.cfg.Parallelism >= 2 {
+		k.startWorkers(k.cfg.Parallelism)
+		defer k.stopWorkers()
+	}
 
 	// Arrivals at equal timestamps keep trace order: stable sort, and
 	// the delivery loop below drains every arrival at one instant
@@ -226,7 +305,11 @@ func (k *Kernel) Run(reqs []workload.Request) (Result, error) {
 		copy(ordered, reqs)
 		sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Arrival < ordered[j].Arrival })
 	}
-	k.arrivals = make([]float64, len(ordered))
+	if cap(k.arrivals) >= len(ordered) {
+		k.arrivals = k.arrivals[:len(ordered)]
+	} else {
+		k.arrivals = make([]float64, len(ordered))
+	}
 	for i, r := range ordered {
 		if math.IsNaN(r.Arrival) || math.IsInf(r.Arrival, 0) {
 			// A NaN arrival would never compare equal to the barrier
@@ -257,9 +340,7 @@ func (k *Kernel) Run(reqs []workload.Request) (Result, error) {
 				return Result{}, errors.New("des: router returned no station")
 			}
 			s.enqueue(queued{req: ordered[i]})
-			if s.nextAt < 0 {
-				s.nextAt = t // wake an idle station at the arrival instant
-			}
+			k.wake(s, t) // an idle station wakes at the arrival instant
 			i++
 		}
 	}
@@ -278,31 +359,37 @@ func (k *Kernel) Run(reqs []workload.Request) (Result, error) {
 // future completion finishes at or after it, so completions strictly
 // before the barrier are final. Each station's buffer is appended in
 // non-decreasing finish order (finish records at monotone event end
-// times), so the final prefix is a simple scan; the merged batch is
-// sorted by (finish time, request ID) before delivery, making the
-// concatenated flushes exactly the order Result.Finished would have.
-// Runs on the kernel's goroutine between barriers, when stations are
-// quiescent — correct at any Parallelism.
+// times), so the final prefix is a cursor advance (finHead) — the
+// unflushed suffix is never re-copied — and only awake stations are
+// scanned (advanceAll keeps a station registered until its buffer is
+// drained). The merged batch is sorted by (finish time, request ID)
+// before delivery, making the concatenated flushes exactly the order
+// Result.Finished would have. Runs on the kernel's goroutine between
+// barriers, when stations are quiescent — correct at any Parallelism.
 func (k *Kernel) flush(barrier float64) {
 	buf := k.flushBuf[:0]
-	for _, s := range k.stations {
-		n := 0
+	for _, i := range k.awake {
+		s := k.stations[i]
+		n := s.finHead
 		for n < len(s.finished) && s.finished[n].Finished < barrier {
 			n++
 		}
-		if n == 0 {
+		if n == s.finHead {
 			continue
 		}
-		buf = append(buf, s.finished[:n]...)
-		rest := copy(s.finished, s.finished[n:])
-		s.finished = s.finished[:rest]
+		buf = append(buf, s.finished[s.finHead:n]...)
+		s.finHead = n
+		if s.finHead == len(s.finished) {
+			s.finished = s.finished[:0]
+			s.finHead = 0
+		}
 	}
 	k.flushBuf = buf
 	if len(buf) == 0 {
 		return
 	}
-	// Most barriers flush a single completion; sort.Slice's closure
-	// allocation is worth skipping a million times a day.
+	// Most barriers flush a single completion; the sort's setup cost
+	// is worth skipping a million times a day.
 	if len(buf) > 1 {
 		SortByCompletion(buf)
 	}
@@ -311,48 +398,59 @@ func (k *Kernel) flush(barrier float64) {
 	}
 }
 
-// advanceAll runs every station's due events up to (strictly before)
-// the barrier, serially or on per-station goroutines. Stations touch
+// advanceAll runs every due station's events up to (strictly before)
+// the barrier, serially or on the persistent workers. Stations touch
 // only their own state plus the immutable arrival times and the
 // engine's concurrency-safe memo tables, so the two modes are
-// byte-identical; error selection is by earliest (event time, station
-// ID), which is deterministic in both.
+// byte-identical; error selection is by lowest (event time, station
+// ID), a total order that cannot depend on scheduling. Only awake
+// stations are examined: the set holds exactly the stations with a
+// pending event (nextAt ≥ 0) — plus, on streaming runs, stations
+// whose completion buffer is not yet drained — so a barrier costs
+// O(awake), and idle or retired stations are not rescanned a million
+// times.
 func (k *Kernel) advanceAll(barrier float64) error {
 	stations := k.stations
 	// Fan out only the stations with due work: under dense arrivals
 	// most barriers wake one or two stations (a coalesced window ends
-	// at or after the arrival that cut it), and spawning workers for
+	// at or after the arrival that cut it), and waking workers for
 	// idle stations would cost more than it buys. The post-trace
 	// drain (barrier = +Inf) is where every station is due at once —
 	// and where the big windows make goroutines pay.
 	k.due = k.due[:0]
-	for i, s := range stations {
-		if s.nextAt >= 0 && s.nextAt < barrier {
+	for _, i := range k.awake {
+		if s := stations[i]; s.nextAt >= 0 && s.nextAt < barrier {
 			k.due = append(k.due, i)
 		}
 	}
-	if k.cfg.Parallelism >= 2 && len(k.due) >= 2 {
-		workers := k.cfg.Parallelism
-		if workers > len(k.due) {
-			workers = len(k.due)
-		}
-		// The callback never returns an error, so the pool cannot
-		// abort early: every due station reaches the barrier in
-		// every mode, keeping even failure states deterministic.
-		_ = pool.ForEach(len(k.due), workers, func(i int) error {
-			stations[k.due[i]].advance(barrier, k.arrivals)
-			return nil
-		})
+	if k.workers != nil && len(k.due) >= 2 {
+		k.workers.run(k, barrier)
 	} else {
 		for _, i := range k.due {
 			stations[i].advance(barrier, k.arrivals)
 		}
 	}
+	// Drop settled stations from the awake set: idle (a streaming
+	// station lingers until its completions flush) and not errored —
+	// an errored station must stay visible to the selection below,
+	// which only examines this barrier's due list; errors are only
+	// set during advance, so the earliest error is always due here.
+	w := k.awake[:0]
+	for _, i := range k.awake {
+		s := stations[i]
+		if s.nextAt >= 0 || s.err != nil || (k.Sink != nil && len(s.finished) > s.finHead) {
+			w = append(w, i)
+		} else {
+			s.awake = false
+		}
+	}
+	k.awake = w
 	var firstErr error
-	at := math.Inf(1)
-	for _, s := range stations {
-		if s.err != nil && (firstErr == nil || s.errAt < at) {
-			firstErr, at = s.err, s.errAt
+	at, atID := math.Inf(1), -1
+	for _, i := range k.due {
+		s := stations[i]
+		if s.err != nil && (firstErr == nil || s.errAt < at || (s.errAt == at && s.ID < atID)) {
+			firstErr, at, atID = s.err, s.errAt, s.ID
 		}
 	}
 	return firstErr
@@ -362,11 +460,11 @@ func (k *Kernel) advanceAll(barrier float64) error {
 func (k *Kernel) collect() Result {
 	total := 0
 	for _, s := range k.stations {
-		total += len(s.finished)
+		total += len(s.finished) - s.finHead
 	}
 	finished := make([]RequestStats, 0, total)
 	for _, s := range k.stations {
-		finished = append(finished, s.finished...)
+		finished = append(finished, s.finished[s.finHead:]...)
 	}
 	SortByCompletion(finished)
 	res := Result{Finished: finished}
@@ -386,21 +484,6 @@ func (k *Kernel) collect() Result {
 	return res
 }
 
-// nextArrivalAfter returns the earliest arrival strictly after now,
-// or -1 when none remain — the bound that keeps coalesced windows
-// from crossing a routing decision. Pure over the sorted trace, so
-// concurrent stations may query it at unrelated times.
-func nextArrivalAfter(arrivals []float64, now float64) float64 {
-	i := sort.SearchFloat64s(arrivals, now)
-	for i < len(arrivals) && arrivals[i] <= now {
-		i++
-	}
-	if i == len(arrivals) {
-		return -1
-	}
-	return arrivals[i]
-}
-
 // SortByCompletion puts finished requests in completion order with a
 // request-ID tie-break. Stations append completions in event order,
 // which depends on how many iterations each event carries — a
@@ -409,12 +492,21 @@ func nextArrivalAfter(arrivals []float64, now float64) float64 {
 // raw append order is representation-dependent. Completion times are
 // not: sorting on them makes Stats (including the float summation
 // order inside sched.Summarize) identical for every kernel mode.
+// (finish time, request ID) is a total order — IDs are unique — so
+// the unstable, allocation-free sort is still deterministic.
 func SortByCompletion(done []RequestStats) {
-	sort.Slice(done, func(i, j int) bool {
-		if done[i].Finished != done[j].Finished {
-			return done[i].Finished < done[j].Finished
+	slices.SortFunc(done, func(a, b RequestStats) int {
+		switch {
+		case a.Finished < b.Finished:
+			return -1
+		case a.Finished > b.Finished:
+			return 1
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
 		}
-		return done[i].ID < done[j].ID
+		return 0
 	})
 }
 

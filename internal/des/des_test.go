@@ -1,6 +1,7 @@
 package des_test
 
 import (
+	"errors"
 	"math"
 	"reflect"
 	"testing"
@@ -241,6 +242,63 @@ func TestKernelSinkOrderAndModes(t *testing.T) {
 		}
 		if !reflect.DeepEqual(streamed, ref.Finished) {
 			t.Errorf("%s: Sink sequence differs from the sorted ledger", mode)
+		}
+	}
+}
+
+// TestKernelRunOnce pins the single-use contract: a second Run would
+// silently reuse dirty station state, so it must fail with the named
+// error instead.
+func TestKernelRunOnce(t *testing.T) {
+	reqs := []workload.Request{{ID: 0, Input: 64, Output: 8, Arrival: 0}}
+	k := des.New(des.Config{MaxBatch: 4})
+	k.NewStation(testEngine(t), testAlloc(t, 1))
+	if _, err := k.Run(reqs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(reqs); !errors.Is(err, des.ErrKernelReused) {
+		t.Errorf("second Run: got %v, want ErrKernelReused", err)
+	}
+}
+
+// TestKernelScratchReuseIdentical pins the arena-recycling contract:
+// kernels built over a shared Scratch — station shells, free lists,
+// and event buffers all recycled, across varying fleet sizes — return
+// Results byte-identical to fresh kernels.
+func TestKernelScratchReuseIdentical(t *testing.T) {
+	reqs, err := workload.PoissonTrace(workload.TraceConfig{
+		Seed: 13, Requests: 40, RatePerSec: 5,
+		InputMean: 256, OutputMean: 128, LengthJitter: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := testEngine(t)
+	cfg := des.Config{MaxBatch: 6, Preemptive: true}
+	sc := &des.Scratch{}
+	// Vary the station count so later runs both pop recycled shells
+	// and allocate fresh ones.
+	for round, n := range []int{3, 2, 3} {
+		ref := runKernel(t, cfg, n, 16, reqs)
+		k := des.New(cfg)
+		k.Reuse(sc)
+		stations := make([]*des.Station, n)
+		for i := range stations {
+			stations[i] = k.NewStation(eng, testAlloc(t, 16))
+		}
+		rr := 0
+		k.Route = func(now float64) *des.Station {
+			s := stations[rr%n]
+			rr++
+			return s
+		}
+		got, err := k.Run(reqs)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		k.Release()
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("round %d (%d stations): recycled-kernel Result differs from fresh kernel", round, n)
 		}
 	}
 }

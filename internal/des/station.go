@@ -21,12 +21,20 @@ type Station struct {
 
 	// Retired marks a station drained by the autoscaler. The kernel
 	// itself ignores the flag — a retired station is empty and the
-	// router stops picking it, so it simply never wakes again.
+	// router stops picking it, so it simply never wakes again (and the
+	// kernel's awake set stops scanning it at barriers).
 	Retired bool
 
-	cfg   Config
+	cfg Config
+
+	// queue is the admission queue; the live entries are
+	// queue[qhead:]. Popping advances qhead instead of reslicing, so
+	// the backing array's capacity survives a million pops — the
+	// allocation that used to dominate enqueue.
 	queue []queued
-	run   []*runReq
+	qhead int
+
+	run []*runReq
 
 	nextAt   float64 // next window-exhausted event; < 0 when idle
 	busy     float64 // time spent executing iterations
@@ -34,14 +42,33 @@ type Station struct {
 	lastDone float64 // end of this station's last completed work
 	done     int
 	preempts int
+
+	// finished holds completion records not yet handed off;
+	// finished[finHead:] is the unflushed suffix when a Sink drains
+	// the buffer at barriers (finHead stays 0 on ledgered runs).
 	finished []RequestStats
+	finHead  int
 
 	err   error
 	errAt float64
 
+	// awake marks membership in the kernel's awake set (kernel-owned;
+	// guards against double registration).
+	awake bool
+
+	// arrCur is the station's monotone cursor into the kernel's
+	// sorted arrival array: every arrival before it is ≤ some past
+	// event time. Station event times never decrease, so the
+	// next-arrival lookup advances the cursor instead of binary
+	// searching the full trace at every window event.
+	arrCur int
+
 	window   []float64 // reused fast-forward cost buffer
 	ids      []int     // reused sequence-id buffer
 	decoding []*runReq // reused chunked-mode partition buffer
+	admitted []*runReq // reused admission / static-batch buffer
+	free     []*runReq // recycled request records
+	slab     []runReq  // bump-allocation backing for fresh records
 }
 
 // queued is a waiting request; preempted counts prior evictions so
@@ -51,19 +78,83 @@ type queued struct {
 	preempted int
 }
 
-// runReq is an admitted request in flight.
+// runReq is an admitted request in flight. Records are drawn from the
+// station's free list (or slab-allocated in batches) and recycled at
+// completion and preemption, so steady-state admission allocates
+// nothing; stats is embedded by value for the same reason.
 type runReq struct {
 	req            workload.Request
 	generated      int
 	pendingPrefill int // prompt tokens not yet prefilled (chunked mode)
-	preempted      int
-	stats          *RequestStats
+	stats          RequestStats
+}
+
+// reqSlabLen is how many records one slab allocation provides while
+// the free list warms up.
+const reqSlabLen = 64
+
+// getReq takes a recycled (or slab-fresh) record and initialises it
+// for an admission at time now.
+func (s *Station) getReq(q queued, now float64) *runReq {
+	var r *runReq
+	if n := len(s.free); n > 0 {
+		r = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		if len(s.slab) == 0 {
+			s.slab = make([]runReq, reqSlabLen)
+		}
+		r = &s.slab[0]
+		s.slab = s.slab[1:]
+	}
+	*r = runReq{
+		req: q.req,
+		stats: RequestStats{
+			ID: q.req.ID, Input: q.req.Input, Output: q.req.Output,
+			Arrival: q.req.Arrival, Started: now, Preempted: q.preempted,
+		},
+	}
+	return r
+}
+
+// putReq recycles a record whose lifecycle ended (completion or
+// preemption). The caller must not touch it afterwards.
+func (s *Station) putReq(r *runReq) { s.free = append(s.free, r) }
+
+// reset returns a recycled station shell to its just-created state,
+// keeping the warmed buffers and free list.
+func (s *Station) reset() {
+	s.Retired = false
+	s.queue = s.queue[:0]
+	s.qhead = 0
+	s.run = s.run[:0]
+	s.nextAt = -1
+	s.busy, s.maxIter, s.lastDone = 0, 0, 0
+	s.done, s.preempts = 0, 0
+	s.finished = s.finished[:0]
+	s.finHead = 0
+	s.err, s.errAt = nil, 0
+	s.awake = false
+	s.arrCur = 0
+}
+
+// queueLen is the number of live queued requests.
+func (s *Station) queueLen() int { return len(s.queue) - s.qhead }
+
+// popHead removes and returns the queue's head.
+func (s *Station) popHead() queued {
+	q := s.queue[s.qhead]
+	s.qhead++
+	if s.qhead == len(s.queue) {
+		s.queue, s.qhead = s.queue[:0], 0
+	}
+	return q
 }
 
 // Outstanding is the station's queued plus running request count —
 // the load signal the routing and scaling policies read at arrival
 // barriers.
-func (s *Station) Outstanding() int { return len(s.queue) + len(s.run) }
+func (s *Station) Outstanding() int { return s.queueLen() + len(s.run) }
 
 // enqueue inserts a request keeping the queue sorted by effective
 // arrival time (FIFO among equals). The router delivers arrivals in
@@ -72,10 +163,18 @@ func (s *Station) Outstanding() int { return len(s.queue) + len(s.run) }
 // beyond a not-yet-routed arrival: admission order must follow
 // effective arrival, not delivery order.
 func (s *Station) enqueue(q queued) {
-	i := sort.Search(len(s.queue), func(i int) bool { return s.queue[i].req.Arrival > q.req.Arrival })
+	if s.qhead > 0 && len(s.queue) == cap(s.queue) {
+		// Reclaim the popped prefix before append would grow the
+		// array: steady state then reuses one backing array forever.
+		n := copy(s.queue, s.queue[s.qhead:])
+		s.queue, s.qhead = s.queue[:n], 0
+	}
+	live := s.queue[s.qhead:]
+	i := sort.Search(len(live), func(i int) bool { return live[i].req.Arrival > q.req.Arrival })
 	s.queue = append(s.queue, queued{})
-	copy(s.queue[i+1:], s.queue[i:])
-	s.queue[i] = q
+	live = s.queue[s.qhead:]
+	copy(live[i+1:], live[i:])
+	live[i] = q
 }
 
 // advance runs the station's due events up to (strictly before) the
@@ -84,12 +183,12 @@ func (s *Station) enqueue(q queued) {
 func (s *Station) advance(barrier float64, arrivals []float64) {
 	for s.err == nil && s.nextAt >= 0 && s.nextAt < barrier {
 		now := s.nextAt
-		end, err := s.step(now, nextArrivalAfter(arrivals, now))
+		end, err := s.step(now, s.nextArrival(arrivals, now))
 		if err != nil {
 			s.err, s.errAt = err, now
 			return
 		}
-		if len(s.run) == 0 && len(s.queue) == 0 {
+		if len(s.run) == 0 && s.queueLen() == 0 {
 			s.nextAt = -1 // idle; an arrival wakes the station
 			return
 		}
@@ -104,6 +203,30 @@ func (s *Station) advance(barrier float64, arrivals []float64) {
 	}
 }
 
+// nextArrival returns the earliest arrival strictly after now, or -1
+// when none remain — the bound that keeps coalesced windows from
+// crossing a routing decision. A station's event times are monotone
+// (events only move the clock forward, and an idle station wakes at
+// the current barrier, never earlier), so the cursor only advances:
+// the lookup is amortised O(1) per event instead of a binary search
+// over the full trace. A cursor that somehow overshot (which the
+// monotonicity invariant rules out) is re-anchored by binary search
+// rather than trusted.
+func (s *Station) nextArrival(arrivals []float64, now float64) float64 {
+	i := s.arrCur
+	if i > 0 && arrivals[i-1] > now {
+		i = sort.SearchFloat64s(arrivals, now)
+	}
+	for i < len(arrivals) && arrivals[i] <= now {
+		i++
+	}
+	s.arrCur = i
+	if i == len(arrivals) {
+		return -1
+	}
+	return arrivals[i]
+}
+
 // step runs one window-exhausted event at time now: admission from
 // the queue head, then either a coalesced fast-forward over every
 // identical decode iteration up to the next state change or a single
@@ -116,25 +239,19 @@ func (s *Station) step(now, nextArrival float64) (float64, error) {
 	// Admit from the head of the queue while batch slots and KV
 	// capacity remain. Admission is FIFO: a blocked head blocks
 	// everything behind it.
-	var admitted []*runReq
-	for len(s.queue) > 0 && len(s.run)+len(admitted) < s.cfg.MaxBatch {
-		q := s.queue[0]
+	s.admitted = s.admitted[:0]
+	for s.queueLen() > 0 && len(s.run)+len(s.admitted) < s.cfg.MaxBatch {
+		q := s.queue[s.qhead]
 		if !s.Alloc.CanAlloc(q.req.Input) {
 			break
 		}
 		if err := s.Alloc.Alloc(q.req.ID, q.req.Input); err != nil {
 			break
 		}
-		s.queue = s.queue[1:]
-		admitted = append(admitted, &runReq{
-			req:       q.req,
-			preempted: q.preempted,
-			stats: &RequestStats{
-				ID: q.req.ID, Input: q.req.Input, Output: q.req.Output,
-				Arrival: q.req.Arrival, Started: now, Preempted: q.preempted,
-			},
-		})
+		s.popHead()
+		s.admitted = append(s.admitted, s.getReq(q, now))
 	}
+	admitted := s.admitted
 	var step float64
 	if len(admitted) > 0 {
 		if s.cfg.ChunkedPrefill {
@@ -166,11 +283,11 @@ func (s *Station) step(now, nextArrival float64) (float64, error) {
 		s.run = append(s.run, admitted...)
 	}
 	if len(s.run) == 0 {
-		if len(s.queue) > 0 {
+		if s.queueLen() > 0 {
 			// Nothing is running and the head cannot be admitted: no
 			// future completion can free capacity, so it never fits.
 			return 0, fmt.Errorf("des: station %d cannot admit request %d (input %d): KV cache too small",
-				s.ID, s.queue[0].req.ID, s.queue[0].req.Input)
+				s.ID, s.queue[s.qhead].req.ID, s.queue[s.qhead].req.Input)
 		}
 		return now, nil
 	}
@@ -323,7 +440,8 @@ func (s *Station) step(now, nextArrival float64) (float64, error) {
 					s.preempts++
 					requeued := r.req
 					requeued.Arrival = end
-					s.queue = append(s.queue, queued{req: requeued, preempted: r.preempted + 1})
+					s.queue = append(s.queue, queued{req: requeued, preempted: r.stats.Preempted + 1})
+					s.putReq(r)
 					continue
 				}
 				return 0, err
@@ -370,31 +488,27 @@ func (s *Station) stepStatic(now float64) (float64, error) {
 		}
 		s.run = s.run[:0]
 	}
-	var batch []*runReq
+	s.admitted = s.admitted[:0]
+	live := s.queue[s.qhead:]
 	rest := s.queue[:0]
-	for _, q := range s.queue {
-		if len(batch) < s.cfg.MaxBatch && s.Alloc.CanAlloc(q.req.Input+q.req.Output) {
+	s.qhead = 0
+	for _, q := range live {
+		if len(s.admitted) < s.cfg.MaxBatch && s.Alloc.CanAlloc(q.req.Input+q.req.Output) {
 			if err := s.Alloc.Alloc(q.req.ID, q.req.Input+q.req.Output); err == nil {
-				batch = append(batch, &runReq{
-					req:       q.req,
-					preempted: q.preempted,
-					stats: &RequestStats{
-						ID: q.req.ID, Input: q.req.Input, Output: q.req.Output,
-						Arrival: q.req.Arrival, Started: now, Preempted: q.preempted,
-					},
-				})
+				s.admitted = append(s.admitted, s.getReq(q, now))
 				continue
 			}
 		}
 		rest = append(rest, q)
 	}
 	s.queue = rest
+	batch := s.admitted
 	if len(batch) == 0 {
-		if len(s.queue) > 0 {
+		if s.queueLen() > 0 {
 			// The allocator is drained between batches, so a request
 			// that does not fit an empty pool never will.
 			return 0, fmt.Errorf("des: station %d cannot batch request %d (input %d, output %d): KV cache too small",
-				s.ID, s.queue[0].req.ID, s.queue[0].req.Input, s.queue[0].req.Output)
+				s.ID, s.queue[s.qhead].req.ID, s.queue[s.qhead].req.Input, s.queue[s.qhead].req.Output)
 		}
 		return now, nil
 	}
@@ -421,11 +535,12 @@ func (s *Station) stepStatic(now float64) (float64, error) {
 	return now + res.E2ESeconds, nil
 }
 
-// finish records a completion at time end.
+// finish records a completion at time end and recycles the record.
 func (s *Station) finish(r *runReq, end float64) {
 	s.Alloc.Free(r.req.ID)
 	r.stats.Finished = end
-	s.finished = append(s.finished, *r.stats)
+	s.finished = append(s.finished, r.stats)
+	s.putReq(r)
 	s.done++
 	if end > s.lastDone {
 		s.lastDone = end

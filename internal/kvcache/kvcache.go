@@ -55,6 +55,7 @@ type Paged struct {
 	totalBlocks   int
 	freeBlocks    int
 	seqs          map[int]pagedSeq
+	scratch       []int // reused by MaxExtendSteps (token counts)
 }
 
 type pagedSeq struct {
@@ -151,28 +152,37 @@ func (p *Paged) CanAlloc(tokens int) bool { return p.blocksFor(tokens) <= p.free
 // MaxExtendSteps implements Allocator. Block demand is monotone in the
 // step count, so the largest feasible k is found by binary search; a
 // cumulative demand that fits also fits at every intermediate step and
-// in any per-step extension order.
+// in any per-step extension order. The sequence states are read once
+// up front (into a reused buffer — the hot serving loop calls this
+// per coalesced window) so the search probes are pure arithmetic,
+// not map lookups.
 func (p *Paged) MaxExtendSteps(seqIDs []int, limit int) int {
 	if limit <= 0 {
 		return 0
 	}
-	demand := func(k int) (blocks int, ok bool) {
-		for _, id := range seqIDs {
-			s, present := p.seqs[id]
-			if !present {
-				return 0, false
-			}
-			blocks += p.blocksFor(s.tokens+k) - s.blocks
+	toks := p.scratch[:0]
+	base := 0
+	for _, id := range seqIDs {
+		s, present := p.seqs[id]
+		if !present {
+			return 0
 		}
-		return blocks, true
+		toks = append(toks, s.tokens)
+		base += s.blocks
 	}
-	if _, ok := demand(0); !ok {
-		return 0
+	p.scratch = toks
+	b := p.BlockTokens
+	demand := func(k int) int {
+		blocks := -base
+		for _, t := range toks {
+			blocks += (t + k + b - 1) / b
+		}
+		return blocks
 	}
 	lo, hi := 0, limit
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
-		if need, _ := demand(mid); need <= p.freeBlocks {
+		if demand(mid) <= p.freeBlocks {
 			lo = mid
 		} else {
 			hi = mid - 1

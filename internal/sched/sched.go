@@ -83,6 +83,12 @@ type Config struct {
 	// P² sketch estimates (see the accuracy contract in stream.go) and
 	// Stats.Requests is nil.
 	Streaming bool
+
+	// Scratch, when non-nil, recycles kernel slices and station shells
+	// (request free lists included) across runs — see des.Scratch.
+	// Results are byte-identical with or without it; sweeps pass one
+	// per worker so per-point setup stops allocating.
+	Scratch *des.Scratch
 }
 
 // RequestStats records one request's lifecycle. It is the kernel's
@@ -143,6 +149,8 @@ func Serve(cfg Config, reqs []workload.Request) (Stats, error) {
 		Preemptive:     cfg.Policy == Continuous,
 		Stepped:        cfg.Stepped,
 	})
+	k.Reuse(cfg.Scratch)
+	defer k.Release()
 	k.NewStation(cfg.Engine, cfg.Alloc)
 	var agg Aggregator
 	if cfg.Streaming {

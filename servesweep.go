@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"llmbench/internal/cluster"
+	"llmbench/internal/des"
 	"llmbench/internal/engine"
 	"llmbench/internal/pool"
 	"llmbench/internal/workload"
@@ -480,6 +482,15 @@ func (a serveAxes) pointTrace(cfg ServeSweepConfig, p *ServeSweepPoint, traceIdx
 	})
 }
 
+// kernelScratch recycles kernel arenas (station shells, free lists,
+// event buffers — see des.Scratch) across the points of a sweep:
+// each point checks one out for its run instead of re-paying kernel
+// warm-up allocations a few thousand times per grid. Scratch contents
+// never influence results (stations are fully reset on reuse), so
+// swept grids stay byte-identical — the serial==parallel sweep
+// determinism tests exercise exactly this path.
+var kernelScratch = sync.Pool{New: func() any { return new(des.Scratch) }}
+
 // runServePoint runs one grid point's simulation, recording failures
 // in p.Err. Each point owns its trace and allocators; the engine is
 // shared (engines are immutable and concurrency-safe). Every fixed
@@ -492,6 +503,8 @@ func runServePoint(p *ServeSweepPoint, sys System, eng *engine.Engine, budget fl
 		p.Err = err
 		return
 	}
+	scratch := kernelScratch.Get().(*des.Scratch)
+	defer kernelScratch.Put(scratch)
 	if p.Policy.Autoscale {
 		upOut := cfg.UpOutstanding
 		if upOut == 0 {
@@ -512,7 +525,7 @@ func runServePoint(p *ServeSweepPoint, sys System, eng *engine.Engine, budget fl
 			return cluster.Replica{Engine: eng, Alloc: alloc}, nil
 		}
 		auto, err := cluster.ServeAutoscale(
-			cluster.Config{MaxBatch: p.MaxBatch, Static: p.Policy.Static, Streaming: cfg.StreamStats},
+			cluster.Config{MaxBatch: p.MaxBatch, Static: p.Policy.Static, Streaming: cfg.StreamStats, Scratch: scratch},
 			cluster.Autoscale{
 				Factory: factory, Min: 1, Max: p.Replicas,
 				UpOutstanding: upOut, DownIdleS: downIdle, CooldownS: cooldown,
@@ -537,7 +550,7 @@ func runServePoint(p *ServeSweepPoint, sys System, eng *engine.Engine, budget fl
 	}
 	st, err := cluster.Serve(cluster.Config{
 		Replicas: replicas, Policy: routePolicy(p.Policy), MaxBatch: p.MaxBatch,
-		Static: p.Policy.Static, Streaming: cfg.StreamStats,
+		Static: p.Policy.Static, Streaming: cfg.StreamStats, Scratch: scratch,
 	}, trace)
 	if err != nil {
 		p.Err = err
