@@ -120,25 +120,28 @@ func BenchmarkPagedAllocator(b *testing.B) {
 	m := model.MustGet("LLaMA-3-8B")
 	b.ReportAllocs()
 	b.ResetTimer()
+	var seqs [64]kvcache.Seq
 	for i := 0; i < b.N; i++ {
 		alloc, err := kvcache.NewPaged(16, m.KVBytesPerToken(dtype.FP16), 20*(1<<30))
 		if err != nil {
 			b.Fatal(err)
 		}
 		for s := 0; s < 64; s++ {
-			if err := alloc.Alloc(s, 512); err != nil {
+			seq, err := alloc.Alloc(512)
+			if err != nil {
 				b.Fatal(err)
 			}
+			seqs[s] = seq
 		}
 		for tok := 513; tok < 640; tok++ {
-			for s := 0; s < 64; s++ {
-				if err := alloc.Extend(s, tok); err != nil {
+			for _, seq := range seqs {
+				if err := alloc.Extend(seq, tok); err != nil {
 					b.Fatal(err)
 				}
 			}
 		}
-		for s := 0; s < 64; s++ {
-			alloc.Free(s)
+		for _, seq := range seqs {
+			alloc.Free(seq)
 		}
 	}
 }
@@ -362,7 +365,7 @@ func BenchmarkServeClusterStatic(b *testing.B) {
 // stays O(1) in trace length — allocs/op here are the kernel's own,
 // not a million-entry ledger plus sort. BenchmarkServeClusterMillionExact
 // is the ledgered reference the memory delta is measured against.
-func benchServeClusterMillion(b *testing.B, streaming bool) {
+func benchServeClusterMillion(b *testing.B, streaming bool, parallelism int) {
 	b.Helper()
 	if testing.Short() {
 		// The general bench smoke runs -short; the million-request rows
@@ -400,7 +403,7 @@ func benchServeClusterMillion(b *testing.B, streaming bool) {
 		}
 		st, err := cluster.Serve(cluster.Config{
 			Replicas: reps, Policy: cluster.LeastLoaded, MaxBatch: 32, Streaming: streaming,
-			Scratch: &scratch,
+			Parallelism: parallelism, Scratch: &scratch,
 		}, reqs)
 		if err != nil {
 			b.Fatal(err)
@@ -411,8 +414,16 @@ func benchServeClusterMillion(b *testing.B, streaming bool) {
 	}
 }
 
-func BenchmarkServeClusterMillion(b *testing.B)      { benchServeClusterMillion(b, true) }
-func BenchmarkServeClusterMillionExact(b *testing.B) { benchServeClusterMillion(b, false) }
+func BenchmarkServeClusterMillion(b *testing.B)      { benchServeClusterMillion(b, true, 0) }
+func BenchmarkServeClusterMillionExact(b *testing.B) { benchServeClusterMillion(b, false, 0) }
+
+// BenchmarkServeClusterMillionParallel is the multicore row: the same
+// million-request day advanced on 4 replica goroutines between arrival
+// barriers. Byte-identical Stats to the serial row by the cluster
+// determinism contract; run it with GOMAXPROCS=4 on a multicore host
+// to measure the speedup (a single-core host serialises the workers
+// and only pays the barrier overhead).
+func BenchmarkServeClusterMillionParallel(b *testing.B) { benchServeClusterMillion(b, true, 4) }
 
 // BenchmarkServeAutoscale is the bench-smoke guard for the dynamic
 // capacity path (bursty chat load, replicas 1..8).

@@ -62,6 +62,7 @@ func (k *Kernel) Release() {
 		}
 		s.run = s.run[:0]
 		s.Engine, s.Alloc = nil, nil
+		s.pricer = pricer{} // drop the snapshot so the arena cannot pin engine memo arrays
 		sc.stations = append(sc.stations, s)
 	}
 	k.stations = nil

@@ -63,12 +63,18 @@ type Station struct {
 	// searching the full trace at every window event.
 	arrCur int
 
-	window   []float64 // reused fast-forward cost buffer
-	ids      []int     // reused sequence-id buffer
-	decoding []*runReq // reused chunked-mode partition buffer
-	admitted []*runReq // reused admission / static-batch buffer
-	free     []*runReq // recycled request records
-	slab     []runReq  // bump-allocation backing for fresh records
+	seqs     []kvcache.Seq // reused sequence-handle buffer
+	decoding []*runReq     // reused chunked-mode partition buffer
+	admitted []*runReq     // reused admission / static-batch buffer
+	free     []*runReq     // recycled request records
+	slab     []runReq      // bump-allocation backing for fresh records
+
+	// pricer is the station's cached pricing handle: the current
+	// (batch, ctxStart) step-vector snapshot, so steady-state window
+	// advance reads a station-local slice instead of engine state.
+	// Cleared on reset and Release so a recycled shell cannot pin
+	// engine memo arrays.
+	pricer pricer
 }
 
 // queued is a waiting request; preempted counts prior evictions so
@@ -84,6 +90,7 @@ type queued struct {
 // nothing; stats is embedded by value for the same reason.
 type runReq struct {
 	req            workload.Request
+	seq            kvcache.Seq // live KV reservation handle
 	generated      int
 	pendingPrefill int // prompt tokens not yet prefilled (chunked mode)
 	stats          RequestStats
@@ -136,6 +143,7 @@ func (s *Station) reset() {
 	s.err, s.errAt = nil, 0
 	s.awake = false
 	s.arrCur = 0
+	s.pricer = pricer{}
 }
 
 // queueLen is the number of live queued requests.
@@ -245,11 +253,14 @@ func (s *Station) step(now, nextArrival float64) (float64, error) {
 		if !s.Alloc.CanAlloc(q.req.Input) {
 			break
 		}
-		if err := s.Alloc.Alloc(q.req.ID, q.req.Input); err != nil {
+		seq, err := s.Alloc.Alloc(q.req.Input)
+		if err != nil {
 			break
 		}
 		s.popHead()
-		s.admitted = append(s.admitted, s.getReq(q, now))
+		r := s.getReq(q, now)
+		r.seq = seq
+		s.admitted = append(s.admitted, r)
 	}
 	admitted := s.admitted
 	var step float64
@@ -322,7 +333,7 @@ func (s *Station) step(now, nextArrival float64) (float64, error) {
 	if !s.cfg.Stepped && prefilling == nil && len(admitted) == 0 {
 		kMax := s.run[0].req.Output - s.run[0].generated
 		ctxSum := 0
-		s.ids = s.ids[:0]
+		s.seqs = s.seqs[:0]
 		for _, r := range s.run {
 			if r.generated < 2 {
 				kMax = 0
@@ -332,18 +343,17 @@ func (s *Station) step(now, nextArrival float64) (float64, error) {
 				kMax = rem
 			}
 			ctxSum += r.req.Input + r.generated
-			s.ids = append(s.ids, r.req.ID)
+			s.seqs = append(s.seqs, r.seq)
 		}
 		if kMax > 0 {
-			var err error
-			s.window, err = CoalesceWindow(s.Engine, s.Alloc, s.ids,
-				len(s.run), ctxSum/len(s.run), kMax, now, nextArrival, s.window)
+			window, err := s.pricer.coalesce(s.Engine, s.Alloc, s.seqs,
+				len(s.run), ctxSum/len(s.run), kMax, now, nextArrival)
 			if err != nil {
 				return 0, err
 			}
-			if k := len(s.window); k > 0 {
+			if k := len(window); k > 0 {
 				end := now
-				for _, c := range s.window {
+				for _, c := range window {
 					if c > s.maxIter {
 						s.maxIter = c
 					}
@@ -362,7 +372,7 @@ func (s *Station) step(now, nextArrival float64) (float64, error) {
 						// completion check, exactly as its stepped
 						// path does: the completing step still grows
 						// the reservation.
-						if err := s.Alloc.Extend(r.req.ID, r.req.Input+r.generated); err != nil {
+						if err := s.Alloc.Extend(r.seq, r.req.Input+r.generated); err != nil {
 							return 0, err
 						}
 						if r.generated >= r.req.Output {
@@ -374,7 +384,7 @@ func (s *Station) step(now, nextArrival float64) (float64, error) {
 							s.finish(r, end)
 							continue
 						}
-						if err := s.Alloc.Extend(r.req.ID, r.req.Input+r.generated); err != nil {
+						if err := s.Alloc.Extend(r.seq, r.req.Input+r.generated); err != nil {
 							return 0, err
 						}
 					}
@@ -431,12 +441,12 @@ func (s *Station) step(now, nextArrival float64) (float64, error) {
 		}
 		r.generated++
 		if s.cfg.Preemptive {
-			if err := s.Alloc.Extend(r.req.ID, r.req.Input+r.generated); err != nil {
+			if err := s.Alloc.Extend(r.seq, r.req.Input+r.generated); err != nil {
 				if errors.Is(err, kvcache.ErrOutOfMemory) {
 					// Preempt: evict and requeue at the tail of this
 					// station's queue (recompute later). The requeued
 					// request re-arrives at the eviction instant.
-					s.Alloc.Free(r.req.ID)
+					s.Alloc.Free(r.seq)
 					s.preempts++
 					requeued := r.req
 					requeued.Arrival = end
@@ -458,7 +468,7 @@ func (s *Station) step(now, nextArrival float64) (float64, error) {
 				s.finish(r, end)
 				continue
 			}
-			if err := s.Alloc.Extend(r.req.ID, r.req.Input+r.generated); err != nil {
+			if err := s.Alloc.Extend(r.seq, r.req.Input+r.generated); err != nil {
 				return 0, err
 			}
 		}
@@ -494,8 +504,10 @@ func (s *Station) stepStatic(now float64) (float64, error) {
 	s.qhead = 0
 	for _, q := range live {
 		if len(s.admitted) < s.cfg.MaxBatch && s.Alloc.CanAlloc(q.req.Input+q.req.Output) {
-			if err := s.Alloc.Alloc(q.req.ID, q.req.Input+q.req.Output); err == nil {
-				s.admitted = append(s.admitted, s.getReq(q, now))
+			if seq, err := s.Alloc.Alloc(q.req.Input + q.req.Output); err == nil {
+				r := s.getReq(q, now)
+				r.seq = seq
+				s.admitted = append(s.admitted, r)
 				continue
 			}
 		}
@@ -537,7 +549,7 @@ func (s *Station) stepStatic(now float64) (float64, error) {
 
 // finish records a completion at time end and recycles the record.
 func (s *Station) finish(r *runReq, end float64) {
-	s.Alloc.Free(r.req.ID)
+	s.Alloc.Free(r.seq)
 	r.stats.Finished = end
 	s.finished = append(s.finished, r.stats)
 	s.putReq(r)
@@ -545,77 +557,4 @@ func (s *Station) finish(r *runReq, end float64) {
 	if end > s.lastDone {
 		s.lastDone = end
 	}
-}
-
-// CoalesceWindow bounds and prices one coalesced run of identical
-// decode iterations: batch sequences whose mean context starts at
-// ctx0, each growing one token per step. kMax must already be bounded
-// by the earliest completion in the batch; the allocator bound
-// (kvcache.MaxExtendSteps over seqIDs) and the next-arrival cut are
-// applied here. nextArrival < 0 means no future arrival is pending.
-//
-// The per-step costs are appended to buf (pass the previous return
-// value to reuse its storage) and returned; an empty result means the
-// state does not admit a fast-forward of at least one full iteration
-// beyond the current one, and the caller must fall back to its
-// one-step reference path (which also handles preemption). The caller
-// advances its clock by adding the returned costs one at a time, in
-// order — that keeps coalesced time byte-identical to stepped time.
-//
-// Pricing reads one memoised per-step cost vector
-// (engine.DecodeStepCosts) instead of taking the engine's memo lock
-// once per step, so a window repeated across runs costs one lookup.
-func CoalesceWindow(eng *engine.Engine, alloc kvcache.Allocator, seqIDs []int,
-	batch, ctx0, kMax int, now, nextArrival float64, buf []float64) ([]float64, error) {
-	buf = buf[:0]
-	if kMax > 1 {
-		if k := alloc.MaxExtendSteps(seqIDs, kMax); k < kMax {
-			// The KV pool runs dry inside the window: fast-forward to
-			// the last iteration that fits, then let the reference
-			// path take the preemption (or OOM) at the boundary.
-			kMax = k
-		}
-	}
-	if kMax < 2 {
-		return buf, nil
-	}
-	end := now
-	for taken := 0; taken < kMax; {
-		n := kMax - taken
-		if nextArrival >= 0 {
-			// An arrival will cut the window; pricing all kMax steps
-			// up front would waste memo walks on steps never reached
-			// (quadratic under dense arrivals). Estimate the cut from
-			// the next step's cost — plus slack for cost drift — and
-			// let the outer loop continue if the estimate fell short.
-			c0, err := eng.DecodeStepCost(batch, ctx0+taken)
-			if err != nil {
-				return buf, err
-			}
-			if c0.Seconds > 0 {
-				if est := int((nextArrival-end)/c0.Seconds) + 2; est < n {
-					n = est
-				}
-			}
-			if n < 1 {
-				n = 1
-			}
-		}
-		costs, err := eng.DecodeStepCosts(batch, ctx0+taken, n)
-		if err != nil {
-			return buf, err
-		}
-		for _, c := range costs {
-			buf = append(buf, c)
-			end += c
-			if nextArrival >= 0 && end >= nextArrival {
-				// A request lands inside the window: it is admitted
-				// at the first iteration boundary at or after its
-				// arrival, so this step is the window's last.
-				return buf, nil
-			}
-		}
-		taken += n
-	}
-	return buf, nil
 }

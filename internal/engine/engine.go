@@ -14,6 +14,37 @@
 // framework behaviour the paper discusses — GQA kernel quality, paged
 // KV block overhead, batched-GEMM limits, pipeline bubbles, dataflow
 // graph setup — enters as an explicit term.
+//
+// # Performance notes
+//
+// The step-cost memo (rangecost.go) is the pricing hot path of the
+// serving kernel (internal/des), and its invariants are load-bearing
+// for both speed and the serial==parallel==stepped byte-identity
+// contract. Policy layers must not break them:
+//
+//   - Warm reads never lock. The memo tables live behind atomic
+//     pointers; DecodeStepCost, DecodeRangeSeconds, DecodeStepCosts,
+//     and DecodeStepVec on a cached key are a handful of atomic loads
+//     with zero allocations. Writers serialise on a small build
+//     mutex; racing builders compute identical pure values, so the
+//     tables are deterministic regardless of interleaving.
+//   - Published vector cells are immutable. Per-step seconds are pure
+//     functions of (batch, ctx), so one master vector per batch
+//     serves every window as a subslice view; it grows in place by
+//     filling cells past the published count and release-storing the
+//     new count, so a slice returned by DecodeStepCosts/
+//     StepVec.Seconds is shared between every caller and must never
+//     be written.
+//   - Prefix aggregates are summed in step order. Each (batch,
+//     ctxStart) anchor carries running Σseconds, Σbalance·seconds,
+//     running max, and per-step bounds accumulated left-to-right from
+//     its own anchor (never differenced from a shared prefix — that
+//     would round differently), and extensions continue the
+//     accumulators — so a warm DecodeRangeSeconds is one O(1) prefix
+//     read that is byte-identical to the stepped sum. Any change to
+//     how the aggregates are folded changes floating-point rounding
+//     and breaks the equivalence suites here, in internal/sched, and
+//     in internal/cluster.
 package engine
 
 import (
@@ -76,9 +107,11 @@ type Config struct {
 // safe for concurrent use: Run, Explain, and the step-cost helpers
 // only read the configuration, which is what lets sweeps share one
 // engine across workers and cache engines by system (engine.Cached,
-// llmbench.Sweep). The only mutable state is the step-cost memo table
-// (rangecost.go), which is guarded by mu and deterministic — a cached
-// step is byte-identical to a recomputed one.
+// llmbench.Sweep). The only mutable state is the step-cost memo
+// (rangecost.go): lock-free copy-on-write tables whose readers never
+// lock and whose writers serialise on buildMu — and deterministic
+// either way, since a cached step is byte-identical to a recomputed
+// one.
 type Engine struct {
 	cfg    Config
 	link   parallel.Link
@@ -87,10 +120,11 @@ type Engine struct {
 	peak   float64 // FLOP/s at the compute precision
 	blkEff float64
 
-	mu       sync.RWMutex
-	steps    map[stepKey]memoStep
-	ranges   map[rangeKey]RangeStats
-	stepVecs map[vecKey][]float64
+	// buildMu serialises memo writers only; see rangecost.go.
+	buildMu sync.Mutex
+	steps   costGrid[memoStep]
+	vecs    costGrid[stepVec] // per-batch master vectors, column 0
+	aggs    costGrid[aggVec]  // per-(batch, ctxStart) prefix aggregates
 }
 
 // New validates and builds an engine.
@@ -152,13 +186,10 @@ func New(cfg Config) (*Engine, error) {
 			Latency: cfg.Device.InterconnectLatencyUS * 1e-6,
 			Eff:     cfg.Framework.TPCommEff,
 		},
-		effC:     effC,
-		effM:     effM,
-		peak:     peak,
-		blkEff:   blk,
-		steps:    make(map[stepKey]memoStep),
-		ranges:   make(map[rangeKey]RangeStats),
-		stepVecs: make(map[vecKey][]float64),
+		effC:   effC,
+		effM:   effM,
+		peak:   peak,
+		blkEff: blk,
 	}, nil
 }
 

@@ -1,0 +1,117 @@
+package engine
+
+// Concurrent-memo property test (run with -race): N goroutines hammer
+// one engine's pricing entry points over a mix of cold keys (first
+// touch races the copy-on-write builders) and warm keys (pure atomic
+// reads), and every result must be byte-identical to a serial
+// reference computed on a separate engine. This is the determinism
+// contract of the lock-free memo grids: racing builders compute pure
+// values, so whichever racer's snapshot lands last, readers see the
+// same bytes the serial path produces.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+type memoProbe struct {
+	batch, ctx, steps int
+}
+
+func memoProbeSet() []memoProbe {
+	var probes []memoProbe
+	for _, batch := range []int{2, 5, 8} {
+		for i := 0; i < 12; i++ {
+			probes = append(probes, memoProbe{batch: batch, ctx: 200 + 31*i, steps: 1 + 17*i})
+		}
+	}
+	return probes
+}
+
+func TestMemoConcurrentMatchesSerial(t *testing.T) {
+	probes := memoProbeSet()
+
+	// Serial reference: one engine, probes evaluated in order, single
+	// goroutine. Keep the full result bytes of every entry point.
+	ref := rangeTestEngine(t, "vLLM")
+	type expect struct {
+		step  StepCost
+		rng   RangeStats
+		costs []float64
+	}
+	want := make([]expect, len(probes))
+	for i, p := range probes {
+		step, err := ref.DecodeStepCost(p.batch, p.ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng, err := ref.DecodeRangeSeconds(p.batch, p.ctx, p.steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs, err := ref.DecodeStepCosts(p.batch, p.ctx, p.steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = expect{step: step, rng: rng, costs: costs}
+	}
+
+	// Hammered engine: starts fully cold, so the first pass through
+	// each probe races the builders; later rounds hit warm snapshots.
+	// Each goroutine walks the probes at a different rotation so cold
+	// keys are contended from the first instant.
+	eng := rangeTestEngine(t, "vLLM")
+	const workers = 8
+	const rounds = 5
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			check := func(i int, p memoProbe) error {
+				step, err := eng.DecodeStepCost(p.batch, p.ctx)
+				if err != nil {
+					return err
+				}
+				if step != want[i].step {
+					return fmt.Errorf("probe %v: step %+v, serial %+v", p, step, want[i].step)
+				}
+				rng, err := eng.DecodeRangeSeconds(p.batch, p.ctx, p.steps)
+				if err != nil {
+					return err
+				}
+				if rng != want[i].rng {
+					return fmt.Errorf("probe %v: range %+v, serial %+v", p, rng, want[i].rng)
+				}
+				costs, err := eng.DecodeStepCosts(p.batch, p.ctx, p.steps)
+				if err != nil {
+					return err
+				}
+				for j := range costs {
+					if costs[j] != want[i].costs[j] {
+						return fmt.Errorf("probe %v: cost[%d] %v, serial %v", p, j, costs[j], want[i].costs[j])
+					}
+				}
+				return nil
+			}
+			for r := 0; r < rounds; r++ {
+				for k := range probes {
+					i := (k + w*len(probes)/workers) % len(probes)
+					if err := check(i, probes[i]); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

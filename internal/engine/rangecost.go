@@ -6,19 +6,32 @@ package engine
 // of consecutive steps in one call — engine.Run's decode loop, the
 // serving scheduler's coalesced iterations (internal/sched), and the
 // cluster simulator (internal/cluster) all sit on top of it — backed
-// by a concurrency-safe memo table so each distinct (batch, ctx) pair
-// is evaluated once per engine lifetime.
+// by lock-free memo tables so each distinct (batch, ctx) pair is
+// evaluated once per engine lifetime and every warm read is a handful
+// of atomic loads.
 //
 // Invariant: the aggregates are summed in step order (ctxStart,
 // ctxStart+1, …), exactly the order the step-by-step loops used, so
 // range-priced results are byte-identical to stepped results —
 // floating-point summation order is part of the contract, and the
 // equivalence tests in this package, internal/sched, and
-// internal/cluster guard it.
+// internal/cluster guard it. The prefix aggregates carried by each
+// anchored vector (see aggVec) are accumulated left-to-right in that
+// same order, which is what lets DecodeRangeSeconds answer a warm
+// range query with one O(1) prefix read instead of an O(steps) walk.
+//
+// Concurrency: readers never lock. The memo tables live behind atomic
+// pointers (costGrid); writers serialise on the engine's small build
+// mutex, and vectors grow in place by filling cells past the published
+// count and release-storing the new count (stepVec/aggVec). Step costs
+// are pure functions of the immutable configuration, so racing
+// builders compute identical values and the tables stay deterministic
+// no matter which racer's store lands last.
 
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"llmbench/internal/parallel"
 	"llmbench/internal/pool"
@@ -27,8 +40,84 @@ import (
 	"llmbench/internal/workload"
 )
 
-// stepKey identifies one decode step's price.
-type stepKey struct{ batch, ctx int }
+// --- lock-free memo grid -------------------------------------------------
+
+// costGrid is a two-level lock-free memo table indexed by two small
+// non-negative integers (batch-1, ctx-1). Reads are pure atomic loads;
+// writes — including geometric growth of either level — happen under
+// the owning engine's build mutex and publish fresh slices through
+// atomic stores, so a reader either sees the old snapshot or the new
+// one, never a partially-updated slot.
+type costGrid[T any] struct {
+	rows atomic.Pointer[[]atomic.Pointer[costRow[T]]]
+}
+
+type costRow[T any] struct {
+	cells atomic.Pointer[[]atomic.Pointer[T]]
+}
+
+// get returns the entry at (r, c), or nil if it has not been built.
+// Safe for concurrent use with no locking.
+func (g *costGrid[T]) get(r, c int) *T {
+	rows := g.rows.Load()
+	if rows == nil || r >= len(*rows) {
+		return nil
+	}
+	row := (*rows)[r].Load()
+	if row == nil {
+		return nil
+	}
+	cells := row.cells.Load()
+	if cells == nil || c >= len(*cells) {
+		return nil
+	}
+	return (*cells)[c].Load()
+}
+
+// put stores v at (r, c), growing either level geometrically. Callers
+// must hold the owning engine's build mutex; concurrent readers are
+// fine — growth copies the old slots into a fresh slice and publishes
+// it atomically before the new entry lands.
+func (g *costGrid[T]) put(r, c int, v *T) {
+	rows := g.rows.Load()
+	if rows == nil || r >= len(*rows) {
+		n := r + 1
+		if rows != nil && 2*len(*rows) > n {
+			n = 2 * len(*rows)
+		}
+		grown := make([]atomic.Pointer[costRow[T]], n)
+		if rows != nil {
+			for i := range *rows {
+				grown[i].Store((*rows)[i].Load())
+			}
+		}
+		g.rows.Store(&grown)
+		rows = &grown
+	}
+	row := (*rows)[r].Load()
+	if row == nil {
+		row = &costRow[T]{}
+		(*rows)[r].Store(row)
+	}
+	cells := row.cells.Load()
+	if cells == nil || c >= len(*cells) {
+		n := c + 1
+		if cells != nil && 2*len(*cells) > n {
+			n = 2 * len(*cells)
+		}
+		grown := make([]atomic.Pointer[T], n)
+		if cells != nil {
+			for i := range *cells {
+				grown[i].Store((*cells)[i].Load())
+			}
+		}
+		row.cells.Store(&grown)
+		cells = &grown
+	}
+	(*cells)[c].Store(v)
+}
+
+// --- per-step memo -------------------------------------------------------
 
 // memoStep is the cached outcome of one decode step: everything Run
 // and the serving simulators consume, reduced from the full roofline
@@ -40,26 +129,27 @@ type memoStep struct {
 }
 
 // stepCost returns the memoised price of the decode step at (batch,
-// ctx), evaluating it on first use. Concurrent callers may race to
-// fill a missing entry; the computation is pure, so every racer stores
-// the identical value and the table stays deterministic.
+// ctx), evaluating it on first use. Warm reads are lock-free.
+// Concurrent callers may race to fill a missing entry; the computation
+// is pure, so every racer stores the identical value and the table
+// stays deterministic.
 func (e *Engine) stepCost(batch, ctx int) (memoStep, error) {
-	k := stepKey{batch, ctx}
-	e.mu.RLock()
-	c, ok := e.steps[k]
-	e.mu.RUnlock()
-	if ok {
-		return c, nil
+	if c := e.steps.get(batch-1, ctx-1); c != nil {
+		return *c, nil
 	}
 	st, err := e.decodeStep(workload.Spec{Batch: batch, Input: 1, Output: 1}, ctx)
 	if err != nil {
 		return memoStep{}, err
 	}
-	c = memoStep{seconds: st.Seconds, balance: powerBalance(st), bound: st.Bound}
-	e.mu.Lock()
-	e.steps[k] = c
-	e.mu.Unlock()
-	return c, nil
+	c := &memoStep{seconds: st.Seconds, balance: powerBalance(st), bound: st.Bound}
+	e.buildMu.Lock()
+	if cur := e.steps.get(batch-1, ctx-1); cur != nil {
+		c = cur // a racer already stored the identical pure value
+	} else {
+		e.steps.put(batch-1, ctx-1, c)
+	}
+	e.buildMu.Unlock()
+	return *c, nil
 }
 
 // StepCost is the memoised outcome of one decode step, the unit the
@@ -82,6 +172,200 @@ func (e *Engine) DecodeStepCost(batch, ctx int) (StepCost, error) {
 	return StepCost{Seconds: c.seconds, Bound: c.bound}, nil
 }
 
+// --- per-batch master step vectors ---------------------------------------
+
+// stepVec is one generation of a batch's master step-cost vector:
+// seconds[i] is the cost of the decode step at context base+i, and n
+// is the published cell count, so contexts [base, base+n) are covered.
+// The array is allocated at full capacity (len == cap) and filled
+// left-to-right; cells below n are immutable, cells at or above n are
+// written only under the engine's build mutex and become visible
+// through the release-acquire pair on n. Growing downward (a request
+// below base) or past capacity publishes a fresh generation; old
+// handles keep reading their generation unchanged.
+//
+// One master per batch — rather than one vector per (batch, ctxStart)
+// anchor — is what keeps a million-request run's allocations flat:
+// per-step seconds are pure functions of (batch, ctx), so every window
+// at every anchor is a subslice of the same vector, and steady-state
+// growth writes cells in place and bumps n.
+type stepVec struct {
+	base    int // context of cell 0; immutable per generation
+	n       atomic.Int64
+	seconds []float64
+}
+
+// fillMaster computes the cells for contexts [lo, hi] of v. Callers
+// hold the build mutex. Warm per-step memo cells are reused; cold
+// contexts are priced with decodeStep directly and NOT inserted into
+// the per-step grid — the master is itself the memo for them, and
+// skipping the grid keeps a long fill from allocating one grid cell
+// per context.
+func (e *Engine) fillMaster(v *stepVec, batch, lo, hi int) error {
+	for ctx := lo; ctx <= hi; ctx++ {
+		if c := e.steps.get(batch-1, ctx-1); c != nil {
+			v.seconds[ctx-v.base] = c.seconds
+			continue
+		}
+		st, err := e.decodeStep(workload.Spec{Batch: batch, Input: 1, Output: 1}, ctx)
+		if err != nil {
+			return err
+		}
+		v.seconds[ctx-v.base] = st.Seconds
+	}
+	return nil
+}
+
+// masterFor returns the batch's master vector covering contexts
+// [lo, hi], building or extending it on first use. Warm calls are
+// lock-free: one grid read, one atomic length check.
+func (e *Engine) masterFor(batch, lo, hi int) (*stepVec, error) {
+	if v := e.vecs.get(batch-1, 0); v != nil && lo >= v.base && hi < v.base+int(v.n.Load()) {
+		return v, nil
+	}
+	e.buildMu.Lock()
+	defer e.buildMu.Unlock()
+	latest := e.vecs.get(batch-1, 0)
+	if latest == nil {
+		c := hi - lo + 1
+		if c < 64 {
+			c = 64
+		}
+		v := &stepVec{base: lo, seconds: make([]float64, c)}
+		if err := e.fillMaster(v, batch, lo, hi); err != nil {
+			return nil, err
+		}
+		v.n.Store(int64(hi - lo + 1))
+		e.vecs.put(batch-1, 0, v)
+		return v, nil
+	}
+	base, n := latest.base, int(latest.n.Load())
+	if lo >= base && hi < base+n {
+		return latest, nil // a racer already covered the band
+	}
+	newBase, top := base, base+n // covered band becomes [newBase, top)
+	if lo < newBase {
+		newBase = lo
+	}
+	if hi+1 > top {
+		top = hi + 1
+	}
+	if newBase != base || top-newBase > len(latest.seconds) {
+		// Re-base and/or regrow: publish a fresh, fully-filled
+		// generation. Geometric capacity keeps this O(log band) per
+		// batch lifetime.
+		c := top - newBase
+		if 2*len(latest.seconds) > c {
+			c = 2 * len(latest.seconds)
+		}
+		v := &stepVec{base: newBase, seconds: make([]float64, c)}
+		copy(v.seconds[base-newBase:], latest.seconds[:n])
+		if err := e.fillMaster(v, batch, newBase, base-1); err != nil {
+			return nil, err
+		}
+		if err := e.fillMaster(v, batch, base+n, top-1); err != nil {
+			return nil, err
+		}
+		v.n.Store(int64(top - newBase))
+		e.vecs.put(batch-1, 0, v)
+		return v, nil
+	}
+	// Upward growth within capacity: write the new cells in place,
+	// then publish the count — the steady-state path, zero allocations.
+	if err := e.fillMaster(latest, batch, base+n, top-1); err != nil {
+		return nil, err
+	}
+	latest.n.Store(int64(top - newBase))
+	return latest, nil
+}
+
+// --- per-anchor prefix aggregates ----------------------------------------
+
+// stepAgg carries the running prefix aggregates of one anchored range
+// cell, accumulated left-to-right in step order: sec is Σ seconds of
+// steps 0..i from the anchor, bal Σ balance·seconds, max the running
+// max, bound the binding resource of step i. Aggregates cannot live on
+// the per-batch master — a prefix difference would round differently
+// than a direct sum — so each (batch, ctxStart) anchor folds its own,
+// byte-identical to the stepped walk from that anchor.
+type stepAgg struct {
+	sec, bal, max float64
+	bound         roofline.Bound
+}
+
+// aggVec is the memoised prefix-aggregate vector of one (batch,
+// ctxStart) anchor, with the same capacity-plus-published-count
+// discipline as stepVec.
+type aggVec struct {
+	n    atomic.Int64
+	aggs []stepAgg
+}
+
+// aggVecFor returns the anchor's aggregate vector with at least steps
+// published cells, building or extending it on first use. Warm calls
+// are lock-free.
+func (e *Engine) aggVecFor(batch, ctxStart, steps int) (*aggVec, error) {
+	cur := e.aggs.get(batch-1, ctxStart-1)
+	if cur != nil && int(cur.n.Load()) >= steps {
+		return cur, nil
+	}
+	e.buildMu.Lock()
+	defer e.buildMu.Unlock()
+	latest := e.aggs.get(batch-1, ctxStart-1)
+	n := 0
+	if latest != nil {
+		n = int(latest.n.Load())
+		if n >= steps {
+			return latest, nil // a racer already grew this anchor far enough
+		}
+	}
+	if latest == nil || len(latest.aggs) < steps {
+		c := steps
+		if latest != nil && 2*len(latest.aggs) > c {
+			c = 2 * len(latest.aggs)
+		}
+		grown := &aggVec{aggs: make([]stepAgg, c)}
+		if latest != nil {
+			copy(grown.aggs, latest.aggs[:n])
+		}
+		grown.n.Store(int64(n))
+		e.aggs.put(batch-1, ctxStart-1, grown)
+		latest = grown
+	}
+	// Continue the running aggregates exactly as the stepped loop
+	// would: start from the accumulator values of the last published
+	// cell and fold each new step in left-to-right order. Warm
+	// per-step memo cells are reused; cold contexts are priced with
+	// decodeStep directly and NOT inserted into the per-step grid —
+	// the fold is pure either way, and skipping the grid keeps a long
+	// range from allocating one grid cell per step.
+	var sec, bal, max float64
+	if n > 0 {
+		a := latest.aggs[n-1]
+		sec, bal, max = a.sec, a.bal, a.max
+	}
+	for i := n; i < steps; i++ {
+		var c memoStep
+		if cell := e.steps.get(batch-1, ctxStart+i-1); cell != nil {
+			c = *cell
+		} else {
+			st, err := e.decodeStep(workload.Spec{Batch: batch, Input: 1, Output: 1}, ctxStart+i)
+			if err != nil {
+				return nil, err
+			}
+			c = memoStep{seconds: st.Seconds, balance: powerBalance(st), bound: st.Bound}
+		}
+		sec += c.seconds
+		bal += c.balance * c.seconds
+		if c.seconds > max {
+			max = c.seconds
+		}
+		latest.aggs[i] = stepAgg{sec: sec, bal: bal, max: max, bound: c.bound}
+	}
+	latest.n.Store(int64(steps))
+	return latest, nil
+}
+
 // RangeStats aggregates a run of consecutive decode steps at constant
 // batch: steps at contexts ctxStart, ctxStart+1, …, ctxStart+steps-1,
 // summed in that order.
@@ -97,14 +381,12 @@ type RangeStats struct {
 	LastBound roofline.Bound
 }
 
-// rangeKey identifies one priced range.
-type rangeKey struct{ batch, ctxStart, steps int }
-
 // DecodeRangeSeconds prices steps consecutive decode iterations of a
-// batch whose context starts at ctxStart, in one pass over the
-// memoised step table. steps may be 0 (an empty range). The aggregates
-// are summed in step order, so the result is byte-identical to calling
-// DecodeStepCost step by step and accumulating.
+// batch whose context starts at ctxStart. steps may be 0 (an empty
+// range). The result is one O(1) prefix read of the memoised vector at
+// (batch, ctxStart): the aggregates were accumulated in step order
+// when the vector was built, so the result is byte-identical to
+// calling DecodeStepCost step by step and accumulating.
 func (e *Engine) DecodeRangeSeconds(batch, ctxStart, steps int) (RangeStats, error) {
 	if batch < 1 || ctxStart < 1 {
 		return RangeStats{}, errors.New("engine: non-positive batch or context")
@@ -115,50 +397,31 @@ func (e *Engine) DecodeRangeSeconds(batch, ctxStart, steps int) (RangeStats, err
 	if steps == 0 {
 		return RangeStats{}, nil
 	}
-	k := rangeKey{batch, ctxStart, steps}
-	e.mu.RLock()
-	rs, ok := e.ranges[k]
-	e.mu.RUnlock()
-	if ok {
-		return rs, nil
+	v, err := e.aggVecFor(batch, ctxStart, steps)
+	if err != nil {
+		return RangeStats{}, err
 	}
-	for i := 0; i < steps; i++ {
-		c, err := e.stepCost(batch, ctxStart+i)
-		if err != nil {
-			return RangeStats{}, err
-		}
-		rs.Seconds += c.seconds
-		rs.BalanceSeconds += c.balance * c.seconds
-		if c.seconds > rs.MaxStepSeconds {
-			rs.MaxStepSeconds = c.seconds
-		}
-		rs.LastBound = c.bound
-	}
-	e.mu.Lock()
-	e.ranges[k] = rs
-	e.mu.Unlock()
-	return rs, nil
+	a := v.aggs[steps-1]
+	return RangeStats{
+		Seconds:        a.sec,
+		BalanceSeconds: a.bal,
+		MaxStepSeconds: a.max,
+		LastBound:      a.bound,
+	}, nil
 }
-
-// vecKey identifies one memoised step-cost vector by its start; the
-// vector grows to the longest request seen, so the map's cardinality
-// is bounded by distinct (batch, ctxStart) pairs — the same class as
-// the per-step memo — rather than by every (start, length) pair a
-// serving simulation happens to ask for.
-type vecKey struct{ batch, ctxStart int }
 
 // DecodeStepCosts returns the per-step seconds of steps consecutive
 // decode iterations of a batch whose context starts at ctxStart: entry
 // i is the cost of the step at context ctxStart+i, exactly the value
 // DecodeStepCost(batch, ctxStart+i) returns. Slices are memoised per
-// (batch, ctxStart), grown in place when a longer run is requested,
-// and shared between callers — the result must be treated as
-// immutable.
+// (batch, ctxStart), extended copy-on-write when a longer run is
+// requested, and shared between callers — the result must be treated
+// as immutable.
 //
 // This is the pricing primitive of the serving kernel (internal/des):
-// a coalesced window walks one cached slice instead of taking the memo
-// lock once per step, which is what keeps window pricing O(1) lookups
-// in steady state.
+// a coalesced window walks one cached slice, and a warm call takes no
+// lock at all — which is what keeps window pricing O(1) per event in
+// steady state.
 func (e *Engine) DecodeStepCosts(batch, ctxStart, steps int) ([]float64, error) {
 	if batch < 1 || ctxStart < 1 {
 		return nil, errors.New("engine: non-positive batch or context")
@@ -169,32 +432,65 @@ func (e *Engine) DecodeStepCosts(batch, ctxStart, steps int) ([]float64, error) 
 	if steps == 0 {
 		return nil, nil
 	}
-	k := vecKey{batch, ctxStart}
-	e.mu.RLock()
-	vec := e.stepVecs[k]
-	e.mu.RUnlock()
-	if len(vec) >= steps {
-		return vec[:steps], nil
+	v, err := e.masterFor(batch, ctxStart, ctxStart+steps-1)
+	if err != nil {
+		return nil, err
 	}
-	// Extend: step costs are pure, so racing extenders build
-	// identical prefixes and the longest stored vector wins.
-	nv := make([]float64, steps)
-	copy(nv, vec)
-	for i := len(vec); i < steps; i++ {
-		c, err := e.stepCost(batch, ctxStart+i)
-		if err != nil {
-			return nil, err
-		}
-		nv[i] = c.seconds
+	off := ctxStart - v.base
+	return v.seconds[off : off+steps], nil
+}
+
+// StepVec is a shared view of a batch's master step-cost vector,
+// anchored at the ctxStart it was requested for — the per-station
+// pricing handle of the serving kernel caches one of these so its
+// steady-state window advance touches no engine state at all. The
+// view's length only ever grows (any station may extend the master in
+// place); cells below the length are immutable.
+type StepVec struct {
+	vec *stepVec
+	off int // anchor's offset into the generation's cells
+}
+
+// Len reports how many steps the view currently covers.
+func (v StepVec) Len() int {
+	if v.vec == nil {
+		return 0
 	}
-	e.mu.Lock()
-	if cur := e.stepVecs[k]; len(cur) >= steps {
-		nv = cur // a racer stored an equal-or-longer vector
-	} else {
-		e.stepVecs[k] = nv
+	n := int(v.vec.n.Load()) - v.off
+	if n < 0 {
+		n = 0
 	}
-	e.mu.Unlock()
-	return nv[:steps], nil
+	return n
+}
+
+// Seconds returns the view's per-step costs: entry i is the cost of
+// the decode step at context ctxStart+i. The slice is shared and must
+// be treated as immutable.
+func (v StepVec) Seconds() []float64 {
+	if v.vec == nil {
+		return nil
+	}
+	return v.vec.seconds[v.off:v.vec.n.Load()]
+}
+
+// DecodeStepVec returns a view of the batch's master step-cost vector
+// anchored at ctxStart, grown to cover at least steps entries. Warm
+// calls are lock-free.
+func (e *Engine) DecodeStepVec(batch, ctxStart, steps int) (StepVec, error) {
+	if batch < 1 || ctxStart < 1 {
+		return StepVec{}, errors.New("engine: non-positive batch or context")
+	}
+	if steps < 0 {
+		return StepVec{}, fmt.Errorf("engine: negative step count %d", steps)
+	}
+	if steps == 0 {
+		steps = 1 // a view handle always covers at least one step
+	}
+	v, err := e.masterFor(batch, ctxStart, ctxStart+steps-1)
+	if err != nil {
+		return StepVec{}, err
+	}
+	return StepVec{vec: v, off: ctxStart - v.base}, nil
 }
 
 // --- process-wide engine cache -------------------------------------------

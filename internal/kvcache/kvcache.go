@@ -6,6 +6,14 @@
 // state per sequence — so the scheduler can admit, grow, and evict
 // sequences and observe genuine fragmentation, and the engine can
 // price the block-size-dependent attention-kernel overhead of Fig. 2b.
+//
+// Sequences are identified by opaque Seq handles the allocator assigns
+// at Alloc time. Internally every allocator keeps dense slice tables
+// indexed by the handle's slot — no maps — so the per-event bookkeeping
+// of the serving kernel (Alloc/Extend/Free/MaxExtendSteps per coalesced
+// window) is pure array arithmetic. Slots are recycled through a free
+// list; a generation counter baked into the handle makes stale handles
+// detectable, so a Free'd handle can never alias a later sequence.
 package kvcache
 
 import (
@@ -16,15 +24,29 @@ import (
 // ErrOutOfMemory is returned when an allocation cannot be satisfied.
 var ErrOutOfMemory = errors.New("kvcache: out of memory")
 
+// Seq is an opaque live-sequence handle: the low 32 bits are a dense
+// slot index into the allocator's tables, the high 32 bits a per-slot
+// generation counter (odd while live, bumped on Alloc and on Free).
+// The zero Seq is never valid.
+type Seq int64
+
+func makeSeq(slot int, gen uint32) Seq {
+	return Seq(int64(gen)<<32 | int64(uint32(slot)))
+}
+
+func (s Seq) slot() int   { return int(uint32(s)) }
+func (s Seq) gen() uint32 { return uint32(uint64(s) >> 32) }
+
 // Allocator manages KV storage for in-flight sequences.
 type Allocator interface {
 	// Alloc reserves storage for a new sequence currently holding
-	// tokens context entries.
-	Alloc(seqID int, tokens int) error
+	// tokens context entries and returns its handle.
+	Alloc(tokens int) (Seq, error)
 	// Extend grows a sequence to the new token count.
-	Extend(seqID int, tokens int) error
-	// Free releases a sequence.
-	Free(seqID int)
+	Extend(seq Seq, tokens int) error
+	// Free releases a sequence; freeing an unknown or stale handle is
+	// a no-op. The handle is dead afterwards.
+	Free(seq Seq)
 	// UsedBytes is storage currently reserved (including waste).
 	UsedBytes() float64
 	// WasteBytes is reserved-but-unwritten storage (fragmentation).
@@ -38,9 +60,64 @@ type Allocator interface {
 	// steps (all sequences advancing together each step), would
 	// succeed without ErrOutOfMemory. It never mutates state; the
 	// serving schedulers use it to bound how many identical decode
-	// iterations they may fast-forward in one event. An unknown
-	// sequence id makes the result 0.
-	MaxExtendSteps(seqIDs []int, limit int) int
+	// iterations they may fast-forward in one event. An unknown or
+	// stale handle makes the result 0.
+	MaxExtendSteps(seqs []Seq, limit int) int
+}
+
+// --- dense sequence table ------------------------------------------------
+
+// seqTable is the shared slot store behind every allocator: per-slot
+// token counts, one allocator-specific auxiliary integer (block count
+// for Paged, private-block count for PrefixPaged), and the generation
+// guard. Lookups, inserts, and releases are O(1) slice operations; the
+// only allocations are the geometric growth of the tables themselves,
+// which stops once the peak concurrency has been seen — the warm
+// steady state of a serving run touches no map and allocates nothing.
+type seqTable struct {
+	tokens []int    // per-slot written token count
+	aux    []int    // per-slot allocator-specific count
+	gen    []uint32 // per-slot generation; odd = live
+	free   []int32  // stack of dead slots
+	live   int
+}
+
+// alloc claims a slot (recycling the most recently freed one first)
+// and returns the new live handle.
+func (t *seqTable) alloc(tokens, aux int) Seq {
+	var slot int
+	if n := len(t.free); n > 0 {
+		slot = int(t.free[n-1])
+		t.free = t.free[:n-1]
+	} else {
+		slot = len(t.tokens)
+		t.tokens = append(t.tokens, 0)
+		t.aux = append(t.aux, 0)
+		t.gen = append(t.gen, 0)
+	}
+	t.tokens[slot] = tokens
+	t.aux[slot] = aux
+	t.gen[slot]++ // even → odd: live
+	t.live++
+	return makeSeq(slot, t.gen[slot])
+}
+
+// lookup resolves a handle to its slot, or -1 if the handle is stale,
+// foreign, or the zero Seq.
+func (t *seqTable) lookup(s Seq) int {
+	slot := s.slot()
+	g := s.gen()
+	if g&1 == 0 || slot >= len(t.gen) || t.gen[slot] != g {
+		return -1
+	}
+	return slot
+}
+
+// release kills a live slot and pushes it on the free stack.
+func (t *seqTable) release(slot int) {
+	t.gen[slot]++ // odd → even: dead
+	t.free = append(t.free, int32(slot))
+	t.live--
 }
 
 // --- Paged allocator ----------------------------------------------------
@@ -54,13 +131,9 @@ type Paged struct {
 	capacity      float64
 	totalBlocks   int
 	freeBlocks    int
-	seqs          map[int]pagedSeq
+	slackTokens   int // reserved-but-unwritten tokens across live seqs
+	table         seqTable
 	scratch       []int // reused by MaxExtendSteps (token counts)
-}
-
-type pagedSeq struct {
-	tokens int
-	blocks int
 }
 
 // NewPaged creates a paged allocator over capacityBytes of storage.
@@ -79,7 +152,6 @@ func NewPaged(blockTokens int, bytesPerToken, capacityBytes float64) (*Paged, er
 		capacity:      capacityBytes,
 		totalBlocks:   total,
 		freeBlocks:    total,
-		seqs:          make(map[int]pagedSeq),
 	}, nil
 }
 
@@ -88,43 +160,47 @@ func (p *Paged) blocksFor(tokens int) int {
 }
 
 // Alloc implements Allocator.
-func (p *Paged) Alloc(seqID, tokens int) error {
-	if _, ok := p.seqs[seqID]; ok {
-		return fmt.Errorf("kvcache: sequence %d already allocated", seqID)
-	}
+func (p *Paged) Alloc(tokens int) (Seq, error) {
 	need := p.blocksFor(tokens)
 	if need > p.freeBlocks {
-		return ErrOutOfMemory
+		return 0, ErrOutOfMemory
 	}
 	p.freeBlocks -= need
-	p.seqs[seqID] = pagedSeq{tokens: tokens, blocks: need}
-	return nil
+	p.slackTokens += need*p.BlockTokens - tokens
+	return p.table.alloc(tokens, need), nil
 }
 
 // Extend implements Allocator.
-func (p *Paged) Extend(seqID, tokens int) error {
-	s, ok := p.seqs[seqID]
-	if !ok {
-		return fmt.Errorf("kvcache: unknown sequence %d", seqID)
+func (p *Paged) Extend(seq Seq, tokens int) error {
+	slot := p.table.lookup(seq)
+	if slot < 0 {
+		return fmt.Errorf("kvcache: unknown sequence %d", seq)
 	}
-	if tokens < s.tokens {
-		return fmt.Errorf("kvcache: cannot shrink sequence %d (%d -> %d)", seqID, s.tokens, tokens)
+	cur := p.table.tokens[slot]
+	if tokens < cur {
+		return fmt.Errorf("kvcache: cannot shrink sequence %d (%d -> %d)", seq, cur, tokens)
 	}
-	need := p.blocksFor(tokens) - s.blocks
+	need := p.blocksFor(tokens) - p.table.aux[slot]
 	if need > p.freeBlocks {
 		return ErrOutOfMemory
 	}
 	p.freeBlocks -= need
-	p.seqs[seqID] = pagedSeq{tokens: tokens, blocks: s.blocks + need}
+	p.slackTokens += need*p.BlockTokens - (tokens - cur)
+	p.table.tokens[slot] = tokens
+	p.table.aux[slot] += need
 	return nil
 }
 
 // Free implements Allocator.
-func (p *Paged) Free(seqID int) {
-	if s, ok := p.seqs[seqID]; ok {
-		p.freeBlocks += s.blocks
-		delete(p.seqs, seqID)
+func (p *Paged) Free(seq Seq) {
+	slot := p.table.lookup(seq)
+	if slot < 0 {
+		return
 	}
+	blocks := p.table.aux[slot]
+	p.freeBlocks += blocks
+	p.slackTokens -= blocks*p.BlockTokens - p.table.tokens[slot]
+	p.table.release(slot)
 }
 
 // UsedBytes implements Allocator.
@@ -135,12 +211,7 @@ func (p *Paged) UsedBytes() float64 {
 
 // WasteBytes implements Allocator.
 func (p *Paged) WasteBytes() float64 {
-	var waste float64
-	for _, s := range p.seqs {
-		slack := s.blocks*p.BlockTokens - s.tokens
-		waste += float64(slack) * p.BytesPerToken
-	}
-	return waste
+	return float64(p.slackTokens) * p.BytesPerToken
 }
 
 // CapacityBytes implements Allocator.
@@ -154,21 +225,20 @@ func (p *Paged) CanAlloc(tokens int) bool { return p.blocksFor(tokens) <= p.free
 // cumulative demand that fits also fits at every intermediate step and
 // in any per-step extension order. The sequence states are read once
 // up front (into a reused buffer — the hot serving loop calls this
-// per coalesced window) so the search probes are pure arithmetic,
-// not map lookups.
-func (p *Paged) MaxExtendSteps(seqIDs []int, limit int) int {
+// per coalesced window) so the search probes are pure arithmetic.
+func (p *Paged) MaxExtendSteps(seqs []Seq, limit int) int {
 	if limit <= 0 {
 		return 0
 	}
 	toks := p.scratch[:0]
 	base := 0
-	for _, id := range seqIDs {
-		s, present := p.seqs[id]
-		if !present {
+	for _, s := range seqs {
+		slot := p.table.lookup(s)
+		if slot < 0 {
 			return 0
 		}
-		toks = append(toks, s.tokens)
-		base += s.blocks
+		toks = append(toks, p.table.tokens[slot])
+		base += p.table.aux[slot]
 	}
 	p.scratch = toks
 	b := p.BlockTokens
@@ -192,7 +262,7 @@ func (p *Paged) MaxExtendSteps(seqIDs []int, limit int) int {
 }
 
 // Sequences returns the number of live sequences.
-func (p *Paged) Sequences() int { return len(p.seqs) }
+func (p *Paged) Sequences() int { return p.table.live }
 
 // --- Monolithic allocator ----------------------------------------------
 
@@ -203,7 +273,8 @@ type Monolithic struct {
 	ReserveTokens int // tokens reserved per sequence (model max length)
 	BytesPerToken float64
 	capacity      float64
-	seqs          map[int]int // seqID -> written tokens
+	writtenTokens int // Σ written tokens across live seqs
+	table         seqTable
 }
 
 // NewMonolithic creates a monolithic allocator.
@@ -215,7 +286,6 @@ func NewMonolithic(reserveTokens int, bytesPerToken, capacityBytes float64) (*Mo
 		ReserveTokens: reserveTokens,
 		BytesPerToken: bytesPerToken,
 		capacity:      capacityBytes,
-		seqs:          make(map[int]int),
 	}, nil
 }
 
@@ -224,51 +294,53 @@ func (m *Monolithic) reserveBytes() float64 {
 }
 
 // Alloc implements Allocator.
-func (m *Monolithic) Alloc(seqID, tokens int) error {
-	if _, ok := m.seqs[seqID]; ok {
-		return fmt.Errorf("kvcache: sequence %d already allocated", seqID)
-	}
+func (m *Monolithic) Alloc(tokens int) (Seq, error) {
 	if tokens > m.ReserveTokens {
-		return fmt.Errorf("kvcache: sequence %d longer than reservation", seqID)
+		return 0, errors.New("kvcache: sequence longer than reservation")
 	}
 	if m.UsedBytes()+m.reserveBytes() > m.capacity {
-		return ErrOutOfMemory
+		return 0, ErrOutOfMemory
 	}
-	m.seqs[seqID] = tokens
-	return nil
+	m.writtenTokens += tokens
+	return m.table.alloc(tokens, 0), nil
 }
 
 // Extend implements Allocator.
-func (m *Monolithic) Extend(seqID, tokens int) error {
-	cur, ok := m.seqs[seqID]
-	if !ok {
-		return fmt.Errorf("kvcache: unknown sequence %d", seqID)
+func (m *Monolithic) Extend(seq Seq, tokens int) error {
+	slot := m.table.lookup(seq)
+	if slot < 0 {
+		return fmt.Errorf("kvcache: unknown sequence %d", seq)
 	}
+	cur := m.table.tokens[slot]
 	if tokens < cur {
-		return fmt.Errorf("kvcache: cannot shrink sequence %d", seqID)
+		return fmt.Errorf("kvcache: cannot shrink sequence %d", seq)
 	}
 	if tokens > m.ReserveTokens {
 		return ErrOutOfMemory
 	}
-	m.seqs[seqID] = tokens
+	m.writtenTokens += tokens - cur
+	m.table.tokens[slot] = tokens
 	return nil
 }
 
 // Free implements Allocator.
-func (m *Monolithic) Free(seqID int) { delete(m.seqs, seqID) }
+func (m *Monolithic) Free(seq Seq) {
+	slot := m.table.lookup(seq)
+	if slot < 0 {
+		return
+	}
+	m.writtenTokens -= m.table.tokens[slot]
+	m.table.release(slot)
+}
 
 // UsedBytes implements Allocator.
 func (m *Monolithic) UsedBytes() float64 {
-	return float64(len(m.seqs)) * m.reserveBytes()
+	return float64(m.table.live) * m.reserveBytes()
 }
 
 // WasteBytes implements Allocator.
 func (m *Monolithic) WasteBytes() float64 {
-	var waste float64
-	for _, written := range m.seqs {
-		waste += float64(m.ReserveTokens-written) * m.BytesPerToken
-	}
-	return waste
+	return float64(m.table.live*m.ReserveTokens-m.writtenTokens) * m.BytesPerToken
 }
 
 // CapacityBytes implements Allocator.
@@ -281,18 +353,19 @@ func (m *Monolithic) CanAlloc(tokens int) bool {
 
 // MaxExtendSteps implements Allocator: growth within a reservation
 // never allocates, so the bound is each sequence's remaining headroom
-// below ReserveTokens.
-func (m *Monolithic) MaxExtendSteps(seqIDs []int, limit int) int {
+// below ReserveTokens. The table reads are O(1) slice lookups, one per
+// sequence — nothing is probed inside a search loop.
+func (m *Monolithic) MaxExtendSteps(seqs []Seq, limit int) int {
 	if limit <= 0 {
 		return 0
 	}
 	max := limit
-	for _, id := range seqIDs {
-		cur, ok := m.seqs[id]
-		if !ok {
+	for _, s := range seqs {
+		slot := m.table.lookup(s)
+		if slot < 0 {
 			return 0
 		}
-		if room := m.ReserveTokens - cur; room < max {
+		if room := m.ReserveTokens - m.table.tokens[slot]; room < max {
 			max = room
 		}
 	}
@@ -303,7 +376,7 @@ func (m *Monolithic) MaxExtendSteps(seqIDs []int, limit int) int {
 }
 
 // Sequences returns the number of live sequences.
-func (m *Monolithic) Sequences() int { return len(m.seqs) }
+func (m *Monolithic) Sequences() int { return m.table.live }
 
 // --- block-size kernel efficiency ---------------------------------------
 

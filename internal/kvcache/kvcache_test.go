@@ -15,11 +15,18 @@ func mustPaged(t *testing.T, block int, perTok, cap float64) *Paged {
 	return p
 }
 
-func TestPagedAllocExtendFree(t *testing.T) {
-	p := mustPaged(t, 16, 1, 16*100) // 100 blocks
-	if err := p.Alloc(1, 100); err != nil {
+func mustAlloc(t *testing.T, a Allocator, tokens int) Seq {
+	t.Helper()
+	s, err := a.Alloc(tokens)
+	if err != nil {
 		t.Fatal(err)
 	}
+	return s
+}
+
+func TestPagedAllocExtendFree(t *testing.T) {
+	p := mustPaged(t, 16, 1, 16*100) // 100 blocks
+	s := mustAlloc(t, p, 100)
 	// 100 tokens → 7 blocks (ceil(100/16)).
 	if got := p.UsedBytes(); got != 7*16 {
 		t.Errorf("used = %v, want 112", got)
@@ -27,33 +34,31 @@ func TestPagedAllocExtendFree(t *testing.T) {
 	if got := p.WasteBytes(); got != 12 {
 		t.Errorf("waste = %v, want 12 (7*16-100)", got)
 	}
-	if err := p.Extend(1, 112); err != nil {
+	if err := p.Extend(s, 112); err != nil {
 		t.Fatal(err)
 	}
 	if got := p.UsedBytes(); got != 7*16 {
 		t.Errorf("extend within slack should not take blocks, used = %v", got)
 	}
-	if err := p.Extend(1, 113); err != nil {
+	if err := p.Extend(s, 113); err != nil {
 		t.Fatal(err)
 	}
 	if got := p.UsedBytes(); got != 8*16 {
 		t.Errorf("extend past slack should take a block, used = %v", got)
 	}
-	p.Free(1)
-	if p.UsedBytes() != 0 || p.Sequences() != 0 {
+	p.Free(s)
+	if p.UsedBytes() != 0 || p.Sequences() != 0 || p.WasteBytes() != 0 {
 		t.Error("free must release everything")
 	}
 }
 
 func TestPagedOOM(t *testing.T) {
 	p := mustPaged(t, 16, 1, 16*4) // 4 blocks
-	if err := p.Alloc(1, 64); err != nil {
-		t.Fatal(err)
-	}
-	if err := p.Alloc(2, 1); !errors.Is(err, ErrOutOfMemory) {
+	s := mustAlloc(t, p, 64)
+	if _, err := p.Alloc(1); !errors.Is(err, ErrOutOfMemory) {
 		t.Errorf("expected OOM, got %v", err)
 	}
-	if err := p.Extend(1, 65); !errors.Is(err, ErrOutOfMemory) {
+	if err := p.Extend(s, 65); !errors.Is(err, ErrOutOfMemory) {
 		t.Errorf("expected OOM on extend, got %v", err)
 	}
 	if p.CanAlloc(1) {
@@ -61,21 +66,37 @@ func TestPagedOOM(t *testing.T) {
 	}
 }
 
-func TestPagedDoubleAllocAndUnknown(t *testing.T) {
-	p := mustPaged(t, 16, 1, 16*4)
-	if err := p.Alloc(1, 1); err != nil {
-		t.Fatal(err)
-	}
-	if err := p.Alloc(1, 1); err == nil {
-		t.Error("double alloc must fail")
-	}
-	if err := p.Extend(9, 1); err == nil {
-		t.Error("extending unknown sequence must fail")
-	}
-	if err := p.Extend(1, 0); err == nil {
+// TestPagedStaleHandles exercises the generation guard: a freed handle
+// is dead forever, even after its slot is recycled by a new sequence.
+func TestPagedStaleHandles(t *testing.T) {
+	p := mustPaged(t, 16, 1, 16*8)
+	s := mustAlloc(t, p, 1)
+	if err := p.Extend(s, 0); err == nil {
 		t.Error("shrinking must fail")
 	}
-	p.Free(42) // freeing unknown must be a no-op
+	if err := p.Extend(Seq(0), 1); err == nil {
+		t.Error("extending the zero handle must fail")
+	}
+	p.Free(Seq(0)) // freeing an invalid handle must be a no-op
+	p.Free(s)
+	if err := p.Extend(s, 2); err == nil {
+		t.Error("extending a freed handle must fail")
+	}
+	s2 := mustAlloc(t, p, 5) // recycles the slot
+	if s2 == s {
+		t.Fatal("recycled slot must carry a new generation")
+	}
+	if err := p.Extend(s, 6); err == nil {
+		t.Error("stale handle must not reach the recycled slot")
+	}
+	used := p.UsedBytes()
+	p.Free(s) // stale free must not free the new occupant
+	if p.UsedBytes() != used || p.Sequences() != 1 {
+		t.Error("stale free must be a no-op")
+	}
+	if got := p.MaxExtendSteps([]Seq{s}, 10); got != 0 {
+		t.Errorf("stale handle in MaxExtendSteps: got %d want 0", got)
+	}
 }
 
 func TestPagedConstructorErrors(t *testing.T) {
@@ -97,7 +118,7 @@ func TestPagedWasteBounded(t *testing.T) {
 		}
 		seqs := int(n%20) + 1
 		for i := 0; i < seqs; i++ {
-			if err := p.Alloc(i, int(tok)+1); err != nil {
+			if _, err := p.Alloc(int(tok) + 1); err != nil {
 				return false
 			}
 		}
@@ -116,12 +137,8 @@ func TestMonolithicWasteDominates(t *testing.T) {
 		t.Fatal(err)
 	}
 	paged := mustPaged(t, 16, 1, 1e9)
-	if err := mono.Alloc(1, 128); err != nil {
-		t.Fatal(err)
-	}
-	if err := paged.Alloc(1, 128); err != nil {
-		t.Fatal(err)
-	}
+	mustAlloc(t, mono, 128)
+	mustAlloc(t, paged, 128)
 	if mono.WasteBytes() < 100*paged.WasteBytes() {
 		t.Errorf("monolithic waste %v should dwarf paged waste %v",
 			mono.WasteBytes(), paged.WasteBytes())
@@ -135,11 +152,11 @@ func TestMonolithicConcurrencyLimit(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 10; i++ {
-		if err := mono.Alloc(i, 1); err != nil {
+		if _, err := mono.Alloc(1); err != nil {
 			t.Fatalf("alloc %d: %v", i, err)
 		}
 	}
-	if err := mono.Alloc(10, 1); !errors.Is(err, ErrOutOfMemory) {
+	if _, err := mono.Alloc(1); !errors.Is(err, ErrOutOfMemory) {
 		t.Errorf("11th sequence should OOM, got %v", err)
 	}
 	// The paged allocator fits far more short sequences in the same
@@ -147,7 +164,7 @@ func TestMonolithicConcurrencyLimit(t *testing.T) {
 	paged := mustPaged(t, 16, 1, 4096*10)
 	n := 0
 	for paged.CanAlloc(1) {
-		if err := paged.Alloc(1000+n, 1); err != nil {
+		if _, err := paged.Alloc(1); err != nil {
 			break
 		}
 		n++
@@ -162,34 +179,32 @@ func TestMonolithicExtendWithinReservation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := mono.Alloc(1, 10); err != nil {
-		t.Fatal(err)
-	}
+	s := mustAlloc(t, mono, 10)
 	used := mono.UsedBytes()
-	if err := mono.Extend(1, 128); err != nil {
+	if err := mono.Extend(s, 128); err != nil {
 		t.Fatal(err)
 	}
 	if mono.UsedBytes() != used {
 		t.Error("extend within reservation must not change usage")
 	}
-	if err := mono.Extend(1, 129); !errors.Is(err, ErrOutOfMemory) {
+	if err := mono.Extend(s, 129); !errors.Is(err, ErrOutOfMemory) {
 		t.Error("extend past reservation must OOM")
 	}
-	if err := mono.Extend(1, 5); err == nil {
+	if err := mono.Extend(s, 5); err == nil {
 		t.Error("shrink must fail")
 	}
-	if err := mono.Extend(99, 5); err == nil {
+	if err := mono.Extend(Seq(0), 5); err == nil {
 		t.Error("unknown sequence must fail")
 	}
-	if err := mono.Alloc(1, 5); err == nil {
-		t.Error("double alloc must fail")
-	}
-	if err := mono.Alloc(2, 4096); err == nil {
+	if _, err := mono.Alloc(4096); err == nil {
 		t.Error("alloc longer than reservation must fail")
 	}
-	mono.Free(1)
-	if mono.Sequences() != 0 {
+	mono.Free(s)
+	if mono.Sequences() != 0 || mono.WasteBytes() != 0 {
 		t.Error("free failed")
+	}
+	if err := mono.Extend(s, 20); err == nil {
+		t.Error("freed handle must be dead")
 	}
 }
 
@@ -222,14 +237,22 @@ func TestPagedUsedNeverExceedsCapacity(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		for i, op := range ops {
+		var live []Seq
+		for _, op := range ops {
 			switch op % 3 {
 			case 0:
-				_ = p.Alloc(i, int(op%512)+1)
+				if s, err := p.Alloc(int(op%512) + 1); err == nil {
+					live = append(live, s)
+				}
 			case 1:
-				_ = p.Extend(i-1, int(op))
+				if len(live) > 0 {
+					_ = p.Extend(live[len(live)-1], int(op))
+				}
 			case 2:
-				p.Free(i - 2)
+				if len(live) > 0 {
+					p.Free(live[0])
+					live = live[1:]
+				}
 			}
 			if p.UsedBytes() > p.CapacityBytes()+1e-9 {
 				return false
@@ -242,5 +265,26 @@ func TestPagedUsedNeverExceedsCapacity(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestSlotRecyclingStaysDense checks the free-list keeps the tables at
+// peak-concurrency size through heavy churn: slots are reused, not
+// appended, once the high-water mark is reached.
+func TestSlotRecyclingStaysDense(t *testing.T) {
+	p := mustPaged(t, 16, 1, 1e9)
+	var live []Seq
+	for i := 0; i < 8; i++ {
+		live = append(live, mustAlloc(t, p, 32))
+	}
+	for i := 0; i < 1000; i++ {
+		p.Free(live[i%8])
+		live[i%8] = mustAlloc(t, p, 32)
+	}
+	if got := len(p.table.tokens); got != 8 {
+		t.Errorf("table grew to %d slots under churn, want 8", got)
+	}
+	if p.Sequences() != 8 {
+		t.Errorf("live = %d, want 8", p.Sequences())
 	}
 }

@@ -29,12 +29,9 @@ type PrefixPaged struct {
 	freeBlocks   int
 	prefixBlocks int // full blocks of the shared prefix
 	prefixRef    int // sequences currently referencing them
-	seqs         map[int]prefixSeq
-}
-
-type prefixSeq struct {
-	tokens  int
-	private int // private block count (beyond the shared prefix)
+	slackTokens  int // private reserved-but-unwritten tokens
+	table        seqTable
+	scratch      []int // reused by MaxExtendSteps (token counts)
 }
 
 // NewPrefixPaged creates the allocator. The shared prefix's blocks are
@@ -59,7 +56,6 @@ func NewPrefixPaged(blockTokens, prefixTokens int, bytesPerToken, capacityBytes 
 		capacity:      capacityBytes,
 		totalBlocks:   total,
 		freeBlocks:    total,
-		seqs:          make(map[int]prefixSeq),
 	}, nil
 }
 
@@ -76,17 +72,25 @@ func (p *PrefixPaged) privateBlocksFor(tokens int) int {
 	return (rest + p.BlockTokens - 1) / p.BlockTokens
 }
 
-// Alloc implements Allocator. tokens includes the shared prefix.
-func (p *PrefixPaged) Alloc(seqID, tokens int) error {
-	if _, ok := p.seqs[seqID]; ok {
-		return fmt.Errorf("kvcache: sequence %d already allocated", seqID)
+// privateSlack is one sequence's reserved-but-unwritten private
+// tokens: private block capacity minus the tokens beyond the shared
+// prefix.
+func (p *PrefixPaged) privateSlack(tokens, private int) int {
+	privTokens := tokens - p.sharedFullBlocks()*p.BlockTokens
+	if privTokens < 0 {
+		privTokens = 0
 	}
+	return private*p.BlockTokens - privTokens
+}
+
+// Alloc implements Allocator. tokens includes the shared prefix.
+func (p *PrefixPaged) Alloc(tokens int) (Seq, error) {
 	need := p.privateBlocksFor(tokens)
 	if p.prefixRef == 0 {
 		need += p.sharedFullBlocks() // first reference materialises the prefix
 	}
 	if need > p.freeBlocks {
-		return ErrOutOfMemory
+		return 0, ErrOutOfMemory
 	}
 	if p.prefixRef == 0 {
 		p.prefixBlocks = p.sharedFullBlocks()
@@ -95,36 +99,42 @@ func (p *PrefixPaged) Alloc(seqID, tokens int) error {
 	}
 	p.freeBlocks -= need
 	p.prefixRef++
-	p.seqs[seqID] = prefixSeq{tokens: tokens, private: need}
-	return nil
+	p.slackTokens += p.privateSlack(tokens, need)
+	return p.table.alloc(tokens, need), nil
 }
 
 // Extend implements Allocator.
-func (p *PrefixPaged) Extend(seqID, tokens int) error {
-	s, ok := p.seqs[seqID]
-	if !ok {
-		return fmt.Errorf("kvcache: unknown sequence %d", seqID)
+func (p *PrefixPaged) Extend(seq Seq, tokens int) error {
+	slot := p.table.lookup(seq)
+	if slot < 0 {
+		return fmt.Errorf("kvcache: unknown sequence %d", seq)
 	}
-	if tokens < s.tokens {
-		return fmt.Errorf("kvcache: cannot shrink sequence %d", seqID)
+	cur := p.table.tokens[slot]
+	if tokens < cur {
+		return fmt.Errorf("kvcache: cannot shrink sequence %d", seq)
 	}
-	need := p.privateBlocksFor(tokens) - s.private
+	private := p.table.aux[slot]
+	need := p.privateBlocksFor(tokens) - private
 	if need > p.freeBlocks {
 		return ErrOutOfMemory
 	}
 	p.freeBlocks -= need
-	p.seqs[seqID] = prefixSeq{tokens: tokens, private: s.private + need}
+	p.slackTokens += p.privateSlack(tokens, private+need) - p.privateSlack(cur, private)
+	p.table.tokens[slot] = tokens
+	p.table.aux[slot] = private + need
 	return nil
 }
 
 // Free implements Allocator.
-func (p *PrefixPaged) Free(seqID int) {
-	s, ok := p.seqs[seqID]
-	if !ok {
+func (p *PrefixPaged) Free(seq Seq) {
+	slot := p.table.lookup(seq)
+	if slot < 0 {
 		return
 	}
-	p.freeBlocks += s.private
-	delete(p.seqs, seqID)
+	private := p.table.aux[slot]
+	p.freeBlocks += private
+	p.slackTokens -= p.privateSlack(p.table.tokens[slot], private)
+	p.table.release(slot)
 	p.prefixRef--
 	if p.prefixRef == 0 {
 		p.freeBlocks += p.prefixBlocks
@@ -141,17 +151,7 @@ func (p *PrefixPaged) UsedBytes() float64 {
 // WasteBytes implements Allocator: per-sequence partial-block slack,
 // computed over private storage only (the shared blocks are full).
 func (p *PrefixPaged) WasteBytes() float64 {
-	var waste float64
-	sharedTokens := p.sharedFullBlocks() * p.BlockTokens
-	for _, s := range p.seqs {
-		privTokens := s.tokens - sharedTokens
-		if privTokens < 0 {
-			privTokens = 0
-		}
-		slack := s.private*p.BlockTokens - privTokens
-		waste += float64(slack) * p.BytesPerToken
-	}
-	return waste
+	return float64(p.slackTokens) * p.BytesPerToken
 }
 
 // CapacityBytes implements Allocator.
@@ -167,28 +167,35 @@ func (p *PrefixPaged) CanAlloc(tokens int) bool {
 }
 
 // MaxExtendSteps implements Allocator: like Paged, but demand counts
-// private blocks only (the shared prefix never grows).
-func (p *PrefixPaged) MaxExtendSteps(seqIDs []int, limit int) int {
+// private blocks only (the shared prefix never grows). The sequence
+// states are read once up front into a reused buffer, so the search
+// probes are pure arithmetic.
+func (p *PrefixPaged) MaxExtendSteps(seqs []Seq, limit int) int {
 	if limit <= 0 {
 		return 0
 	}
-	demand := func(k int) (blocks int, ok bool) {
-		for _, id := range seqIDs {
-			s, present := p.seqs[id]
-			if !present {
-				return 0, false
-			}
-			blocks += p.privateBlocksFor(s.tokens+k) - s.private
+	toks := p.scratch[:0]
+	base := 0
+	for _, s := range seqs {
+		slot := p.table.lookup(s)
+		if slot < 0 {
+			return 0
 		}
-		return blocks, true
+		toks = append(toks, p.table.tokens[slot])
+		base += p.table.aux[slot]
 	}
-	if _, ok := demand(0); !ok {
-		return 0
+	p.scratch = toks
+	demand := func(k int) int {
+		blocks := -base
+		for _, t := range toks {
+			blocks += p.privateBlocksFor(t + k)
+		}
+		return blocks
 	}
 	lo, hi := 0, limit
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
-		if need, _ := demand(mid); need <= p.freeBlocks {
+		if demand(mid) <= p.freeBlocks {
 			lo = mid
 		} else {
 			hi = mid - 1
@@ -198,7 +205,7 @@ func (p *PrefixPaged) MaxExtendSteps(seqIDs []int, limit int) int {
 }
 
 // Sequences returns the number of live sequences.
-func (p *PrefixPaged) Sequences() int { return len(p.seqs) }
+func (p *PrefixPaged) Sequences() int { return p.table.live }
 
 // SharedBytes reports the storage the shared prefix occupies (once).
 func (p *PrefixPaged) SharedBytes() float64 {

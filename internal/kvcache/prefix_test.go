@@ -22,10 +22,10 @@ func TestPrefixSharingSavesStorage(t *testing.T) {
 	plain := mustPaged(t, 16, 1, 1e9)
 	shared := mustPrefix(t, 16, prefix, 1, 1e9)
 	for i := 0; i < 8; i++ {
-		if err := plain.Alloc(i, prefix+private); err != nil {
+		if _, err := plain.Alloc(prefix + private); err != nil {
 			t.Fatal(err)
 		}
-		if err := shared.Alloc(i, prefix+private); err != nil {
+		if _, err := shared.Alloc(prefix + private); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -45,42 +45,37 @@ func TestPrefixSharingSavesStorage(t *testing.T) {
 
 func TestPrefixRefCounting(t *testing.T) {
 	p := mustPrefix(t, 16, 256, 1, 1e6)
-	if err := p.Alloc(1, 300); err != nil {
-		t.Fatal(err)
-	}
-	if err := p.Alloc(2, 300); err != nil {
-		t.Fatal(err)
-	}
-	p.Free(1)
+	s1 := mustAlloc(t, p, 300)
+	s2 := mustAlloc(t, p, 300)
+	p.Free(s1)
 	if p.SharedBytes() != 256 {
 		t.Error("prefix must stay while one reference remains")
 	}
-	p.Free(2)
+	p.Free(s2)
 	if p.SharedBytes() != 0 {
 		t.Error("prefix must be released with the last reference")
 	}
 	if p.UsedBytes() != 0 {
 		t.Errorf("all storage must be free, used = %v", p.UsedBytes())
 	}
-	p.Free(99) // unknown free is a no-op
+	p.Free(Seq(0)) // unknown free is a no-op
+	p.Free(s1)     // stale free is a no-op
 }
 
 func TestPrefixExtendGrowsPrivateOnly(t *testing.T) {
 	p := mustPrefix(t, 16, 256, 1, 1e6)
-	if err := p.Alloc(1, 256); err != nil {
-		t.Fatal(err)
-	}
+	s := mustAlloc(t, p, 256)
 	base := p.UsedBytes()
-	if err := p.Extend(1, 256+16); err != nil {
+	if err := p.Extend(s, 256+16); err != nil {
 		t.Fatal(err)
 	}
 	if p.UsedBytes() != base+16 {
 		t.Errorf("extend should add one private block: %v -> %v", base, p.UsedBytes())
 	}
-	if err := p.Extend(1, 100); err == nil {
+	if err := p.Extend(s, 100); err == nil {
 		t.Error("shrink must fail")
 	}
-	if err := p.Extend(9, 300); err == nil {
+	if err := p.Extend(Seq(0), 300); err == nil {
 		t.Error("unknown sequence must fail")
 	}
 }
@@ -88,14 +83,14 @@ func TestPrefixExtendGrowsPrivateOnly(t *testing.T) {
 func TestPrefixOOM(t *testing.T) {
 	// Capacity for the prefix plus one private block only.
 	p := mustPrefix(t, 16, 64, 1, 64+16)
-	if err := p.Alloc(1, 80); err != nil {
+	if _, err := p.Alloc(80); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.Alloc(2, 80); !errors.Is(err, ErrOutOfMemory) {
+	if _, err := p.Alloc(80); !errors.Is(err, ErrOutOfMemory) {
 		t.Errorf("second private block must OOM, got %v", err)
 	}
 	// But a prefix-only sequence still fits (shares everything).
-	if err := p.Alloc(3, 64); err != nil {
+	if _, err := p.Alloc(64); err != nil {
 		t.Errorf("prefix-only sequence must share: %v", err)
 	}
 }
@@ -112,13 +107,21 @@ func TestPrefixConstructorErrors(t *testing.T) {
 	}
 }
 
-func TestPrefixDoubleAlloc(t *testing.T) {
+func TestPrefixStaleHandle(t *testing.T) {
 	p := mustPrefix(t, 16, 64, 1, 1e6)
-	if err := p.Alloc(1, 64); err != nil {
-		t.Fatal(err)
+	s := mustAlloc(t, p, 64)
+	p.Free(s)
+	if err := p.Extend(s, 80); err == nil {
+		t.Error("freed handle must be dead")
 	}
-	if err := p.Alloc(1, 64); err == nil {
-		t.Error("double alloc must fail")
+	s2 := mustAlloc(t, p, 64) // recycles the slot
+	if s2 == s {
+		t.Fatal("recycled slot must carry a new generation")
+	}
+	refBefore := p.prefixRef
+	p.Free(s) // stale free must not drop the new occupant's reference
+	if p.prefixRef != refBefore {
+		t.Error("stale free must be a no-op")
 	}
 }
 
@@ -136,10 +139,10 @@ func TestPrefixZeroPrefixEquivalentToPaged(t *testing.T) {
 		seqs := int(n%10) + 1
 		for i := 0; i < seqs; i++ {
 			t1 := int(tok)%2048 + 1
-			if err := shared.Alloc(i, t1); err != nil {
+			if _, err := shared.Alloc(t1); err != nil {
 				return false
 			}
-			if err := plain.Alloc(i, t1); err != nil {
+			if _, err := plain.Alloc(t1); err != nil {
 				return false
 			}
 		}
@@ -152,20 +155,19 @@ func TestPrefixZeroPrefixEquivalentToPaged(t *testing.T) {
 
 func TestPrefixInvariantUnderChurn(t *testing.T) {
 	p := mustPrefix(t, 16, 512, 2, 1<<20)
-	live := map[int]bool{}
+	var live []Seq
 	for i := 0; i < 200; i++ {
 		switch i % 3 {
 		case 0, 1:
 			if p.CanAlloc(512 + i) {
-				if err := p.Alloc(i, 512+i); err == nil {
-					live[i] = true
+				if s, err := p.Alloc(512 + i); err == nil {
+					live = append(live, s)
 				}
 			}
 		case 2:
-			for id := range live {
-				p.Free(id)
-				delete(live, id)
-				break
+			if len(live) > 0 {
+				p.Free(live[0])
+				live = live[1:]
 			}
 		}
 		if p.UsedBytes() > p.CapacityBytes() {

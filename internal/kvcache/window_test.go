@@ -2,22 +2,23 @@ package kvcache
 
 import "testing"
 
-// bruteMaxSteps replays the allocator's live sequences on a twin and
+// bruteMaxSteps replays the live token counts on a twin allocator and
 // step-extends all of them together until one Extend fails — the
 // ground truth MaxExtendSteps must match.
-func bruteMaxSteps(t *testing.T, build func() Allocator, seqs map[int]int, limit int) int {
+func bruteMaxSteps(t *testing.T, build func() Allocator, tokens []int, limit int) int {
 	t.Helper()
 	twin := build()
-	ids := make([]int, 0, len(seqs))
-	for id, tokens := range seqs {
-		if err := twin.Alloc(id, tokens); err != nil {
-			t.Fatalf("twin alloc %d: %v", id, err)
+	handles := make([]Seq, len(tokens))
+	for i, tok := range tokens {
+		s, err := twin.Alloc(tok)
+		if err != nil {
+			t.Fatalf("twin alloc %d: %v", i, err)
 		}
-		ids = append(ids, id)
+		handles[i] = s
 	}
 	for k := 1; k <= limit; k++ {
-		for _, id := range ids {
-			if err := twin.Extend(id, seqs[id]+k); err != nil {
+		for i, s := range handles {
+			if err := twin.Extend(s, tokens[i]+k); err != nil {
 				return k - 1
 			}
 		}
@@ -25,17 +26,30 @@ func bruteMaxSteps(t *testing.T, build func() Allocator, seqs map[int]int, limit
 	return limit
 }
 
+func allocAll(t *testing.T, a Allocator, tokens []int) []Seq {
+	t.Helper()
+	handles := make([]Seq, len(tokens))
+	for i, tok := range tokens {
+		s, err := a.Alloc(tok)
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		handles[i] = s
+	}
+	return handles
+}
+
 func TestPagedMaxExtendSteps(t *testing.T) {
 	const blockTokens, bytesPerToken = 16, 1024.0
 	cases := []struct {
 		name     string
 		capacity float64 // in blocks
-		seqs     map[int]int
+		tokens   []int
 	}{
-		{"plenty", 1000, map[int]int{1: 100, 2: 200}},
-		{"tight", 40, map[int]int{1: 100, 2: 200, 3: 17}},
-		{"exact-boundary", 24, map[int]int{1: 16, 2: 32}},
-		{"single", 12, map[int]int{7: 31}},
+		{"plenty", 1000, []int{100, 200}},
+		{"tight", 40, []int{100, 200, 17}},
+		{"exact-boundary", 24, []int{16, 32}},
+		{"single", 12, []int{31}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -47,23 +61,17 @@ func TestPagedMaxExtendSteps(t *testing.T) {
 				return a
 			}
 			live := build()
-			ids := make([]int, 0, len(c.seqs))
-			for id, tokens := range c.seqs {
-				if err := live.Alloc(id, tokens); err != nil {
-					t.Fatalf("alloc %d: %v", id, err)
-				}
-				ids = append(ids, id)
-			}
+			handles := allocAll(t, live, c.tokens)
 			for _, limit := range []int{1, 7, 64, 500} {
-				want := bruteMaxSteps(t, build, c.seqs, limit)
-				if got := live.MaxExtendSteps(ids, limit); got != want {
+				want := bruteMaxSteps(t, build, c.tokens, limit)
+				if got := live.MaxExtendSteps(handles, limit); got != want {
 					t.Errorf("limit %d: got %d want %d", limit, got, want)
 				}
 			}
-			if got := live.MaxExtendSteps([]int{999}, 10); got != 0 {
-				t.Errorf("unknown id: got %d want 0", got)
+			if got := live.MaxExtendSteps([]Seq{0}, 10); got != 0 {
+				t.Errorf("invalid handle: got %d want 0", got)
 			}
-			if got := live.MaxExtendSteps(ids, 0); got != 0 {
+			if got := live.MaxExtendSteps(handles, 0); got != 0 {
 				t.Errorf("limit 0: got %d want 0", got)
 			}
 		})
@@ -78,22 +86,17 @@ func TestMonolithicMaxExtendSteps(t *testing.T) {
 		}
 		return a
 	}
-	seqs := map[int]int{1: 200, 2: 250, 3: 100}
+	tokens := []int{200, 250, 100}
 	live := build()
-	for id, tokens := range seqs {
-		if err := live.Alloc(id, tokens); err != nil {
-			t.Fatal(err)
-		}
-	}
-	ids := []int{1, 2, 3}
+	handles := allocAll(t, live, tokens)
 	for _, limit := range []int{1, 6, 7, 100} {
-		want := bruteMaxSteps(t, build, seqs, limit)
-		if got := live.MaxExtendSteps(ids, limit); got != want {
+		want := bruteMaxSteps(t, build, tokens, limit)
+		if got := live.MaxExtendSteps(handles, limit); got != want {
 			t.Errorf("limit %d: got %d want %d", limit, got, want)
 		}
 	}
-	if got := live.MaxExtendSteps([]int{42}, 5); got != 0 {
-		t.Errorf("unknown id: got %d want 0", got)
+	if got := live.MaxExtendSteps([]Seq{0}, 5); got != 0 {
+		t.Errorf("invalid handle: got %d want 0", got)
 	}
 }
 
@@ -106,19 +109,17 @@ func TestPrefixPagedMaxExtendSteps(t *testing.T) {
 		}
 		return a
 	}
-	seqs := map[int]int{1: 80, 2: 100, 3: 65}
+	tokens := []int{80, 100, 65}
 	live := build()
-	for id, tokens := range seqs {
-		if err := live.Alloc(id, tokens); err != nil {
-			t.Fatal(err)
-		}
-	}
-	ids := []int{1, 2, 3}
+	handles := allocAll(t, live, tokens)
 	for _, limit := range []int{1, 10, 100, 400} {
-		want := bruteMaxSteps(t, build, seqs, limit)
-		if got := live.MaxExtendSteps(ids, limit); got != want {
+		want := bruteMaxSteps(t, build, tokens, limit)
+		if got := live.MaxExtendSteps(handles, limit); got != want {
 			t.Errorf("limit %d: got %d want %d", limit, got, want)
 		}
+	}
+	if got := live.MaxExtendSteps([]Seq{0}, 10); got != 0 {
+		t.Errorf("invalid handle: got %d want 0", got)
 	}
 }
 
@@ -129,18 +130,19 @@ func TestMaxExtendStepsDoesNotMutate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := a.Alloc(1, 100); err != nil {
+	s, err := a.Alloc(100)
+	if err != nil {
 		t.Fatal(err)
 	}
 	before := a.UsedBytes()
-	k := a.MaxExtendSteps([]int{1}, 1000)
+	k := a.MaxExtendSteps([]Seq{s}, 1000)
 	if a.UsedBytes() != before {
 		t.Fatal("MaxExtendSteps mutated the allocator")
 	}
-	if err := a.Extend(1, 100+k); err != nil {
+	if err := a.Extend(s, 100+k); err != nil {
 		t.Fatalf("predicted %d steps but extend failed: %v", k, err)
 	}
-	if err := a.Extend(1, 100+k+16); err == nil {
+	if err := a.Extend(s, 100+k+16); err == nil {
 		t.Error("a full block past the bound must fail")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"llmbench/internal/kvcache"
 	"llmbench/internal/workload"
 )
 
@@ -121,15 +122,17 @@ func TestCoalescedTinyCacheHeavyChurn(t *testing.T) {
 func TestCoalesceWindowBounds(t *testing.T) {
 	eng := testEngine(t)
 	alloc := testAlloc(t, 20)
-	for id, tokens := range map[int]int{1: 300, 2: 400} {
-		if err := alloc.Alloc(id, tokens); err != nil {
+	ids := make([]kvcache.Seq, 0, 2)
+	for _, tokens := range []int{300, 400} {
+		seq, err := alloc.Alloc(tokens)
+		if err != nil {
 			t.Fatal(err)
 		}
+		ids = append(ids, seq)
 	}
-	ids := []int{1, 2}
 
 	// Unconstrained: the window is the full completion bound.
-	w, err := CoalesceWindow(eng, alloc, ids, 2, 350, 100, 0, -1, nil)
+	w, err := CoalesceWindow(eng, alloc, ids, 2, 350, 100, 0, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +159,7 @@ func TestCoalesceWindowBounds(t *testing.T) {
 			cut = i + 1
 		}
 	}
-	arr, err := CoalesceWindow(eng, alloc, ids, 2, 350, 100, 0, w[0]*10.5, nil)
+	arr, err := CoalesceWindow(eng, alloc, ids, 2, 350, 100, 0, w[0]*10.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,17 +170,19 @@ func TestCoalesceWindowBounds(t *testing.T) {
 	// Allocator cut: a pool with room for only a few more blocks bounds
 	// the window at exactly MaxExtendSteps.
 	tiny := testAlloc(t, 20)
-	if err := tiny.Alloc(1, 300); err != nil {
-		t.Fatal(err)
+	tinyIDs := make([]kvcache.Seq, 0, 2)
+	for _, tokens := range []int{300, int(tiny.CapacityBytes()/tiny.BytesPerToken) - 300 - 3*16} {
+		seq, err := tiny.Alloc(tokens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tinyIDs = append(tinyIDs, seq)
 	}
-	if err := tiny.Alloc(2, int(tiny.CapacityBytes()/tiny.BytesPerToken)-300-3*16); err != nil {
-		t.Fatal(err)
-	}
-	headroom := tiny.MaxExtendSteps(ids, 100)
+	headroom := tiny.MaxExtendSteps(tinyIDs, 100)
 	if headroom >= 100 || headroom < 2 {
 		t.Fatalf("test setup: headroom %d, want a small window ≥ 2", headroom)
 	}
-	cutw, err := CoalesceWindow(eng, tiny, ids, 2, 350, 100, 0, -1, nil)
+	cutw, err := CoalesceWindow(eng, tiny, tinyIDs, 2, 350, 100, 0, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +192,7 @@ func TestCoalesceWindowBounds(t *testing.T) {
 
 	// Degenerate bounds fall back to stepped (empty window).
 	for _, kMax := range []int{0, 1} {
-		if w, err := CoalesceWindow(eng, alloc, ids, 2, 350, kMax, 0, -1, nil); err != nil || len(w) != 0 {
+		if w, err := CoalesceWindow(eng, alloc, ids, 2, 350, kMax, 0, -1); err != nil || len(w) != 0 {
 			t.Errorf("kMax %d: window %d (err %v), want empty", kMax, len(w), err)
 		}
 	}

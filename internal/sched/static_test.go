@@ -11,6 +11,7 @@ import (
 	"sort"
 	"testing"
 
+	"llmbench/internal/kvcache"
 	"llmbench/internal/workload"
 )
 
@@ -26,11 +27,13 @@ func legacyServeStatic(cfg Config, queue []workload.Request) (Stats, error) {
 		}
 		// Collect up to MaxBatch arrived requests.
 		batch := make([]workload.Request, 0, cfg.MaxBatch)
+		seqs := make([]kvcache.Seq, 0, cfg.MaxBatch)
 		rest := queue[:0]
 		for _, r := range queue {
 			if r.Arrival <= now && len(batch) < cfg.MaxBatch && cfg.Alloc.CanAlloc(r.Input+r.Output) {
-				if err := cfg.Alloc.Alloc(r.ID, r.Input+r.Output); err == nil {
+				if seq, err := cfg.Alloc.Alloc(r.Input + r.Output); err == nil {
 					batch = append(batch, r)
+					seqs = append(seqs, seq)
 					continue
 				}
 			}
@@ -56,8 +59,8 @@ func legacyServeStatic(cfg Config, queue []workload.Request) (Stats, error) {
 		if err != nil {
 			return Stats{}, err
 		}
-		for _, r := range batch {
-			cfg.Alloc.Free(r.ID)
+		for i, r := range batch {
+			cfg.Alloc.Free(seqs[i])
 			done = append(done, RequestStats{
 				ID: r.ID, Input: r.Input, Output: r.Output,
 				Arrival: r.Arrival, Started: now,
