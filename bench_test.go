@@ -359,6 +359,23 @@ func BenchmarkServeClusterStatic(b *testing.B) {
 		cluster.Config{Policy: cluster.LeastLoaded, MaxBatch: 16, Static: true})
 }
 
+// BenchmarkServeClusterDisagg tracks the disaggregated topology at the
+// same fleet scale as BenchmarkServeCluster8: 2 prefill + 6 decode
+// replicas, every request crossing the pool boundary as a kv-transfer
+// event. The delta against the aggregated row is the price of the
+// phase-split lifecycle (transfer events, horizon-bounded barriers).
+func BenchmarkServeClusterDisagg(b *testing.B) {
+	m := model.MustGet("LLaMA-3-8B")
+	benchServeClusterN(b, 8, benchClusterTrace(b, 128, 2),
+		cluster.Config{
+			Policy: cluster.LeastLoaded, MaxBatch: 16, PrefillReplicas: 2,
+			Transfer: des.TransferCost{
+				BlockTokens: 16, BytesPerToken: m.KVBytesPerToken(dtype.FP16),
+				GBPerS: 600, LatencyS: 3e-6,
+			},
+		})
+}
+
 // BenchmarkServeClusterMillion is the streaming-stats smoke row: a
 // million-request day replayed through an 8-replica fleet with
 // incremental aggregation (cluster.Config.Streaming), so stats memory

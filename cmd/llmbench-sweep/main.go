@@ -10,7 +10,10 @@
 // burst factors and -mixes input:output length medians switch the
 // traffic from plain Poisson to bursty heavy-tailed chat arrivals) —
 // printing throughput, latency and queue-delay percentiles, and
-// preemptions per point.
+// preemptions per point. Policy entries also select the serving
+// topology: disagg/<p>:<d> splits each point's fleet into prefill and
+// decode pools in that ratio, with KV hand-offs priced over the
+// device interconnect, and adds a mean transfer-delay column.
 //
 // Points are evaluated concurrently (-j bounds the workers, 0 = all
 // cores) but always print in grid order, so output is identical at
@@ -30,6 +33,8 @@
 //	llmbench-sweep -serve -model Mistral-7B -device A100 -framework vLLM \
 //	    -rates 10,20 -replicas 2,8 -policies static,continuous \
 //	    -bursts 1,4 -mixes 512:128,2048:256
+//	llmbench-sweep -serve -model Mistral-7B -device A100 -framework vLLM \
+//	    -rates 10,20,40 -replicas 4,8 -policies ll,ll:disagg/1:3 -slo 6
 //	llmbench-sweep -serve -model Mistral-7B -rates 20 -requests 100000 \
 //	    -record day.trace -stream
 //	llmbench-sweep -serve -model Mistral-7B -trace day.trace \
@@ -87,9 +92,11 @@ func main() {
 		replicas   = flag.String("replicas", "1", "comma-separated replica counts (-serve)")
 		maxbatches = flag.String("maxbatches", "32", "comma-separated per-replica batch caps (-serve)")
 		policies   = flag.String("policies", "continuous",
-			"comma-separated policy axis (-serve); each entry joins ':'-separated tokens from "+
-				"{continuous|static, rr|round-robin|ll|least-loaded, autoscale} — "+
-				"static composes with every router and with autoscale (e.g. static:ll, static:autoscale)")
+			"comma-separated policy axis (-serve); each entry joins ':'- or '/'-separated tokens from "+
+				"{continuous|static, rr|round-robin|ll|least-loaded, autoscale, aggregated, disagg/<p>:<d>} — "+
+				"static composes with every router and with autoscale (e.g. static:ll, static:autoscale); "+
+				"disagg/<p>:<d> splits each point's fleet into prefill and decode pools in that ratio "+
+				"(e.g. ll:disagg/1:3) and composes with rr/ll but not static or autoscale")
 		bursts = flag.String("bursts", "",
 			"comma-separated burst-factor axis ≥ 1 (-serve); setting it (or -mixes) switches traces "+
 				"from plain Poisson to bursty heavy-tailed chat arrivals (workload.ChatTrace); 1 = no bursts")
@@ -282,6 +289,15 @@ func serveSweep(sys llmbench.System, f serveFlags) {
 	}
 	axes := len(f.devices) > 0 || len(f.frameworks) > 0 || len(f.schemes) > 0
 	shaped := len(bfs) > 0 || len(lms) > 0
+	// Any disagg policy adds the transfer-delay column — the metric the
+	// topology axis exists to expose — the same way the configuration
+	// and shape axes add theirs.
+	disagg := false
+	for _, pol := range pols {
+		if pol.Disagg() {
+			disagg = true
+		}
+	}
 	switch {
 	case f.tracePath != "":
 		fmt.Printf("### %s serving sweep (replaying %d recorded requests from %s)\n\n",
@@ -300,14 +316,21 @@ func serveSweep(sys llmbench.System, f serveFlags) {
 	if shaped {
 		shapeHdr = " Burst | In:Out |"
 	}
-	fmt.Printf("%s| Policy | Replicas | MaxBatch |%s Rate (req/s) | Throughput (tok/s) | p50 (s) | p95 (s) | p99 (s) | Queue p50/p95/p99 (s) | Preempt |\n",
-		prefixHdr, shapeHdr)
+	xferHdr := ""
+	if disagg {
+		xferHdr = " Xfer (ms) |"
+	}
+	fmt.Printf("%s| Policy | Replicas | MaxBatch |%s Rate (req/s) | Throughput (tok/s) | p50 (s) | p95 (s) | p99 (s) | Queue p50/p95/p99 (s) |%s Preempt |\n",
+		prefixHdr, shapeHdr, xferHdr)
 	cols := 10
 	if axes {
 		cols += 3
 	}
 	if shaped {
 		cols += 2
+	}
+	if disagg {
+		cols++
 	}
 	fmt.Println("|" + strings.Repeat("---|", cols))
 	for _, p := range pts {
@@ -324,16 +347,24 @@ func serveSweep(sys llmbench.System, f serveFlags) {
 		if p.PeakReplicas > 0 {
 			policy = fmt.Sprintf("%s (peak %d)", policy, p.PeakReplicas)
 		}
+		xfer := ""
+		if disagg {
+			xfer = fmt.Sprintf(" %.3f |", p.Stats.MeanTransferDelay*1000)
+		}
 		if p.Err != nil {
-			fmt.Printf("%s| %s | %d | %d |%s %g | — (%v) | | | | | |\n",
-				prefix, policy, p.Replicas, p.MaxBatch, shape, p.Rate, p.Err)
+			blank := ""
+			if disagg {
+				blank = " |"
+			}
+			fmt.Printf("%s| %s | %d | %d |%s %g | — (%v) | | | | |%s |\n",
+				prefix, policy, p.Replicas, p.MaxBatch, shape, p.Rate, p.Err, blank)
 			continue
 		}
 		s := p.Stats
-		fmt.Printf("%s| %s | %d | %d |%s %g | %.0f | %.2f | %.2f | %.2f | %.2f/%.2f/%.2f | %d |\n",
+		fmt.Printf("%s| %s | %d | %d |%s %g | %.0f | %.2f | %.2f | %.2f | %.2f/%.2f/%.2f |%s %d |\n",
 			prefix, policy, p.Replicas, p.MaxBatch, shape, p.Rate, s.Throughput,
 			s.P50Latency, s.P95Latency, s.P99Latency,
-			s.P50QueueDelay, s.P95QueueDelay, s.P99QueueDelay, s.Preemptions)
+			s.P50QueueDelay, s.P95QueueDelay, s.P99QueueDelay, xfer, s.Preemptions)
 	}
 	if f.slo > 0 {
 		knees, err := llmbench.Knees(pts, f.slo)
@@ -488,35 +519,23 @@ func parseSchemes(s string) ([]llmbench.Scheme, error) {
 	return out, nil
 }
 
-// parsePolicies parses the -policies axis: comma-separated entries of
-// ':'-joined tokens, e.g. "continuous:ll,static,static:autoscale".
-// Every combination is legal — static batching is a station policy on
-// the cluster kernel, so it composes with both routers and with
-// autoscaling.
+// parsePolicies parses the -policies axis: comma-separated entries in
+// llmbench.ParseServePolicy's textual form — ':'- or '/'-joined tokens
+// such as "continuous:ll,static,static:autoscale,disagg/1:3". Malformed
+// entries — unknown tokens, bad pool splits, combinations the
+// simulators reject (static or autoscale with disagg) — fail here at
+// flag-parse time, naming the flag.
 func parsePolicies(s string) ([]llmbench.ServePolicy, error) {
 	entries := strings.Split(s, ",")
 	out := make([]llmbench.ServePolicy, 0, len(entries))
 	for _, entry := range entries {
 		entry = strings.TrimSpace(entry)
 		if entry == "" {
-			return nil, fmt.Errorf("bad policy list %q: empty element", s)
+			return nil, fmt.Errorf("bad -policies list %q: empty element", s)
 		}
-		var pol llmbench.ServePolicy
-		for _, tok := range strings.Split(entry, ":") {
-			switch strings.TrimSpace(tok) {
-			case "continuous":
-				pol.Static = false
-			case "static":
-				pol.Static = true
-			case "rr", "round-robin":
-				pol.LeastLoaded = false
-			case "ll", "least-loaded":
-				pol.LeastLoaded = true
-			case "autoscale", "auto":
-				pol.Autoscale = true
-			default:
-				return nil, fmt.Errorf("bad policy %q: unknown token %q (want continuous|static, rr|ll, autoscale)", entry, tok)
-			}
+		pol, err := llmbench.ParseServePolicy(entry)
+		if err != nil {
+			return nil, fmt.Errorf("bad -policies list %q: %w", s, err)
 		}
 		out = append(out, pol)
 	}

@@ -151,6 +151,45 @@ func TestParsePolicies(t *testing.T) {
 	}
 }
 
+// TestParsePoliciesDisagg: the -policies axis accepts topology tokens
+// — disagg/<p>:<d> pool splits in either separator style — and
+// rejects malformed splits and illegal compositions at flag-parse
+// time, naming the flag.
+func TestParsePoliciesDisagg(t *testing.T) {
+	got, err := parsePolicies("disagg/1:3, ll:disagg/2:6 ,static/rr,aggregated")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []llmbench.ServePolicy{
+		{PrefillPool: 1, DecodePool: 3},
+		{LeastLoaded: true, PrefillPool: 2, DecodePool: 6},
+		{Static: true},
+		{},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsePolicies = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("policy %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	bad := []string{
+		"disagg/2:6:autoscale", // autoscale does not compose with disagg
+		"static:disagg/1:3",    // static does not compose with disagg
+		"disagg/0:3",           // zero share
+		"disagg/1",             // missing decode share
+		"disagg/a:b",           // non-numeric shares
+	}
+	for _, in := range bad {
+		if got, err := parsePolicies(in); err == nil {
+			t.Errorf("parsePolicies(%q) = %v, want error", in, got)
+		} else if !strings.Contains(err.Error(), "-policies") {
+			t.Errorf("parsePolicies(%q) error %v must name the flag", in, err)
+		}
+	}
+}
+
 // TestValidateSLO: -slo must be rejected at parse time — a NaN SLO
 // would otherwise qualify nothing while `NaN > slo` comparisons stay
 // silently false — and the error must name the flag.

@@ -1,13 +1,13 @@
 // capacity is a deployment-planning workflow built on the serving
-// sweep: one ServeSweep call evaluates the whole accelerator ×
-// replica-count × arrival-rate × traffic-shape grid for a chat-style
-// workload, and Knees folds it into each fleet's capacity knee — the
-// highest swept rate whose P99 latency meets the SLO — the decision
-// the paper's benchmarking data exists to inform (§VII: "the choice
-// of framework should be tailored to specific user scenarios and
-// infrastructure constraints"). The burst-factor axis contrasts
-// smooth and bursty arrivals (workload.ChatTrace), showing how much
-// capacity headroom bursty traffic costs; LeanStats keeps the big
+// sweep: one ServeSweep call evaluates a serving-topology × fleet-size
+// × arrival-rate × traffic-shape grid for a chat-style workload, and
+// Knees folds it into each configuration's capacity knee — the highest
+// swept rate whose P99 latency meets the SLO. The topology axis asks
+// the production question the disaggregation literature poses: when
+// does splitting a fleet into prefill and decode pools (KV hand-offs
+// priced over the device interconnect) beat the same replicas serving
+// both phases? The length-mix axis contrasts prompt-heavy and
+// decode-heavy traffic, where the answer differs; LeanStats keeps the
 // grid's memory at aggregate size.
 //
 //	go run ./examples/capacity
@@ -21,111 +21,105 @@ import (
 )
 
 func main() {
-	const (
-		targetRate = 30.0 // requests/s to sustain
-		sloP99     = 6.0  // seconds, end-to-end p99
-	)
-	fmt.Printf("Capacity planning: Mistral-7B chat, target %g req/s, p99 ≤ %gs\n", targetRate, sloP99)
-	fmt.Println("(prompts ~512 tokens, replies ~128 tokens, least-loaded router,")
-	fmt.Println(" smooth vs bursty arrivals)")
+	const targetRate = 20.0 // requests/s to sustain
+	// Each mix gets the SLO its traffic can physically meet: long
+	// replies spend tens of seconds generating, so a decode-heavy p99
+	// target is an order looser than a prompt-heavy one.
+	mixes := []struct {
+		mix llmbench.LengthMix
+		slo float64
+	}{
+		{llmbench.LengthMix{Input: 512, Output: 128}, 8},  // prompt-heavy: large transfers, short decode
+		{llmbench.LengthMix{Input: 128, Output: 512}, 30}, // decode-heavy: small transfers, decode dominates
+	}
+	fmt.Printf("Fleet planning: Mistral-7B chat on A100/vLLM, target %g req/s\n", targetRate)
+	fmt.Println("(aggregated vs disaggregated prefill/decode pools, least-loaded router,")
+	fmt.Println(" prompt-heavy 512:128 @ p99 ≤ 8s vs decode-heavy 128:512 @ p99 ≤ 30s)")
 	fmt.Println()
 
-	// One call sweeps every fleet: device × replica count × arrival
-	// rate × burst factor (1 = smooth chat traffic, 4 = bursty).
-	// TRT-LLM does not build on MI300X — that combination's points
-	// carry the error instead of aborting the grid, exactly like the
-	// gaps in the paper's tables. LeanStats drops the per-request
-	// ledgers the knee fold never reads.
+	// One call sweeps every configuration: topology × fleet size ×
+	// arrival rate × length mix. The disagg entries are pool ratios —
+	// disagg/1:3 turns a fleet of 8 into 2 prefill + 6 decode replicas
+	// — so both fleet sizes divide evenly by every swept split.
+	policies := []llmbench.ServePolicy{
+		{LeastLoaded: true},
+		{LeastLoaded: true, PrefillPool: 1, DecodePool: 3},
+		{LeastLoaded: true, PrefillPool: 2, DecodePool: 2},
+	}
 	pts, err := llmbench.ServeSweep(llmbench.ServeSweepConfig{
-		System:   llmbench.System{Model: "Mistral-7B", Framework: "TRT-LLM"},
+		System:   llmbench.System{Model: "Mistral-7B", Device: "A100", Framework: "vLLM"},
 		MaxBatch: 32,
-		Seed:     99, Requests: 300, InputMean: 512, OutputMean: 128,
+		Seed:     99, Requests: 300,
+		InputMean: 512, OutputMean: 128,
 		LeanStats: true,
 	}, llmbench.ServeGrid{
-		Rates:        []float64{10, 20, 30, 40},
-		Replicas:     []int{1, 2, 4, 8, 16},
-		Policies:     []llmbench.ServePolicy{{LeastLoaded: true}},
-		BurstFactors: []float64{1, 4},
-		Devices:      []string{"A100", "H100", "GH200", "MI300X"},
-		Frameworks:   []string{"TRT-LLM", "vLLM"},
+		Rates:       []float64{5, 10, 20, 30},
+		Replicas:    []int{4, 8},
+		Policies:    policies,
+		LengthMixes: []llmbench.LengthMix{mixes[0].mix, mixes[1].mix},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Distinguish fleets that don't build (TRT-LLM on MI300X) from
-	// fleets whose swept rates all miss the SLO: a fleet with no
-	// working point at all reports its build error instead of a
-	// capacity shortfall.
-	type fleet struct{ dev, fw string }
-	works := make(map[fleet]bool)
-	buildErr := make(map[fleet]error)
-	for _, p := range pts {
-		f := fleet{p.Device, p.Framework}
-		if p.Err == nil {
-			works[f] = true
-		} else if _, ok := buildErr[f]; !ok {
-			buildErr[f] = p.Err
-		}
-	}
-
-	knees, err := llmbench.Knees(pts, sloP99)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("Capacity knee per fleet and traffic shape (highest swept rate with p99 ≤ SLO):")
+	fmt.Println("Capacity knee per topology, fleet, and mix (highest swept rate with p99 ≤ SLO):")
 	fmt.Println()
-	fmt.Println("| Device | Framework | Replicas | Burst | Knee (req/s) | p99 @ knee (s) | tok/s @ knee |")
-	fmt.Println("|---|---|---|---|---|---|---|")
-	// Fewest replicas sustaining targetRate, per burst factor.
-	smallest := make(map[fleet]map[float64]int)
-	seen := make(map[fleet]bool)
-	var fleets []fleet
-	for _, k := range knees {
-		f := fleet{k.Device, k.Framework}
-		if !seen[f] {
-			seen[f] = true
-			fleets = append(fleets, f)
-		}
-		if !k.Met {
-			continue
-		}
-		fmt.Printf("| %s | %s | %d | ×%g | %g | %.2f | %.0f |\n",
-			k.Device, k.Framework, k.Replicas, k.BurstFactor, k.Rate, k.Stats.P99Latency, k.Stats.Throughput)
-		if k.Rate >= targetRate {
-			if smallest[f] == nil {
-				smallest[f] = make(map[float64]int)
+	fmt.Println("| Topology | Replicas | In:Out | SLO (s) | Knee (req/s) | p99 @ knee (s) | tok/s @ knee | mean xfer (ms) |")
+	fmt.Println("|---|---|---|---|---|---|---|---|")
+	type plan struct {
+		policy llmbench.ServePolicy
+		mix    llmbench.LengthMix
+	}
+	smallest := make(map[plan]int)
+	for _, ms := range mixes {
+		// Per-mix SLOs mean one Knees fold per mix, over that mix's
+		// slice of the grid.
+		var subset []llmbench.ServeSweepPoint
+		for _, p := range pts {
+			if p.Mix == ms.mix {
+				subset = append(subset, p)
 			}
-			if cur, ok := smallest[f][k.BurstFactor]; !ok || k.Replicas < cur {
-				smallest[f][k.BurstFactor] = k.Replicas
+		}
+		knees, err := llmbench.Knees(subset, ms.slo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, k := range knees {
+			if !k.Met {
+				fmt.Printf("| %s | %d | %d:%d | %g | — no swept rate meets the SLO | | | |\n",
+					k.Policy, k.Replicas, k.Mix.Input, k.Mix.Output, ms.slo)
+				continue
+			}
+			fmt.Printf("| %s | %d | %d:%d | %g | %g | %.2f | %.0f | %.3f |\n",
+				k.Policy, k.Replicas, k.Mix.Input, k.Mix.Output, ms.slo, k.Rate,
+				k.Stats.P99Latency, k.Stats.Throughput, k.Stats.MeanTransferDelay*1000)
+			if k.Rate >= targetRate {
+				p := plan{k.Policy, k.Mix}
+				if cur, ok := smallest[p]; !ok || k.Replicas < cur {
+					smallest[p] = k.Replicas
+				}
 			}
 		}
 	}
 	fmt.Println()
-	fmt.Printf("Smallest fleet sustaining %g req/s under the SLO (smooth / ×4 bursty):\n", targetRate)
-	perShape := func(m map[float64]int, burst float64) string {
-		if n, ok := m[burst]; ok {
-			return fmt.Sprintf("%d replica(s)", n)
-		}
-		return "not within the swept grid"
-	}
-	for _, f := range fleets {
-		switch m := smallest[f]; {
-		case m != nil:
-			fmt.Printf("  %-7s (%s): %s / %s\n", f.dev, f.fw, perShape(m, 1), perShape(m, 4))
-		case !works[f]:
-			fmt.Printf("  %-7s (%s): unavailable — %v\n", f.dev, f.fw, buildErr[f])
-		default:
-			fmt.Printf("  %-7s (%s): not within the swept grid\n", f.dev, f.fw)
+	fmt.Printf("Smallest fleet sustaining %g req/s under its mix's SLO, per topology:\n", targetRate)
+	for _, ms := range mixes {
+		fmt.Printf("  %d:%d traffic (p99 ≤ %gs):\n", ms.mix.Input, ms.mix.Output, ms.slo)
+		for _, pol := range policies {
+			if n, ok := smallest[plan{pol, ms.mix}]; ok {
+				fmt.Printf("    %-28s %d replica(s)\n", pol, n)
+			} else {
+				fmt.Printf("    %-28s not within the swept grid\n", pol)
+			}
 		}
 	}
 	fmt.Println()
-	fmt.Println("The shape axis moves the knee in both directions: the burst factor")
-	fmt.Println("is rate-preserving, so ×4 traffic interleaves overload bursts with")
-	fmt.Println("calm drain periods — a marginal fleet loses its knee to the bursts")
-	fmt.Println("(A100 above) while an adequate one rides out the same mean rate")
-	fmt.Println("more easily than under sustained smooth load. Rerun with a")
-	fmt.Println("different model, policy axis (static, autoscale), length-mix axis,")
-	fmt.Println("or SLO — the whole grid is one ServeSweep call; see also")
-	fmt.Println("`llmbench-sweep -serve`.")
+	fmt.Println("The comparison is the point: disaggregation spends replicas on a")
+	fmt.Println("dedicated prefill pool and an interconnect hand-off per request, and")
+	fmt.Println("buys decode iterations that long prompts never stall — prompt-heavy")
+	fmt.Println("traffic reaches the target with half the fleet. Decode-heavy traffic")
+	fmt.Println("leaves the prefill pool idle, so the aggregated fleet's flexible")
+	fmt.Println("replicas win back the advantage. Rerun with other splits, models, or")
+	fmt.Println("SLOs — the whole grid is one ServeSweep call; see also")
+	fmt.Println("`llmbench-sweep -serve -policies ll,ll:disagg/1:3`.")
 }

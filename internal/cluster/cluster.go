@@ -6,7 +6,12 @@
 // specific user scenarios and infrastructure constraints").
 //
 // Two routing policies are provided: round-robin and
-// join-the-shortest-queue (least outstanding work).
+// join-the-shortest-queue (least outstanding work). The fleet can
+// additionally be disaggregated into a prefill pool and a decode pool
+// (Config.PrefillReplicas): arrivals route within the prefill pool,
+// and each completed prefill hands its KV blocks to a decode-pool
+// replica via a priced kv-transfer event (Config.Transfer) — the
+// routing policy then applies within each pool independently.
 //
 // The event loop is the shared discrete-event kernel (internal/des):
 // this package contributes only the routing policy (and, in
@@ -58,6 +63,21 @@ type Config struct {
 	Policy   Policy
 	MaxBatch int // per replica
 
+	// PrefillReplicas > 0 splits the fleet into a prefill pool (the
+	// first PrefillReplicas replicas) and a decode pool (the rest):
+	// prefill/decode disaggregation. Trace arrivals route into the
+	// prefill pool and completed prefills hand their KV blocks to the
+	// decode pool via priced kv-transfer events (Transfer); the Policy
+	// applies within each pool independently. Requires
+	// 1 ≤ PrefillReplicas < len(Replicas) and a valid Transfer;
+	// incompatible with Static (the decode pool needs iteration-level
+	// admission for hand-offs). Zero means aggregated: every replica
+	// runs both phases.
+	PrefillReplicas int
+	// Transfer prices the prefill→decode KV hand-off; required (and
+	// validated) when PrefillReplicas > 0, ignored otherwise.
+	Transfer des.TransferCost
+
 	// Static runs every replica with pre-Orca static batching
 	// (des.Config.Static): collect a batch, run it to completion,
 	// repeat. The router and autoscaler drive static replicas exactly
@@ -103,6 +123,10 @@ type ReplicaStats struct {
 	Completed int
 	BusyS     float64 // time spent executing iterations
 	Util      float64 // BusyS / makespan
+	// Transferred counts prefill sub-requests handed to the decode
+	// pool; non-zero only on prefill-pool replicas, whose Completed is
+	// in turn always zero (requests finish on the decode pool).
+	Transferred int
 }
 
 // Serve routes the trace across the replicas and runs to completion.
@@ -121,33 +145,47 @@ func Serve(cfg Config, reqs []workload.Request) (Stats, error) {
 			return Stats{}, fmt.Errorf("cluster: replica %d incomplete", i)
 		}
 	}
+	if cfg.PrefillReplicas > 0 {
+		if cfg.PrefillReplicas >= len(cfg.Replicas) {
+			return Stats{}, fmt.Errorf("cluster: PrefillReplicas %d leaves no decode replicas (fleet of %d)",
+				cfg.PrefillReplicas, len(cfg.Replicas))
+		}
+		if cfg.Static {
+			return Stats{}, errors.New("cluster: static batching does not compose with disaggregation (the decode pool needs iteration-level admission)")
+		}
+		if err := cfg.Transfer.Validate(); err != nil {
+			return Stats{}, fmt.Errorf("cluster: %w", err)
+		}
+	}
 
 	k := des.New(des.Config{
 		MaxBatch:    cfg.MaxBatch,
 		Static:      cfg.Static,
 		Stepped:     cfg.Stepped,
 		Parallelism: cfg.Parallelism,
+		Transfer:    cfg.Transfer,
 	})
 	k.Reuse(cfg.Scratch)
 	defer k.Release()
 	stations := make([]*des.Station, len(cfg.Replicas))
-	for i, r := range cfg.Replicas {
-		stations[i] = k.NewStation(r.Engine, r.Alloc)
-	}
-	rr := 0
-	k.Route = func(now float64) *des.Station {
-		if cfg.Policy == RoundRobin {
-			s := stations[rr%len(stations)]
-			rr++
-			return s
-		}
-		best := stations[0]
-		for _, s := range stations[1:] {
-			if s.Outstanding() < best.Outstanding() {
-				best = s
+	if cfg.PrefillReplicas > 0 {
+		for i, r := range cfg.Replicas {
+			role := des.RolePrefill
+			if i >= cfg.PrefillReplicas {
+				role = des.RoleDecode
 			}
+			stations[i] = k.NewPoolStation(r.Engine, r.Alloc, role)
 		}
-		return best
+		// Arrivals route within the prefill pool, kv-transfer
+		// deliveries within the decode pool — each with its own router
+		// state, under the one configured policy.
+		k.Route = poolRouter(cfg.Policy, stations[:cfg.PrefillReplicas])
+		k.RouteTransfer = poolRouter(cfg.Policy, stations[cfg.PrefillReplicas:])
+	} else {
+		for i, r := range cfg.Replicas {
+			stations[i] = k.NewStation(r.Engine, r.Alloc)
+		}
+		k.Route = poolRouter(cfg.Policy, stations)
 	}
 
 	var agg sched.Aggregator
@@ -164,6 +202,29 @@ func Serve(cfg Config, reqs []workload.Request) (Stats, error) {
 		return Stats{}, fmt.Errorf("cluster: only %d of %d requests completed", res.Completed, len(reqs))
 	}
 	return assemble(res, agg)
+}
+
+// poolRouter builds a routing closure over one station group:
+// round-robin cycles it; least-loaded joins the member with the
+// fewest outstanding requests. The aggregated fleet is a single group
+// spanning every station — the exact closure Serve always used — and
+// a disaggregated fleet instantiates it once per pool.
+func poolRouter(policy Policy, group []*des.Station) func(now float64) *des.Station {
+	rr := 0
+	return func(now float64) *des.Station {
+		if policy == RoundRobin {
+			s := group[rr%len(group)]
+			rr++
+			return s
+		}
+		best := group[0]
+		for _, s := range group[1:] {
+			if s.Outstanding() < best.Outstanding() {
+				best = s
+			}
+		}
+		return best
+	}
 }
 
 // assemble turns a kernel result into cluster Stats; agg, when
@@ -184,9 +245,10 @@ func assemble(res des.Result, agg sched.Aggregator) (Stats, error) {
 	out := Stats{Stats: stats}
 	for _, ps := range res.PerStation {
 		out.PerReplica = append(out.PerReplica, ReplicaStats{
-			Completed: ps.Completed,
-			BusyS:     ps.BusyS,
-			Util:      ps.BusyS / res.MakespanS,
+			Completed:   ps.Completed,
+			BusyS:       ps.BusyS,
+			Util:        ps.BusyS / res.MakespanS,
+			Transferred: ps.Transferred,
 		})
 	}
 	return out, nil

@@ -389,8 +389,15 @@ func (s *server) serveSweep(w http.ResponseWriter, r *http.Request) {
 	case "autoscale", "auto":
 		policy.Autoscale = true
 	default:
-		http.Error(w, "dashboard: policy must be one of continuous|ll|static|static-ll|static-auto|autoscale", http.StatusBadRequest)
-		return
+		// Anything beyond the select's short names — topology forms like
+		// "disagg/1:3" or "ll/disagg/2:6" — goes through the full policy
+		// grammar.
+		var perr error
+		policy, perr = llmbench.ParseServePolicy(get("policy", "ll"))
+		if perr != nil {
+			http.Error(w, "dashboard: "+perr.Error(), http.StatusBadRequest)
+			return
+		}
 	}
 	pts, err := llmbench.ServeSweep(llmbench.ServeSweepConfig{
 		System: llmbench.System{
@@ -755,6 +762,9 @@ const indexHTML = `<!DOCTYPE html>
   <option value="static">static/round-robin</option>
   <option value="static-ll">static/least-loaded</option>
   <option value="static-auto">static autoscale</option>
+  <option value="disagg/1:3">disagg 1:3 (prefill:decode)</option>
+  <option value="ll/disagg/1:3">disagg 1:3/least-loaded</option>
+  <option value="ll/disagg/2:2">disagg 2:2/least-loaded</option>
  </select>
  SLO p99 ≤ <input id="ss-slo" value="6" size="3">s
  <button onclick="serveSweep()">sweep</button>

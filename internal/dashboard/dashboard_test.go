@@ -222,6 +222,45 @@ func TestServeSweepEndpoint(t *testing.T) {
 	}
 }
 
+// TestServeSweepEndpointDisagg: topology policy forms reach the
+// endpoint through the full policy grammar — a disagg pool split runs
+// the sweep; malformed splits and illegal compositions are 400s.
+func TestServeSweepEndpointDisagg(t *testing.T) {
+	srv := httptest.NewServer(Handler(2))
+	defer srv.Close()
+	res, err := http.Get(srv.URL + "/api/servesweep?model=Mistral-7B&device=A100&framework=vLLM" +
+		"&rates=5,15&replicas=4&policy=ll/disagg/1:3&requests=40&slo=60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+	var out runResponse
+	if err := json.NewDecoder(res.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.Markdown, "disagg/1:3") {
+		t.Errorf("disagg sweep table does not name the topology:\n%s", out.Markdown)
+	}
+	for _, q := range []string{
+		"?rates=5&replicas=4&policy=disagg/0:3",
+		"?rates=5&replicas=4&policy=disagg/1",
+		"?rates=5&replicas=4&policy=static/disagg/1:3",
+		"?rates=5&replicas=4&policy=disagg/2:6:autoscale",
+	} {
+		r2, err := http.Get(srv.URL + "/api/servesweep" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2.Body.Close()
+		if r2.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", q, r2.StatusCode)
+		}
+	}
+}
+
 // TestServeSweepEndpointTraceReplay: the upload-less replay path — a
 // recorded trace file on the server's filesystem drives the sweep,
 // with and without streaming aggregation; conflicting or unreadable

@@ -37,7 +37,7 @@ func allocTestStation(t *testing.T, cfg Config, capGiB float64) *Station {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &Station{ID: 0, Engine: eng, Alloc: alloc, cfg: cfg, nextAt: -1}
+	return &Station{ID: 0, Engine: eng, Alloc: alloc, cfg: cfg, nextAt: -1, xferCut: -1}
 }
 
 // stationCycle admits a wave of requests and advances the station
@@ -91,5 +91,68 @@ func TestStationStepStaticSteadyStateAllocs(t *testing.T) {
 	cycle()
 	if avg := testing.AllocsPerRun(10, cycle); avg != 0 {
 		t.Errorf("static steady-state station cycle allocates %.1f times, want 0", avg)
+	}
+}
+
+// disaggTestTransfer prices transfers for the white-box gates; the
+// values are A100-shaped but arbitrary — only positivity matters.
+var disaggTestTransfer = TransferCost{BlockTokens: 16, BytesPerToken: 131072, GBPerS: 600, LatencyS: 3e-6}
+
+// TestStationStepPrefillSteadyStateAllocs gates the prefill-pool
+// station path at zero steady-state allocations per hand-off cycle:
+// request records must come from the free list and transfer records
+// from the warmed xfers buffer.
+func TestStationStepPrefillSteadyStateAllocs(t *testing.T) {
+	s := allocTestStation(t, Config{MaxBatch: 8, Transfer: disaggTestTransfer}, 16)
+	s.role = RolePrefill
+	reqs := allocTestReqs(8)
+	cycle := func() {
+		for _, r := range reqs {
+			s.enqueue(queued{req: r})
+		}
+		s.nextAt = 0
+		s.advance(math.Inf(1), nil)
+		if s.err != nil {
+			t.Fatal(s.err)
+		}
+		if s.queueLen() != 0 || len(s.xfers) != len(reqs) {
+			t.Fatal("cycle did not hand off every request")
+		}
+		s.xfers = s.xfers[:0] // the kernel's collectTransfers does this
+	}
+	cycle()
+	if avg := testing.AllocsPerRun(10, cycle); avg != 0 {
+		t.Errorf("prefill steady-state station cycle allocates %.1f times, want 0", avg)
+	}
+}
+
+// TestStationStepDecodeSteadyStateAllocs gates the decode-pool
+// station path the same way: admitting kv-transfer deliveries
+// (carried lifecycles, generated already 1) must reuse the free list.
+func TestStationStepDecodeSteadyStateAllocs(t *testing.T) {
+	s := allocTestStation(t, Config{MaxBatch: 8, Transfer: disaggTestTransfer}, 16)
+	s.role = RoleDecode
+	base := allocTestReqs(8)
+	cycle := func() {
+		for _, r := range base {
+			s.enqueue(queued{req: r, decode: true, carry: RequestStats{
+				ID: r.ID, Input: r.Input, Output: r.Output,
+				Arrival: r.Arrival, Started: r.Arrival, FirstTok: r.Arrival, TransferS: 1e-5,
+			}})
+		}
+		s.nextAt = 0
+		s.advance(math.Inf(1), nil)
+		if s.err != nil {
+			t.Fatal(s.err)
+		}
+		if s.queueLen() != 0 || len(s.run) != 0 {
+			t.Fatal("cycle did not drain the station")
+		}
+		s.finished = s.finished[:0]
+		s.finHead = 0
+	}
+	cycle()
+	if avg := testing.AllocsPerRun(10, cycle); avg != 0 {
+		t.Errorf("decode steady-state station cycle allocates %.1f times, want 0", avg)
 	}
 }

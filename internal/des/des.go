@@ -8,7 +8,7 @@
 //
 // The kernel advances a set of stations (replica simulators, each
 // owning an engine and a private KV allocator) over a shared trace of
-// request arrivals. Four event kinds exist:
+// request arrivals. Five event kinds exist:
 //
 //   - arrival: a request enters the system and is routed to a station
 //     by the Route callback (admission/routing policy).
@@ -27,17 +27,32 @@
 //   - completion: requests finishing inside a window; recorded in the
 //     completion ledger at the window's end time and merged into
 //     Result.Finished.
+//   - kv-transfer: in a disaggregated topology (stations with pool
+//     roles — see Role and NewPoolStation) a request is a sequence of
+//     phase sub-requests rather than a monolithic unit. Its prefill
+//     runs on a prefill-pool station; the moment that prefill
+//     completes, a kv-transfer event is scheduled, priced by the
+//     prompt's KV blocks over the pool interconnect plus a latency
+//     floor (TransferCost), and its expiry delivers the decode
+//     sub-request as an arrival at a decode-pool station picked by the
+//     RouteTransfer callback. Aggregated stations (RoleBoth, the
+//     default) never see the event kind and their event sequence is
+//     bit-for-bit what it was before pool roles existed.
 //
 // # Determinism contract
 //
 // Ties at equal timestamps break deterministically: arrivals at one
 // instant are processed in trace order (the sort is stable), a
-// scale-tick always precedes the arrival that triggered it, and a
-// station's window-exhausted event at time t runs after every arrival
-// at t (so admission sees the newly routed request, exactly as a
-// time-ordered queue with arrival-first tie-breaking would order
-// them). The completion ledger is sorted by (finish time, request ID)
-// before aggregation, so Stats never depend on which station's events
+// scale-tick always precedes the arrival that triggered it, kv-transfer
+// deliveries tied with trace arrivals at one instant are delivered
+// after them — ordered among themselves by (delivery time, request ID),
+// with no scale-tick of their own (the fleet scales on external
+// arrivals, not internal hand-offs) — and a station's window-exhausted
+// event at time t runs after every arrival and delivery at t (so
+// admission sees the newly routed request, exactly as a time-ordered
+// queue with arrival-first tie-breaking would order them). The
+// completion ledger is sorted by (finish time, request ID) before
+// aggregation, so Stats never depend on which station's events
 // happened to be appended first.
 //
 // # Parallelism
@@ -54,6 +69,18 @@
 // property tests assert serial == parallel == Stepped to the last
 // bit.
 //
+// Disaggregated fleets add a second interaction channel: kv-transfer
+// deliveries, whose instants are not in the trace. The barrier stays
+// conservative by never extending past the transfer horizon — the
+// earliest instant any not-yet-generated transfer could deliver
+// (every awake prefill station's next event time plus the
+// interconnect latency floor, see transferHorizon) — and decode
+// stations' coalesced windows are cut at the same bound (xferCut), so
+// a window never fast-forwards across a delivery that could change
+// admission. Transfers generated inside a barrier are parked on their
+// station (Station.xfers) and merged into the kernel's pending queue
+// serially after the join, keeping station advances share-nothing.
+//
 // # Performance notes
 //
 // The kernel's steady state allocates (near) nothing per event; a
@@ -61,11 +88,18 @@
 // that true:
 //
 //   - Request records are free-listed per station: a runReq (with its
-//     RequestStats embedded by value) is recycled at completion and at
-//     preemption. A pointer into a station's running set is therefore
-//     only valid until the request finishes — nothing outside the
-//     station may retain one. RequestStats cross the API boundary by
-//     value (ledger, Sink), never by pointer.
+//     RequestStats embedded by value) is recycled at completion, at
+//     preemption, and — on prefill stations — at hand-off. A pointer
+//     into a station's running set is therefore only valid until the
+//     request finishes — nothing outside the station may retain one.
+//     RequestStats cross the API boundary by value (ledger, Sink),
+//     never by pointer. Phase sub-requests obey the same rule: the
+//     prefill sub-request's record goes straight back on its
+//     station's free list when the transfer is scheduled (the
+//     transfer record carries the lifecycle by value), and the decode
+//     sub-request draws a fresh record from the decode station's
+//     slab. A policy layer must never thread a record across the
+//     pool boundary.
 //   - Each station keeps a monotone cursor into the sorted arrival
 //     array (Station.nextArrival). The cursor relies on station event
 //     times never decreasing: events only move the clock forward and
@@ -146,6 +180,11 @@ type Config struct {
 	// worker goroutines between arrival barriers; values ≤ 1 advance
 	// them serially. Stats are byte-identical at any setting.
 	Parallelism int
+
+	// Transfer prices kv-transfer events between a prefill pool and a
+	// decode pool. Required — and validated — as soon as any station
+	// has RolePrefill; ignored by aggregated fleets.
+	Transfer TransferCost
 }
 
 // ErrKernelReused is returned by Run when the kernel has already run:
@@ -165,6 +204,10 @@ type Kernel struct {
 	// is routed — the autoscaler's hook for adding and retiring
 	// stations. An error aborts the run.
 	ScaleTick func(now float64) error
+	// RouteTransfer picks the decode-pool station for an expiring
+	// kv-transfer, exactly as Route picks a station for a trace
+	// arrival. Required as soon as any station has RolePrefill.
+	RouteTransfer func(now float64) *Station
 	// Sink, when non-nil, receives each completed request's lifecycle
 	// incrementally instead of the kernel retaining a ledger:
 	// Result.Finished stays empty and per-station completion buffers
@@ -187,6 +230,16 @@ type Kernel struct {
 	flushBuf []RequestStats // reused Sink merge buffer
 	scratch  *Scratch       // arena to Release into, when recycling
 	workers  *stationWorkers
+
+	// Disaggregation state. pending[phead:] is the kv-transfer
+	// delivery queue, sorted by (delivery time, request ID) with the
+	// same cursor-and-compact discipline as station queues. hasPrefill
+	// gates all of it: an aggregated fleet never touches these fields.
+	pending    []transfer
+	phead      int
+	hasPrefill bool
+	minXfer    float64 // Transfer.LatencyS, the lookahead floor
+	cut        float64 // current barrier's window cut; -1 when aggregated
 }
 
 // New creates an empty kernel.
@@ -208,7 +261,21 @@ func (k *Kernel) NewStation(eng *engine.Engine, alloc kvcache.Allocator) *Statio
 	s.Engine, s.Alloc = eng, alloc
 	s.cfg = k.cfg
 	s.nextAt = -1
+	s.xferCut = -1
 	k.stations = append(k.stations, s)
+	return s
+}
+
+// NewPoolStation adds a station with a pool role for a disaggregated
+// topology. NewStation is NewPoolStation with RoleBoth: aggregated
+// stations run both phases and never generate or receive kv-transfer
+// events.
+func (k *Kernel) NewPoolStation(eng *engine.Engine, alloc kvcache.Allocator, role Role) *Station {
+	s := k.NewStation(eng, alloc)
+	s.role = role
+	if role == RolePrefill {
+		k.hasPrefill = true
+	}
 	return s
 }
 
@@ -221,6 +288,11 @@ type StationResult struct {
 	Completed int
 	BusyS     float64 // time spent executing iterations
 	Retired   bool
+	// Transferred counts prefill sub-requests this station handed to
+	// the decode pool. Always zero off the prefill pool; prefill
+	// stations in turn record no Completed (only the decode phase
+	// finishes a request).
+	Transferred int
 }
 
 // Result is a completed kernel run.
@@ -284,6 +356,25 @@ func (k *Kernel) Run(reqs []workload.Request) (Result, error) {
 			return Result{}, fmt.Errorf("des: station %d incomplete", s.ID)
 		}
 	}
+	k.cut = -1
+	if k.hasPrefill {
+		// Pool roles ride the plain continuous admission path: static
+		// batching has no per-iteration decode events for the decode
+		// pool, chunked prefill would interleave hand-offs mid-prompt,
+		// and preemption would requeue a decode sub-request whose
+		// prefill ran elsewhere. All three are rejected rather than
+		// silently mis-simulated.
+		if k.cfg.Static || k.cfg.ChunkedPrefill || k.cfg.Preemptive {
+			return Result{}, errors.New("des: pool roles (disaggregation) require plain continuous scheduling (no Static, ChunkedPrefill, or Preemptive)")
+		}
+		if err := k.cfg.Transfer.Validate(); err != nil {
+			return Result{}, err
+		}
+		if k.RouteTransfer == nil {
+			return Result{}, errors.New("des: prefill stations require a RouteTransfer callback")
+		}
+		k.minXfer = k.cfg.Transfer.LatencyS
+	}
 	route := k.Route
 	if route == nil {
 		route = func(float64) *Station { return k.stations[0] }
@@ -319,15 +410,47 @@ func (k *Kernel) Run(reqs []workload.Request) (Result, error) {
 		k.arrivals[i] = r.Arrival
 	}
 
-	for i := 0; i < len(ordered); {
-		t := ordered[i].Arrival
+	for i := 0; ; {
+		// The next delivery instant: the earlier of the next trace
+		// arrival and the earliest pending kv-transfer. Ties go to the
+		// arrival — both deliver at t below, arrivals first.
+		t := math.Inf(1)
+		if i < len(ordered) {
+			t = ordered[i].Arrival
+		}
+		if k.phead < len(k.pending) && k.pending[k.phead].at < t {
+			t = k.pending[k.phead].at
+		}
 		// Conservative time-window barrier: every station event
-		// strictly before the next arrival is independent of it.
-		if err := k.advanceAll(t); err != nil {
+		// strictly before the next delivery is independent of it. In a
+		// disaggregated fleet the barrier additionally stops at the
+		// transfer horizon — a prefill event inside the window could
+		// generate a delivery earlier than t — and decode windows are
+		// cut at the same bound (xferCut, applied by advanceAll).
+		bound := t
+		if k.hasPrefill {
+			if h := k.transferHorizon(); h < bound {
+				bound = h
+			}
+			k.cut = bound
+		}
+		if err := k.advanceAll(bound); err != nil {
 			return Result{}, err
 		}
+		if k.hasPrefill {
+			k.collectTransfers()
+		}
 		if k.Sink != nil {
-			k.flush(t)
+			k.flush(bound)
+		}
+		if bound < t {
+			// Horizon-limited barrier: at least one prefill event ran
+			// (the horizon sits strictly past some station's nextAt),
+			// possibly scheduling deliveries before t. Re-derive.
+			continue
+		}
+		if math.IsInf(t, 1) {
+			break
 		}
 		for i < len(ordered) && ordered[i].Arrival == t {
 			if k.ScaleTick != nil {
@@ -343,12 +466,19 @@ func (k *Kernel) Run(reqs []workload.Request) (Result, error) {
 			k.wake(s, t) // an idle station wakes at the arrival instant
 			i++
 		}
-	}
-	if err := k.advanceAll(math.Inf(1)); err != nil {
-		return Result{}, err
-	}
-	if k.Sink != nil {
-		k.flush(math.Inf(1))
+		for k.phead < len(k.pending) && k.pending[k.phead].at == t {
+			x := k.pending[k.phead]
+			k.phead++
+			if k.phead == len(k.pending) {
+				k.pending, k.phead = k.pending[:0], 0
+			}
+			s := k.RouteTransfer(t)
+			if s == nil {
+				return Result{}, errors.New("des: transfer router returned no station")
+			}
+			s.enqueue(queued{req: x.req, decode: true, carry: x.stats})
+			k.wake(s, t)
+		}
 	}
 
 	return k.collect(), nil
@@ -420,6 +550,12 @@ func (k *Kernel) advanceAll(barrier float64) error {
 	k.due = k.due[:0]
 	for _, i := range k.awake {
 		if s := stations[i]; s.nextAt >= 0 && s.nextAt < barrier {
+			// In a disaggregated fleet, coalesced windows must not
+			// fast-forward past the earliest possible kv-transfer
+			// delivery; the kernel stamps the bound on each due station
+			// here (serially, before any fan-out) and step() cuts at
+			// it. -1 — always, for aggregated fleets — means no cut.
+			s.xferCut = k.cut
 			k.due = append(k.due, i)
 		}
 	}
@@ -479,6 +615,7 @@ func (k *Kernel) collect() Result {
 		res.Preemptions += s.preempts
 		res.PerStation = append(res.PerStation, StationResult{
 			Completed: s.done, BusyS: s.busy, Retired: s.Retired,
+			Transferred: s.transferred,
 		})
 	}
 	return res
@@ -521,6 +658,11 @@ type RequestStats struct {
 	FirstTok  float64 // when the first output token appeared
 	Finished  float64
 	Preempted int // times this request was evicted and restarted
+	// TransferS is the kv-transfer delay between the prefill and
+	// decode phases in a disaggregated topology: the time the
+	// request's KV blocks spent on the interconnect. Zero on
+	// aggregated stations, where no hand-off exists.
+	TransferS float64
 }
 
 // Latency is the request's end-to-end time.

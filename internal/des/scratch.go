@@ -25,6 +25,7 @@ type Scratch struct {
 	due      []int
 	awake    []int
 	flushBuf []RequestStats
+	pending  []transfer
 }
 
 // Reuse adopts the arena's buffers into k and earmarks it for
@@ -39,7 +40,8 @@ func (k *Kernel) Reuse(sc *Scratch) {
 	k.due = sc.due[:0]
 	k.awake = sc.awake[:0]
 	k.flushBuf = sc.flushBuf[:0]
-	sc.arrivals, sc.due, sc.awake, sc.flushBuf = nil, nil, nil, nil
+	k.pending = sc.pending[:0]
+	sc.arrivals, sc.due, sc.awake, sc.flushBuf, sc.pending = nil, nil, nil, nil, nil
 }
 
 // Release returns k's buffers and station shells to the Scratch
@@ -70,5 +72,6 @@ func (k *Kernel) Release() {
 	sc.due = k.due
 	sc.awake = k.awake
 	sc.flushBuf = k.flushBuf
-	k.arrivals, k.due, k.awake, k.flushBuf = nil, nil, nil, nil
+	sc.pending = k.pending[:0] // abandoned transfers hold no pointers
+	k.arrivals, k.due, k.awake, k.flushBuf, k.pending = nil, nil, nil, nil, nil
 }

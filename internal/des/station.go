@@ -75,6 +75,21 @@ type Station struct {
 	// Cleared on reset and Release so a recycled shell cannot pin
 	// engine memo arrays.
 	pricer pricer
+
+	// role is the station's pool assignment (RoleBoth when
+	// aggregated); see NewPoolStation.
+	role Role
+	// xfers parks kv-transfers generated during the current barrier
+	// for serial kernel pickup (collectTransfers) after the join —
+	// stations never touch shared state mid-barrier.
+	xfers       []transfer
+	transferred int
+	// xferCut is the current barrier's delivery bound: coalesced
+	// windows must not fast-forward past it, because a kv-transfer
+	// delivery there could change admission. Stamped by the kernel
+	// before each barrier; -1 (always, on aggregated fleets) means no
+	// cut.
+	xferCut float64
 }
 
 // queued is a waiting request; preempted counts prior evictions so
@@ -82,6 +97,11 @@ type Station struct {
 type queued struct {
 	req       workload.Request
 	preempted int
+	// decode marks a decode-phase sub-request delivered by a
+	// kv-transfer event; carry is its lifecycle so far (original
+	// arrival, prefill timing, transfer delay), resumed on admission.
+	decode bool
+	carry  RequestStats
 }
 
 // runReq is an admitted request in flight. Records are drawn from the
@@ -121,6 +141,14 @@ func (s *Station) getReq(q queued, now float64) *runReq {
 			Arrival: q.req.Arrival, Started: now, Preempted: q.preempted,
 		},
 	}
+	if q.decode {
+		// Decode sub-request: resume the carried lifecycle — original
+		// arrival, prefill timing, transfer delay — with the prompt
+		// already prefilled on the prefill pool (first token emitted
+		// there, so generated starts at 1).
+		r.stats = q.carry
+		r.generated = 1
+	}
 	return r
 }
 
@@ -144,6 +172,10 @@ func (s *Station) reset() {
 	s.awake = false
 	s.arrCur = 0
 	s.pricer = pricer{}
+	s.role = RoleBoth
+	s.xfers = s.xfers[:0]
+	s.transferred = 0
+	s.xferCut = -1
 }
 
 // queueLen is the number of live queued requests.
@@ -163,6 +195,9 @@ func (s *Station) popHead() queued {
 // the load signal the routing and scaling policies read at arrival
 // barriers.
 func (s *Station) Outstanding() int { return s.queueLen() + len(s.run) }
+
+// Role reports the station's pool assignment.
+func (s *Station) Role() Role { return s.role }
 
 // enqueue inserts a request keeping the queue sorted by effective
 // arrival time (FIFO among equals). The router delivers arrivals in
@@ -191,7 +226,15 @@ func (s *Station) enqueue(q queued) {
 func (s *Station) advance(barrier float64, arrivals []float64) {
 	for s.err == nil && s.nextAt >= 0 && s.nextAt < barrier {
 		now := s.nextAt
-		end, err := s.step(now, s.nextArrival(arrivals, now))
+		// The coalescing cut is the earlier of the next trace arrival
+		// and the barrier's kv-transfer delivery bound (xferCut, -1 on
+		// aggregated fleets): a window may not fast-forward across
+		// either kind of delivery.
+		na := s.nextArrival(arrivals, now)
+		if s.xferCut >= 0 && (na < 0 || s.xferCut < na) {
+			na = s.xferCut
+		}
+		end, err := s.step(now, na)
 		if err != nil {
 			s.err, s.errAt = err, now
 			return
@@ -244,12 +287,21 @@ func (s *Station) step(now, nextArrival float64) (float64, error) {
 	if s.cfg.Static {
 		return s.stepStatic(now)
 	}
+	if s.role == RolePrefill {
+		return s.stepPrefill(now)
+	}
 	// Admit from the head of the queue while batch slots and KV
 	// capacity remain. Admission is FIFO: a blocked head blocks
 	// everything behind it.
 	s.admitted = s.admitted[:0]
 	for s.queueLen() > 0 && len(s.run)+len(s.admitted) < s.cfg.MaxBatch {
 		q := s.queue[s.qhead]
+		if q.decode != (s.role == RoleDecode) {
+			// A phase routed to the wrong pool: the simulation would
+			// silently double-charge or skip the prefill. Router bug.
+			return 0, fmt.Errorf("des: station %d (%s) received a %s-phase request %d",
+				s.ID, s.role, phaseName(q.decode), q.req.ID)
+		}
 		if !s.Alloc.CanAlloc(q.req.Input) {
 			break
 		}
@@ -265,7 +317,11 @@ func (s *Station) step(now, nextArrival float64) (float64, error) {
 	admitted := s.admitted
 	var step float64
 	if len(admitted) > 0 {
-		if s.cfg.ChunkedPrefill {
+		if s.role == RoleDecode {
+			// Decode sub-requests arrive prefilled: FirstTok was set on
+			// the prefill pool and generated is already 1 (getReq), so
+			// admission charges nothing here.
+		} else if s.cfg.ChunkedPrefill {
 			// Prompts enter the prefill queue; their tokens are
 			// processed in slices fused with decode iterations.
 			for _, a := range admitted {
@@ -476,6 +532,89 @@ func (s *Station) step(now, nextArrival float64) (float64, error) {
 	}
 	s.run = next
 	return end, nil
+}
+
+// phaseName names a queued entry's phase for error messages.
+func phaseName(decode bool) string {
+	if decode {
+		return "decode"
+	}
+	return "prefill"
+}
+
+// stepPrefill runs one prefill-pool event: admit up to MaxBatch
+// queued prompts, charge one batched prefill, and hand every admitted
+// sub-request off to the decode pool via a kv-transfer record. The
+// running set is empty between events — the prefilled KV leaves with
+// the transfer — so prefill stations never decode, never preempt, and
+// their allocator only bounds the prefill batch in flight.
+func (s *Station) stepPrefill(now float64) (float64, error) {
+	s.admitted = s.admitted[:0]
+	for s.queueLen() > 0 && len(s.admitted) < s.cfg.MaxBatch {
+		q := s.queue[s.qhead]
+		if q.decode {
+			return 0, fmt.Errorf("des: station %d (prefill) received a decode-phase request %d", s.ID, q.req.ID)
+		}
+		if !s.Alloc.CanAlloc(q.req.Input) {
+			break
+		}
+		seq, err := s.Alloc.Alloc(q.req.Input)
+		if err != nil {
+			break
+		}
+		s.popHead()
+		r := s.getReq(q, now)
+		r.seq = seq
+		s.admitted = append(s.admitted, r)
+	}
+	if len(s.admitted) == 0 {
+		if s.queueLen() > 0 {
+			// Nothing in flight survives a prefill event, so a head
+			// that does not fit an empty pool never will.
+			return 0, fmt.Errorf("des: station %d cannot admit request %d (input %d): KV cache too small",
+				s.ID, s.queue[s.qhead].req.ID, s.queue[s.qhead].req.Input)
+		}
+		return now, nil
+	}
+	in := 0
+	for _, a := range s.admitted {
+		in += a.req.Input
+	}
+	pf, err := s.Engine.PrefillSeconds(len(s.admitted), in/len(s.admitted))
+	if err != nil {
+		return 0, err
+	}
+	end := now + pf
+	s.busy += pf
+	for _, a := range s.admitted {
+		// The batched prefill emits each prompt's first token at the
+		// batch's end, exactly as aggregated admission charges it.
+		a.stats.FirstTok = end
+		a.generated = 1
+		s.handoff(a, end)
+	}
+	return end, nil
+}
+
+// handoff retires a prefill sub-request at time end: the local KV
+// reservation is released (the blocks travel to the decode pool), the
+// transfer is priced on the prompt's block footprint, and a transfer
+// record is parked on the station's buffer for kernel pickup at the
+// barrier join. The runReq goes straight back on the free list — the
+// transfer record carries the lifecycle by value, preserving the
+// zero-steady-state-allocation invariant across the pool boundary.
+// The outgoing request's Arrival is rewritten to the delivery instant
+// so the decode pool's queue sorts by effective arrival; the original
+// arrival survives in the carried stats.
+func (s *Station) handoff(r *runReq, end float64) {
+	s.Alloc.Free(r.seq)
+	d := s.cfg.Transfer.Seconds(r.req.Input)
+	r.stats.TransferS = d
+	req := r.req
+	req.Arrival = end + d
+	s.xfers = append(s.xfers, transfer{at: end + d, req: req, stats: r.stats})
+	s.putReq(r)
+	s.transferred++
 }
 
 // stepStatic runs one static-batching event. When a batch is in

@@ -115,7 +115,12 @@ type Stats struct {
 	P50QueueDelay  float64
 	P95QueueDelay  float64
 	P99QueueDelay  float64
-	Preemptions    int
+	// MeanTransferDelay is the mean prefill→decode kv-transfer delay
+	// per completed request — the interconnect time disaggregated
+	// topologies pay that aggregated fleets do not. Always zero for
+	// aggregated runs.
+	MeanTransferDelay float64
+	Preemptions       int
 	// MaxIterationS is the longest single scheduler iteration — the
 	// worst token-level stall a running request experienced. Chunked
 	// prefill exists to bound it (§V-3).
@@ -199,7 +204,7 @@ func Summarize(done []RequestStats, makespan float64, preemptions int) (Stats, e
 	if !(makespan > 0) {
 		return Stats{}, errors.New("sched: zero makespan")
 	}
-	var tokens, latSum, ttftSum, qdSum float64
+	var tokens, latSum, ttftSum, qdSum, xferSum float64
 	lats := make([]float64, len(done))
 	qds := make([]float64, len(done))
 	for i, r := range done {
@@ -208,25 +213,27 @@ func Summarize(done []RequestStats, makespan float64, preemptions int) (Stats, e
 		qds[i] = r.QueueDelay()
 		qdSum += qds[i]
 		ttftSum += r.FirstTok - r.Arrival
+		xferSum += r.TransferS
 		tokens += float64(r.Input + r.Output)
 	}
 	sort.Float64s(lats)
 	sort.Float64s(qds)
 	return Stats{
-		Completed:      len(done),
-		MakespanS:      makespan,
-		Throughput:     tokens / makespan,
-		MeanLatency:    latSum / float64(len(done)),
-		P50Latency:     percentile(lats, 0.50),
-		P95Latency:     percentile(lats, 0.95),
-		P99Latency:     percentile(lats, 0.99),
-		MeanTTFT:       ttftSum / float64(len(done)),
-		MeanQueueDelay: qdSum / float64(len(done)),
-		P50QueueDelay:  percentile(qds, 0.50),
-		P95QueueDelay:  percentile(qds, 0.95),
-		P99QueueDelay:  percentile(qds, 0.99),
-		Preemptions:    preemptions,
-		Requests:       done,
+		Completed:         len(done),
+		MakespanS:         makespan,
+		Throughput:        tokens / makespan,
+		MeanLatency:       latSum / float64(len(done)),
+		P50Latency:        percentile(lats, 0.50),
+		P95Latency:        percentile(lats, 0.95),
+		P99Latency:        percentile(lats, 0.99),
+		MeanTTFT:          ttftSum / float64(len(done)),
+		MeanQueueDelay:    qdSum / float64(len(done)),
+		P50QueueDelay:     percentile(qds, 0.50),
+		P95QueueDelay:     percentile(qds, 0.95),
+		P99QueueDelay:     percentile(qds, 0.99),
+		MeanTransferDelay: xferSum / float64(len(done)),
+		Preemptions:       preemptions,
+		Requests:          done,
 	}, nil
 }
 

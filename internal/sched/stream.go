@@ -14,7 +14,8 @@ package sched
 // Because a StreamAggregator observes completions in exactly the
 // order Summarize iterates the completion-sorted ledger, every
 // non-percentile aggregate (Completed, Throughput, MeanLatency,
-// MeanTTFT, MeanQueueDelay, Preemptions, MakespanS) is byte-identical
+// MeanTTFT, MeanQueueDelay, MeanTransferDelay, Preemptions,
+// MakespanS) is byte-identical
 // to the exact path — identical float additions in identical order.
 // The percentile fields are sketch estimates: within 1% relative
 // error of Summarize's lower-index percentiles on the property-test
@@ -63,6 +64,7 @@ type StreamAggregator struct {
 	latSum  float64
 	ttftSum float64
 	qdSum   float64
+	xferSum float64
 	lat     [3]P2Quantile // P50, P95, P99 latency
 	qd      [3]P2Quantile // P50, P95, P99 queue delay
 }
@@ -85,6 +87,7 @@ func (a *StreamAggregator) Observe(r RequestStats) {
 	qd := r.QueueDelay()
 	a.qdSum += qd
 	a.ttftSum += r.FirstTok - r.Arrival
+	a.xferSum += r.TransferS
 	a.tokens += float64(r.Input + r.Output)
 	for i := range a.lat {
 		a.lat[i].Observe(lat)
@@ -102,19 +105,20 @@ func (a *StreamAggregator) Stats(makespan float64, preemptions int) (Stats, erro
 		return Stats{}, errors.New("sched: zero makespan")
 	}
 	return Stats{
-		Completed:      a.n,
-		MakespanS:      makespan,
-		Throughput:     a.tokens / makespan,
-		MeanLatency:    a.latSum / float64(a.n),
-		P50Latency:     a.lat[0].Value(),
-		P95Latency:     a.lat[1].Value(),
-		P99Latency:     a.lat[2].Value(),
-		MeanTTFT:       a.ttftSum / float64(a.n),
-		MeanQueueDelay: a.qdSum / float64(a.n),
-		P50QueueDelay:  a.qd[0].Value(),
-		P95QueueDelay:  a.qd[1].Value(),
-		P99QueueDelay:  a.qd[2].Value(),
-		Preemptions:    preemptions,
+		Completed:         a.n,
+		MakespanS:         makespan,
+		Throughput:        a.tokens / makespan,
+		MeanLatency:       a.latSum / float64(a.n),
+		P50Latency:        a.lat[0].Value(),
+		P95Latency:        a.lat[1].Value(),
+		P99Latency:        a.lat[2].Value(),
+		MeanTTFT:          a.ttftSum / float64(a.n),
+		MeanQueueDelay:    a.qdSum / float64(a.n),
+		P50QueueDelay:     a.qd[0].Value(),
+		P95QueueDelay:     a.qd[1].Value(),
+		P99QueueDelay:     a.qd[2].Value(),
+		MeanTransferDelay: a.xferSum / float64(a.n),
+		Preemptions:       preemptions,
 	}, nil
 }
 

@@ -50,11 +50,13 @@
 package llmbench
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
 
 	"llmbench/internal/cluster"
+	"llmbench/internal/des"
 	"llmbench/internal/engine"
 	"llmbench/internal/experiments"
 	"llmbench/internal/framework"
@@ -407,6 +409,48 @@ func servingAlloc(sys System, budget float64) (kvcache.Allocator, error) {
 		return nil, err
 	}
 	return kvcache.NewPaged(16, m.KVBytesPerToken(dtype.FP16), budget)
+}
+
+// ErrInterconnect marks a device whose interconnect description
+// cannot price kv-transfers: zero, negative, NaN, or infinite
+// bandwidth or latency would produce Inf/NaN transfer times that
+// sail past Knees' SLO check as "fast" points. Disaggregated sweep
+// points surface it per point (ServeSweepPoint.Err).
+var ErrInterconnect = errors.New("llmbench: invalid device interconnect for kv-transfer pricing")
+
+// transferCost prices the prefill→decode KV hand-off for a system:
+// the prompt's KV in whole paged blocks (the serving allocator's
+// 16-token blocks at fp16) over the device's peer interconnect.
+func transferCost(sys System) (des.TransferCost, error) {
+	m, err := model.Get(sys.Model)
+	if err != nil {
+		return des.TransferCost{}, err
+	}
+	d, err := hw.Get(sys.Device)
+	if err != nil {
+		return des.TransferCost{}, err
+	}
+	return transferCostFor(sys.Device, m, d)
+}
+
+// transferCostFor validates the resolved device's interconnect fields
+// and builds the pricing; split from transferCost so the validation is
+// testable against fabricated device descriptions.
+func transferCostFor(devName string, m *model.Config, d *hw.Device) (des.TransferCost, error) {
+	if !(d.InterconnectGBs > 0) || math.IsInf(d.InterconnectGBs, 0) {
+		return des.TransferCost{}, fmt.Errorf("%w: %s InterconnectGBs %v (want positive and finite)",
+			ErrInterconnect, devName, d.InterconnectGBs)
+	}
+	if !(d.InterconnectLatencyUS > 0) || math.IsInf(d.InterconnectLatencyUS, 0) {
+		return des.TransferCost{}, fmt.Errorf("%w: %s InterconnectLatencyUS %v (want positive and finite)",
+			ErrInterconnect, devName, d.InterconnectLatencyUS)
+	}
+	return des.TransferCost{
+		BlockTokens:   16,
+		BytesPerToken: m.KVBytesPerToken(dtype.FP16),
+		GBPerS:        d.InterconnectGBs,
+		LatencyS:      d.InterconnectLatencyUS * 1e-6,
+	}, nil
 }
 
 // Serve runs an online-serving simulation with Poisson arrivals.

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
+	"strings"
 	"sync"
 
 	"llmbench/internal/cluster"
@@ -34,22 +36,116 @@ type ServePolicy struct {
 	// capacity ceiling. The autoscaler always routes least-loaded, so
 	// LeastLoaded is ignored when Autoscale is set.
 	Autoscale bool
+
+	// PrefillPool and DecodePool select the serving topology. Both
+	// zero — the default — is the aggregated topology: every replica
+	// runs both request phases. Both positive is prefill/decode
+	// disaggregation with pools in that ratio: a point's fleet of
+	// Replicas splits into Replicas×P/(P+D) prefill and the rest
+	// decode replicas (Replicas must divide evenly by P+D, or the
+	// point fails with Err), prefills hand their KV to the decode pool
+	// over the device interconnect (priced per hw.InterconnectGBs and
+	// InterconnectLatencyUS; see des.TransferCost), and the routing
+	// policy applies within each pool. Disaggregation composes with
+	// LeastLoaded but not with Static or Autoscale.
+	PrefillPool int
+	DecodePool  int
 }
+
+// Disagg reports whether the policy selects the disaggregated
+// topology (a non-zero pool split).
+func (p ServePolicy) Disagg() bool { return p.PrefillPool != 0 || p.DecodePool != 0 }
 
 func (p ServePolicy) String() string {
 	batching := "continuous"
 	if p.Static {
 		batching = "static"
 	}
+	topo := ""
+	if p.Disagg() {
+		topo = fmt.Sprintf("/disagg/%d:%d", p.PrefillPool, p.DecodePool)
+	}
 	switch {
 	case p.Autoscale:
 		// The autoscaler's router is least-loaded regardless of the
 		// LeastLoaded flag.
-		return batching + "/auto"
+		return batching + "/auto" + topo
 	case p.LeastLoaded:
-		return batching + "/ll"
+		return batching + "/ll" + topo
 	}
-	return batching + "/rr"
+	return batching + "/rr" + topo
+}
+
+// validate rejects policy combinations the simulators do not support.
+// ParseServePolicy applies it at parse time and resolveServeAxes at
+// sweep time, so a programmatically built grid fails identically to a
+// flag-parsed one.
+func (p ServePolicy) validate() error {
+	if !p.Disagg() {
+		return nil
+	}
+	if p.PrefillPool < 1 || p.DecodePool < 1 {
+		return fmt.Errorf("llmbench: disagg pool split %d:%d must have two positive shares", p.PrefillPool, p.DecodePool)
+	}
+	if p.Static {
+		return errors.New("llmbench: static batching does not compose with disaggregation (the decode pool needs iteration-level admission)")
+	}
+	if p.Autoscale {
+		return errors.New("llmbench: autoscaling does not compose with disaggregation (pool splits are fixed per point)")
+	}
+	return nil
+}
+
+// ParseServePolicy parses the textual policy form ServePolicy.String
+// produces — tokens separated by '/' or ':' drawn from
+// {continuous|static, rr|round-robin, ll|least-loaded, auto|autoscale,
+// aggregated, disagg/<p>:<d>} — e.g. "continuous/ll", "static:rr",
+// "disagg/1:3", "continuous/rr/disagg/2:6". Later tokens override
+// earlier ones; "disagg" consumes the next two tokens as its positive
+// pool shares. Round-trip holds: ParseServePolicy(p.String()) == p
+// for every valid policy.
+func ParseServePolicy(s string) (ServePolicy, error) {
+	var p ServePolicy
+	if strings.TrimSpace(s) == "" {
+		return p, fmt.Errorf("llmbench: empty serve policy %q", s)
+	}
+	// Split on both separators but keep empty tokens: "continuous:" is
+	// a typo worth rejecting, not trailing noise worth dropping.
+	toks := strings.Split(strings.ReplaceAll(s, ":", "/"), "/")
+	for i := 0; i < len(toks); i++ {
+		switch tok := strings.TrimSpace(toks[i]); tok {
+		case "continuous":
+			p.Static = false
+		case "static":
+			p.Static = true
+		case "rr", "round-robin":
+			p.LeastLoaded = false
+		case "ll", "least-loaded":
+			p.LeastLoaded = true
+		case "auto", "autoscale":
+			p.Autoscale = true
+		case "aggregated":
+			p.PrefillPool, p.DecodePool = 0, 0
+		case "disagg":
+			if i+2 >= len(toks) {
+				return p, fmt.Errorf("llmbench: policy %q: disagg needs a <prefill>:<decode> pool split (e.g. disagg/1:3)", s)
+			}
+			pre, err1 := strconv.Atoi(strings.TrimSpace(toks[i+1]))
+			dec, err2 := strconv.Atoi(strings.TrimSpace(toks[i+2]))
+			if err1 != nil || err2 != nil || pre < 1 || dec < 1 {
+				return p, fmt.Errorf("llmbench: policy %q: malformed disagg pool split %q:%q (want two positive integers, e.g. disagg/1:3)",
+					s, toks[i+1], toks[i+2])
+			}
+			p.PrefillPool, p.DecodePool = pre, dec
+			i += 2
+		default:
+			return p, fmt.Errorf("llmbench: policy %q: unknown token %q (want continuous|static, rr|ll, auto, aggregated, or disagg/<p>:<d>)", s, tok)
+		}
+	}
+	if err := p.validate(); err != nil {
+		return p, fmt.Errorf("policy %q: %w", s, err)
+	}
+	return p, nil
 }
 
 // LengthMix is one entry of the trace-shape axis: the input/output
@@ -306,6 +402,11 @@ func resolveServeAxes(cfg ServeSweepConfig, grid ServeGrid) (serveAxes, error) {
 	if len(a.policies) == 0 {
 		a.policies = []ServePolicy{{}}
 	}
+	for _, p := range a.policies {
+		if err := p.validate(); err != nil {
+			return a, err
+		}
+	}
 	if len(a.bursts) == 0 {
 		a.bursts = []float64{1}
 	}
@@ -539,6 +640,29 @@ func runServePoint(p *ServeSweepPoint, sys System, eng *engine.Engine, budget fl
 		p.PeakReplicas = auto.PeakReplicas
 		return
 	}
+	ccfg := cluster.Config{
+		Policy: routePolicy(p.Policy), MaxBatch: p.MaxBatch,
+		Static: p.Policy.Static, Streaming: cfg.StreamStats, Scratch: scratch,
+	}
+	if p.Policy.Disagg() {
+		// The policy's pool split is a ratio: the point's fleet must
+		// divide evenly into PrefillPool+DecodePool shares. Priced
+		// before allocators are built — the divisibility failure is the
+		// common user error.
+		share := p.Policy.PrefillPool + p.Policy.DecodePool
+		if p.Replicas%share != 0 {
+			p.Err = fmt.Errorf("llmbench: disagg split %d:%d needs a fleet divisible by %d (got %d replicas)",
+				p.Policy.PrefillPool, p.Policy.DecodePool, share, p.Replicas)
+			return
+		}
+		tc, err := transferCost(sys)
+		if err != nil {
+			p.Err = err
+			return
+		}
+		ccfg.PrefillReplicas = p.Replicas / share * p.Policy.PrefillPool
+		ccfg.Transfer = tc
+	}
 	replicas := make([]cluster.Replica, p.Replicas)
 	for i := range replicas {
 		alloc, err := servingAlloc(sys, budget)
@@ -548,10 +672,8 @@ func runServePoint(p *ServeSweepPoint, sys System, eng *engine.Engine, budget fl
 		}
 		replicas[i] = cluster.Replica{Engine: eng, Alloc: alloc}
 	}
-	st, err := cluster.Serve(cluster.Config{
-		Replicas: replicas, Policy: routePolicy(p.Policy), MaxBatch: p.MaxBatch,
-		Static: p.Policy.Static, Streaming: cfg.StreamStats, Scratch: scratch,
-	}, trace)
+	ccfg.Replicas = replicas
+	st, err := cluster.Serve(ccfg, trace)
 	if err != nil {
 		p.Err = err
 		return
