@@ -376,6 +376,51 @@ func BenchmarkServeClusterDisagg(b *testing.B) {
 		})
 }
 
+// BenchmarkServeClusterPrefix tracks prefix-affinity routing over
+// tiered allocators with chunked prefill — the full shared-prefix
+// serving stack (PrefixPaged + host tier + Prefix router + fused
+// slices) at the same fleet scale as BenchmarkServeCluster8. The
+// allocs/op delta against that row is the price of the tier and the
+// router's replica scan.
+func BenchmarkServeClusterPrefix(b *testing.B) {
+	eng, err := NewEngine(System{Model: "LLaMA-3-8B", Device: "A100", Framework: "vLLM"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := model.MustGet("LLaMA-3-8B")
+	const prefixTokens = 2048
+	reqs, err := workload.ChatTrace(workload.ChatTraceConfig{
+		Seed: 17, Requests: 256, RatePerSec: 12, BurstFactor: 1,
+		InputMedian: 256, OutputMedian: 64, PrefixTokens: prefixTokens,
+		Sigma: 0.3, MaxLen: 8192,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reps := make([]cluster.Replica, 8)
+		for j := range reps {
+			gpu, err := kvcache.NewPrefixPaged(16, prefixTokens, m.KVBytesPerToken(dtype.FP16), 30*(1<<30))
+			if err != nil {
+				b.Fatal(err)
+			}
+			alloc, err := kvcache.NewTiered(gpu, 1<<30, kvcache.HostLink{GBPerS: 32, LatencyS: 5e-6})
+			if err != nil {
+				b.Fatal(err)
+			}
+			reps[j] = cluster.Replica{Engine: eng, Alloc: alloc}
+		}
+		if _, err := cluster.Serve(cluster.Config{
+			Replicas: reps, Policy: cluster.Prefix, MaxBatch: 16,
+			ChunkedPrefill: true, PrefillChunk: 256,
+		}, reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkServeClusterMillion is the streaming-stats smoke row: a
 // million-request day replayed through an 8-replica fleet with
 // incremental aggregation (cluster.Config.Streaming), so stats memory

@@ -15,6 +15,14 @@
 // decode pools in that ratio, with KV hand-offs priced over the
 // device interconnect, and adds a mean transfer-delay column.
 //
+// -prefix-shares adds a shared-system-prompt axis: each share s in
+// [0, 1) prepends a fleet-wide prefix of s×(input median) tokens to
+// every request and equips every replica with a tiered prefix cache
+// (GPU prefix blocks, CPU offload tier sized by -hostkv, restores
+// priced over the device's host link). The prefix routing policy
+// (-policies ...,prefix) steers arrivals to cache-warm replicas; the
+// table gains prefix-share and cache-hit-rate columns.
+//
 // Points are evaluated concurrently (-j bounds the workers, 0 = all
 // cores) but always print in grid order, so output is identical at
 // any parallelism.
@@ -35,6 +43,9 @@
 //	    -bursts 1,4 -mixes 512:128,2048:256
 //	llmbench-sweep -serve -model Mistral-7B -device A100 -framework vLLM \
 //	    -rates 10,20,40 -replicas 4,8 -policies ll,ll:disagg/1:3 -slo 6
+//	llmbench-sweep -serve -model Mistral-7B -device A100 -framework vLLM \
+//	    -rates 10,20,40 -replicas 4 -policies rr,ll,prefix \
+//	    -prefix-shares 0.5 -mixes 1024:128 -slo 6
 //	llmbench-sweep -serve -model Mistral-7B -rates 20 -requests 100000 \
 //	    -record day.trace -stream
 //	llmbench-sweep -serve -model Mistral-7B -trace day.trace \
@@ -93,8 +104,9 @@ func main() {
 		maxbatches = flag.String("maxbatches", "32", "comma-separated per-replica batch caps (-serve)")
 		policies   = flag.String("policies", "continuous",
 			"comma-separated policy axis (-serve); each entry joins ':'- or '/'-separated tokens from "+
-				"{continuous|static, rr|round-robin|ll|least-loaded, autoscale, aggregated, disagg/<p>:<d>} — "+
+				"{continuous|static, rr|round-robin|ll|least-loaded|prefix, autoscale, aggregated, disagg/<p>:<d>} — "+
 				"static composes with every router and with autoscale (e.g. static:ll, static:autoscale); "+
+				"prefix routes to cache-warm replicas (see -prefix-shares) and is mutually exclusive with ll; "+
 				"disagg/<p>:<d> splits each point's fleet into prefill and decode pools in that ratio "+
 				"(e.g. ll:disagg/1:3) and composes with rr/ll but not static or autoscale")
 		bursts = flag.String("bursts", "",
@@ -103,6 +115,23 @@ func main() {
 		mixes = flag.String("mixes", "",
 			"comma-separated input:output length-median axis (-serve), e.g. 512:128,2048:256; "+
 				"setting it (or -bursts) switches traces to heavy-tailed chat arrivals")
+		prefixShares = flag.String("prefix-shares", "",
+			"comma-separated shared-prefix share axis in [0,1) (-serve), e.g. 0,0.5; each share s "+
+				"prepends a fleet-wide system prompt of s×(input median) tokens to every request and "+
+				"gives every replica a tiered prefix cache (GPU prefix blocks + CPU offload tier); "+
+				"setting it switches traces to chat arrivals and adds prefix-share and hit-rate columns")
+		hostKV = flag.Float64("hostkv", 0,
+			"per-replica CPU offload tier for demoted prefix blocks in GiB (-serve, with -prefix-shares); "+
+				"0 mirrors the device KV budget")
+		chunked = flag.Bool("chunked", false,
+			"chunked prefill on every replica (-serve): prompts prefill in 512-token slices fused "+
+				"into decode iterations, so admission never stalls running requests; pairs with "+
+				"-policies prefix (affinity without queueing behind whole prefills); "+
+				"rejects static and disagg policy entries per point")
+		sigma = flag.Float64("sigma", 0,
+			"lognormal length spread for chat traces (-serve, with -bursts/-mixes/-prefix-shares); "+
+				"0 = the 0.7 default (heavy chat tails), lower models templated traffic whose tight "+
+				"output tail lets prefix-cache routing dominate the tail percentiles")
 		requests   = flag.Int("requests", 200, "requests per serving point (-serve)")
 		inMean     = flag.Int("inmean", 512, "mean prompt tokens (-serve)")
 		outMean    = flag.Int("outmean", 128, "mean generated tokens (-serve)")
@@ -151,10 +180,11 @@ func main() {
 	if *serve {
 		serveSweep(sys, serveFlags{
 			rates: *rates, replicas: *replicas, maxbatches: *maxbatches, policies: *policies,
-			bursts: *bursts, mixes: *mixes,
+			bursts: *bursts, mixes: *mixes, prefixShares: *prefixShares,
 			devices: devAxis, frameworks: fwAxis, schemes: schemeAxis,
 			requests: *requests, inMean: *inMean, outMean: *outMean,
-			seed: *seed, kvBudget: *kvBudget, j: *j,
+			seed: *seed, kvBudget: *kvBudget, hostKV: *hostKV, j: *j,
+			chunked: *chunked, sigma: *sigma,
 			slo: *slo, tracePath: *tracePath, record: *record, stream: *stream,
 		})
 		return
@@ -204,13 +234,14 @@ func main() {
 // serveFlags bundles the -serve mode's parsed-flag inputs.
 type serveFlags struct {
 	rates, replicas, maxbatches, policies string
-	bursts, mixes                         string
+	bursts, mixes, prefixShares           string
 	devices, frameworks                   []string
 	schemes                               []llmbench.Scheme
 	requests, inMean, outMean             int
 	seed                                  uint64
-	kvBudget                              float64
+	kvBudget, hostKV, sigma               float64
 	j                                     int
+	chunked                               bool
 	slo                                   float64
 	tracePath, record                     string
 	stream                                bool
@@ -259,10 +290,16 @@ func serveSweep(sys llmbench.System, f serveFlags) {
 			fatal(err)
 		}
 	}
+	var pfs []float64
+	if f.prefixShares != "" {
+		if pfs, err = parseShares(f.prefixShares); err != nil {
+			fatal(err)
+		}
+	}
 	var traceReqs []llmbench.TraceRequest
 	if f.tracePath != "" {
-		if f.bursts != "" || f.mixes != "" {
-			fatal(fmt.Errorf("-trace is incompatible with -bursts/-mixes: the recorded trace is the traffic shape"))
+		if f.bursts != "" || f.mixes != "" || f.prefixShares != "" {
+			fatal(fmt.Errorf("-trace is incompatible with -bursts/-mixes/-prefix-shares: the recorded trace is the traffic shape"))
 		}
 		if f.record != "" {
 			fatal(fmt.Errorf("-record conflicts with -trace: the grid would replay, not synthesize"))
@@ -270,13 +307,14 @@ func serveSweep(sys llmbench.System, f serveFlags) {
 		traceReqs = readTrace(f.tracePath)
 	}
 	cfg := llmbench.ServeSweepConfig{
-		System: sys, MaxBatch: mbs[0], KVBudgetGiB: f.kvBudget,
+		System: sys, MaxBatch: mbs[0], KVBudgetGiB: f.kvBudget, HostKVGiB: f.hostKV,
 		Seed: f.seed, Requests: f.requests, InputMean: f.inMean, OutputMean: f.outMean,
+		ChunkedPrefill: f.chunked, Sigma: f.sigma,
 		StreamStats: f.stream,
 	}
 	grid := llmbench.ServeGrid{
 		Rates: rs, Replicas: reps, MaxBatches: mbs, Policies: pols,
-		BurstFactors: bfs, LengthMixes: lms, Trace: traceReqs,
+		PrefixShares: pfs, BurstFactors: bfs, LengthMixes: lms, Trace: traceReqs,
 		Devices: f.devices, Frameworks: f.frameworks, Schemes: f.schemes,
 		Parallelism: f.j,
 	}
@@ -289,6 +327,10 @@ func serveSweep(sys llmbench.System, f serveFlags) {
 	}
 	axes := len(f.devices) > 0 || len(f.frameworks) > 0 || len(f.schemes) > 0
 	shaped := len(bfs) > 0 || len(lms) > 0
+	// A prefix-share axis adds its own pair of columns: the share each
+	// point ran with and the cache hit rate the fleet achieved — the
+	// numbers the axis exists to compare across routing policies.
+	prefixed := len(pfs) > 0
 	// Any disagg policy adds the transfer-delay column — the metric the
 	// topology axis exists to expose — the same way the configuration
 	// and shape axes add theirs.
@@ -302,7 +344,7 @@ func serveSweep(sys llmbench.System, f serveFlags) {
 	case f.tracePath != "":
 		fmt.Printf("### %s serving sweep (replaying %d recorded requests from %s)\n\n",
 			sys.Model, len(traceReqs), f.tracePath)
-	case shaped:
+	case shaped || prefixed:
 		fmt.Printf("### %s serving sweep (%d reqs/point, bursty chat traffic)\n\n", sys.Model, f.requests)
 	default:
 		fmt.Printf("### %s serving sweep (%d reqs/point, in ~%d, out ~%d tokens)\n\n",
@@ -316,17 +358,28 @@ func serveSweep(sys llmbench.System, f serveFlags) {
 	if shaped {
 		shapeHdr = " Burst | In:Out |"
 	}
+	shareHdr := ""
+	if prefixed {
+		shareHdr = " Prefix |"
+	}
+	hitHdr := ""
+	if prefixed {
+		hitHdr = " Hit (%) |"
+	}
 	xferHdr := ""
 	if disagg {
 		xferHdr = " Xfer (ms) |"
 	}
-	fmt.Printf("%s| Policy | Replicas | MaxBatch |%s Rate (req/s) | Throughput (tok/s) | p50 (s) | p95 (s) | p99 (s) | Queue p50/p95/p99 (s) |%s Preempt |\n",
-		prefixHdr, shapeHdr, xferHdr)
+	fmt.Printf("%s| Policy | Replicas | MaxBatch |%s%s Rate (req/s) | Throughput (tok/s) | p50 (s) | p95 (s) | p99 (s) | Queue p50/p95/p99 (s) |%s%s Preempt |\n",
+		prefixHdr, shapeHdr, shareHdr, hitHdr, xferHdr)
 	cols := 10
 	if axes {
 		cols += 3
 	}
 	if shaped {
+		cols += 2
+	}
+	if prefixed {
 		cols += 2
 	}
 	if disagg {
@@ -343,9 +396,17 @@ func serveSweep(sys llmbench.System, f serveFlags) {
 		if shaped {
 			shape = fmt.Sprintf(" ×%g | %d:%d |", p.BurstFactor, p.Mix.Input, p.Mix.Output)
 		}
+		share := ""
+		if prefixed {
+			share = fmt.Sprintf(" %g |", p.PrefixShare)
+		}
 		policy := p.Policy.String()
 		if p.PeakReplicas > 0 {
 			policy = fmt.Sprintf("%s (peak %d)", policy, p.PeakReplicas)
+		}
+		hit := ""
+		if prefixed {
+			hit = fmt.Sprintf(" %.1f |", p.Stats.CacheHitRate*100)
 		}
 		xfer := ""
 		if disagg {
@@ -353,18 +414,21 @@ func serveSweep(sys llmbench.System, f serveFlags) {
 		}
 		if p.Err != nil {
 			blank := ""
-			if disagg {
-				blank = " |"
+			if prefixed {
+				blank += " |"
 			}
-			fmt.Printf("%s| %s | %d | %d |%s %g | — (%v) | | | | |%s |\n",
-				prefix, policy, p.Replicas, p.MaxBatch, shape, p.Rate, p.Err, blank)
+			if disagg {
+				blank += " |"
+			}
+			fmt.Printf("%s| %s | %d | %d |%s%s %g | — (%v) | | | | |%s |\n",
+				prefix, policy, p.Replicas, p.MaxBatch, shape, share, p.Rate, p.Err, blank)
 			continue
 		}
 		s := p.Stats
-		fmt.Printf("%s| %s | %d | %d |%s %g | %.0f | %.2f | %.2f | %.2f | %.2f/%.2f/%.2f |%s %d |\n",
-			prefix, policy, p.Replicas, p.MaxBatch, shape, p.Rate, s.Throughput,
+		fmt.Printf("%s| %s | %d | %d |%s%s %g | %.0f | %.2f | %.2f | %.2f | %.2f/%.2f/%.2f |%s%s %d |\n",
+			prefix, policy, p.Replicas, p.MaxBatch, shape, share, p.Rate, s.Throughput,
 			s.P50Latency, s.P95Latency, s.P99Latency,
-			s.P50QueueDelay, s.P95QueueDelay, s.P99QueueDelay, xfer, s.Preemptions)
+			s.P50QueueDelay, s.P95QueueDelay, s.P99QueueDelay, hit, xfer, s.Preemptions)
 	}
 	if f.slo > 0 {
 		knees, err := llmbench.Knees(pts, f.slo)
@@ -379,6 +443,9 @@ func serveSweep(sys llmbench.System, f serveFlags) {
 			}
 			if shaped {
 				name = fmt.Sprintf("%s, ×%g %d:%d", name, k.BurstFactor, k.Mix.Input, k.Mix.Output)
+			}
+			if prefixed {
+				name = fmt.Sprintf("%s, prefix %g", name, k.PrefixShare)
 			}
 			if k.Met {
 				fmt.Printf("- %s: %g req/s (p99 %.2fs, %.0f tok/s)\n", name, k.Rate, k.Stats.P99Latency, k.Stats.Throughput)
@@ -538,6 +605,30 @@ func parsePolicies(s string) ([]llmbench.ServePolicy, error) {
 			return nil, fmt.Errorf("bad -policies list %q: %w", s, err)
 		}
 		out = append(out, pol)
+	}
+	return out, nil
+}
+
+// parseShares parses the -prefix-shares axis: comma-separated shares
+// in [0, 1) of each point's input median spent on the fleet-wide
+// shared prefix. Unlike -rates, zero is a valid element — it pins a
+// no-prefix baseline point inside an otherwise-prefixed grid.
+func parseShares(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("bad -prefix-shares list %q: empty element", s)
+		}
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -prefix-shares list %q: %w", s, err)
+		}
+		if !(v >= 0) || v >= 1 {
+			return nil, fmt.Errorf("bad -prefix-shares list %q: share %v is outside [0, 1)", s, v)
+		}
+		out = append(out, v)
 	}
 	return out, nil
 }

@@ -1,0 +1,104 @@
+// prefixcache contrasts the three cluster routers on a workload every
+// production chat deployment runs: requests sharing a fleet-wide
+// system prompt. ServeGrid.PrefixShares prepends the shared prefix to
+// every request and equips each replica with a tiered prefix cache —
+// prefix blocks resident on the GPU serve hits for free, blocks
+// demoted to the CPU tier restore over the host link (hw.HostLinkGBs),
+// and a cold replica re-prefills the whole prompt. Round-robin and
+// least-loaded are blind to that state; the prefix router steers each
+// arrival to the warmest replica within a load window of the
+// least-loaded one, so cache affinity never builds an unbounded queue.
+//
+// The configuration is the regime where routing visibly moves the
+// capacity knee: templated traffic (batch extraction, classification
+// over one big system prompt — 98% of an 8192-token prompt is the
+// shared prefix, tight σ=0.1 length tails, 32 output tokens), chunked
+// prefill so admissions fuse into decode instead of stalling it, and
+// a host tier too small for the prefix, so a replica that drains goes
+// fully cold and a blind router's next arrival there pays the whole
+// establishment again.
+//
+//	go run ./examples/prefixcache
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"llmbench"
+)
+
+func main() {
+	const (
+		share = 0.98 // 8028 of the 8192 median prompt tokens are the shared prefix
+		slo   = 1.25 // p99 latency target in seconds
+	)
+	fmt.Println("Prefix-cache routing: Mistral-7B templated traffic on A100/vLLM")
+	fmt.Printf("(%.0f%% of the 8192-token median prompt is a fleet-wide prefix; p99 ≤ %gs)\n\n", share*100, slo)
+
+	// One grid, three routers, identical tiered allocators and chunked
+	// admission: routing is the only variable. The prefix share also
+	// fixes the traffic shape (chat arrivals), so rr and ll see the
+	// exact trace the prefix router does.
+	policies := []llmbench.ServePolicy{
+		{},                  // round-robin
+		{LeastLoaded: true}, // join the shortest queue
+		{Prefix: true},      // cache-affinity within a load window
+	}
+	pts, err := llmbench.ServeSweep(llmbench.ServeSweepConfig{
+		System:   llmbench.System{Model: "Mistral-7B", Device: "A100", Framework: "vLLM"},
+		MaxBatch: 32,
+		Seed:     42,
+		Requests: 1600,
+		// Ignored on mix-axis points, but required fields.
+		InputMean: 512, OutputMean: 128,
+		HostKVGiB:      0.05, // the tier holds blocks, not the whole prefix
+		ChunkedPrefill: true,
+		Sigma:          0.1,
+		LeanStats:      true,
+	}, llmbench.ServeGrid{
+		Rates:        []float64{28, 36, 44},
+		Replicas:     []int{16},
+		Policies:     policies,
+		PrefixShares: []float64{share},
+		LengthMixes:  []llmbench.LengthMix{{Input: 8192, Output: 32}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("| Router | Rate (req/s) | Throughput (tok/s) | p95 (s) | p99 (s) | Cache hit (%) |")
+	fmt.Println("|---|---|---|---|---|---|")
+	for _, p := range pts {
+		if p.Err != nil {
+			fmt.Printf("| %s | %g | — (%v) | | | |\n", p.Policy, p.Rate, p.Err)
+			continue
+		}
+		fmt.Printf("| %s | %g | %.0f | %.2f | %.2f | %.1f |\n",
+			p.Policy, p.Rate, p.Stats.Throughput, p.Stats.P95Latency, p.Stats.P99Latency,
+			p.Stats.CacheHitRate*100)
+	}
+
+	knees, err := llmbench.Knees(pts, slo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nCapacity knee per router (highest swept rate with p99 ≤ %gs):\n", slo)
+	for _, k := range knees {
+		if k.Met {
+			fmt.Printf("  %-24s %g req/s (p99 %.2fs, cache hit %.1f%%)\n",
+				k.Policy, k.Rate, k.Stats.P99Latency, k.Stats.CacheHitRate*100)
+		} else {
+			fmt.Printf("  %-24s no swept rate meets the SLO\n", k.Policy)
+		}
+	}
+	fmt.Println()
+	fmt.Println("Every admitted request whose prefix is resident skips those tokens'")
+	fmt.Println("prefill entirely; a demoted prefix pays only the host-link restore.")
+	fmt.Println("The hit-rate column is the capacity multiplier the shared prompt buys,")
+	fmt.Println("and the knee gap is what routing for it is worth. At saturation the")
+	fmt.Println("blind routers self-heal (in-flight requests keep every replica's")
+	fmt.Println("prefix referenced), so the gap lives at moderate per-replica load —")
+	fmt.Println("rerun with other shares or fleets: `llmbench-sweep -serve -chunked")
+	fmt.Println("-policies rr,ll,prefix -prefix-shares 0.98 -sigma 0.1 ...`.")
+}

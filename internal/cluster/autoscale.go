@@ -75,12 +75,17 @@ func ServeAutoscale(cfg Config, as Autoscale, reqs []workload.Request) (AutoStat
 	if len(reqs) == 0 {
 		return AutoStats{}, errors.New("cluster: empty trace")
 	}
+	if cfg.ChunkedPrefill && cfg.Static {
+		return AutoStats{}, errors.New("cluster: chunked prefill does not compose with static batching (no iteration-level admission to fuse slices into)")
+	}
 
 	k := des.New(des.Config{
-		MaxBatch:    cfg.MaxBatch,
-		Static:      cfg.Static,
-		Stepped:     cfg.Stepped,
-		Parallelism: cfg.Parallelism,
+		MaxBatch:       cfg.MaxBatch,
+		ChunkedPrefill: cfg.ChunkedPrefill,
+		PrefillChunk:   cfg.PrefillChunk,
+		Static:         cfg.Static,
+		Stepped:        cfg.Stepped,
+		Parallelism:    cfg.Parallelism,
 	})
 	k.Reuse(cfg.Scratch)
 	defer k.Release()

@@ -42,13 +42,27 @@ const (
 	// LeastLoaded joins the replica with the fewest outstanding
 	// requests (queued + running).
 	LeastLoaded
+	// Prefix routes to the replica with the longest expected
+	// prefix-cache hit for the incoming request — a replica whose
+	// allocator holds the shared prefix hot (resident on the device)
+	// beats one that must restore it from the host tier, which beats
+	// one that must re-prefill it — considering only replicas within a
+	// small load window of the least-loaded one, so affinity never
+	// builds an unbounded queue on the warm replica. With plain
+	// (prefix-blind) allocators it degrades to least-loaded.
+	Prefix
 )
 
 func (p Policy) String() string {
-	if p == RoundRobin {
+	switch p {
+	case RoundRobin:
 		return "round-robin"
+	case LeastLoaded:
+		return "least-loaded"
+	case Prefix:
+		return "prefix"
 	}
-	return "least-loaded"
+	return fmt.Sprintf("policy(%d)", int(p))
 }
 
 // Replica is one serving instance.
@@ -84,6 +98,20 @@ type Config struct {
 	// like continuous ones — only the per-station admission policy
 	// changes.
 	Static bool
+
+	// ChunkedPrefill runs every replica with Dynamic-SplitFuse-style
+	// admission (des.Config.ChunkedPrefill): prompts prefill in
+	// PrefillChunk-token slices fused into decode iterations, so a
+	// long admission prefill never stalls the replica's running
+	// requests — the pairing that makes prefix-affinity routing
+	// (Policy Prefix) worthwhile, since arrivals steered to a warm
+	// replica admit behind at most one slice instead of a whole
+	// prompt. Incompatible with Static (no iteration-level admission
+	// to fuse into) and with disaggregation (the prefill pool hands
+	// off whole prompts).
+	ChunkedPrefill bool
+	// PrefillChunk is the slice size in tokens (default 512).
+	PrefillChunk int
 
 	// Parallelism ≥ 2 advances replicas on that many goroutines
 	// between arrival barriers (see internal/des); values ≤ 1 run
@@ -145,6 +173,14 @@ func Serve(cfg Config, reqs []workload.Request) (Stats, error) {
 			return Stats{}, fmt.Errorf("cluster: replica %d incomplete", i)
 		}
 	}
+	if cfg.ChunkedPrefill {
+		if cfg.Static {
+			return Stats{}, errors.New("cluster: chunked prefill does not compose with static batching (no iteration-level admission to fuse slices into)")
+		}
+		if cfg.PrefillReplicas > 0 {
+			return Stats{}, errors.New("cluster: chunked prefill does not compose with disaggregation (the prefill pool hands off whole prompts)")
+		}
+	}
 	if cfg.PrefillReplicas > 0 {
 		if cfg.PrefillReplicas >= len(cfg.Replicas) {
 			return Stats{}, fmt.Errorf("cluster: PrefillReplicas %d leaves no decode replicas (fleet of %d)",
@@ -159,11 +195,13 @@ func Serve(cfg Config, reqs []workload.Request) (Stats, error) {
 	}
 
 	k := des.New(des.Config{
-		MaxBatch:    cfg.MaxBatch,
-		Static:      cfg.Static,
-		Stepped:     cfg.Stepped,
-		Parallelism: cfg.Parallelism,
-		Transfer:    cfg.Transfer,
+		MaxBatch:       cfg.MaxBatch,
+		ChunkedPrefill: cfg.ChunkedPrefill,
+		PrefillChunk:   cfg.PrefillChunk,
+		Static:         cfg.Static,
+		Stepped:        cfg.Stepped,
+		Parallelism:    cfg.Parallelism,
+		Transfer:       cfg.Transfer,
 	})
 	k.Reuse(cfg.Scratch)
 	defer k.Release()
@@ -179,13 +217,13 @@ func Serve(cfg Config, reqs []workload.Request) (Stats, error) {
 		// Arrivals route within the prefill pool, kv-transfer
 		// deliveries within the decode pool — each with its own router
 		// state, under the one configured policy.
-		k.Route = poolRouter(cfg.Policy, stations[:cfg.PrefillReplicas])
-		k.RouteTransfer = poolRouter(cfg.Policy, stations[cfg.PrefillReplicas:])
+		k.Route = poolRouter(cfg, stations[:cfg.PrefillReplicas])
+		k.RouteTransfer = poolRouter(cfg, stations[cfg.PrefillReplicas:])
 	} else {
 		for i, r := range cfg.Replicas {
 			stations[i] = k.NewStation(r.Engine, r.Alloc)
 		}
-		k.Route = poolRouter(cfg.Policy, stations)
+		k.Route = poolRouter(cfg, stations)
 	}
 
 	var agg sched.Aggregator
@@ -204,18 +242,94 @@ func Serve(cfg Config, reqs []workload.Request) (Stats, error) {
 	return assemble(res, agg)
 }
 
+// prefixStater is the allocator view the Prefix router scores with:
+// shared-prefix tokens resident on the device (a free hit) and tokens
+// demoted to a host tier (a hit after a cheap restore).
+// kvcache.PrefixPaged and kvcache.Tiered implement it.
+type prefixStater interface {
+	HotPrefixTokens() int
+	RestorablePrefixTokens() int
+}
+
 // poolRouter builds a routing closure over one station group:
 // round-robin cycles it; least-loaded joins the member with the
-// fewest outstanding requests. The aggregated fleet is a single group
+// fewest outstanding requests; prefix joins the member with the
+// longest expected prefix-cache hit among those within a load window
+// of the least-loaded. The aggregated fleet is a single group
 // spanning every station — the exact closure Serve always used — and
 // a disaggregated fleet instantiates it once per pool.
-func poolRouter(policy Policy, group []*des.Station) func(now float64) *des.Station {
+func poolRouter(cfg Config, group []*des.Station) func(now float64) *des.Station {
 	rr := 0
+	var staters []prefixStater
+	// The load window: affinity may steer an arrival to a replica up
+	// to a quarter of the batch cap busier than the least-loaded one.
+	// A cache hit admits nearly for free in either admission mode (its
+	// prefix tokens are excluded from the admission prefill, and in
+	// chunked mode its suffix is one fused slice), so the window
+	// concentrates hits without queueing tail latency; wider windows
+	// pile the warm set so deep that batched decode gives back more
+	// than the skipped prefill saved.
+	slack := cfg.MaxBatch / 4
+	if slack < 1 {
+		slack = 1
+	}
+	if cfg.Policy == Prefix {
+		// Assert each replica's allocator view once, not per arrival.
+		staters = make([]prefixStater, len(group))
+		for i, s := range group {
+			staters[i], _ = s.Alloc.(prefixStater)
+		}
+	}
 	return func(now float64) *des.Station {
-		if policy == RoundRobin {
+		switch cfg.Policy {
+		case RoundRobin:
 			s := group[rr%len(group)]
 			rr++
 			return s
+		case Prefix:
+			// Cache affinity bounded by load: among the replicas within
+			// slack of the minimum outstanding count, prefer hot
+			// prefixes (no cost) over restorable ones (host-link cost
+			// only) over cold replicas; ties go to the lighter replica,
+			// then to group order — all deterministic reads of station
+			// state at the arrival barrier.
+			minOut := group[0].Outstanding()
+			for _, s := range group[1:] {
+				if o := s.Outstanding(); o < minOut {
+					minOut = o
+				}
+			}
+			best, bestScore, bestLoad := -1, -1, 0
+			for i, s := range group {
+				o := s.Outstanding()
+				if o > minOut+slack {
+					continue
+				}
+				score := 0
+				if st := staters[i]; st != nil {
+					// Hot blocks count double, demoted ones once — a hit
+					// is free, a restore costs only the host link. A
+					// replica whose prefill backlog rivals its hot count
+					// is still materializing that prefix (blocks score
+					// hot the moment they allocate, a full prompt before
+					// any of it is computed): score it cold, because
+					// arrivals steered there ride every establishment
+					// slice through inflated iterations. They go to an
+					// established replica when one is in the window, and
+					// otherwise start a second establishment — which
+					// widens the warm set and runs clean instead of
+					// piling onto the first.
+					hot := st.HotPrefixTokens()
+					if hot > 0 && 2*s.PendingPrefillTokens() >= hot {
+						hot = 0
+					}
+					score = 2*hot + st.RestorablePrefixTokens()
+				}
+				if best < 0 || score > bestScore || (score == bestScore && o < bestLoad) {
+					best, bestScore, bestLoad = i, score, o
+				}
+			}
+			return group[best]
 		}
 		best := group[0]
 		for _, s := range group[1:] {
@@ -242,6 +356,9 @@ func assemble(res des.Result, agg sched.Aggregator) (Stats, error) {
 		return Stats{}, err
 	}
 	stats.MaxIterationS = res.MaxIterationS
+	if res.PromptTokens > 0 {
+		stats.CacheHitRate = float64(res.PrefixHitTokens) / float64(res.PromptTokens)
+	}
 	out := Stats{Stats: stats}
 	for _, ps := range res.PerStation {
 		out.PerReplica = append(out.PerReplica, ReplicaStats{

@@ -266,9 +266,13 @@ func (s *server) serve(w http.ResponseWriter, r *http.Request) {
 // shape axes are set):
 // /api/servesweep?model=…&device=…&framework=…&rates=5,10,20&replicas=1,2,4
 // Optional: maxbatch, requests, inmean, outmean, policy
-// (continuous|ll|static|static-ll|static-auto|autoscale), bursts
+// (continuous|ll|prefix|static|static-ll|static-auto|autoscale), bursts
 // (ChatTrace burst-factor axis, values ≥ 1), mixes ("in:out"
-// length-median axis, e.g. 512:128,2048:256), slo (seconds; draws the
+// length-median axis, e.g. 512:128,2048:256), prefixshare (one share
+// in [0,1) of the input median spent on a fleet-wide shared system
+// prompt; every replica gets a tiered prefix cache and the table gains
+// a cache-hit-rate column — the workload the prefix policy routes
+// for), slo (seconds; draws the
 // knee per configuration into the table), trace (path of a recorded
 // llmbench-trace file on the server's filesystem — no upload needed;
 // replays it at every point, at its native rate when rates is absent
@@ -336,8 +340,17 @@ func (s *server) serveSweep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if tracePath != "" && (len(bursts) > 0 || len(mixes) > 0) {
-		http.Error(w, "dashboard: trace replay is incompatible with bursts/mixes (the recorded trace is the shape)",
+	var shares []float64
+	if ps := get("prefixshare", ""); ps != "" {
+		v, perr := strconv.ParseFloat(ps, 64)
+		if perr != nil || !(v >= 0) || v >= 1 {
+			http.Error(w, "dashboard: prefixshare must be a number in [0, 1)", http.StatusBadRequest)
+			return
+		}
+		shares = []float64{v}
+	}
+	if tracePath != "" && (len(bursts) > 0 || len(mixes) > 0 || len(shares) > 0) {
+		http.Error(w, "dashboard: trace replay is incompatible with bursts/mixes/prefixshare (the recorded trace is the shape)",
 			http.StatusBadRequest)
 		return
 	}
@@ -380,6 +393,8 @@ func (s *server) serveSweep(w http.ResponseWriter, r *http.Request) {
 		// zero value
 	case "ll", "least-loaded":
 		policy.LeastLoaded = true
+	case "prefix":
+		policy.Prefix = true
 	case "static":
 		policy.Static = true
 	case "static-ll":
@@ -410,7 +425,7 @@ func (s *server) serveSweep(w http.ResponseWriter, r *http.Request) {
 		StreamStats: stream,
 	}, llmbench.ServeGrid{
 		Rates: rates, Replicas: replicas, Policies: []llmbench.ServePolicy{policy},
-		BurstFactors: bursts, LengthMixes: mixes, Trace: traceReqs,
+		PrefixShares: shares, BurstFactors: bursts, LengthMixes: mixes, Trace: traceReqs,
 		Parallelism: s.parallelism,
 	})
 	if err != nil {
@@ -433,13 +448,23 @@ func (s *server) serveSweep(w http.ResponseWriter, r *http.Request) {
 		XLabel: "Arrival rate (req/s)", YLabel: "P99 latency (s)",
 	}
 	var md strings.Builder
-	fmt.Fprintf(&md, "### Serving capacity sweep (%s)\n\n", policy)
+	if prefixed := len(shares) > 0; prefixed {
+		fmt.Fprintf(&md, "### Serving capacity sweep (%s, shared prefix %g)\n\n", policy, shares[0])
+	} else {
+		fmt.Fprintf(&md, "### Serving capacity sweep (%s)\n\n", policy)
+	}
 	shapeHdr := ""
 	if shaped {
 		shapeHdr = " Burst | In:Out |"
 	}
-	fmt.Fprintf(&md, "| Replicas |%s Rate (req/s) | Throughput (tok/s) | p50 (s) | p95 (s) | p99 (s) | Queue p99 (s) | Preempt |\n", shapeHdr)
-	fmt.Fprintf(&md, "|---|%s---|---|---|---|---|---|---|\n", strings.Repeat("---|", strings.Count(shapeHdr, "|")))
+	hitHdr := ""
+	if len(shares) > 0 {
+		hitHdr = " Hit (%) |"
+	}
+	fmt.Fprintf(&md, "| Replicas |%s Rate (req/s) | Throughput (tok/s) | p50 (s) | p95 (s) | p99 (s) | Queue p99 (s) |%s Preempt |\n", shapeHdr, hitHdr)
+	fmt.Fprintf(&md, "|---|%s---|---|---|---|---|---|%s---|\n",
+		strings.Repeat("---|", strings.Count(shapeHdr, "|")),
+		strings.Repeat("---|", strings.Count(hitHdr, "|")))
 	for _, p := range pts {
 		label := fmt.Sprintf("%d replica(s)", p.Replicas)
 		shapeCols := ""
@@ -447,16 +472,24 @@ func (s *server) serveSweep(w http.ResponseWriter, r *http.Request) {
 			label = fmt.Sprintf("%s, %s", label, shapeOf(p.BurstFactor, p.Mix))
 			shapeCols = fmt.Sprintf(" ×%g | %d:%d |", p.BurstFactor, p.Mix.Input, p.Mix.Output)
 		}
+		hitCol := ""
+		if len(shares) > 0 {
+			hitCol = fmt.Sprintf(" %.1f |", p.Stats.CacheHitRate*100)
+		}
 		if p.Err != nil {
 			fig.Note("%s @ %g req/s skipped: %v", label, p.Rate, p.Err)
-			fmt.Fprintf(&md, "| %d |%s %g | — (%v) | | | | | |\n", p.Replicas, shapeCols, p.Rate, p.Err)
+			blank := ""
+			if len(shares) > 0 {
+				blank = " |"
+			}
+			fmt.Fprintf(&md, "| %d |%s %g | — (%v) | | | | |%s |\n", p.Replicas, shapeCols, p.Rate, p.Err, blank)
 			continue
 		}
 		fig.Add(label, p.Rate, p.Stats.P99Latency)
-		fmt.Fprintf(&md, "| %d |%s %g | %.0f | %.2f | %.2f | %.2f | %.2f | %d |\n",
+		fmt.Fprintf(&md, "| %d |%s %g | %.0f | %.2f | %.2f | %.2f | %.2f |%s %d |\n",
 			p.Replicas, shapeCols, p.Rate, p.Stats.Throughput,
 			p.Stats.P50Latency, p.Stats.P95Latency, p.Stats.P99Latency,
-			p.Stats.P99QueueDelay, p.Stats.Preemptions)
+			p.Stats.P99QueueDelay, hitCol, p.Stats.Preemptions)
 	}
 	if slo > 0 {
 		kneeUnit := "replica count"
@@ -755,9 +788,11 @@ const indexHTML = `<!DOCTYPE html>
  replicas <input id="ss-replicas" value="1,2,4" size="6"><br>
  bursts <input id="ss-bursts" value="" size="5" title="ChatTrace burst-factor axis, e.g. 1,4 (empty = Poisson)">
  mixes <input id="ss-mixes" value="" size="10" title="in:out length-median axis, e.g. 512:128,2048:256"><br>
+ prefix share <input id="ss-share" value="" size="4" title="shared system-prompt share of the input median, in [0,1); empty = no shared prefix"><br>
  policy <select id="ss-policy">
   <option value="ll">continuous/least-loaded</option>
   <option value="rr">continuous/round-robin</option>
+  <option value="prefix">continuous/prefix-affinity</option>
   <option value="autoscale">autoscale</option>
   <option value="static">static/round-robin</option>
   <option value="static-ll">static/least-loaded</option>
@@ -925,6 +960,8 @@ async function serveSweep() {
   if (bursts) q.set("bursts", bursts);
   const mixes = document.getElementById("ss-mixes").value.trim();
   if (mixes) q.set("mixes", mixes);
+  const share = document.getElementById("ss-share").value.trim();
+  if (share) q.set("prefixshare", share);
   main.innerHTML = "<p>sweeping serving capacity…</p>";
   const res = await fetch("/api/servesweep?" + q);
   if (!res.ok) { main.innerHTML = "<pre>" + await res.text() + "</pre>"; return; }

@@ -259,6 +259,10 @@ func (k *Kernel) NewStation(eng *engine.Engine, alloc kvcache.Allocator) *Statio
 	}
 	s.ID = len(k.stations)
 	s.Engine, s.Alloc = eng, alloc
+	// Assert the allocator's prefix-cache view once, here, so the
+	// admission hot loops test a cached field instead of repeating the
+	// interface assertion per request.
+	s.disc, _ = alloc.(kvcache.PrefillDiscounter)
 	s.cfg = k.cfg
 	s.nextAt = -1
 	s.xferCut = -1
@@ -293,6 +297,12 @@ type StationResult struct {
 	// stations in turn record no Completed (only the decode phase
 	// finishes a request).
 	Transferred int
+	// PrefixHitTokens and PromptTokens report the station's
+	// prefix-cache hit rate: prompt tokens admitted and the subset
+	// served from the cache (kvcache.PrefillDiscounter). Both zero on
+	// plain allocators.
+	PrefixHitTokens int
+	PromptTokens    int
 }
 
 // Result is a completed kernel run.
@@ -316,6 +326,11 @@ type Result struct {
 	// all stations — the worst token-level stall any running request
 	// experienced.
 	MaxIterationS float64
+	// PrefixHitTokens and PromptTokens total the per-station
+	// prefix-cache counters; PrefixHitTokens/PromptTokens is the
+	// fleet's cache hit rate. Both zero on plain allocators.
+	PrefixHitTokens int
+	PromptTokens    int
 	// PerStation reports each station's share, in creation order.
 	PerStation []StationResult
 }
@@ -613,9 +628,13 @@ func (k *Kernel) collect() Result {
 			res.MaxIterationS = s.maxIter
 		}
 		res.Preemptions += s.preempts
+		res.PrefixHitTokens += s.hitToks
+		res.PromptTokens += s.promptToks
 		res.PerStation = append(res.PerStation, StationResult{
 			Completed: s.done, BusyS: s.busy, Retired: s.Retired,
-			Transferred: s.transferred,
+			Transferred:     s.transferred,
+			PrefixHitTokens: s.hitToks,
+			PromptTokens:    s.promptToks,
 		})
 	}
 	return res

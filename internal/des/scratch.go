@@ -63,7 +63,7 @@ func (k *Kernel) Release() {
 			s.free = append(s.free, r)
 		}
 		s.run = s.run[:0]
-		s.Engine, s.Alloc = nil, nil
+		s.Engine, s.Alloc, s.disc = nil, nil, nil
 		s.pricer = pricer{} // drop the snapshot so the arena cannot pin engine memo arrays
 		sc.stations = append(sc.stations, s)
 	}

@@ -19,6 +19,14 @@ type Station struct {
 	Engine *engine.Engine
 	Alloc  kvcache.Allocator
 
+	// disc is Alloc's prefix-cache view when it has one (asserted once
+	// at NewStation): after each admission Alloc the station drains the
+	// accrued prefill discount — cached prefix tokens that skip prefill
+	// compute, plus host-link restore seconds to charge instead. nil
+	// for plain allocators, which keeps every discount branch dead and
+	// the float trajectory bit-identical to pre-tier kernels.
+	disc kvcache.PrefillDiscounter
+
 	// Retired marks a station drained by the autoscaler. The kernel
 	// itself ignores the flag — a retired station is empty and the
 	// router stops picking it, so it simply never wakes again (and the
@@ -42,6 +50,13 @@ type Station struct {
 	lastDone float64 // end of this station's last completed work
 	done     int
 	preempts int
+
+	// hitToks and promptToks accumulate the prefix-cache hit rate:
+	// prompt tokens admitted and the subset served from the cache.
+	// Counted only when disc is non-nil, and only for prompt-phase
+	// admissions (decode sub-requests were prefilled elsewhere).
+	hitToks    int
+	promptToks int
 
 	// finished holds completion records not yet handed off;
 	// finished[finHead:] is the unflushed suffix when a Sink drains
@@ -113,6 +128,7 @@ type runReq struct {
 	seq            kvcache.Seq // live KV reservation handle
 	generated      int
 	pendingPrefill int // prompt tokens not yet prefilled (chunked mode)
+	prefillSkip    int // prompt tokens served from the prefix cache
 	stats          RequestStats
 }
 
@@ -166,6 +182,8 @@ func (s *Station) reset() {
 	s.nextAt = -1
 	s.busy, s.maxIter, s.lastDone = 0, 0, 0
 	s.done, s.preempts = 0, 0
+	s.disc = nil
+	s.hitToks, s.promptToks = 0, 0
 	s.finished = s.finished[:0]
 	s.finHead = 0
 	s.err, s.errAt = nil, 0
@@ -195,6 +213,22 @@ func (s *Station) popHead() queued {
 // the load signal the routing and scaling policies read at arrival
 // barriers.
 func (s *Station) Outstanding() int { return s.queueLen() + len(s.run) }
+
+// PendingPrefillTokens is the prompt-token backlog still chunking
+// through this station's fused prefill slot (always 0 outside chunked
+// mode). Routers use it to tell a materialized prefix cache from one
+// still being established: prefix blocks score hot the moment they
+// allocate, but until the establishing prompt finishes its slices,
+// co-located requests ride iterations inflated by them. A bounded
+// scan of the running set — O(MaxBatch), allocation-free — read at
+// the arrival barrier like Outstanding.
+func (s *Station) PendingPrefillTokens() int {
+	pending := 0
+	for _, r := range s.run {
+		pending += r.pendingPrefill
+	}
+	return pending
+}
 
 // Role reports the station's pool assignment.
 func (s *Station) Role() Role { return s.role }
@@ -294,6 +328,7 @@ func (s *Station) step(now, nextArrival float64) (float64, error) {
 	// capacity remain. Admission is FIFO: a blocked head blocks
 	// everything behind it.
 	s.admitted = s.admitted[:0]
+	var restoreS float64
 	for s.queueLen() > 0 && len(s.run)+len(s.admitted) < s.cfg.MaxBatch {
 		q := s.queue[s.qhead]
 		if q.decode != (s.role == RoleDecode) {
@@ -312,6 +347,15 @@ func (s *Station) step(now, nextArrival float64) (float64, error) {
 		s.popHead()
 		r := s.getReq(q, now)
 		r.seq = seq
+		if s.disc != nil {
+			skip, rs := s.disc.TakePrefillDiscount()
+			r.prefillSkip = skip
+			restoreS += rs
+			if !q.decode {
+				s.hitToks += skip
+				s.promptToks += q.req.Input
+			}
+		}
 		s.admitted = append(s.admitted, r)
 	}
 	admitted := s.admitted
@@ -320,28 +364,47 @@ func (s *Station) step(now, nextArrival float64) (float64, error) {
 		if s.role == RoleDecode {
 			// Decode sub-requests arrive prefilled: FirstTok was set on
 			// the prefill pool and generated is already 1 (getReq), so
-			// admission charges nothing here.
+			// admission charges nothing here — except restore seconds,
+			// which bring demoted prefix blocks back before decoding.
+			if restoreS > 0 {
+				step += restoreS
+			}
 		} else if s.cfg.ChunkedPrefill {
 			// Prompts enter the prefill queue; their tokens are
-			// processed in slices fused with decode iterations.
+			// processed in slices fused with decode iterations. Cached
+			// prefix tokens never enter it (the last prompt token always
+			// does — its logits drive the first output); restore seconds
+			// stall the batch up front like an admission prefill would.
 			for _, a := range admitted {
-				a.pendingPrefill = a.req.Input
+				a.pendingPrefill = a.req.Input - a.prefillSkip
+			}
+			if restoreS > 0 {
+				if len(s.run) > 0 && restoreS > s.maxIter {
+					s.maxIter = restoreS
+				}
+				step += restoreS
 			}
 		} else {
 			// Charge one batched prefill for the admitted prompts,
-			// stalling the running set (the non-SplitFuse cost).
+			// stalling the running set (the non-SplitFuse cost). Cached
+			// prefix tokens are excluded from the batch; restore seconds
+			// for demoted blocks join the stall instead.
 			in := 0
 			for _, a := range admitted {
-				in += a.req.Input
+				in += a.req.Input - a.prefillSkip
 			}
 			pf, err := s.Engine.PrefillSeconds(len(admitted), in/len(admitted))
 			if err != nil {
 				return 0, err
 			}
-			if len(s.run) > 0 && pf > s.maxIter {
-				s.maxIter = pf // running requests stalled this long
+			adm := pf
+			if restoreS > 0 {
+				adm += restoreS
 			}
-			step += pf
+			if len(s.run) > 0 && adm > s.maxIter {
+				s.maxIter = adm // running requests stalled this long
+			}
+			step += adm
 			for _, a := range admitted {
 				a.stats.FirstTok = now + step
 				a.generated = 1 // prefill emits the first token
@@ -364,10 +427,17 @@ func (s *Station) step(now, nextArrival float64) (float64, error) {
 	decoding := s.run
 	var prefilling *runReq
 	if s.cfg.ChunkedPrefill {
+		// The fused slice goes to the pending prompt with the fewest
+		// tokens left (ties to admission order): shortest-remaining
+		// first, the iteration-level shape of Dynamic-SplitFuse's mixed
+		// partial prefills. A short suffix never waits behind a long
+		// cold prompt chunking through — without this, every request
+		// admitted during a prefix-cache miss's establishment inherits
+		// the whole establishment latency instead of one slice.
 		s.decoding = s.decoding[:0]
 		for _, r := range s.run {
 			if r.pendingPrefill > 0 {
-				if prefilling == nil {
+				if prefilling == nil || r.pendingPrefill < prefilling.pendingPrefill {
 					prefilling = r
 				}
 			} else {
@@ -550,6 +620,7 @@ func phaseName(decode bool) string {
 // their allocator only bounds the prefill batch in flight.
 func (s *Station) stepPrefill(now float64) (float64, error) {
 	s.admitted = s.admitted[:0]
+	var restoreS float64
 	for s.queueLen() > 0 && len(s.admitted) < s.cfg.MaxBatch {
 		q := s.queue[s.qhead]
 		if q.decode {
@@ -565,6 +636,13 @@ func (s *Station) stepPrefill(now float64) (float64, error) {
 		s.popHead()
 		r := s.getReq(q, now)
 		r.seq = seq
+		if s.disc != nil {
+			skip, rs := s.disc.TakePrefillDiscount()
+			r.prefillSkip = skip
+			restoreS += rs
+			s.hitToks += skip
+			s.promptToks += q.req.Input
+		}
 		s.admitted = append(s.admitted, r)
 	}
 	if len(s.admitted) == 0 {
@@ -578,11 +656,14 @@ func (s *Station) stepPrefill(now float64) (float64, error) {
 	}
 	in := 0
 	for _, a := range s.admitted {
-		in += a.req.Input
+		in += a.req.Input - a.prefillSkip
 	}
 	pf, err := s.Engine.PrefillSeconds(len(s.admitted), in/len(s.admitted))
 	if err != nil {
 		return 0, err
+	}
+	if restoreS > 0 {
+		pf += restoreS // demoted prefix blocks restore before the batch
 	}
 	end := now + pf
 	s.busy += pf
@@ -638,6 +719,7 @@ func (s *Station) stepStatic(now float64) (float64, error) {
 		s.run = s.run[:0]
 	}
 	s.admitted = s.admitted[:0]
+	var restoreS float64
 	live := s.queue[s.qhead:]
 	rest := s.queue[:0]
 	s.qhead = 0
@@ -646,6 +728,16 @@ func (s *Station) stepStatic(now float64) (float64, error) {
 			if seq, err := s.Alloc.Alloc(q.req.Input + q.req.Output); err == nil {
 				r := s.getReq(q, now)
 				r.seq = seq
+				if s.disc != nil {
+					// Static batches run one padded graph, so cached
+					// prefix tokens cannot shorten the prefill — the hit
+					// is recorded and restore seconds are charged, but
+					// the skip is dropped (r.prefillSkip stays zero).
+					skip, rs := s.disc.TakePrefillDiscount()
+					restoreS += rs
+					s.hitToks += skip
+					s.promptToks += q.req.Input
+				}
 				s.admitted = append(s.admitted, r)
 				continue
 			}
@@ -678,12 +770,17 @@ func (s *Station) stepStatic(now float64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	start := now
+	if restoreS > 0 {
+		start += restoreS // demoted prefix blocks restore before the run
+		s.busy += restoreS
+	}
 	for _, r := range batch {
-		r.stats.FirstTok = now + res.TTFTSeconds
+		r.stats.FirstTok = start + res.TTFTSeconds
 	}
 	s.run = append(s.run, batch...)
 	s.busy += res.E2ESeconds
-	return now + res.E2ESeconds, nil
+	return start + res.E2ESeconds, nil
 }
 
 // finish records a completion at time end and recycles the record.

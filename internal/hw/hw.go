@@ -61,6 +61,14 @@ type Device struct {
 	// InterconnectLatencyUS is the per-message latency in microseconds.
 	InterconnectLatencyUS float64
 
+	// HostLinkGBs is the device↔host (CPU) link bandwidth in GB/s —
+	// PCIe for discrete cards, the coherent C2C fabric on GH200. KV
+	// blocks demoted to a CPU tier restore at this rate.
+	HostLinkGBs float64
+	// HostLinkLatencyUS is the per-transfer host-link latency in
+	// microseconds.
+	HostLinkLatencyUS float64
+
 	// TDPWatts and IdleWatts bound the power model.
 	TDPWatts  float64
 	IdleWatts float64
@@ -153,6 +161,7 @@ var catalog = map[string]*Device{
 		},
 		MemBWGBs: 1555, MemGiB: 40,
 		InterconnectGBs: 600, InterconnectLatencyUS: 3,
+		HostLinkGBs: 32, HostLinkLatencyUS: 5,
 		TDPWatts: 400, IdleWatts: 55,
 		DevicesPerNode: 4,
 	},
@@ -165,6 +174,7 @@ var catalog = map[string]*Device{
 		},
 		MemBWGBs: 3350, MemGiB: 80,
 		InterconnectGBs: 900, InterconnectLatencyUS: 2.5,
+		HostLinkGBs: 64, HostLinkLatencyUS: 5,
 		TDPWatts: 700, IdleWatts: 70,
 		DevicesPerNode: 4,
 	},
@@ -181,6 +191,7 @@ var catalog = map[string]*Device{
 		},
 		MemBWGBs: 4000, MemGiB: 96,
 		InterconnectGBs: 900, InterconnectLatencyUS: 2,
+		HostLinkGBs: 450, HostLinkLatencyUS: 2,
 		TDPWatts: 700, IdleWatts: 80,
 		DevicesPerNode: 1,
 	},
@@ -195,6 +206,7 @@ var catalog = map[string]*Device{
 		},
 		MemBWGBs: 3200, MemGiB: 128,
 		InterconnectGBs: 100, InterconnectLatencyUS: 5,
+		HostLinkGBs: 32, HostLinkLatencyUS: 5,
 		TDPWatts: 560, IdleWatts: 90,
 		DevicesPerNode:  4,
 		SaturationBatch: 32, SaturationPenalty: 0.45,
@@ -207,6 +219,7 @@ var catalog = map[string]*Device{
 		},
 		MemBWGBs: 5300, MemGiB: 192,
 		InterconnectGBs: 128, InterconnectLatencyUS: 5,
+		HostLinkGBs: 64, HostLinkLatencyUS: 5,
 		TDPWatts: 750, IdleWatts: 110,
 		DevicesPerNode:  8,
 		SaturationBatch: 64, SaturationPenalty: 0.25,
@@ -223,6 +236,7 @@ var catalog = map[string]*Device{
 		},
 		MemBWGBs: 2460, MemGiB: 96,
 		InterconnectGBs: 300, InterconnectLatencyUS: 4,
+		HostLinkGBs: 32, HostLinkLatencyUS: 5,
 		TDPWatts: 600, IdleWatts: 100,
 		DevicesPerNode: 8,
 		OnChipGiB:      0.0469, OnChipBWGBs: 6300, // 48 MB SRAM
@@ -240,6 +254,7 @@ var catalog = map[string]*Device{
 		},
 		MemBWGBs: 1600, MemGiB: 64,
 		InterconnectGBs: 160, InterconnectLatencyUS: 4,
+		HostLinkGBs: 32, HostLinkLatencyUS: 5,
 		TDPWatts: 550, IdleWatts: 120,
 		DevicesPerNode: 8,
 		OnChipGiB:      0.508, OnChipBWGBs: 25000, // 520 MiB PMU SRAM tier

@@ -14,6 +14,22 @@
 // window) is pure array arithmetic. Slots are recycled through a free
 // list; a generation counter baked into the handle makes stale handles
 // detectable, so a Free'd handle can never alias a later sequence.
+//
+// # Tiering and restore
+//
+// Production serving stacks keep a CPU tier behind the device cache:
+// when the last sequence referencing a shared prefix frees, the
+// prefix's KV blocks are demoted to host memory (HostTier — a
+// capacity-bounded LRU with touch/demote/restore/evict counters)
+// rather than dropped, and the next request needing the prefix
+// restores them over the device↔host link (HostLink, priced from
+// hw.HostLinkGBs/HostLinkLatencyUS) instead of recomputing prefill.
+// Tiered wraps PrefixPaged with exactly this behaviour and exposes
+// the saving through PrefillDiscounter: after each Alloc the serving
+// kernel drains (skipTokens, restoreS) — cached full-block prefix
+// tokens that need no prefill compute, and the host-link seconds to
+// charge for blocks that had to come back up. Warm promote/demote/
+// restore cycles allocate nothing, like the rest of the package.
 package kvcache
 
 import (

@@ -12,6 +12,13 @@ import (
 	"fmt"
 )
 
+// ErrPrefixTooLarge is returned by NewPrefixPaged when the shared
+// prefix's full blocks alone exceed the whole block budget: no
+// sequence could ever materialise the prefix, so every Alloc would
+// fail — with a bare ErrOutOfMemory that never names the real
+// problem. Rejecting at construction names it.
+var ErrPrefixTooLarge = errors.New("kvcache: shared prefix exceeds the block budget")
+
 // PrefixPaged is a Paged allocator whose sequences share the physical
 // blocks of a common prompt prefix. It satisfies Allocator: every
 // sequence allocated through it is assumed to begin with the
@@ -49,6 +56,10 @@ func NewPrefixPaged(blockTokens, prefixTokens int, bytesPerToken, capacityBytes 
 	}
 	blockBytes := float64(blockTokens) * bytesPerToken
 	total := int(capacityBytes / blockBytes)
+	if pb := prefixTokens / blockTokens; pb > total {
+		return nil, fmt.Errorf("%w: prefix of %d tokens needs %d full blocks of %d, but %g bytes hold only %d blocks",
+			ErrPrefixTooLarge, prefixTokens, pb, blockTokens, capacityBytes, total)
+	}
 	return &PrefixPaged{
 		BlockTokens:   blockTokens,
 		BytesPerToken: bytesPerToken,
@@ -83,12 +94,23 @@ func (p *PrefixPaged) privateSlack(tokens, private int) int {
 	return private*p.BlockTokens - privTokens
 }
 
-// Alloc implements Allocator. tokens includes the shared prefix.
-func (p *PrefixPaged) Alloc(tokens int) (Seq, error) {
+// needFor returns the blocks a new sequence of the given length must
+// draw from the free list: its private blocks, plus the shared
+// prefix's full blocks when this allocation would materialise them.
+// Alloc and CanAlloc both price through it, so the admission check
+// and the allocation can never disagree (they used to duplicate the
+// materialisation branch).
+func (p *PrefixPaged) needFor(tokens int) int {
 	need := p.privateBlocksFor(tokens)
 	if p.prefixRef == 0 {
 		need += p.sharedFullBlocks() // first reference materialises the prefix
 	}
+	return need
+}
+
+// Alloc implements Allocator. tokens includes the shared prefix.
+func (p *PrefixPaged) Alloc(tokens int) (Seq, error) {
+	need := p.needFor(tokens)
 	if need > p.freeBlocks {
 		return 0, ErrOutOfMemory
 	}
@@ -159,11 +181,7 @@ func (p *PrefixPaged) CapacityBytes() float64 { return p.capacity }
 
 // CanAlloc implements Allocator.
 func (p *PrefixPaged) CanAlloc(tokens int) bool {
-	need := p.privateBlocksFor(tokens)
-	if p.prefixRef == 0 {
-		need += p.sharedFullBlocks()
-	}
-	return need <= p.freeBlocks
+	return p.needFor(tokens) <= p.freeBlocks
 }
 
 // MaxExtendSteps implements Allocator: like Paged, but demand counts
@@ -211,3 +229,21 @@ func (p *PrefixPaged) Sequences() int { return p.table.live }
 func (p *PrefixPaged) SharedBytes() float64 {
 	return float64(p.prefixBlocks) * float64(p.BlockTokens) * p.BytesPerToken
 }
+
+// HotPrefixTokens reports the shared-prefix tokens currently
+// materialised on the device: the full-block prefix tokens while any
+// sequence references them, zero once the last reference dropped. The
+// prefix-aware cluster router reads it to score replicas by expected
+// prefix-hit length.
+func (p *PrefixPaged) HotPrefixTokens() int {
+	if p.prefixRef == 0 {
+		return 0
+	}
+	return p.sharedFullBlocks() * p.BlockTokens
+}
+
+// RestorablePrefixTokens reports shared-prefix tokens held in a lower
+// tier, restorable without recompute. A bare PrefixPaged has no lower
+// tier — dropped prefix blocks are gone — so it always reports zero;
+// Tiered overrides it.
+func (p *PrefixPaged) RestorablePrefixTokens() int { return 0 }

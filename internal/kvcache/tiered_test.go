@@ -1,0 +1,337 @@
+package kvcache
+
+// Tiered offload tests: the HostTier LRU must evict in recency order
+// under its capacity bound, and the Tiered wrapper must price exactly
+// one restore per cold re-reference while a warm prefix discounts for
+// free — with the whole promote/demote/restore cycle allocating
+// nothing once warm, like every other allocator in the package.
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func mustTiered(t *testing.T, block, prefix int, capBytes, hostBytes float64) *Tiered {
+	t.Helper()
+	gpu, err := NewPrefixPaged(block, prefix, 1, capBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered, err := NewTiered(gpu, hostBytes, HostLink{GBPerS: 32, LatencyS: 5e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tiered
+}
+
+func TestHostLinkValidate(t *testing.T) {
+	good := HostLink{GBPerS: 32, LatencyS: 5e-6}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []HostLink{
+		{GBPerS: 0, LatencyS: 5e-6},
+		{GBPerS: -1, LatencyS: 5e-6},
+		{GBPerS: math.Inf(1), LatencyS: 5e-6},
+		{GBPerS: math.NaN(), LatencyS: 5e-6},
+		{GBPerS: 32, LatencyS: 0},
+		{GBPerS: 32, LatencyS: -1},
+		{GBPerS: 32, LatencyS: math.Inf(1)},
+	}
+	for _, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("link %+v must fail validation", l)
+		}
+	}
+	// 32 GB/s moving 32e9 bytes is one second plus the latency floor.
+	if got := good.Seconds(32e9); math.Abs(got-(1+5e-6)) > 1e-12 {
+		t.Errorf("Seconds(32 GB) = %v, want 1+5e-6", got)
+	}
+}
+
+func TestHostTierConstructor(t *testing.T) {
+	if _, err := NewHostTier(0); err == nil {
+		t.Error("zero-capacity tier must fail")
+	}
+	if _, err := NewHostTier(-3); err == nil {
+		t.Error("negative-capacity tier must fail")
+	}
+}
+
+func TestHostTierLRUEviction(t *testing.T) {
+	tier, err := NewHostTier(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 3; id++ { // 12 blocks demanded of 10
+		if !tier.Demote(id, 4) {
+			t.Fatalf("demote %d rejected", id)
+		}
+	}
+	// id 0 was least recently used: it must be the eviction victim.
+	if tier.Has(0) || !tier.Has(1) || !tier.Has(2) {
+		t.Fatalf("want {1,2} resident, got 0:%v 1:%v 2:%v", tier.Has(0), tier.Has(1), tier.Has(2))
+	}
+	if tier.UsedBlocks() != 8 {
+		t.Errorf("used = %d, want 8", tier.UsedBlocks())
+	}
+	// Touch reorders: after touching 1, demoting a new group evicts 2.
+	if !tier.Touch(1) {
+		t.Fatal("touch of resident entry must succeed")
+	}
+	if tier.Touch(0) {
+		t.Fatal("touch of absent entry must fail")
+	}
+	if !tier.Demote(3, 4) {
+		t.Fatal("demote 3 rejected")
+	}
+	if !tier.Has(1) || tier.Has(2) || !tier.Has(3) {
+		t.Fatalf("touch must have protected 1; got 1:%v 2:%v 3:%v", tier.Has(1), tier.Has(2), tier.Has(3))
+	}
+	c := tier.Counters()
+	if c.Demotions != 4 || c.Evictions != 2 || c.Touches != 1 {
+		t.Errorf("counters = %+v, want 4 demotions, 2 evictions, 1 touch", c)
+	}
+}
+
+func TestHostTierDemoteRestoreRules(t *testing.T) {
+	tier, err := NewHostTier(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tier.Demote(-1, 2) || tier.Demote(0, 0) || tier.Demote(0, 9) {
+		t.Error("negative ID, empty group, and oversized group must be rejected")
+	}
+	if !tier.Demote(0, 3) || tier.Blocks(0) != 3 {
+		t.Fatal("demote of 3 blocks must land")
+	}
+	// Re-demoting a resident ID replaces its size, not adds to it.
+	if !tier.Demote(0, 5) || tier.Blocks(0) != 5 || tier.UsedBlocks() != 5 {
+		t.Errorf("re-demote must replace: blocks %d used %d, want 5/5", tier.Blocks(0), tier.UsedBlocks())
+	}
+	b, ok := tier.Restore(0)
+	if !ok || b != 5 || tier.Has(0) || tier.UsedBlocks() != 0 {
+		t.Errorf("restore = (%d,%v), used %d; want (5,true), 0", b, ok, tier.UsedBlocks())
+	}
+	if _, ok := tier.Restore(0); ok {
+		t.Error("restoring an absent entry must fail")
+	}
+	if tier.CapacityBlocks() != 8 {
+		t.Errorf("capacity = %d, want 8", tier.CapacityBlocks())
+	}
+}
+
+func TestTieredConstructorErrors(t *testing.T) {
+	if _, err := NewTiered(nil, 1<<20, HostLink{GBPerS: 32, LatencyS: 5e-6}); err == nil {
+		t.Error("nil device allocator must fail")
+	}
+	gpu, err := NewPrefixPaged(16, 64, 1, 16*100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewTiered(gpu, 1<<20, HostLink{}); err == nil {
+		t.Error("invalid link must fail")
+	}
+	// A host budget below one block holds nothing: reject at build.
+	if _, err := NewTiered(gpu, 15, HostLink{GBPerS: 32, LatencyS: 5e-6}); err == nil {
+		t.Error("sub-block host tier must fail")
+	}
+}
+
+func TestTieredColdWarmDemoteRestore(t *testing.T) {
+	// Block 16, prefix 64 → 4 shared full blocks (64 tokens).
+	tv := mustTiered(t, 16, 64, 16*100, 16*8)
+
+	s1 := mustAlloc(t, tv, 100)
+	if skip, rs := tv.TakePrefillDiscount(); skip != 0 || rs != 0 {
+		t.Errorf("first-ever reference must prefill the prefix itself, got skip %d restore %v", skip, rs)
+	}
+	if tv.HotPrefixTokens() != 64 || tv.RestorablePrefixTokens() != 0 {
+		t.Errorf("hot/restorable = %d/%d, want 64/0", tv.HotPrefixTokens(), tv.RestorablePrefixTokens())
+	}
+
+	s2 := mustAlloc(t, tv, 100) // warm hit: prefix resident
+	if skip, rs := tv.TakePrefillDiscount(); skip != 64 || rs != 0 {
+		t.Errorf("warm hit: skip %d restore %v, want 64 free tokens", skip, rs)
+	}
+
+	tv.Free(s1)
+	if tv.RestorablePrefixTokens() != 0 {
+		t.Error("prefix still referenced: nothing may demote")
+	}
+	tv.Free(s2) // last reference: demote to host
+	if tv.HotPrefixTokens() != 0 || tv.RestorablePrefixTokens() != 64 {
+		t.Errorf("hot/restorable = %d/%d, want 0/64 after drain", tv.HotPrefixTokens(), tv.RestorablePrefixTokens())
+	}
+	if tv.HostUsedBytes() != 64 {
+		t.Errorf("host bytes = %v, want 64", tv.HostUsedBytes())
+	}
+
+	s3 := mustAlloc(t, tv, 100) // cold on device, resident on host: restore
+	skip, rs := tv.TakePrefillDiscount()
+	if skip != 64 {
+		t.Errorf("restored prefix must discount its 64 tokens, got %d", skip)
+	}
+	if want := tv.RestoreSeconds(); rs != want || !(rs > 0) {
+		t.Errorf("restore charge %v, want %v (one full-prefix transfer)", rs, want)
+	}
+	if tv.HostUsedBytes() != 0 {
+		t.Error("restore must vacate the host tier")
+	}
+	tv.Free(s3)
+
+	st := tv.Stats()
+	if st.Touches != 1 || st.Demotions != 2 || st.Restores != 1 || st.Evictions != 0 {
+		t.Errorf("stats = %+v, want 1 touch, 2 demotions, 1 restore", st)
+	}
+}
+
+func TestTieredSkipNeverCoversLastToken(t *testing.T) {
+	tv := mustTiered(t, 16, 64, 16*100, 16*8)
+	s1 := mustAlloc(t, tv, 100)
+	tv.TakePrefillDiscount()
+	// A prompt of exactly the shared length still recomputes its last
+	// token — its logits produce the first output.
+	s2 := mustAlloc(t, tv, 64)
+	if skip, _ := tv.TakePrefillDiscount(); skip != 63 {
+		t.Errorf("skip = %d, want 63 (last token always computed)", skip)
+	}
+	// A prompt shorter than the shared prefix discounts what it has.
+	s3 := mustAlloc(t, tv, 32)
+	if skip, _ := tv.TakePrefillDiscount(); skip != 31 {
+		t.Errorf("skip = %d, want 31", skip)
+	}
+	tv.Free(s1)
+	tv.Free(s2)
+	tv.Free(s3)
+}
+
+func TestTieredPrefixTooLargeForTier(t *testing.T) {
+	// Host tier of 2 blocks cannot hold the 4-block prefix: demotion
+	// drops the blocks, exactly as no tier would.
+	tv := mustTiered(t, 16, 64, 16*100, 16*2)
+	s := mustAlloc(t, tv, 100)
+	tv.TakePrefillDiscount()
+	tv.Free(s)
+	if tv.RestorablePrefixTokens() != 0 || tv.HostUsedBytes() != 0 {
+		t.Fatal("oversized prefix must be dropped, not demoted")
+	}
+	s = mustAlloc(t, tv, 100) // truly cold: full re-prefill, no charge
+	if skip, rs := tv.TakePrefillDiscount(); skip != 0 || rs != 0 {
+		t.Errorf("cold re-reference must not discount, got skip %d restore %v", skip, rs)
+	}
+	tv.Free(s)
+	if st := tv.Stats(); st.Demotions != 0 {
+		t.Errorf("demotions = %d, want 0 (tier too small)", st.Demotions)
+	}
+}
+
+func TestTieredZeroPrefixDegradesToPaged(t *testing.T) {
+	tv := mustTiered(t, 16, 0, 16*100, 16*8)
+	s := mustAlloc(t, tv, 100)
+	if skip, rs := tv.TakePrefillDiscount(); skip != 0 || rs != 0 {
+		t.Error("no shared prefix, no discount")
+	}
+	if tv.HotPrefixTokens() != 0 || tv.RestorablePrefixTokens() != 0 {
+		t.Error("no shared prefix, nothing hot or restorable")
+	}
+	tv.Free(s)
+	if tv.HostUsedBytes() != 0 {
+		t.Error("nothing may demote")
+	}
+}
+
+func TestTieredStaleFreeNeverDemotes(t *testing.T) {
+	tv := mustTiered(t, 16, 64, 16*100, 16*8)
+	s := mustAlloc(t, tv, 100)
+	tv.TakePrefillDiscount()
+	stale := mustAlloc(t, tv, 100)
+	tv.Free(stale)
+	if tv.RestorablePrefixTokens() != 0 {
+		t.Fatal("a live reference remains: nothing may demote")
+	}
+	// The dead handle must not probe the demotion path again: the
+	// prefix is still referenced by s, and a double free that reached
+	// Free's tail would demote a hot prefix.
+	tv.Free(stale)
+	if tv.HotPrefixTokens() != 64 || tv.RestorablePrefixTokens() != 0 {
+		t.Error("double free must leave the hot prefix alone")
+	}
+	if err := tv.Extend(s, 128); err != nil {
+		t.Fatal(err)
+	}
+	tv.Free(s)
+}
+
+// TestTieredWarmCycleAllocs extends the package's zero-allocation
+// discipline across the tier boundary: once the slot table, free
+// stack, and host-tier tables have grown, a full
+// alloc→extend→free→demote→alloc→restore cycle allocates nothing.
+func TestTieredWarmCycleAllocs(t *testing.T) {
+	tv := mustTiered(t, 16, 256, 16*4096, 16*64)
+	var seqs [8]Seq
+	cycle := func() {
+		for i := range seqs {
+			seq, err := tv.Alloc(512 + 16*i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seqs[i] = seq
+		}
+		_, _ = tv.TakePrefillDiscount()
+		for step := 0; step < 32; step++ {
+			if tv.MaxExtendSteps(seqs[:], 64) < 1 {
+				t.Fatal("warm pool unexpectedly full")
+			}
+			for i, seq := range seqs {
+				if err := tv.Extend(seq, 512+16*i+step+1); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		_ = tv.UsedBytes()
+		_ = tv.WasteBytes()
+		_ = tv.HostUsedBytes()
+		_ = tv.HotPrefixTokens()
+		_ = tv.RestorablePrefixTokens()
+		for _, seq := range seqs {
+			tv.Free(seq) // last free demotes the prefix to the host tier
+		}
+	}
+	cycle() // warm every table, including the tier's; next cycle restores
+	if avg := testing.AllocsPerRun(20, cycle); avg != 0 {
+		t.Errorf("warm tiered demote/restore cycle allocates %.1f times, want 0", avg)
+	}
+}
+
+func TestTieredDelegation(t *testing.T) {
+	tv := mustTiered(t, 16, 64, 16*100, 16*8)
+	if tv.CapacityBytes() != 16*100 {
+		t.Errorf("capacity = %v, want the device budget", tv.CapacityBytes())
+	}
+	s := mustAlloc(t, tv, 100)
+	if !tv.CanAlloc(100) {
+		t.Error("plenty of room: CanAlloc must hold")
+	}
+	if tv.Sequences() != 1 {
+		t.Errorf("sequences = %d, want 1", tv.Sequences())
+	}
+	if tv.UsedBytes() != tv.gpu.UsedBytes() || tv.WasteBytes() != tv.gpu.WasteBytes() {
+		t.Error("usage must mirror the device allocator")
+	}
+	if err := tv.Extend(s, 0); err == nil {
+		t.Error("shrinking must fail through the wrapper")
+	}
+	var ifc Allocator = tv // the wrapper is a drop-in Allocator
+	if _, ok := ifc.(PrefillDiscounter); !ok {
+		t.Error("Tiered must implement PrefillDiscounter")
+	}
+	tv.Free(s)
+	if _, ok := interface{}(&PrefixPaged{}).(PrefillDiscounter); ok {
+		t.Error("bare PrefixPaged must not discount (its misses re-prefill)")
+	}
+	if errors.Is(ErrPrefixTooLarge, ErrOutOfMemory) {
+		t.Error("construction rejection must stay distinct from runtime OOM")
+	}
+}

@@ -125,7 +125,12 @@ type Stats struct {
 	// worst token-level stall a running request experienced. Chunked
 	// prefill exists to bound it (§V-3).
 	MaxIterationS float64
-	Requests      []RequestStats
+	// CacheHitRate is the fraction of admitted prompt tokens served
+	// from the prefix cache (kvcache.PrefillDiscounter) instead of
+	// prefilled — the capacity multiplier shared system prompts buy.
+	// Zero on plain allocators.
+	CacheHitRate float64
+	Requests     []RequestStats
 }
 
 // Serve runs the trace to completion and returns statistics.
@@ -177,6 +182,9 @@ func Serve(cfg Config, reqs []workload.Request) (Stats, error) {
 		return Stats{}, err
 	}
 	stats.MaxIterationS = res.MaxIterationS
+	if res.PromptTokens > 0 {
+		stats.CacheHitRate = float64(res.PrefixHitTokens) / float64(res.PromptTokens)
+	}
 	return stats, nil
 }
 

@@ -36,6 +36,14 @@ type ChatTraceConfig struct {
 	OutputMedian int
 	Sigma        float64
 	MaxLen       int
+
+	// PrefixTokens prepends a fleet-wide shared system prompt to every
+	// request: Input becomes PrefixTokens plus the lognormal
+	// per-request draw (InputMedian then models only the private
+	// suffix). The arrival process and random draws are untouched, so
+	// a zero value generates the exact trace this knob predates —
+	// byte-identical streams. Negative values are rejected.
+	PrefixTokens int
 }
 
 // ChatTrace generates a reproducible heavy-tailed, bursty trace.
@@ -51,6 +59,9 @@ func ChatTrace(cfg ChatTraceConfig) ([]Request, error) {
 	}
 	if cfg.BurstFactor < 1 {
 		return nil, fmt.Errorf("workload: burst factor %v must be ≥ 1", cfg.BurstFactor)
+	}
+	if cfg.PrefixTokens < 0 {
+		return nil, fmt.Errorf("workload: negative prefix length %d", cfg.PrefixTokens)
 	}
 	maxLen := cfg.MaxLen
 	if maxLen == 0 {
@@ -104,7 +115,7 @@ func ChatTrace(cfg ChatTraceConfig) ([]Request, error) {
 			inBurst = !inBurst
 			stateLeft = dwell(inBurst)
 		}
-		reqs[i] = Request{ID: i, Arrival: now, Input: logn(cfg.InputMedian), Output: logn(cfg.OutputMedian)}
+		reqs[i] = Request{ID: i, Arrival: now, Input: cfg.PrefixTokens + logn(cfg.InputMedian), Output: logn(cfg.OutputMedian)}
 	}
 	return reqs, nil
 }

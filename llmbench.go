@@ -411,6 +411,60 @@ func servingAlloc(sys System, budget float64) (kvcache.Allocator, error) {
 	return kvcache.NewPaged(16, m.KVBytesPerToken(dtype.FP16), budget)
 }
 
+// ErrHostLink marks a device whose device↔host link description
+// cannot price tier restores: zero, negative, NaN, or infinite
+// bandwidth or latency would produce Inf/NaN restore times in the
+// admission path. Prefix-share sweep points surface it per point
+// (ServeSweepPoint.Err).
+var ErrHostLink = errors.New("llmbench: invalid device host link for kv-tier pricing")
+
+// hostLinkFor validates the resolved device's host-link fields and
+// builds the restore pricing; the split mirrors transferCostFor so
+// the validation is testable against fabricated devices.
+func hostLinkFor(devName string, d *hw.Device) (kvcache.HostLink, error) {
+	if !(d.HostLinkGBs > 0) || math.IsInf(d.HostLinkGBs, 0) {
+		return kvcache.HostLink{}, fmt.Errorf("%w: %s HostLinkGBs %v (want positive and finite)",
+			ErrHostLink, devName, d.HostLinkGBs)
+	}
+	if !(d.HostLinkLatencyUS > 0) || math.IsInf(d.HostLinkLatencyUS, 0) {
+		return kvcache.HostLink{}, fmt.Errorf("%w: %s HostLinkLatencyUS %v (want positive and finite)",
+			ErrHostLink, devName, d.HostLinkLatencyUS)
+	}
+	return kvcache.HostLink{
+		GBPerS:   d.HostLinkGBs,
+		LatencyS: d.HostLinkLatencyUS * 1e-6,
+	}, nil
+}
+
+// servingPrefixAlloc builds one replica's tiered prefix-sharing
+// allocator for shared-prefix serving points: a PrefixPaged device
+// pool fronting a host tier sized by hostBudget bytes, with restores
+// priced over the device's host link. A prefix shorter than one
+// 16-token block shares nothing, so the plain paged allocator is used
+// (keeping those points byte-identical to non-prefix runs).
+func servingPrefixAlloc(sys System, budget, hostBudget float64, prefixTokens int) (kvcache.Allocator, error) {
+	m, err := model.Get(sys.Model)
+	if err != nil {
+		return nil, err
+	}
+	if prefixTokens < 16 {
+		return kvcache.NewPaged(16, m.KVBytesPerToken(dtype.FP16), budget)
+	}
+	d, err := hw.Get(sys.Device)
+	if err != nil {
+		return nil, err
+	}
+	link, err := hostLinkFor(sys.Device, d)
+	if err != nil {
+		return nil, err
+	}
+	gpu, err := kvcache.NewPrefixPaged(16, prefixTokens, m.KVBytesPerToken(dtype.FP16), budget)
+	if err != nil {
+		return nil, err
+	}
+	return kvcache.NewTiered(gpu, hostBudget, link)
+}
+
 // ErrInterconnect marks a device whose interconnect description
 // cannot price kv-transfers: zero, negative, NaN, or infinite
 // bandwidth or latency would produce Inf/NaN transfer times that

@@ -11,6 +11,7 @@ import (
 	"llmbench/internal/cluster"
 	"llmbench/internal/des"
 	"llmbench/internal/engine"
+	"llmbench/internal/kvcache"
 	"llmbench/internal/pool"
 	"llmbench/internal/workload"
 )
@@ -30,6 +31,13 @@ type ServePolicy struct {
 	// LeastLoaded routes to the replica with the fewest outstanding
 	// requests instead of cycling round-robin.
 	LeastLoaded bool
+	// Prefix routes prefix-aware (cluster.Prefix): among replicas
+	// within a load window of the least-loaded, pick the one with the
+	// longest expected prefix-cache hit — hot prefixes beat
+	// host-tier-restorable ones beat cold replicas. With prefix-blind
+	// allocators (no PrefixShares axis) it degrades to least-loaded.
+	// Mutually exclusive with LeastLoaded.
+	Prefix bool
 	// Autoscale grows the fleet from 1 replica up to the point's
 	// replica count under queue pressure instead of holding it fixed
 	// (see ServeAutoscale); the point's Replicas value becomes the
@@ -68,8 +76,10 @@ func (p ServePolicy) String() string {
 	switch {
 	case p.Autoscale:
 		// The autoscaler's router is least-loaded regardless of the
-		// LeastLoaded flag.
+		// LeastLoaded and Prefix flags.
 		return batching + "/auto" + topo
+	case p.Prefix:
+		return batching + "/prefix" + topo
 	case p.LeastLoaded:
 		return batching + "/ll" + topo
 	}
@@ -81,6 +91,9 @@ func (p ServePolicy) String() string {
 // sweep time, so a programmatically built grid fails identically to a
 // flag-parsed one.
 func (p ServePolicy) validate() error {
+	if p.Prefix && p.LeastLoaded {
+		return errors.New("llmbench: Prefix and LeastLoaded are mutually exclusive routing policies")
+	}
 	if !p.Disagg() {
 		return nil
 	}
@@ -98,8 +111,9 @@ func (p ServePolicy) validate() error {
 
 // ParseServePolicy parses the textual policy form ServePolicy.String
 // produces — tokens separated by '/' or ':' drawn from
-// {continuous|static, rr|round-robin, ll|least-loaded, auto|autoscale,
-// aggregated, disagg/<p>:<d>} — e.g. "continuous/ll", "static:rr",
+// {continuous|static, rr|round-robin, ll|least-loaded, prefix,
+// auto|autoscale, aggregated, disagg/<p>:<d>} — e.g. "continuous/ll",
+// "continuous/prefix", "static:rr",
 // "disagg/1:3", "continuous/rr/disagg/2:6". Later tokens override
 // earlier ones; "disagg" consumes the next two tokens as its positive
 // pool shares. Round-trip holds: ParseServePolicy(p.String()) == p
@@ -119,9 +133,11 @@ func ParseServePolicy(s string) (ServePolicy, error) {
 		case "static":
 			p.Static = true
 		case "rr", "round-robin":
-			p.LeastLoaded = false
+			p.LeastLoaded, p.Prefix = false, false
 		case "ll", "least-loaded":
-			p.LeastLoaded = true
+			p.LeastLoaded, p.Prefix = true, false
+		case "prefix":
+			p.Prefix, p.LeastLoaded = true, false
 		case "auto", "autoscale":
 			p.Autoscale = true
 		case "aggregated":
@@ -139,7 +155,7 @@ func ParseServePolicy(s string) (ServePolicy, error) {
 			p.PrefillPool, p.DecodePool = pre, dec
 			i += 2
 		default:
-			return p, fmt.Errorf("llmbench: policy %q: unknown token %q (want continuous|static, rr|ll, auto, aggregated, or disagg/<p>:<d>)", s, tok)
+			return p, fmt.Errorf("llmbench: policy %q: unknown token %q (want continuous|static, rr|ll|prefix, auto, aggregated, or disagg/<p>:<d>)", s, tok)
 		}
 	}
 	if err := p.validate(); err != nil {
@@ -163,10 +179,10 @@ type LengthMix struct {
 // per combination.
 //
 // Axes nest in a fixed order — Devices outermost, then Frameworks,
-// Schemes, Policies, Replicas, MaxBatches, BurstFactors, LengthMixes,
-// and Rates innermost — so output is deterministic, and scanning one
-// configuration's rate ladder (the capacity question) reads
-// contiguously.
+// Schemes, Policies, Replicas, MaxBatches, PrefixShares, BurstFactors,
+// LengthMixes, and Rates innermost — so output is deterministic, and
+// scanning one configuration's rate ladder (the capacity question)
+// reads contiguously.
 type ServeGrid struct {
 	// Rates is the arrival-rate axis in requests/s. Required on
 	// synthesized grids; every value must be positive and finite. On
@@ -215,6 +231,20 @@ type ServeGrid struct {
 	BurstFactors []float64
 	LengthMixes  []LengthMix
 
+	// PrefixShares is the shared-prefix trace-shape axis: each value
+	// in [0, 1) is the fraction of a point's median prompt served by
+	// one fleet-wide shared system prompt
+	// (workload.ChatTraceConfig.PrefixTokens). A non-zero share gives
+	// every replica a tiered prefix-sharing allocator (GPU
+	// PrefixPaged + CPU host tier; see ServeSweepConfig.HostKVGiB)
+	// regardless of routing policy, so the Policies axis compares
+	// rr/ll/prefix on identical caches. Setting the axis switches the
+	// trace generator to ChatTrace like the other trace-shape axes;
+	// empty means {0} (no shared prefix, plain allocators). A share
+	// whose remaining per-request median falls below ChatTrace's floor
+	// (16 tokens) fails its points individually.
+	PrefixShares []float64
+
 	// Configuration axes, identical to Grid: each (device, framework,
 	// scheme) combination resolves one engine through the shared
 	// engine cache; a combination that fails to build marks its
@@ -246,6 +276,25 @@ type ServeSweepConfig struct {
 	// are rejected.
 	KVBudgetGiB float64
 
+	// HostKVGiB is the per-replica CPU-tier capacity for shared-prefix
+	// points (ServeGrid.PrefixShares): demoted prefix blocks park
+	// there and restore over the device's host link instead of
+	// re-prefilling. 0 mirrors the device KV budget; negative, NaN,
+	// and infinite values are rejected. Ignored without a prefix
+	// share.
+	HostKVGiB float64
+
+	// ChunkedPrefill runs every replica with Dynamic-SplitFuse-style
+	// admission (cluster.Config.ChunkedPrefill): prompts prefill in
+	// PrefillChunk-token slices fused into decode iterations. The
+	// pairing that lets prefix-affinity routing concentrate arrivals
+	// on warm replicas without queueing them behind whole admission
+	// prefills. Static or disaggregated policy entries reject it per
+	// point.
+	ChunkedPrefill bool
+	// PrefillChunk is the slice size in tokens (default 512).
+	PrefillChunk int
+
 	// Trace parameters. Every point generates a private trace whose
 	// seed is derived from Seed and the point's position on the
 	// trace-shape axes (burst factor, length mix, rate) — points with
@@ -262,6 +311,14 @@ type ServeSweepConfig struct {
 	// (ChatTrace) points; 0 means the generator default (5 s).
 	// Ignored on plain Poisson grids.
 	BurstLenS float64
+
+	// Sigma is the lognormal length spread for trace-axis (ChatTrace)
+	// points; 0 means the default 0.7 (public chat datasets' heavy
+	// tails). Lower values model templated traffic — batch extraction,
+	// classification over a shared system prompt — whose tight output
+	// tail lets prefill costs, and so prefix-cache routing, dominate
+	// the tail percentiles. Ignored on plain Poisson grids.
+	Sigma float64
 
 	// LeanStats drops the per-request ledger (Stats.Requests) from
 	// every returned point, shrinking a big grid's memory footprint by
@@ -309,6 +366,9 @@ type ServeSweepPoint struct {
 	// factor and lognormal length medians.
 	BurstFactor float64
 	Mix         LengthMix
+	// PrefixShare is the point's shared-prefix fraction (ServeGrid.
+	// PrefixShares); 0 on grids without the axis.
+	PrefixShare float64
 	Rate        float64
 
 	Stats ServeStats
@@ -326,6 +386,7 @@ type serveAxes struct {
 	policies   []ServePolicy
 	replicas   []int
 	maxBatches []int
+	shares     []float64
 	bursts     []float64
 	mixes      []LengthMix
 	rates      []float64
@@ -340,7 +401,7 @@ type serveAxes struct {
 
 func (a serveAxes) perCombo() int {
 	return len(a.policies) * len(a.replicas) * len(a.maxBatches) *
-		len(a.bursts) * len(a.mixes) * len(a.rates)
+		len(a.shares) * len(a.bursts) * len(a.mixes) * len(a.rates)
 }
 
 func resolveServeAxes(cfg ServeSweepConfig, grid ServeGrid) (serveAxes, error) {
@@ -348,15 +409,16 @@ func resolveServeAxes(cfg ServeSweepConfig, grid ServeGrid) (serveAxes, error) {
 		policies:   grid.Policies,
 		replicas:   grid.Replicas,
 		maxBatches: grid.MaxBatches,
+		shares:     grid.PrefixShares,
 		bursts:     grid.BurstFactors,
 		mixes:      grid.LengthMixes,
 		rates:      grid.Rates,
-		chat:       len(grid.BurstFactors) > 0 || len(grid.LengthMixes) > 0,
+		chat:       len(grid.BurstFactors) > 0 || len(grid.LengthMixes) > 0 || len(grid.PrefixShares) > 0,
 		replay:     grid.Trace,
 	}
 	if len(a.replay) > 0 {
 		if a.chat {
-			return a, errors.New("llmbench: Trace replay is incompatible with the trace-shape axes (BurstFactors, LengthMixes) — the recorded trace is the shape")
+			return a, errors.New("llmbench: Trace replay is incompatible with the trace-shape axes (BurstFactors, LengthMixes, PrefixShares) — the recorded trace is the shape")
 		}
 		if err := workload.ValidateTrace(a.replay); err != nil {
 			return a, fmt.Errorf("llmbench: %w", err)
@@ -407,6 +469,14 @@ func resolveServeAxes(cfg ServeSweepConfig, grid ServeGrid) (serveAxes, error) {
 			return a, err
 		}
 	}
+	if len(a.shares) == 0 {
+		a.shares = []float64{0}
+	}
+	for _, s := range a.shares {
+		if !(s >= 0) || s >= 1 || math.IsNaN(s) {
+			return a, fmt.Errorf("llmbench: prefix share %v must be in [0, 1)", s)
+		}
+	}
 	if len(a.bursts) == 0 {
 		a.bursts = []float64{1}
 	}
@@ -438,6 +508,9 @@ func resolveServeAxes(cfg ServeSweepConfig, grid ServeGrid) (serveAxes, error) {
 	if err := validateKVBudget(cfg.KVBudgetGiB); err != nil {
 		return a, err
 	}
+	if err := validateKVBudget(cfg.HostKVGiB); err != nil {
+		return a, err
+	}
 	// Replay grids take their request count and lengths from the
 	// recorded trace; the synthesis parameters are ignored.
 	if len(a.replay) == 0 && (cfg.Requests < 1 || cfg.InputMean < 1 || cfg.OutputMean < 1) {
@@ -448,9 +521,9 @@ func resolveServeAxes(cfg ServeSweepConfig, grid ServeGrid) (serveAxes, error) {
 	// point individually (via cluster.Autoscale.validate) or be
 	// silently replaced by the trace generator's default (BurstLenS):
 	// fail the whole call up front like every other base-config field.
-	if cfg.UpOutstanding < 0 || cfg.DownIdleS < 0 || cfg.CooldownS < 0 || cfg.BurstLenS < 0 {
-		return a, fmt.Errorf("llmbench: negative serve tuning (UpOutstanding %d, DownIdleS %v, CooldownS %v, BurstLenS %v)",
-			cfg.UpOutstanding, cfg.DownIdleS, cfg.CooldownS, cfg.BurstLenS)
+	if cfg.UpOutstanding < 0 || cfg.DownIdleS < 0 || cfg.CooldownS < 0 || cfg.BurstLenS < 0 || cfg.Sigma < 0 {
+		return a, fmt.Errorf("llmbench: negative serve tuning (UpOutstanding %d, DownIdleS %v, CooldownS %v, BurstLenS %v, Sigma %v)",
+			cfg.UpOutstanding, cfg.DownIdleS, cfg.CooldownS, cfg.BurstLenS, cfg.Sigma)
 	}
 	return a, nil
 }
@@ -463,8 +536,9 @@ func resolveServeAxes(cfg ServeSweepConfig, grid ServeGrid) (serveAxes, error) {
 // cache, every point runs an independent simulation on a private
 // trace and private KV allocators, and the returned slice is ordered
 // by grid position (Devices ▸ Frameworks ▸ Schemes ▸ Policies ▸
-// Replicas ▸ MaxBatches ▸ BurstFactors ▸ LengthMixes ▸ Rates) — never
-// by completion — so output is byte-identical at any Parallelism.
+// Replicas ▸ MaxBatches ▸ PrefixShares ▸ BurstFactors ▸ LengthMixes ▸
+// Rates) — never by completion — so output is byte-identical at any
+// Parallelism.
 //
 // An invalid grid or trace shape fails the whole call. A combination
 // that fails to build fails only its own points through
@@ -505,6 +579,7 @@ func ServeSweep(cfg ServeSweepConfig, grid ServeGrid) ([]ServeSweepPoint, error)
 	perCombo := axes.perCombo()
 	nRep := len(axes.replicas)
 	nMB := len(axes.maxBatches)
+	nShare := len(axes.shares)
 	nBurst := len(axes.bursts)
 	nMix := len(axes.mixes)
 	nRate := len(axes.rates)
@@ -512,11 +587,13 @@ func ServeSweep(cfg ServeSweepConfig, grid ServeGrid) ([]ServeSweepPoint, error)
 	_ = pool.ForEach(len(out), grid.Parallelism, func(i int) error {
 		combo := i / perCombo
 		rest := i % perCombo
-		pol := axes.policies[rest/(nRep*nMB*nBurst*nMix*nRate)]
-		rest %= nRep * nMB * nBurst * nMix * nRate
-		reps := axes.replicas[rest/(nMB*nBurst*nMix*nRate)]
-		rest %= nMB * nBurst * nMix * nRate
-		maxBatch := axes.maxBatches[rest/(nBurst*nMix*nRate)]
+		pol := axes.policies[rest/(nRep*nMB*nShare*nBurst*nMix*nRate)]
+		rest %= nRep * nMB * nShare * nBurst * nMix * nRate
+		reps := axes.replicas[rest/(nMB*nShare*nBurst*nMix*nRate)]
+		rest %= nMB * nShare * nBurst * nMix * nRate
+		maxBatch := axes.maxBatches[rest/(nShare*nBurst*nMix*nRate)]
+		rest %= nShare * nBurst * nMix * nRate
+		shareIdx := rest / (nBurst * nMix * nRate)
 		rest %= nBurst * nMix * nRate
 		burstIdx := rest / (nMix * nRate)
 		rest %= nMix * nRate
@@ -528,8 +605,9 @@ func ServeSweep(cfg ServeSweepConfig, grid ServeGrid) ([]ServeSweepPoint, error)
 			Scheme:   Scheme{Weights: c.Weights, KV: c.KV},
 			Policy:   pol,
 			Replicas: reps, MaxBatch: maxBatch,
-			Mix:  axes.mixes[mixIdx],
-			Rate: axes.rates[rateIdx],
+			Mix:         axes.mixes[mixIdx],
+			PrefixShare: axes.shares[shareIdx],
+			Rate:        axes.rates[rateIdx],
 		}
 		if axes.chat {
 			p.BurstFactor = axes.bursts[burstIdx]
@@ -542,7 +620,7 @@ func ServeSweep(cfg ServeSweepConfig, grid ServeGrid) ([]ServeSweepPoint, error)
 			// streams. On plain Poisson grids this degenerates to the
 			// original per-rate seeding, keeping existing sweeps
 			// byte-identical.
-			traceIdx := (burstIdx*nMix+mixIdx)*nRate + rateIdx
+			traceIdx := ((shareIdx*nBurst+burstIdx)*nMix+mixIdx)*nRate + rateIdx
 			runServePoint(&p, c, engines[combo].eng, engines[combo].budget, cfg, axes, traceIdx)
 		}
 		if cfg.LeanStats || cfg.StreamStats {
@@ -575,12 +653,31 @@ func (a serveAxes) pointTrace(cfg ServeSweepConfig, p *ServeSweepPoint, traceIdx
 			InputMean: p.Mix.Input, OutputMean: p.Mix.Output, LengthJitter: 0.3,
 		})
 	}
+	// A shared-prefix point carves the prefix out of the prompt
+	// median: PrefixTokens of every prompt are the fleet-wide system
+	// prompt, and the lognormal draws model only the per-request
+	// suffix — total prompt medians stay comparable across the
+	// PrefixShares axis. A share leaving the suffix median under
+	// ChatTrace's floor fails here, per point.
+	ptoks := prefixTokensFor(p.PrefixShare, p.Mix.Input)
+	sigma := cfg.Sigma
+	if sigma == 0 {
+		sigma = 0.7
+	}
 	return workload.ChatTrace(workload.ChatTraceConfig{
 		Seed: seed, Requests: cfg.Requests, RatePerSec: p.Rate,
 		BurstFactor: p.BurstFactor, BurstLenS: cfg.BurstLenS,
-		InputMedian: p.Mix.Input, OutputMedian: p.Mix.Output,
-		Sigma: 0.7, MaxLen: 8192,
+		InputMedian: p.Mix.Input - ptoks, OutputMedian: p.Mix.Output,
+		PrefixTokens: ptoks,
+		Sigma:        sigma, MaxLen: 8192,
 	})
+}
+
+// prefixTokensFor resolves a point's shared-prefix length: the share
+// of its median prompt, in whole tokens. Zero share — including every
+// point of a grid without the PrefixShares axis — is zero tokens.
+func prefixTokensFor(share float64, inputMedian int) int {
+	return int(share * float64(inputMedian))
 }
 
 // kernelScratch recycles kernel arenas (station shells, free lists,
@@ -606,6 +703,20 @@ func runServePoint(p *ServeSweepPoint, sys System, eng *engine.Engine, budget fl
 	}
 	scratch := kernelScratch.Get().(*des.Scratch)
 	defer kernelScratch.Put(scratch)
+	// Shared-prefix points get tiered prefix-sharing allocators on
+	// every replica regardless of routing policy, so the Policies axis
+	// compares rr/ll/prefix routing on identical caches. Zero-share
+	// points build the exact allocator non-prefix sweeps always had.
+	newAlloc := func() (kvcache.Allocator, error) { return servingAlloc(sys, budget) }
+	if ptoks := prefixTokensFor(p.PrefixShare, p.Mix.Input); ptoks > 0 {
+		hostBudget := cfg.HostKVGiB * (1 << 30)
+		if hostBudget == 0 {
+			hostBudget = budget
+		}
+		newAlloc = func() (kvcache.Allocator, error) {
+			return servingPrefixAlloc(sys, budget, hostBudget, ptoks)
+		}
+	}
 	if p.Policy.Autoscale {
 		upOut := cfg.UpOutstanding
 		if upOut == 0 {
@@ -619,14 +730,18 @@ func runServePoint(p *ServeSweepPoint, sys System, eng *engine.Engine, budget fl
 			cooldown = 1
 		}
 		factory := func() (cluster.Replica, error) {
-			alloc, err := servingAlloc(sys, budget)
+			alloc, err := newAlloc()
 			if err != nil {
 				return cluster.Replica{}, err
 			}
 			return cluster.Replica{Engine: eng, Alloc: alloc}, nil
 		}
 		auto, err := cluster.ServeAutoscale(
-			cluster.Config{MaxBatch: p.MaxBatch, Static: p.Policy.Static, Streaming: cfg.StreamStats, Scratch: scratch},
+			cluster.Config{
+				MaxBatch: p.MaxBatch, Static: p.Policy.Static,
+				ChunkedPrefill: cfg.ChunkedPrefill, PrefillChunk: cfg.PrefillChunk,
+				Streaming: cfg.StreamStats, Scratch: scratch,
+			},
 			cluster.Autoscale{
 				Factory: factory, Min: 1, Max: p.Replicas,
 				UpOutstanding: upOut, DownIdleS: downIdle, CooldownS: cooldown,
@@ -642,7 +757,9 @@ func runServePoint(p *ServeSweepPoint, sys System, eng *engine.Engine, budget fl
 	}
 	ccfg := cluster.Config{
 		Policy: routePolicy(p.Policy), MaxBatch: p.MaxBatch,
-		Static: p.Policy.Static, Streaming: cfg.StreamStats, Scratch: scratch,
+		Static:         p.Policy.Static,
+		ChunkedPrefill: cfg.ChunkedPrefill, PrefillChunk: cfg.PrefillChunk,
+		Streaming: cfg.StreamStats, Scratch: scratch,
 	}
 	if p.Policy.Disagg() {
 		// The policy's pool split is a ratio: the point's fleet must
@@ -665,7 +782,7 @@ func runServePoint(p *ServeSweepPoint, sys System, eng *engine.Engine, budget fl
 	}
 	replicas := make([]cluster.Replica, p.Replicas)
 	for i := range replicas {
-		alloc, err := servingAlloc(sys, budget)
+		alloc, err := newAlloc()
 		if err != nil {
 			p.Err = err
 			return
@@ -683,7 +800,10 @@ func runServePoint(p *ServeSweepPoint, sys System, eng *engine.Engine, budget fl
 }
 
 func routePolicy(p ServePolicy) cluster.Policy {
-	if p.LeastLoaded {
+	switch {
+	case p.Prefix:
+		return cluster.Prefix
+	case p.LeastLoaded:
 		return cluster.LeastLoaded
 	}
 	return cluster.RoundRobin
@@ -698,10 +818,11 @@ type KneePoint struct {
 	Policy    ServePolicy
 	Replicas  int
 	MaxBatch  int
-	// BurstFactor and Mix identify the trace shape the knee was
-	// measured under (see ServeSweepPoint).
+	// BurstFactor, Mix, and PrefixShare identify the trace shape the
+	// knee was measured under (see ServeSweepPoint).
 	BurstFactor float64
 	Mix         LengthMix
+	PrefixShare float64
 
 	// Met reports whether any swept rate satisfied the SLO; Rate and
 	// Stats then describe the highest such rate.
@@ -730,11 +851,12 @@ func Knees(pts []ServeSweepPoint, sloP99 float64) ([]KneePoint, error) {
 		reps, mb int
 		burst    float64
 		mix      LengthMix
+		share    float64
 	}
 	index := make(map[key]int)
 	var out []KneePoint
 	for _, p := range pts {
-		k := key{p.Device, p.Framework, p.Scheme, p.Policy, p.Replicas, p.MaxBatch, p.BurstFactor, p.Mix}
+		k := key{p.Device, p.Framework, p.Scheme, p.Policy, p.Replicas, p.MaxBatch, p.BurstFactor, p.Mix, p.PrefixShare}
 		i, ok := index[k]
 		if !ok {
 			i = len(out)
@@ -742,7 +864,7 @@ func Knees(pts []ServeSweepPoint, sloP99 float64) ([]KneePoint, error) {
 			out = append(out, KneePoint{
 				Device: p.Device, Framework: p.Framework, Scheme: p.Scheme,
 				Policy: p.Policy, Replicas: p.Replicas, MaxBatch: p.MaxBatch,
-				BurstFactor: p.BurstFactor, Mix: p.Mix,
+				BurstFactor: p.BurstFactor, Mix: p.Mix, PrefixShare: p.PrefixShare,
 			})
 		}
 		if p.Err != nil || !finiteKneeStats(p.Stats) || p.Stats.P99Latency > sloP99 {
@@ -780,10 +902,10 @@ func ServePointTrace(cfg ServeSweepConfig, grid ServeGrid) ([]TraceRequest, erro
 	if err != nil {
 		return nil, err
 	}
-	if n := len(axes.rates) * len(axes.bursts) * len(axes.mixes); n != 1 {
-		return nil, fmt.Errorf("llmbench: grid spans %d trace-shape positions (rates × bursts × mixes); recording needs exactly 1", n)
+	if n := len(axes.rates) * len(axes.bursts) * len(axes.mixes) * len(axes.shares); n != 1 {
+		return nil, fmt.Errorf("llmbench: grid spans %d trace-shape positions (rates × bursts × mixes × prefix shares); recording needs exactly 1", n)
 	}
-	p := ServeSweepPoint{Rate: axes.rates[0], Mix: axes.mixes[0]}
+	p := ServeSweepPoint{Rate: axes.rates[0], Mix: axes.mixes[0], PrefixShare: axes.shares[0]}
 	if axes.chat {
 		p.BurstFactor = axes.bursts[0]
 	}

@@ -1,0 +1,236 @@
+package llmbench
+
+// Shared-prefix sweep tests: the ServePolicy grammar's prefix token,
+// the host-link and Sigma validation paths, the PrefixShares axis
+// plumbing (hit-rate column, per-share knee keying), and the
+// tentpole's acceptance demonstration — on a templated shared-prefix
+// workload, prefix-affinity routing sustains a higher SLO-compliant
+// knee rate than both blind routers at equal fleet size.
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"llmbench/internal/hw"
+)
+
+func TestServePolicyPrefixRoundTrip(t *testing.T) {
+	cases := map[string]ServePolicy{
+		"prefix":            {Prefix: true},
+		"continuous/prefix": {Prefix: true},
+		"static:prefix":     {Static: true, Prefix: true},
+		"prefix/disagg/1:3": {Prefix: true, PrefillPool: 1, DecodePool: 3},
+		"ll/prefix":         {Prefix: true}, // later token overrides
+		"prefix/ll":         {LeastLoaded: true},
+		"prefix/rr":         {},
+	}
+	for s, want := range cases {
+		got, err := ParseServePolicy(s)
+		if err != nil {
+			t.Errorf("%q: %v", s, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("%q parsed to %+v, want %+v", s, got, want)
+		}
+	}
+	for _, p := range []ServePolicy{
+		{Prefix: true},
+		{Prefix: true, Static: true},
+		{Prefix: true, PrefillPool: 1, DecodePool: 3},
+	} {
+		back, err := ParseServePolicy(p.String())
+		if err != nil || back != p {
+			t.Errorf("round-trip %+v → %q → %+v (%v)", p, p.String(), back, err)
+		}
+	}
+	if s := (ServePolicy{Prefix: true}).String(); s != "continuous/prefix" {
+		t.Errorf("String = %q, want continuous/prefix", s)
+	}
+}
+
+// TestServeSweepPrefixPolicyValidation: a programmatically built
+// Prefix+LeastLoaded policy must fail the sweep exactly like the
+// parser rejects it.
+func TestServeSweepPrefixPolicyValidation(t *testing.T) {
+	_, err := ServeSweep(serveSweepCfg, ServeGrid{
+		Rates:    []float64{4},
+		Policies: []ServePolicy{{Prefix: true, LeastLoaded: true}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("Prefix+LeastLoaded must fail the sweep, got %v", err)
+	}
+}
+
+func TestServeSweepSigmaAndHostKVValidation(t *testing.T) {
+	cfg := serveSweepCfg
+	cfg.Sigma = -0.1
+	if _, err := ServeSweep(cfg, ServeGrid{Rates: []float64{4}}); err == nil {
+		t.Error("negative Sigma must fail")
+	}
+	cfg = serveSweepCfg
+	cfg.HostKVGiB = -1
+	if _, err := ServeSweep(cfg, ServeGrid{Rates: []float64{4}}); err == nil {
+		t.Error("negative HostKVGiB must fail")
+	}
+}
+
+// TestHostLinkForValidation mirrors the interconnect validation: a
+// device whose host-link description cannot price restores fails with
+// ErrHostLink, named per field.
+func TestHostLinkForValidation(t *testing.T) {
+	good := *hw.MustGet("A100")
+	if link, err := hostLinkFor("A100", &good); err != nil {
+		t.Fatal(err)
+	} else if link.GBPerS != good.HostLinkGBs || link.LatencyS != good.HostLinkLatencyUS*1e-6 {
+		t.Errorf("link %+v does not match the catalog host link", link)
+	}
+	for name, mutate := range map[string]func(*hw.Device){
+		"zero bandwidth":     func(d *hw.Device) { d.HostLinkGBs = 0 },
+		"negative bandwidth": func(d *hw.Device) { d.HostLinkGBs = -32 },
+		"NaN bandwidth":      func(d *hw.Device) { d.HostLinkGBs = math.NaN() },
+		"Inf bandwidth":      func(d *hw.Device) { d.HostLinkGBs = math.Inf(1) },
+		"zero latency":       func(d *hw.Device) { d.HostLinkLatencyUS = 0 },
+		"NaN latency":        func(d *hw.Device) { d.HostLinkLatencyUS = math.NaN() },
+		"Inf latency":        func(d *hw.Device) { d.HostLinkLatencyUS = math.Inf(1) },
+	} {
+		d := good
+		mutate(&d)
+		if _, err := hostLinkFor("fake", &d); !errors.Is(err, ErrHostLink) {
+			t.Errorf("%s: got %v, want ErrHostLink", name, err)
+		}
+	}
+}
+
+// TestHostLinkCatalog: every catalogued device must carry a usable
+// host link, so the PrefixShares axis works on all of them.
+func TestHostLinkCatalog(t *testing.T) {
+	for _, name := range hw.Names() {
+		if _, err := hostLinkFor(name, hw.MustGet(name)); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestServeSweepPrefixShareAxis pins the axis plumbing: PrefixShare is
+// recorded per point, shared-prefix points populate the hit-rate
+// column, and Knees keys per (policy, share) so ladders fold apart.
+func TestServeSweepPrefixShareAxis(t *testing.T) {
+	cfg := serveSweepCfg
+	cfg.Requests = 48
+	pts, err := ServeSweep(cfg, ServeGrid{
+		Rates:        []float64{6},
+		Replicas:     []int{2},
+		Policies:     []ServePolicy{{}, {Prefix: true}},
+		PrefixShares: []float64{0, 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("got %d points, want 4", len(pts))
+	}
+	for i, p := range pts {
+		if p.Err != nil {
+			t.Fatalf("point %d: %v", i, p.Err)
+		}
+		wantShare := []float64{0, 0.5}[i%2]
+		if p.PrefixShare != wantShare {
+			t.Errorf("point %d share = %v, want %v", i, p.PrefixShare, wantShare)
+		}
+		if wantShare == 0 && p.Stats.CacheHitRate != 0 {
+			t.Errorf("point %d: shareless trace cannot hit (rate %v)", i, p.Stats.CacheHitRate)
+		}
+		if wantShare > 0 && p.Stats.CacheHitRate <= 0 {
+			t.Errorf("point %d: shared-prefix point must populate the hit-rate column", i)
+		}
+	}
+	knees, err := Knees(pts, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(knees) != 4 {
+		t.Fatalf("got %d knees, want 4 (per policy × share)", len(knees))
+	}
+	for i, k := range knees {
+		if k.PrefixShare != []float64{0, 0.5}[i%2] {
+			t.Errorf("knee %d share = %v", i, k.PrefixShare)
+		}
+	}
+}
+
+// TestPrefixKneeBeatsBlindRouting is the tentpole's acceptance run: a
+// templated shared-prefix workload (98% of the prompt is one system
+// prefix, tight σ=0.1 tails, chunked prefill, host tier too small to
+// rescue drained replicas) swept over a 16-replica fleet. The prefix
+// router must sustain the SLO at a strictly higher rate than both
+// round-robin and least-loaded, with the hit-rate column populated at
+// near-ceiling for prefix and visibly lower for the blind routers.
+func TestPrefixKneeBeatsBlindRouting(t *testing.T) {
+	cfg := ServeSweepConfig{
+		System:         System{Model: "Mistral-7B", Device: "A100", Framework: "vLLM"},
+		MaxBatch:       32,
+		Seed:           42,
+		Requests:       1600,
+		InputMean:      512,
+		OutputMean:     128,
+		HostKVGiB:      0.05,
+		ChunkedPrefill: true,
+		Sigma:          0.1,
+	}
+	grid := ServeGrid{
+		Rates:        []float64{28, 36, 44},
+		Replicas:     []int{16},
+		Policies:     []ServePolicy{{}, {LeastLoaded: true}, {Prefix: true}},
+		PrefixShares: []float64{0.98},
+		LengthMixes:  []LengthMix{{Input: 8192, Output: 32}},
+	}
+	pts, err := ServeSweep(cfg, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	knees, err := Knees(pts, 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(knees) != 3 {
+		t.Fatalf("got %d knees, want one per policy", len(knees))
+	}
+	byPolicy := map[string]KneePoint{}
+	for _, k := range knees {
+		byPolicy[k.Policy.String()] = k
+	}
+	px, rr, ll := byPolicy["continuous/prefix"], byPolicy["continuous/rr"], byPolicy["continuous/ll"]
+
+	if !px.Met {
+		t.Fatal("prefix routing must meet the SLO at some swept rate")
+	}
+	if px.Rate != 44 {
+		t.Errorf("prefix knee %v req/s, want the top swept rate 44", px.Rate)
+	}
+	kneeRate := func(k KneePoint) float64 {
+		if !k.Met {
+			return 0
+		}
+		return k.Rate
+	}
+	if kneeRate(px) <= kneeRate(rr) {
+		t.Errorf("prefix knee %v req/s must beat round-robin's %v", px.Rate, kneeRate(rr))
+	}
+	if kneeRate(px) <= kneeRate(ll) {
+		t.Errorf("prefix knee %v req/s must beat least-loaded's %v", px.Rate, kneeRate(ll))
+	}
+	if px.Stats.CacheHitRate < 0.9 {
+		t.Errorf("prefix hit rate %.3f at the knee, want ≥ 0.9", px.Stats.CacheHitRate)
+	}
+	// The blind routers' hit rates stay well below the prefix
+	// router's even where they meet the SLO: the knee gap is cache
+	// locality, not noise.
+	for name, k := range map[string]KneePoint{"rr": rr, "ll": ll} {
+		if k.Met && k.Stats.CacheHitRate >= px.Stats.CacheHitRate {
+			t.Errorf("%s hit rate %.3f must trail prefix's %.3f", name, k.Stats.CacheHitRate, px.Stats.CacheHitRate)
+		}
+	}
+}
